@@ -1,0 +1,128 @@
+(* Benchmark harness.
+
+   Running this executable regenerates every table and figure of the
+   paper's evaluation (printed first, in paper order), then times the
+   reproduction machinery itself with Bechamel: one Test.make per
+   table/figure, plus microbenchmarks of the compiler and simulator
+   components.
+
+     dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* 1. regenerate every table and figure                                 *)
+
+let regenerate () =
+  print_string
+    "================================================================\n\
+     Reproduction of Jouppi & Wall (ASPLOS 1989): every table & figure\n\
+     ================================================================\n\n";
+  List.iter
+    (fun (name, render) ->
+      Printf.printf "---- %s ----\n%!" name;
+      print_string (render ());
+      print_newline ())
+    Ilp_core.Experiments.all
+
+(* ------------------------------------------------------------------ *)
+(* 2. Bechamel suite                                                    *)
+
+let experiment_tests =
+  List.map
+    (fun (name, render) ->
+      Test.make ~name (Staged.stage (fun () -> ignore (render ()))))
+    Ilp_core.Experiments.all
+
+(* component microbenchmarks *)
+
+let stanford_source =
+  match Ilp_workloads.Registry.find "stanford" with
+  | Some w -> w.Ilp_workloads.Workload.source
+  | None -> assert false
+
+let yacc_source =
+  match Ilp_workloads.Registry.find "yacc" with
+  | Some w -> w.Ilp_workloads.Workload.source
+  | None -> assert false
+
+let base = Ilp_machine.Presets.base
+
+let compiled_yacc = Ilp_core.Ilp.compile ~level:Ilp_core.Ilp.O4 base yacc_source
+
+let component_tests =
+  [ Test.make ~name:"frontend: parse+check stanford"
+      (Staged.stage (fun () ->
+           ignore (Ilp_lang.Semant.compile_source stanford_source)));
+    Test.make ~name:"compile: yacc O4"
+      (Staged.stage (fun () ->
+           ignore (Ilp_core.Ilp.compile ~level:Ilp_core.Ilp.O4 base yacc_source)));
+    Test.make ~name:"compile: yacc O0"
+      (Staged.stage (fun () ->
+           ignore (Ilp_core.Ilp.compile ~level:Ilp_core.Ilp.O0 base yacc_source)));
+    Test.make ~name:"simulate: yacc functional"
+      (Staged.stage (fun () -> ignore (Ilp_sim.Exec.run compiled_yacc)));
+    Test.make ~name:"simulate: yacc timed (superscalar-4)"
+      (Staged.stage (fun () ->
+           ignore
+             (Ilp_sim.Metrics.measure (Ilp_machine.Presets.superscalar 4)
+                compiled_yacc)));
+    Test.make ~name:"schedule: yacc for CRAY-1"
+      (Staged.stage (fun () ->
+           ignore (Ilp_sched.List_sched.run (Ilp_machine.Presets.cray1 ()) compiled_yacc)))
+  ]
+
+let benchmark tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~stabilize:false
+      ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  Analyze.merge ols instances results
+
+let print_results results =
+  Printf.printf "%-55s %16s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 73 '-');
+  match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+  | None -> print_endline "(no results)"
+  | Some table ->
+      let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) table [] in
+      List.iter
+        (fun (name, ols) ->
+          let estimate =
+            match Analyze.OLS.estimates ols with
+            | Some (e :: _) -> e
+            | _ -> nan
+          in
+          let pretty =
+            if estimate >= 1e9 then Printf.sprintf "%.2f s" (estimate /. 1e9)
+            else if estimate >= 1e6 then Printf.sprintf "%.2f ms" (estimate /. 1e6)
+            else if estimate >= 1e3 then Printf.sprintf "%.2f us" (estimate /. 1e3)
+            else Printf.sprintf "%.0f ns" estimate
+          in
+          Printf.printf "%-55s %16s\n" name pretty)
+        (List.sort compare rows)
+
+let () =
+  regenerate ();
+  print_string
+    "================================================================\n\
+     Bechamel timings (one test per table/figure + components)\n\
+     ================================================================\n\n";
+  Printf.printf "timing experiment drivers (quota 1s each)...\n%!";
+  let results =
+    benchmark (Test.make_grouped ~name:"experiments" experiment_tests)
+  in
+  print_results results;
+  print_newline ();
+  Printf.printf "timing components...\n%!";
+  let results = benchmark (Test.make_grouped ~name:"components" component_tests) in
+  print_results results

@@ -1,0 +1,295 @@
+(* Command-line interface to the reproduction:
+
+     ilp list                          benchmarks and machine presets
+     ilp run -b linpack -m cray1 ...   compile + simulate one benchmark
+     ilp experiment fig4_1 ...         regenerate a table/figure
+     ilp experiment --all              the whole evaluation section
+     ilp disasm -b yacc -O2            dump the compiled IR *)
+
+open Cmdliner
+
+let machine_of_string s =
+  match Ilp_machine.Presets.by_name s with
+  | Some config -> Ok config
+  | None -> (
+      (* superscalar-N / superpipelined-M / sps-NxM *)
+      let try_prefix prefix make =
+        let plen = String.length prefix in
+        if String.length s > plen && String.sub s 0 plen = prefix then
+          int_of_string_opt (String.sub s plen (String.length s - plen))
+          |> Option.map make
+        else None
+      in
+      let candidates =
+        [ try_prefix "superscalar-" Ilp_machine.Presets.superscalar;
+          try_prefix "superpipelined-" Ilp_machine.Presets.superpipelined ]
+      in
+      match List.find_opt Option.is_some candidates with
+      | Some (Some config) -> Ok config
+      | _ ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "unknown machine %s (try base, multititan, cray1, \
+                  cray1-unit, underpipelined, superscalar-N, \
+                  superpipelined-M)"
+                 s)))
+
+let machine_conv =
+  Arg.conv
+    ( machine_of_string,
+      fun ppf config -> Fmt.string ppf config.Ilp_machine.Config.name )
+
+let level_of_string = function
+  | "0" | "O0" | "none" -> Ok Ilp_core.Ilp.O0
+  | "1" | "O1" | "sched" -> Ok Ilp_core.Ilp.O1
+  | "2" | "O2" | "local" -> Ok Ilp_core.Ilp.O2
+  | "3" | "O3" | "global" -> Ok Ilp_core.Ilp.O3
+  | "4" | "O4" | "regalloc" -> Ok Ilp_core.Ilp.O4
+  | s -> Error (`Msg (Printf.sprintf "unknown optimization level %s" s))
+
+let level_conv =
+  Arg.conv
+    ( level_of_string,
+      fun ppf level -> Fmt.string ppf (Ilp_core.Ilp.opt_level_name level) )
+
+let bench_arg =
+  let doc = "Benchmark name (see `ilp list')." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
+
+let machine_arg =
+  let doc = "Machine configuration." in
+  Arg.(
+    value
+    & opt machine_conv Ilp_machine.Presets.base
+    & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc)
+
+let level_arg =
+  let doc = "Optimization level (0-4)." in
+  Arg.(value & opt level_conv Ilp_core.Ilp.O4 & info [ "O"; "opt" ] ~doc)
+
+let unroll_arg =
+  let doc = "Unroll innermost loops by this factor." in
+  Arg.(value & opt int 1 & info [ "u"; "unroll" ] ~docv:"N" ~doc)
+
+let careful_arg =
+  let doc = "Use careful (reassociating, alias-annotated) unrolling." in
+  Arg.(value & flag & info [ "careful" ] ~doc)
+
+let find_bench name =
+  match Ilp_workloads.Registry.find name with
+  | Some w -> w
+  | None ->
+      Fmt.epr "unknown benchmark %s; available: %s@." name
+        (String.concat ", " Ilp_workloads.Registry.names);
+      exit 1
+
+let unroll_spec factor careful =
+  if factor <= 1 then None
+  else
+    Some
+      { Ilp_core.Ilp.mode =
+          (if careful then Ilp_lang.Unroll.Careful else Ilp_lang.Unroll.Naive);
+        factor;
+      }
+
+let source_for w careful =
+  if careful then Ilp_workloads.Workload.source_for_mode w `Careful
+  else w.Ilp_workloads.Workload.source
+
+(* --- run ---------------------------------------------------------------- *)
+
+let run_cmd =
+  let action bench machine level factor careful =
+    let w = find_bench bench in
+    let unroll = unroll_spec factor careful in
+    let r =
+      Ilp_core.Ilp.measure ?unroll ~level machine (source_for w careful)
+    in
+    Fmt.pr "benchmark      %s@." bench;
+    Fmt.pr "machine        %s@." machine.Ilp_machine.Config.name;
+    Fmt.pr "optimization   %s@." (Ilp_core.Ilp.opt_level_name level);
+    Fmt.pr "instructions   %d@." r.Ilp_sim.Metrics.dyn_instrs;
+    Fmt.pr "base cycles    %.1f@." r.Ilp_sim.Metrics.base_cycles;
+    Fmt.pr "speedup (ILP)  %.3f@." r.Ilp_sim.Metrics.speedup;
+    Fmt.pr "checksum       %a@." Ilp_sim.Value.pp r.Ilp_sim.Metrics.sink
+  in
+  let term =
+    Term.(
+      const action $ bench_arg $ machine_arg $ level_arg $ unroll_arg
+      $ careful_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Compile and simulate one benchmark") term
+
+(* --- list --------------------------------------------------------------- *)
+
+let list_cmd =
+  let action () =
+    Fmt.pr "benchmarks:@.";
+    List.iter
+      (fun w ->
+        Fmt.pr "  %-10s %s@." w.Ilp_workloads.Workload.name
+          w.Ilp_workloads.Workload.description)
+      Ilp_workloads.Registry.all;
+    Fmt.pr "@.machines: base, multititan, cray1, cray1-unit, underpipelined,@.";
+    Fmt.pr "  superscalar-N, superpipelined-M@.";
+    Fmt.pr "@.experiments:@.";
+    List.iter
+      (fun (name, _) -> Fmt.pr "  %s@." name)
+      Ilp_core.Experiments.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List benchmarks, machines, and experiments")
+    Term.(const action $ const ())
+
+(* --- experiment --------------------------------------------------------- *)
+
+let experiment_cmd =
+  let all_flag =
+    Arg.(value & flag & info [ "all" ] ~doc:"Run every experiment.")
+  in
+  let name_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
+  in
+  let action all name =
+    if all then print_string (Ilp_core.Experiments.run_all ())
+    else
+      match name with
+      | None ->
+          Fmt.epr "specify an experiment or --all (see `ilp list')@.";
+          exit 1
+      | Some name -> (
+          match Ilp_core.Experiments.find name with
+          | Some render -> print_string (render ())
+          | None ->
+              Fmt.epr "unknown experiment %s@." name;
+              exit 1)
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate a table or figure from the paper's evaluation")
+    Term.(const action $ all_flag $ name_arg)
+
+(* --- disasm ------------------------------------------------------------- *)
+
+let disasm_cmd =
+  let fn_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "function" ] ~docv:"NAME"
+          ~doc:"Only show this function.")
+  in
+  let action bench machine level factor careful fn =
+    let w = find_bench bench in
+    let unroll = unroll_spec factor careful in
+    let p =
+      Ilp_core.Ilp.compile ?unroll ~level machine (source_for w careful)
+    in
+    match fn with
+    | None -> Fmt.pr "%a@." Ilp_ir.Program.pp p
+    | Some name -> (
+        match Ilp_ir.Program.find_function p name with
+        | Some f -> Fmt.pr "%a@." Ilp_ir.Func.pp f
+        | None ->
+            Fmt.epr "no function %s@." name;
+            exit 1)
+  in
+  let term =
+    Term.(
+      const action $ bench_arg $ machine_arg $ level_arg $ unroll_arg
+      $ careful_arg $ fn_arg)
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Dump the compiled IR of a benchmark") term
+
+(* --- trace -------------------------------------------------------------- *)
+
+let trace_cmd =
+  let limit_arg =
+    Arg.(
+      value & opt int 80
+      & info [ "n"; "limit" ] ~docv:"N" ~doc:"Instructions to show.")
+  in
+  let action bench machine level factor careful limit =
+    let w = find_bench bench in
+    let unroll = unroll_spec factor careful in
+    let p =
+      Ilp_core.Ilp.compile ?unroll ~level machine (source_for w careful)
+    in
+    let entries, outcome = Ilp_sim.Trace.capture ~limit p in
+    print_string (Ilp_sim.Trace.render entries);
+    Fmt.pr "... (%d instructions total, checksum %a)@."
+      outcome.Ilp_sim.Exec.dyn_instrs Ilp_sim.Value.pp
+      outcome.Ilp_sim.Exec.sink
+  in
+  let term =
+    Term.(
+      const action $ bench_arg $ machine_arg $ level_arg $ unroll_arg
+      $ careful_arg $ limit_arg)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Show the first N executed instructions")
+    term
+
+(* --- profile ------------------------------------------------------------ *)
+
+let profile_cmd =
+  let action bench machine level factor careful =
+    let w = find_bench bench in
+    let unroll = unroll_spec factor careful in
+    let p =
+      Ilp_core.Ilp.compile ?unroll ~level machine (source_for w careful)
+    in
+    let timing = Ilp_sim.Timing.create machine in
+    let outcome =
+      Ilp_sim.Exec.run ~observer:(Ilp_sim.Timing.observer timing) p
+    in
+    let total = float_of_int outcome.Ilp_sim.Exec.dyn_instrs in
+    Fmt.pr "per-function dynamic instruction counts:@.";
+    List.iter
+      (fun (name, count) ->
+        Fmt.pr "  %-16s %10d  (%.1f%%)@." name count
+          (100.0 *. float_of_int count /. total))
+      outcome.Ilp_sim.Exec.per_function;
+    Fmt.pr "@.instruction-class mix:@.";
+    Array.iteri
+      (fun idx count ->
+        if count > 0 then
+          Fmt.pr "  %-10s %10d  (%.1f%%)@."
+            (Ilp_ir.Iclass.name (Ilp_ir.Iclass.of_index idx))
+            count
+            (100.0 *. float_of_int count /. total))
+      outcome.Ilp_sim.Exec.class_counts;
+    Fmt.pr "@.issue-width histogram on %s:@." machine.Ilp_machine.Config.name;
+    let cycles =
+      float_of_int
+        (Array.fold_left ( + ) 0 timing.Ilp_sim.Timing.issue_histogram)
+    in
+    Array.iteri
+      (fun k count ->
+        Fmt.pr "  %d/cycle  %10d  (%.1f%%)@." k count
+          (100.0 *. float_of_int count /. cycles))
+      timing.Ilp_sim.Timing.issue_histogram
+  in
+  let term =
+    Term.(
+      const action $ bench_arg $ machine_arg $ level_arg $ unroll_arg
+      $ careful_arg)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Per-function, per-class and per-cycle issue statistics")
+    term
+
+let main_cmd =
+  let doc =
+    "reproduction of Jouppi & Wall, Available Instruction-Level \
+     Parallelism for Superscalar and Superpipelined Machines (ASPLOS 1989)"
+  in
+  Cmd.group (Cmd.info "ilp" ~doc)
+    [ run_cmd; list_cmd; experiment_cmd; disasm_cmd; trace_cmd; profile_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,54 @@
+(* Describing a custom machine, exactly as the paper's Section 3
+   interface allowed: per-class operation latencies, functional units
+   with issue latency and multiplicity, issue width, and the register
+   split.  Here: a dual-issue machine with one pipelined FP unit and a
+   2-cycle load, compared against its ideal-unit twin.
+
+     dune exec examples/custom_machine.exe *)
+
+open Ilp_machine
+open Ilp_ir
+
+let my_machine =
+  Config.make "dual-issue-1fpu" ~issue_width:2 ~temp_regs:16 ~home_regs:26
+    ~latencies:
+      (Config.latency_table
+         [ (Iclass.Load, 2); (Iclass.Fp_add, 2); (Iclass.Fp_mul, 3);
+           (Iclass.Fp_div, 12); (Iclass.Int_div, 12); (Iclass.Int_mul, 2) ])
+    ~units:
+      [ { Config.unit_name = "fpu";
+          classes = [ Iclass.Fp_add; Iclass.Fp_mul; Iclass.Fp_div; Iclass.Fp_cvt ];
+          issue_latency = 1;
+          multiplicity = 1;
+        };
+        { Config.unit_name = "mem";
+          classes = [ Iclass.Load; Iclass.Store ];
+          issue_latency = 1;
+          multiplicity = 1;
+        } ]
+
+let ideal_twin = Presets.superscalar 2
+
+let () =
+  Fmt.pr "custom machine description:@.%a@.@." Config.pp my_machine;
+  Fmt.pr "%-12s %-18s %-18s@." "benchmark" my_machine.Config.name
+    ideal_twin.Config.name;
+  List.iter
+    (fun w ->
+      let measure config =
+        (Ilp_core.Ilp.measure ~level:Ilp_core.Ilp.O4 config
+           w.Ilp_workloads.Workload.source)
+          .Ilp_sim.Metrics.speedup
+      in
+      Fmt.pr "%-12s %-18.3f %-18.3f@." w.Ilp_workloads.Workload.name
+        (measure my_machine) (measure ideal_twin))
+    Ilp_workloads.Registry.all;
+  Fmt.pr
+    "@.Real latencies and a single FP unit absorb much of the dual-issue@.\
+     benefit: the machine is already partly superpipelined (its average@.\
+     degree of superpipelining exceeds one), as Section 2.7 predicts.@.";
+  let avg =
+    Superpipelining.average_degree my_machine
+      Superpipelining.paper_frequencies
+  in
+  Fmt.pr "average degree of superpipelining: %.2f@." avg

@@ -1,0 +1,14 @@
+(* The machine-taxonomy diagrams of Section 2 (Figures 2-1 through 2-7)
+   and the start-up transient of Figure 4-2, rendered from the same
+   issue model that produces all the measurements.
+
+     dune exec examples/pipeline_diagrams.exe *)
+
+let () =
+  print_string (Ilp_core.Experiments.render_fig2_diagrams ());
+  print_newline ();
+  print_string (Ilp_core.Experiments.render_fig4_2 ());
+  (* a dependent chain, to contrast with the independent streams above *)
+  let chain = Ilp_sim.Diagram.dependent_instrs 5 in
+  Fmt.pr "@.serial chain on a superscalar degree 3 (no parallelism to exploit):@.";
+  print_string (Ilp_sim.Diagram.render (Ilp_machine.Presets.superscalar 3) chain)

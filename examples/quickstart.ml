@@ -1,0 +1,49 @@
+(* Quickstart: compile a MiniMod program, run it on several machines, and
+   read out the instruction-level parallelism.
+
+     dune exec examples/quickstart.exe *)
+
+let source =
+  {|
+# dot product plus a recurrence: some parallel work, some serial work
+arr x : real[256];
+arr y : real[256];
+
+fun main() {
+  var i : int;
+  var dot : real = 0.0;
+  for (i = 0; i < 256; i = i + 1) {
+    x[i] = real(i % 17) / 16.0;
+    y[i] = real(i % 11) / 16.0;
+  }
+  for (i = 0; i < 256; i = i + 1) {
+    dot = dot + x[i] * y[i];
+  }
+  # first-order recurrence: inherently serial
+  for (i = 1; i < 256; i = i + 1) {
+    x[i] = x[i] + 0.5 * x[i - 1];
+  }
+  sink(dot + x[255]);
+}
+|}
+
+let () =
+  Fmt.pr "== quickstart: one program, four machines ==@.@.";
+  let machines =
+    [ Ilp_machine.Presets.base;
+      Ilp_machine.Presets.superscalar 4;
+      Ilp_machine.Presets.superpipelined 4;
+      Ilp_machine.Presets.multititan ]
+  in
+  List.iter
+    (fun machine ->
+      let r = Ilp_core.Ilp.measure ~level:Ilp_core.Ilp.O4 machine source in
+      Fmt.pr "%-18s %8d instrs  %10.1f base cycles  ILP %.3f  sink %a@."
+        machine.Ilp_machine.Config.name r.Ilp_sim.Metrics.dyn_instrs
+        r.Ilp_sim.Metrics.base_cycles r.Ilp_sim.Metrics.speedup
+        Ilp_sim.Value.pp r.Ilp_sim.Metrics.sink)
+    machines;
+  Fmt.pr
+    "@.The same checksum on every machine shows the compiler preserved@.\
+     semantics; the cycle counts show how much of the program's@.\
+     instruction-level parallelism each machine exploits.@."

@@ -1,0 +1,74 @@
+(* Top-level compilation and measurement pipeline: the paper's
+   "parameterizable code reorganization and simulation system".
+
+   A MiniMod source program is compiled for a machine configuration at
+   one of five cumulative optimization levels (the x-axis of Figure 4-8):
+
+   - O0: no optimization at all (every variable in memory, original
+     instruction order);
+   - O1: + pipeline instruction scheduling;
+   - O2: + intra-block optimizations (constant folding, local CSE and
+     copy propagation, dead-code elimination);
+   - O3: + global optimizations (loop-invariant code motion,
+     dominator-based global CSE);
+   - O4: + global register allocation (home promotion).
+
+   Expression-temporary allocation always runs (the code could not
+   execute otherwise); the temp-pool size comes from the machine
+   configuration, as in Section 3. *)
+
+open Ilp_lang
+open Ilp_machine
+
+type opt_level = O0 | O1 | O2 | O3 | O4
+
+let opt_level_name = function
+  | O0 -> "none"
+  | O1 -> "sched"
+  | O2 -> "sched+local"
+  | O3 -> "sched+local+global"
+  | O4 -> "sched+local+global+regalloc"
+
+let all_levels = [ O0; O1; O2; O3; O4 ]
+
+let level_rank = function O0 -> 0 | O1 -> 1 | O2 -> 2 | O3 -> 3 | O4 -> 4
+
+let at_least level threshold = level_rank level >= level_rank threshold
+
+type unroll_spec = { mode : Unroll.mode; factor : int }
+
+(* Parse and type check MiniMod source. *)
+let frontend source = Semant.compile_source source
+
+let local_cleanup p =
+  p |> Ilp_opt.Const_fold.run |> Ilp_opt.Local_cse.run |> Ilp_opt.Dce.run
+
+(* Compile [source] for [config] at [level]. *)
+let compile ?unroll ~level (config : Config.t) source =
+  let tast = frontend source in
+  let tast =
+    match unroll with
+    | Some { mode; factor } -> Unroll.program mode factor tast
+    | None -> tast
+  in
+  let p = Codegen.gen_program tast in
+  let p = if at_least level O2 then local_cleanup p else p in
+  let p =
+    if at_least level O3 then
+      p |> Ilp_opt.Licm.run |> Ilp_opt.Global_cse.run |> local_cleanup
+    else p
+  in
+  let p =
+    if at_least level O4 then
+      Ilp_regalloc.Global_alloc.run config p
+      |> local_cleanup |> Ilp_opt.Coalesce.run
+    else p
+  in
+  let p = Ilp_regalloc.Temp_alloc.run config p in
+  let p = if at_least level O1 then Ilp_sched.List_sched.run config p else p in
+  p
+
+(* Compile and measure in one step. *)
+let measure ?unroll ?(level = O4) ?cache ?options (config : Config.t) source =
+  let program = compile ?unroll ~level config source in
+  Ilp_sim.Metrics.measure ?cache ?options config program

@@ -1,0 +1,56 @@
+(** The top-level compilation and measurement pipeline — the paper's
+    "parameterizable code reorganization and simulation system".
+
+    A MiniMod source compiles for a machine configuration at one of five
+    cumulative optimization levels (the x-axis of Figure 4-8); the
+    resulting program runs on the functional simulator while the
+    machine's timing model counts cycles. *)
+
+open Ilp_machine
+
+(** Cumulative optimization levels:
+    - [O0]: no optimization at all (every variable in memory, original
+      instruction order);
+    - [O1]: + pipeline instruction scheduling;
+    - [O2]: + intra-block optimizations (constant folding, local CSE and
+      copy propagation, dead code elimination);
+    - [O3]: + global optimizations (loop-invariant code motion,
+      dominator-based global CSE);
+    - [O4]: + global register allocation (home promotion).
+
+    Expression-temporary allocation always runs; the temp-pool size
+    comes from the machine configuration, as in Section 3. *)
+type opt_level = O0 | O1 | O2 | O3 | O4
+
+val opt_level_name : opt_level -> string
+val all_levels : opt_level list
+val level_rank : opt_level -> int
+val at_least : opt_level -> opt_level -> bool
+
+type unroll_spec = { mode : Ilp_lang.Unroll.mode; factor : int }
+
+val frontend : string -> Ilp_lang.Tast.tprogram
+(** Parse and type check. *)
+
+val local_cleanup : Ilp_ir.Program.t -> Ilp_ir.Program.t
+(** Constant folding, local CSE, DCE — the O2 pass group, also used to
+    clean up after the global passes. *)
+
+val compile :
+  ?unroll:unroll_spec ->
+  level:opt_level ->
+  Config.t ->
+  string ->
+  Ilp_ir.Program.t
+(** Compile MiniMod source for [config] at [level]; the result is fully
+    register-allocated and (from O1) scheduled for [config]. *)
+
+val measure :
+  ?unroll:unroll_spec ->
+  ?level:opt_level ->
+  ?cache:Ilp_sim.Cache.t ->
+  ?options:Ilp_sim.Exec.options ->
+  Config.t ->
+  string ->
+  Ilp_sim.Metrics.run
+(** Compile (default O4) and measure in one step. *)

@@ -1,0 +1,24 @@
+(** Text rendering for experiment results: aligned tables and ASCII line
+    charts, so every figure of the paper has a terminal rendition. *)
+
+val fixed : string list list -> string
+(** Right-aligned columns, no header. *)
+
+val table : header:string list -> string list list -> string
+(** Left-aligned columns with a header row and separator. *)
+
+type series = { label : char; points : (float * float) list }
+
+val line_chart :
+  ?width:int ->
+  ?height:int ->
+  ?y_from_zero:bool ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series list ->
+  string
+(** Interpolated ASCII chart; overlapping points show the later
+    series. *)
+
+val section : string -> string -> string
+(** A titled block. *)

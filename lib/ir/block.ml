@@ -1,0 +1,47 @@
+(* A basic block: a label and a straight-line instruction sequence.
+
+   Control enters only at the top and leaves only at the bottom.  The
+   final instruction may be a terminator (jump, conditional branch,
+   return, halt); a block whose last instruction is not a terminator
+   falls through to the next block in function order, as does the
+   not-taken side of a conditional branch. *)
+
+type t = { label : Label.t; instrs : Instr.t list }
+
+let make label instrs = { label; instrs }
+
+let terminator b =
+  match List.rev b.instrs with
+  | last :: _ when Instr.is_terminator last -> Some last
+  | _ -> None
+
+(* Instructions excluding the final terminator, plus the terminator. *)
+let split_terminator b =
+  match List.rev b.instrs with
+  | last :: rest when Instr.is_terminator last -> (List.rev rest, Some last)
+  | _ -> (b.instrs, None)
+
+(* Labels this block can branch to (not counting fall-through). *)
+let branch_targets b =
+  List.filter_map
+    (fun i ->
+      if Instr.is_terminator i || Instr.is_branch i then
+        match i.Instr.target with
+        | Some l when i.Instr.op <> Opcode.Call -> Some l
+        | _ -> None
+      else None)
+    b.instrs
+
+(* Whether execution can continue to the next block in layout order. *)
+let falls_through b =
+  match terminator b with
+  | None -> true
+  | Some t -> Instr.is_branch t (* conditional: not-taken falls through *)
+
+let size b = List.length b.instrs
+
+let map_instrs f b = { b with instrs = List.map f b.instrs }
+
+let pp ppf b =
+  Fmt.pf ppf "%a:@." Label.pp b.label;
+  List.iter (fun i -> Fmt.pf ppf "    %a@." Instr.pp i) b.instrs

@@ -1,0 +1,31 @@
+(** Basic blocks: a label and a straight-line instruction sequence.
+
+    Control enters only at the top and leaves only at the bottom.  The
+    final instruction may be a terminator (jump, conditional branch,
+    return, halt); a block whose last instruction is not a terminator
+    falls through to the next block in function layout order, as does
+    the not-taken side of a conditional branch. *)
+
+type t = { label : Label.t; instrs : Instr.t list }
+
+val make : Label.t -> Instr.t list -> t
+
+val terminator : t -> Instr.t option
+(** The final instruction when it is a terminator. *)
+
+val split_terminator : t -> Instr.t list * Instr.t option
+(** The body and, separately, the terminator if there is one. *)
+
+val branch_targets : t -> Label.t list
+(** Labels this block can transfer to explicitly (branches and jumps;
+    call targets excluded). *)
+
+val falls_through : t -> bool
+(** Whether execution can continue into the next block in layout
+    order: no terminator, or a conditional branch. *)
+
+val size : t -> int
+
+val map_instrs : (Instr.t -> Instr.t) -> t -> t
+
+val pp : t Fmt.t

@@ -1,0 +1,57 @@
+(* Convenience constructors for hand-written IR fragments (tests,
+   examples such as the Figure 1-1 code fragments). *)
+
+open Instr
+
+let rr op d a b = make op ~dst:d ~srcs:[ Oreg a; Oreg b ]
+let ri op d a n = make op ~dst:d ~srcs:[ Oreg a; Oimm n ]
+let un op d a = make op ~dst:d ~srcs:[ Oreg a ]
+
+let add = rr Opcode.Add
+let addi = ri Opcode.Add
+let sub = rr Opcode.Sub
+let mul = rr Opcode.Mul
+let div = rr Opcode.Div
+let and_ = rr Opcode.And
+let or_ = rr Opcode.Or
+let xor = rr Opcode.Xor
+let shl = ri Opcode.Shl
+let slt = rr Opcode.Slt
+let mov d a = un Opcode.Mov d a
+let li d n = make Opcode.Li ~dst:d ~srcs:[ Oimm n ]
+let fli d f = make Opcode.Fli ~dst:d ~srcs:[ Ofimm f ]
+let fadd = rr Opcode.Fadd
+let fsub = rr Opcode.Fsub
+let fmul = rr Opcode.Fmul
+let fdiv = rr Opcode.Fdiv
+let itof d a = un Opcode.Itof d a
+
+let ld ?mem d ~base ~offset =
+  make Opcode.Ld ~dst:d ~srcs:[ Oreg base ] ~offset ?mem
+
+let st ?mem ~value ~base ~offset () =
+  make Opcode.St ~srcs:[ Oreg value; Oreg base ] ~offset ?mem
+
+let beq a b l = make Opcode.Beq ~srcs:[ Oreg a; Oreg b ] ~target:l
+let bne a b l = make Opcode.Bne ~srcs:[ Oreg a; Oreg b ] ~target:l
+let blt a b l = make Opcode.Blt ~srcs:[ Oreg a; Oreg b ] ~target:l
+let bge a b l = make Opcode.Bge ~srcs:[ Oreg a; Oreg b ] ~target:l
+let jmp l = make Opcode.Jmp ~target:l
+let call l = make Opcode.Call ~target:l
+let ret () = make Opcode.Ret
+let halt () = make Opcode.Halt
+let nop () = make Opcode.Nop
+
+(* A one-block function wrapping [instrs]; appends [halt] if the last
+   instruction is not already a terminator. *)
+let single_block_main instrs =
+  let instrs =
+    match List.rev instrs with
+    | last :: _ when Instr.is_terminator last -> instrs
+    | _ -> instrs @ [ halt () ]
+  in
+  let block = Block.make (Label.of_string "main") instrs in
+  Func.make ~name:"main" ~frame_size:0 ~n_params:0 [ block ]
+
+let program_of_instrs instrs =
+  Program.make ~globals:[] ~functions:[ single_block_main instrs ]

@@ -1,0 +1,51 @@
+(** Convenience constructors for hand-written IR fragments (tests and
+    examples such as the Figure 1-1 code fragments). *)
+
+val rr : Opcode.t -> Reg.t -> Reg.t -> Reg.t -> Instr.t
+(** [rr op d a b]: register-register binary operation. *)
+
+val ri : Opcode.t -> Reg.t -> Reg.t -> int -> Instr.t
+(** [ri op d a n]: register-immediate binary operation. *)
+
+val un : Opcode.t -> Reg.t -> Reg.t -> Instr.t
+(** [un op d a]: unary operation. *)
+
+val add : Reg.t -> Reg.t -> Reg.t -> Instr.t
+val addi : Reg.t -> Reg.t -> int -> Instr.t
+val sub : Reg.t -> Reg.t -> Reg.t -> Instr.t
+val mul : Reg.t -> Reg.t -> Reg.t -> Instr.t
+val div : Reg.t -> Reg.t -> Reg.t -> Instr.t
+val and_ : Reg.t -> Reg.t -> Reg.t -> Instr.t
+val or_ : Reg.t -> Reg.t -> Reg.t -> Instr.t
+val xor : Reg.t -> Reg.t -> Reg.t -> Instr.t
+val shl : Reg.t -> Reg.t -> int -> Instr.t
+val slt : Reg.t -> Reg.t -> Reg.t -> Instr.t
+val mov : Reg.t -> Reg.t -> Instr.t
+val li : Reg.t -> int -> Instr.t
+val fli : Reg.t -> float -> Instr.t
+val fadd : Reg.t -> Reg.t -> Reg.t -> Instr.t
+val fsub : Reg.t -> Reg.t -> Reg.t -> Instr.t
+val fmul : Reg.t -> Reg.t -> Reg.t -> Instr.t
+val fdiv : Reg.t -> Reg.t -> Reg.t -> Instr.t
+val itof : Reg.t -> Reg.t -> Instr.t
+
+val ld : ?mem:Mem_info.t -> Reg.t -> base:Reg.t -> offset:int -> Instr.t
+val st :
+  ?mem:Mem_info.t -> value:Reg.t -> base:Reg.t -> offset:int -> unit -> Instr.t
+
+val beq : Reg.t -> Reg.t -> Label.t -> Instr.t
+val bne : Reg.t -> Reg.t -> Label.t -> Instr.t
+val blt : Reg.t -> Reg.t -> Label.t -> Instr.t
+val bge : Reg.t -> Reg.t -> Label.t -> Instr.t
+val jmp : Label.t -> Instr.t
+val call : Label.t -> Instr.t
+val ret : unit -> Instr.t
+val halt : unit -> Instr.t
+val nop : unit -> Instr.t
+
+val single_block_main : Instr.t list -> Func.t
+(** A one-block ["main"] wrapping the instructions; appends [halt] when
+    the last instruction is not already a terminator. *)
+
+val program_of_instrs : Instr.t list -> Program.t
+(** A whole program with no globals around {!single_block_main}. *)

@@ -1,0 +1,53 @@
+(* A function: an ordered list of basic blocks.
+
+   The block order is the layout order, which determines fall-through
+   targets.  The first block is the entry.  [frame_size] is the number of
+   stack words reserved by the prologue (incoming arguments, locals,
+   spill slots); the code generator emits the prologue/epilogue
+   explicitly, so the simulator needs no special knowledge of frames. *)
+
+type t = {
+  name : string;
+  blocks : Block.t list;
+  frame_size : int;
+  n_params : int;
+}
+
+let make ~name ~frame_size ~n_params blocks =
+  { name; blocks; frame_size; n_params }
+
+let entry_label f =
+  match f.blocks with
+  | [] -> invalid_arg ("Func.entry_label: empty function " ^ f.name)
+  | b :: _ -> b.Block.label
+
+let find_block f label =
+  List.find_opt (fun b -> Label.equal b.Block.label label) f.blocks
+
+let instr_count f =
+  List.fold_left (fun acc b -> acc + Block.size b) 0 f.blocks
+
+let map_blocks fn f = { f with blocks = List.map fn f.blocks }
+
+(* Successor labels of each block, in layout order: explicit branch
+   targets plus fall-through.  Used by CFG analyses. *)
+let successors f =
+  let rec walk = function
+    | [] -> []
+    | b :: rest ->
+        let explicit = Block.branch_targets b in
+        let fallthrough =
+          if Block.falls_through b then
+            match rest with
+            | next :: _ -> [ next.Block.label ]
+            | [] -> []
+          else []
+        in
+        (b.Block.label, explicit @ fallthrough) :: walk rest
+  in
+  walk f.blocks
+
+let pp ppf f =
+  Fmt.pf ppf "func %s (params=%d, frame=%d):@." f.name f.n_params
+    f.frame_size;
+  List.iter (Block.pp ppf) f.blocks

@@ -1,0 +1,33 @@
+(** Functions: ordered lists of basic blocks.
+
+    The block order is the layout order, which determines fall-through
+    targets; the first block is the entry.  [frame_size] is the number
+    of stack words reserved by the prologue (locals, incoming-argument
+    slots, spill slots) — the code generator emits the prologue and
+    epilogue explicitly, so the simulator needs no special knowledge of
+    frames. *)
+
+type t = {
+  name : string;
+  blocks : Block.t list;
+  frame_size : int;
+  n_params : int;
+}
+
+val make : name:string -> frame_size:int -> n_params:int -> Block.t list -> t
+
+val entry_label : t -> Label.t
+(** Raises [Invalid_argument] on an empty function. *)
+
+val find_block : t -> Label.t -> Block.t option
+
+val instr_count : t -> int
+(** Static instruction count. *)
+
+val map_blocks : (Block.t -> Block.t) -> t -> t
+
+val successors : t -> (Label.t * Label.t list) list
+(** Per block in layout order: explicit branch targets plus
+    fall-through. *)
+
+val pp : t Fmt.t

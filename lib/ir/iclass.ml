@@ -1,0 +1,105 @@
+(* The fourteen instruction classes of the study (Section 3 of the paper).
+
+   Operations in a given class are likely to have identical pipeline
+   behaviour in any machine, so machine descriptions assign latencies and
+   functional units per class. *)
+
+type t =
+  | Logical
+  | Shift
+  | Add_sub
+  | Int_mul
+  | Int_div
+  | Move
+  | Load
+  | Store
+  | Branch
+  | Jump
+  | Fp_add
+  | Fp_mul
+  | Fp_div
+  | Fp_cvt
+[@@deriving eq, ord, show { with_path = false }]
+
+let all =
+  [ Logical; Shift; Add_sub; Int_mul; Int_div; Move; Load; Store; Branch;
+    Jump; Fp_add; Fp_mul; Fp_div; Fp_cvt ]
+
+let count = List.length all
+
+let to_index = function
+  | Logical -> 0
+  | Shift -> 1
+  | Add_sub -> 2
+  | Int_mul -> 3
+  | Int_div -> 4
+  | Move -> 5
+  | Load -> 6
+  | Store -> 7
+  | Branch -> 8
+  | Jump -> 9
+  | Fp_add -> 10
+  | Fp_mul -> 11
+  | Fp_div -> 12
+  | Fp_cvt -> 13
+
+let of_index = function
+  | 0 -> Logical
+  | 1 -> Shift
+  | 2 -> Add_sub
+  | 3 -> Int_mul
+  | 4 -> Int_div
+  | 5 -> Move
+  | 6 -> Load
+  | 7 -> Store
+  | 8 -> Branch
+  | 9 -> Jump
+  | 10 -> Fp_add
+  | 11 -> Fp_mul
+  | 12 -> Fp_div
+  | 13 -> Fp_cvt
+  | i -> invalid_arg (Printf.sprintf "Iclass.of_index: %d" i)
+
+let name = function
+  | Logical -> "logical"
+  | Shift -> "shift"
+  | Add_sub -> "add/sub"
+  | Int_mul -> "int mul"
+  | Int_div -> "int div"
+  | Move -> "move"
+  | Load -> "load"
+  | Store -> "store"
+  | Branch -> "branch"
+  | Jump -> "jump"
+  | Fp_add -> "FP add"
+  | Fp_mul -> "FP mul"
+  | Fp_div -> "FP div"
+  | Fp_cvt -> "FP cvt"
+
+let pp ppf c = Fmt.string ppf (name c)
+
+let is_control = function
+  | Branch | Jump -> true
+  | Logical | Shift | Add_sub | Int_mul | Int_div | Move | Load | Store
+  | Fp_add | Fp_mul | Fp_div | Fp_cvt ->
+      false
+
+let is_memory = function
+  | Load | Store -> true
+  | Logical | Shift | Add_sub | Int_mul | Int_div | Move | Branch | Jump
+  | Fp_add | Fp_mul | Fp_div | Fp_cvt ->
+      false
+
+let is_floating_point = function
+  | Fp_add | Fp_mul | Fp_div | Fp_cvt -> true
+  | Logical | Shift | Add_sub | Int_mul | Int_div | Move | Load | Store
+  | Branch | Jump ->
+      false
+
+(* "Simple operations" in the sense of Section 2: the vast majority of
+   operations; excludes divides (an order of magnitude slower). *)
+let is_simple = function
+  | Int_div | Fp_div -> false
+  | Logical | Shift | Add_sub | Int_mul | Move | Load | Store | Branch
+  | Jump | Fp_add | Fp_mul | Fp_cvt ->
+      true

@@ -1,0 +1,57 @@
+(** The fourteen instruction classes of the study (Section 3 of the
+    paper).
+
+    The paper groups the MultiTitan operations "into fourteen classes,
+    selected so that operations in a given class are likely to have
+    identical pipeline behavior in any machine"; machine descriptions
+    assign operation latencies and functional units per class. *)
+
+type t =
+  | Logical  (** and, or, xor, not *)
+  | Shift  (** shifts left and right *)
+  | Add_sub  (** integer add, subtract, compares *)
+  | Int_mul  (** integer multiply *)
+  | Int_div  (** integer divide and modulo (not "simple") *)
+  | Move  (** register moves and immediate loads *)
+  | Load  (** single-word load *)
+  | Store  (** single-word store *)
+  | Branch  (** conditional compare-and-branch *)
+  | Jump  (** unconditional jump, call, return, halt *)
+  | Fp_add  (** FP add, subtract, negate, compare *)
+  | Fp_mul  (** FP multiply *)
+  | Fp_div  (** FP divide (not "simple") *)
+  | Fp_cvt  (** int/FP conversions *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val all : t list
+(** All classes, in [to_index] order. *)
+
+val count : int
+(** [List.length all], i.e. 14. *)
+
+val to_index : t -> int
+(** A dense index in [0, count), for array-based tables. *)
+
+val of_index : int -> t
+(** Inverse of [to_index].  Raises [Invalid_argument] out of range. *)
+
+val name : t -> string
+(** Human-readable name, e.g. ["add/sub"]. *)
+
+val pp : t Fmt.t
+val show : t -> string
+
+val is_control : t -> bool
+(** Branches and jumps. *)
+
+val is_memory : t -> bool
+(** Loads and stores. *)
+
+val is_floating_point : t -> bool
+
+val is_simple : t -> bool
+(** "Simple operations" in the sense of Section 2: the vast majority of
+    operations; excludes the divides, which take an order of magnitude
+    longer and occur rarely. *)

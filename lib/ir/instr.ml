@@ -1,0 +1,139 @@
+(* Instructions.
+
+   The encoding is deliberately uniform so that optimization passes can
+   treat instructions generically: an optional destination register, a
+   list of source operands, an optional control-flow target, and (for
+   loads and stores) a static memory description plus a constant offset.
+
+   Shapes by opcode:
+   - ALU binary ops: dst = Some r, srcs = [reg; reg-or-imm]
+   - unary ops (neg, not, mov, itof, ...): dst = Some r, srcs = [reg]
+   - li / fli: dst = Some r, srcs = [imm]
+   - ld:  dst = Some r, srcs = [base], offset c  means  r <- M[base+c]
+   - st:  dst = None, srcs = [value; base], offset c  means  M[base+c] <- value
+   - branches: srcs = [reg; reg], target = Some l (fall through otherwise)
+   - jmp: target = Some l
+   - call: target = Some f; the return value appears in [ret_reg]
+   - ret: uses [ret_reg]
+   - halt, nop: nothing *)
+
+type operand = Oreg of Reg.t | Oimm of int | Ofimm of float
+[@@deriving eq, show { with_path = false }]
+
+type t = {
+  id : int;
+  op : Opcode.t;
+  dst : Reg.t option;
+  srcs : operand list;
+  target : Label.t option;
+  mem : Mem_info.t option;
+  offset : int;
+}
+
+(* Return-value register of the calling convention. *)
+let ret_reg = Reg.phys 1
+
+let next_id =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    !counter
+
+let make ?dst ?(srcs = []) ?target ?mem ?(offset = 0) op =
+  { id = next_id (); op; dst; srcs; target; mem; offset }
+
+(* Rebuild [i] with a fresh identity; used when a pass duplicates code. *)
+let copy i = { i with id = next_id () }
+
+let with_srcs i srcs = { i with srcs }
+let with_dst i dst = { i with dst }
+let with_mem i mem = { i with mem = Some mem }
+
+let iclass i = Opcode.iclass i.op
+
+let defs i =
+  match i.op with
+  | Opcode.Call -> ( match i.dst with Some d -> [ d ] | None -> [ ret_reg ])
+  | _ -> ( match i.dst with Some d -> [ d ] | None -> [])
+
+let src_regs i =
+  List.filter_map
+    (function Oreg r -> Some r | Oimm _ | Ofimm _ -> None)
+    i.srcs
+
+let uses i =
+  let base = src_regs i in
+  match i.op with Opcode.Ret -> ret_reg :: base | _ -> base
+
+let is_branch i = Opcode.is_branch i.op
+let is_terminator i = Opcode.is_terminator i.op
+let is_call i = i.op = Opcode.Call
+let is_load i = i.op = Opcode.Ld
+let is_store i = i.op = Opcode.St
+let is_memory i = is_load i || is_store i
+
+(* Substitute registers in sources (not destination). *)
+let map_src_regs f i =
+  let srcs =
+    List.map
+      (function
+        | Oreg r -> Oreg (f r)
+        | (Oimm _ | Ofimm _) as o -> o)
+      i.srcs
+  in
+  { i with srcs }
+
+let map_dst f i =
+  match i.dst with None -> i | Some d -> { i with dst = Some (f d) }
+
+let pp_operand ppf = function
+  | Oreg r -> Reg.pp ppf r
+  | Oimm n -> Fmt.int ppf n
+  | Ofimm f -> Fmt.float ppf f
+
+let pp ppf i =
+  let pp_mem ppf () =
+    match i.mem with
+    | None -> ()
+    | Some m -> Fmt.pf ppf "  ; %a" Mem_info.pp m
+  in
+  match i.op with
+  | Opcode.Ld -> (
+      match (i.dst, i.srcs) with
+      | Some d, [ base ] ->
+          Fmt.pf ppf "ld    %a <- %d(%a)%a" Reg.pp d i.offset pp_operand base
+            pp_mem ()
+      | _ -> Fmt.pf ppf "ld    <malformed>")
+  | Opcode.St -> (
+      match i.srcs with
+      | [ v; base ] ->
+          Fmt.pf ppf "st    %d(%a) <- %a%a" i.offset pp_operand base
+            pp_operand v pp_mem ()
+      | _ -> Fmt.pf ppf "st    <malformed>")
+  | Opcode.Beq | Opcode.Bne | Opcode.Blt | Opcode.Ble | Opcode.Bgt
+  | Opcode.Bge ->
+      Fmt.pf ppf "%-5s %a, %a"
+        (Opcode.mnemonic i.op)
+        (Fmt.list ~sep:Fmt.comma pp_operand)
+        i.srcs
+        Fmt.(option Label.pp)
+        i.target
+  | Opcode.Jmp | Opcode.Call ->
+      Fmt.pf ppf "%-5s %a" (Opcode.mnemonic i.op) Fmt.(option Label.pp) i.target
+  | Opcode.Ret | Opcode.Halt | Opcode.Nop ->
+      Fmt.string ppf (Opcode.mnemonic i.op)
+  | _ -> (
+      match i.dst with
+      | Some d ->
+          Fmt.pf ppf "%-5s %a <- %a"
+            (Opcode.mnemonic i.op)
+            Reg.pp d
+            (Fmt.list ~sep:Fmt.comma pp_operand)
+            i.srcs
+      | None ->
+          Fmt.pf ppf "%-5s %a"
+            (Opcode.mnemonic i.op)
+            (Fmt.list ~sep:Fmt.comma pp_operand)
+            i.srcs)
+
+let to_string i = Fmt.str "%a" pp i

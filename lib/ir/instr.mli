@@ -1,0 +1,85 @@
+(** Instructions.
+
+    The encoding is uniform so passes can treat instructions
+    generically: an optional destination register, a list of source
+    operands, an optional control-flow target, and (for loads and
+    stores) a static memory description plus a constant offset.
+
+    Shapes by opcode:
+    - ALU binary ops: [dst = Some r], [srcs = [reg; reg-or-imm]]
+    - unary ops (neg, not, mov, itof, …): [dst = Some r], [srcs = [reg]]
+    - li / fli: [dst = Some r], [srcs = [imm]]
+    - ld: [dst = Some r], [srcs = [base]], [offset c] means
+      r <- M\[base+c\]; the base may be a register or an absolute
+      address immediate
+    - st: [dst = None], [srcs = [value; base]], [offset c] means
+      M\[base+c\] <- value
+    - branches: [srcs = [reg; reg]], [target = Some l] (falls through
+      when not taken)
+    - jmp / call: [target = Some l]; the call's return value appears in
+      {!ret_reg}
+    - ret: uses {!ret_reg}; halt and nop carry nothing. *)
+
+type operand = Oreg of Reg.t | Oimm of int | Ofimm of float
+
+val equal_operand : operand -> operand -> bool
+val pp_operand : operand Fmt.t
+
+type t = {
+  id : int;  (** unique identity, fresh at construction *)
+  op : Opcode.t;
+  dst : Reg.t option;
+  srcs : operand list;
+  target : Label.t option;
+  mem : Mem_info.t option;
+  offset : int;
+}
+
+val ret_reg : Reg.t
+(** The return-value register of the calling convention (r1). *)
+
+val make :
+  ?dst:Reg.t ->
+  ?srcs:operand list ->
+  ?target:Label.t ->
+  ?mem:Mem_info.t ->
+  ?offset:int ->
+  Opcode.t ->
+  t
+(** Build an instruction with a fresh [id]. *)
+
+val copy : t -> t
+(** Same fields, fresh [id]; for passes that duplicate code. *)
+
+val with_srcs : t -> operand list -> t
+val with_dst : t -> Reg.t option -> t
+val with_mem : t -> Mem_info.t -> t
+
+val iclass : t -> Iclass.t
+
+val defs : t -> Reg.t list
+(** Registers written: the destination, plus {!ret_reg} for calls. *)
+
+val uses : t -> Reg.t list
+(** Registers read: register sources, plus {!ret_reg} for returns. *)
+
+val src_regs : t -> Reg.t list
+(** Only the register operands among [srcs]. *)
+
+val is_branch : t -> bool
+val is_terminator : t -> bool
+val is_call : t -> bool
+val is_load : t -> bool
+val is_store : t -> bool
+val is_memory : t -> bool
+
+val map_src_regs : (Reg.t -> Reg.t) -> t -> t
+(** Substitute source registers (destination untouched). *)
+
+val map_dst : (Reg.t -> Reg.t) -> t -> t
+
+val pp : t Fmt.t
+(** Assembly-like rendering, including the memory annotation as a
+    comment. *)
+
+val to_string : t -> string

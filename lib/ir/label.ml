@@ -1,0 +1,24 @@
+(* Code labels.  A label names a basic block within a function, or a
+   function entry point (for calls). *)
+
+type t = string [@@deriving eq, ord, show]
+
+let of_string s = s
+let to_string l = l
+
+let fresh =
+  let counter = ref 0 in
+  fun prefix ->
+    incr counter;
+    Printf.sprintf "%s_%d" prefix !counter
+
+let pp = Fmt.string
+
+module Map = Map.Make (String)
+module Set = Set.Make (String)
+module Table = Hashtbl.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end)

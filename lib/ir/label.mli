@@ -1,0 +1,20 @@
+(** Code labels: names of basic blocks and function entry points. *)
+
+type t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val of_string : string -> t
+val to_string : t -> string
+
+val fresh : string -> t
+(** [fresh prefix] is a label [prefix_N] distinct from every other label
+    created through [fresh]. *)
+
+val pp : t Fmt.t
+val show : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,114 @@
+(* Static description of the memory location touched by a load or store,
+   attached by code generation and consumed by the alias analysis used
+   during instruction scheduling (DESIGN.md, decision 5).
+
+   A location is a region (which global, which stack slot, which array)
+   plus a symbolic offset within it.  Two accesses are known independent
+   when their regions are disjoint, or when they fall at provably
+   different offsets of the same region. *)
+
+type region =
+  | Global of string  (** scalar global variable *)
+  | Global_array of string  (** element of a global array *)
+  | Global_array_view of string * string
+      (** element of a global array accessed through a declared view:
+          base array, view name.  Different views of one array are
+          declared disjoint by the programmer (the stand-in for the
+          paper's by-hand interprocedural alias analysis). *)
+  | Stack_slot of string * int  (** local scalar: function name, slot *)
+  | Stack_array of string * int  (** local array: function name, slot *)
+  | Arg_slot of string * int  (** outgoing/incoming argument slot *)
+  | Unknown
+[@@deriving eq, ord, show { with_path = false }]
+
+(* Offset of the access within its region, in words.  [Sym (v, c)] means
+   "the value of virtual register [v] plus constant [c]".  Virtual
+   registers are single-assignment by construction, so [v] names a fixed
+   runtime value per block execution: two accesses [Sym (v, c1)] and
+   [Sym (v, c2)] with [c1 <> c2] provably touch different words even
+   after register allocation renames the physical operands.  This is
+   what lets the scheduler prove that A[i] and A[i+1] from an unrolled
+   loop do not collide.  Passes that substitute one value-equal register
+   for another (CSE, copy propagation) should rewrite [Sym] fields the
+   same way to preserve precision. *)
+type offset =
+  | Const of int
+  | Sym of Reg.t * int
+  | Top
+[@@deriving eq, show { with_path = false }]
+
+type t = { region : region; offset : offset }
+[@@deriving eq, show { with_path = false }]
+
+let unknown = { region = Unknown; offset = Top }
+let make region offset = { region; offset }
+
+let region_name = function
+  | Global s | Global_array s | Global_array_view (s, _) -> Some s
+  | Stack_slot _ | Stack_array _ | Arg_slot _ | Unknown -> None
+
+(* Conservative region disjointness: distinct named regions never
+   overlap (the compiler lays them out separately); [Unknown] may alias
+   anything.  Scalar regions never overlap array regions of a different
+   name.  Argument slots of two *different* callees can share memory
+   (both sit just below the caller's stack pointer), so only slots of
+   the same callee are compared. *)
+let regions_disjoint r1 r2 =
+  match (r1, r2) with
+  | Unknown, _ | _, Unknown -> false
+  | Global a, Global b -> not (String.equal a b)
+  | Global_array a, Global_array b -> not (String.equal a b)
+  (* distinct views of one array are declared disjoint; a view against
+     the bare array stays conservative *)
+  | Global_array_view (a, v), Global_array_view (b, w) ->
+      (not (String.equal a b)) || not (String.equal v w)
+  | Global_array_view (a, _), Global_array b
+  | Global_array b, Global_array_view (a, _) ->
+      not (String.equal a b)
+  | Global_array_view (a, _), Global b
+  | Global b, Global_array_view (a, _) ->
+      not (String.equal a b)
+  | Global_array_view _, (Stack_slot _ | Stack_array _ | Arg_slot _)
+  | (Stack_slot _ | Stack_array _ | Arg_slot _), Global_array_view _ -> true
+  | Stack_slot (f, i), Stack_slot (g, j) ->
+      not (String.equal f g && i = j)
+  | Stack_array (f, i), Stack_array (g, j) ->
+      not (String.equal f g && i = j)
+  | Arg_slot (f, i), Arg_slot (g, j) -> String.equal f g && i <> j
+  | Global _, (Global_array _ | Stack_slot _ | Stack_array _ | Arg_slot _)
+  | Global_array _, (Global _ | Stack_slot _ | Stack_array _ | Arg_slot _)
+  | Stack_slot (_, _), (Global _ | Global_array _ | Stack_array _ | Arg_slot _)
+  | Stack_array (_, _), (Global _ | Global_array _ | Stack_slot _ | Arg_slot _)
+  | Arg_slot (_, _), (Global _ | Global_array _ | Stack_slot _ | Stack_array _)
+    ->
+      true
+
+(* Offset disjointness within the same region.  The [Sym] case is only
+   valid if the register still holds the same value at both accesses; the
+   caller (the dependence-graph builder) is responsible for checking that
+   the register is not redefined between the two. *)
+let offsets_disjoint o1 o2 =
+  match (o1, o2) with
+  | Const a, Const b -> a <> b
+  | Sym (r1, c1), Sym (r2, c2) -> Reg.equal r1 r2 && c1 <> c2
+  | Top, _ | _, Top | Const _, Sym _ | Sym _, Const _ -> false
+
+let disjoint t1 t2 =
+  regions_disjoint t1.region t2.region
+  || (equal_region t1.region t2.region && offsets_disjoint t1.offset t2.offset)
+
+let pp ppf { region; offset } =
+  let pp_off ppf = function
+    | Const c -> Fmt.pf ppf "+%d" c
+    | Sym (r, 0) -> Fmt.pf ppf "+%a" Reg.pp r
+    | Sym (r, c) -> Fmt.pf ppf "+%a%+d" Reg.pp r c
+    | Top -> Fmt.string ppf "+?"
+  in
+  match region with
+  | Unknown -> Fmt.string ppf "?"
+  | Global s -> Fmt.pf ppf "%s" s
+  | Global_array s -> Fmt.pf ppf "%s[]%a" s pp_off offset
+  | Global_array_view (s, v) -> Fmt.pf ppf "%s@%s[]%a" s v pp_off offset
+  | Stack_slot (f, i) -> Fmt.pf ppf "%s.local%d" f i
+  | Stack_array (f, i) -> Fmt.pf ppf "%s.array%d%a" f i pp_off offset
+  | Arg_slot (f, i) -> Fmt.pf ppf "%s.arg%d" f i

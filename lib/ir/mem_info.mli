@@ -1,0 +1,70 @@
+(** Static descriptions of the memory cells touched by loads and stores,
+    attached by code generation and consumed by the alias analysis that
+    prunes memory edges in the scheduler's dependence graphs.
+
+    A location is a {!region} (which global, which stack slot, which
+    array) plus a symbolic {!offset} within it.  Two accesses are known
+    independent when their regions are disjoint, or when they fall at
+    provably different offsets of the same region. *)
+
+type region =
+  | Global of string  (** scalar global variable *)
+  | Global_array of string  (** element of a global array *)
+  | Global_array_view of string * string
+      (** element of a global array accessed through a declared view:
+          (base array, view name).  Different views of one array are
+          declared non-overlapping by the programmer — the stand-in for
+          the paper's by-hand interprocedural alias analysis
+          (Section 4.4). *)
+  | Stack_slot of string * int  (** local scalar: function name, slot *)
+  | Stack_array of string * int  (** local array: function name, slot *)
+  | Arg_slot of string * int
+      (** argument slot: callee name, argument index.  Slots of
+          different callees may overlap in memory. *)
+  | Unknown  (** may alias anything *)
+
+val equal_region : region -> region -> bool
+val compare_region : region -> region -> int
+
+(** Offset of the access within its region, in words.
+
+    [Sym (v, c)] means "the value of virtual register [v] plus constant
+    [c]".  Virtual registers are single-assignment by construction, so
+    [v] names one fixed runtime value per block execution: accesses at
+    [Sym (v, c1)] and [Sym (v, c2)] with [c1 <> c2] provably touch
+    different words even after register allocation renames the physical
+    operands.  This is what lets the scheduler prove that A\[i\] and
+    A\[i+1\] from an unrolled loop do not collide. *)
+type offset =
+  | Const of int
+  | Sym of Reg.t * int
+  | Top
+
+val equal_offset : offset -> offset -> bool
+
+type t = { region : region; offset : offset }
+
+val equal : t -> t -> bool
+
+val unknown : t
+(** [Unknown] region, [Top] offset: may alias anything. *)
+
+val make : region -> offset -> t
+
+val region_name : region -> string option
+(** The global symbol a region refers to, if any. *)
+
+val regions_disjoint : region -> region -> bool
+(** Conservative: [true] only when the two regions can never overlap in
+    the standard layout. *)
+
+val offsets_disjoint : offset -> offset -> bool
+(** Within one region: [true] only when the two offsets provably
+    differ. *)
+
+val disjoint : t -> t -> bool
+(** [disjoint a b] is [true] when the two accesses can never touch the
+    same word: disjoint regions, or equal regions at provably different
+    offsets. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,148 @@
+(* Opcodes of the target RISC instruction set.
+
+   The set is modelled on the MultiTitan: a load/store architecture with
+   register-register ALU operations, compare-and-branch, and a unified
+   register file.  Each opcode belongs to exactly one of the fourteen
+   instruction classes. *)
+
+type t =
+  (* integer arithmetic *)
+  | Add
+  | Sub
+  | Neg
+  | Mul
+  | Div
+  | Rem
+  (* comparisons producing 0/1 *)
+  | Slt
+  | Sle
+  | Seq
+  | Sne
+  (* logical *)
+  | And
+  | Or
+  | Xor
+  | Not
+  (* shifts *)
+  | Shl
+  | Shr
+  | Sra
+  (* moves and immediates *)
+  | Mov
+  | Li
+  | Fli
+  | Nop
+  (* floating point *)
+  | Fadd
+  | Fsub
+  | Fneg
+  | Fmul
+  | Fdiv
+  | Feq
+  | Flt
+  | Fle
+  | Itof
+  | Ftoi
+  (* memory *)
+  | Ld
+  | St
+  (* control *)
+  | Beq
+  | Bne
+  | Blt
+  | Ble
+  | Bgt
+  | Bge
+  | Jmp
+  | Call
+  | Ret
+  | Halt
+[@@deriving eq, ord, show { with_path = false }]
+
+let iclass = function
+  | And | Or | Xor | Not -> Iclass.Logical
+  | Shl | Shr | Sra -> Iclass.Shift
+  | Add | Sub | Neg | Slt | Sle | Seq | Sne -> Iclass.Add_sub
+  | Mul -> Iclass.Int_mul
+  | Div | Rem -> Iclass.Int_div
+  | Mov | Li | Fli | Nop -> Iclass.Move
+  | Ld -> Iclass.Load
+  | St -> Iclass.Store
+  | Beq | Bne | Blt | Ble | Bgt | Bge -> Iclass.Branch
+  | Jmp | Call | Ret | Halt -> Iclass.Jump
+  | Fadd | Fsub | Fneg | Feq | Flt | Fle -> Iclass.Fp_add
+  | Fmul -> Iclass.Fp_mul
+  | Fdiv -> Iclass.Fp_div
+  | Itof | Ftoi -> Iclass.Fp_cvt
+
+let mnemonic = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Neg -> "neg"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | Slt -> "slt"
+  | Sle -> "sle"
+  | Seq -> "seq"
+  | Sne -> "sne"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Not -> "not"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Sra -> "sra"
+  | Mov -> "mov"
+  | Li -> "li"
+  | Fli -> "fli"
+  | Nop -> "nop"
+  | Fadd -> "fadd"
+  | Fsub -> "fsub"
+  | Fneg -> "fneg"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+  | Feq -> "feq"
+  | Flt -> "flt"
+  | Fle -> "fle"
+  | Itof -> "itof"
+  | Ftoi -> "ftoi"
+  | Ld -> "ld"
+  | St -> "st"
+  | Beq -> "beq"
+  | Bne -> "bne"
+  | Blt -> "blt"
+  | Ble -> "ble"
+  | Bgt -> "bgt"
+  | Bge -> "bge"
+  | Jmp -> "jmp"
+  | Call -> "call"
+  | Ret -> "ret"
+  | Halt -> "halt"
+
+let pp ppf op = Fmt.string ppf (mnemonic op)
+
+let is_branch = function
+  | Beq | Bne | Blt | Ble | Bgt | Bge -> true
+  | _ -> false
+
+let is_terminator = function
+  | Beq | Bne | Blt | Ble | Bgt | Bge | Jmp | Ret | Halt -> true
+  | _ -> false
+
+(* Is the operation a pure function of its operands?  Pure operations are
+   candidates for common-subexpression elimination and dead-code removal. *)
+let is_pure = function
+  | Add | Sub | Neg | Mul | Div | Rem | Slt | Sle | Seq | Sne | And | Or
+  | Xor | Not | Shl | Shr | Sra | Mov | Li | Fli | Fadd | Fsub | Fneg
+  | Fmul | Fdiv | Feq | Flt | Fle | Itof | Ftoi ->
+      true
+  | Nop | Ld | St | Beq | Bne | Blt | Ble | Bgt | Bge | Jmp | Call | Ret
+  | Halt ->
+      false
+
+(* Binary operations that are associative and commutative, used by the
+   reassociation performed during careful loop unrolling. *)
+let is_assoc_commutative = function
+  | Add | Mul | And | Or | Xor | Fadd | Fmul -> true
+  | _ -> false

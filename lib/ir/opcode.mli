@@ -1,0 +1,78 @@
+(** Opcodes of the target RISC instruction set.
+
+    The set is modelled on the MultiTitan: a load/store architecture
+    with register-register ALU operations, compare-and-branch, and a
+    unified register file.  Each opcode belongs to exactly one of the
+    fourteen {!Iclass.t} instruction classes. *)
+
+type t =
+  | Add
+  | Sub
+  | Neg
+  | Mul
+  | Div
+  | Rem
+  | Slt  (** set if less than *)
+  | Sle  (** set if less or equal *)
+  | Seq  (** set if equal *)
+  | Sne  (** set if not equal *)
+  | And
+  | Or
+  | Xor
+  | Not
+  | Shl  (** shift left *)
+  | Shr  (** logical shift right *)
+  | Sra  (** arithmetic shift right *)
+  | Mov
+  | Li  (** load integer immediate *)
+  | Fli  (** load FP immediate *)
+  | Nop
+  | Fadd
+  | Fsub
+  | Fneg
+  | Fmul
+  | Fdiv
+  | Feq  (** FP compare, result 0/1 *)
+  | Flt
+  | Fle
+  | Itof  (** int to FP *)
+  | Ftoi  (** FP to int (truncating) *)
+  | Ld  (** load word *)
+  | St  (** store word *)
+  | Beq  (** compare-and-branch *)
+  | Bne
+  | Blt
+  | Ble
+  | Bgt
+  | Bge
+  | Jmp
+  | Call
+  | Ret
+  | Halt
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val iclass : t -> Iclass.t
+(** The instruction class the opcode belongs to. *)
+
+val mnemonic : t -> string
+val pp : t Fmt.t
+val show : t -> string
+
+val is_branch : t -> bool
+(** Conditional branches only. *)
+
+val is_terminator : t -> bool
+(** May end a basic block: branches, [Jmp], [Ret], [Halt] — but not
+    [Call], which returns to the next instruction. *)
+
+val is_pure : t -> bool
+(** A pure function of its register operands: candidate for CSE and
+    dead-code elimination.  Memory operations, control flow and calls
+    are impure.  [Div]/[Rem] are pure but can fault, so passes that
+    speculate must still exclude them. *)
+
+val is_assoc_commutative : t -> bool
+(** Associative and commutative binary operations, eligible for the
+    reassociation performed by careful loop unrolling (Section 4.4). *)

@@ -1,0 +1,51 @@
+(* A whole program: global data plus functions.
+
+   Memory is word addressed.  Global variables are laid out from
+   [globals_base] upward; the stack grows downward from the top of the
+   simulated memory.  The function named "main" is the entry point. *)
+
+type init = Zero | Ints of int list | Floats of float list
+
+type global = { gname : string; words : int; init : init }
+
+type t = { globals : global list; functions : Func.t list }
+
+let globals_base = 1024
+
+let make ~globals ~functions = { globals; functions }
+
+let find_function p name =
+  List.find_opt (fun f -> String.equal f.Func.name name) p.functions
+
+let main p =
+  match find_function p "main" with
+  | Some f -> f
+  | None -> invalid_arg "Program.main: no function named main"
+
+(* Address of each global under the standard layout. *)
+let layout p =
+  let table = Hashtbl.create 16 in
+  let next = ref globals_base in
+  List.iter
+    (fun g ->
+      Hashtbl.replace table g.gname !next;
+      next := !next + g.words)
+    p.globals;
+  (table, !next)
+
+let global_address p name =
+  let table, _ = layout p in
+  match Hashtbl.find_opt table name with
+  | Some a -> a
+  | None -> invalid_arg ("Program.global_address: unknown global " ^ name)
+
+let instr_count p =
+  List.fold_left (fun acc f -> acc + Func.instr_count f) 0 p.functions
+
+let map_functions fn p = { p with functions = List.map fn p.functions }
+
+let pp ppf p =
+  List.iter
+    (fun g -> Fmt.pf ppf "global %s : %d words@." g.gname g.words)
+    p.globals;
+  List.iter (fun f -> Fmt.pf ppf "@.%a" Func.pp f) p.functions

@@ -1,0 +1,36 @@
+(** Whole programs: global data plus functions.
+
+    Memory is word addressed.  Globals are laid out from
+    {!globals_base} upward in declaration order; the stack grows
+    downward from the top of the simulated memory.  The function named
+    ["main"] is the entry point. *)
+
+type init = Zero | Ints of int list | Floats of float list
+
+type global = { gname : string; words : int; init : init }
+
+type t = { globals : global list; functions : Func.t list }
+
+val globals_base : int
+(** Address of the first global (1024). *)
+
+val make : globals:global list -> functions:Func.t list -> t
+
+val find_function : t -> string -> Func.t option
+
+val main : t -> Func.t
+(** Raises [Invalid_argument] when there is no main. *)
+
+val layout : t -> (string, int) Hashtbl.t * int
+(** Address of each global under the standard layout, and the first
+    address past the globals. *)
+
+val global_address : t -> string -> int
+(** Raises [Invalid_argument] for unknown names. *)
+
+val instr_count : t -> int
+(** Static instruction count over all functions. *)
+
+val map_functions : (Func.t -> Func.t) -> t -> t
+
+val pp : t Fmt.t

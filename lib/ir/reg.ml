@@ -1,0 +1,45 @@
+(* Machine and virtual registers.
+
+   The register file is unified (as on the MultiTitan): integer and
+   floating-point values share one set of registers.  Register 0 is the
+   stack pointer; all other indices are general purpose.  Code generation
+   produces virtual registers (negative indices) which register allocation
+   later maps onto the finite physical file. *)
+
+type t = int [@@deriving eq, ord]
+
+let sp = 0
+
+let phys i =
+  if i < 0 then invalid_arg "Reg.phys: negative index";
+  i
+
+let virt =
+  let counter = ref 0 in
+  fun () ->
+    decr counter;
+    !counter
+
+let is_virtual r = r < 0
+let is_physical r = r >= 0
+let index r = r
+
+(* Reconstruct a register from an index previously obtained with
+   [index]; for tables keyed by raw indices. *)
+let of_index i = i
+
+let pp ppf r =
+  if r = sp then Fmt.string ppf "sp"
+  else if r < 0 then Fmt.pf ppf "v%d" (-r)
+  else Fmt.pf ppf "r%d" r
+
+let to_string r = Fmt.str "%a" pp r
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+module Table = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)

@@ -1,0 +1,39 @@
+(** Machine and virtual registers.
+
+    The register file is unified (integer and floating-point values share
+    one set of registers, as on the MultiTitan).  Physical registers have
+    non-negative indices; register 0 is the stack pointer.  Virtual
+    registers, produced by code generation before register allocation, have
+    negative indices. *)
+
+type t = private int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val sp : t
+(** The stack pointer, physical register 0. *)
+
+val phys : int -> t
+(** [phys i] is physical register [i].  Raises [Invalid_argument] if
+    [i < 0]. *)
+
+val virt : unit -> t
+(** [virt ()] is a fresh virtual register, distinct from all previous
+    ones. *)
+
+val is_virtual : t -> bool
+val is_physical : t -> bool
+
+val index : t -> int
+(** The raw index (negative for virtual registers). *)
+
+val of_index : int -> t
+(** Inverse of [index], for tables keyed by raw indices. *)
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,148 @@
+(* IR well-formedness checking, used by the test suite after every
+   compilation stage and available to users debugging passes.
+
+   Structural invariants (all stages):
+   - operand shapes match each opcode (see Instr);
+   - every branch/jump target resolves to a block label in the same
+     function; every call target resolves to a function;
+   - terminators appear only at block ends;
+   - the last block of a function cannot fall off the end;
+   - a program has a main function.
+
+   Stage-specific invariants:
+   - [`Virtual]: code straight out of the code generator or the
+     optimizer — virtual registers allowed;
+   - [`Allocated]: after register allocation — no virtual registers
+     anywhere. *)
+
+type stage = [ `Virtual | `Allocated ]
+
+type issue = { where : string; what : string }
+
+let issue where fmt = Printf.ksprintf (fun what -> { where; what }) fmt
+
+let check_operand_shape ~where (i : Instr.t) =
+  let n_srcs = List.length i.Instr.srcs in
+  let has_dst = i.Instr.dst <> None in
+  let bad what = Some (issue where "%s: %s" (Instr.to_string i) what) in
+  match i.Instr.op with
+  | Opcode.Add | Opcode.Sub | Opcode.Mul | Opcode.Div | Opcode.Rem
+  | Opcode.And | Opcode.Or | Opcode.Xor | Opcode.Shl | Opcode.Shr
+  | Opcode.Sra | Opcode.Slt | Opcode.Sle | Opcode.Seq | Opcode.Sne
+  | Opcode.Fadd | Opcode.Fsub | Opcode.Fmul | Opcode.Fdiv | Opcode.Feq
+  | Opcode.Flt | Opcode.Fle ->
+      if not has_dst then bad "binary op without destination"
+      else if n_srcs <> 2 then bad "binary op needs two sources"
+      else None
+  | Opcode.Neg | Opcode.Not | Opcode.Fneg | Opcode.Mov | Opcode.Itof
+  | Opcode.Ftoi ->
+      if not has_dst then bad "unary op without destination"
+      else if n_srcs <> 1 then bad "unary op needs one source"
+      else None
+  | Opcode.Li | Opcode.Fli ->
+      if not has_dst then bad "immediate load without destination"
+      else if n_srcs <> 1 then bad "immediate load needs one operand"
+      else None
+  | Opcode.Ld ->
+      if not has_dst then bad "load without destination"
+      else if n_srcs <> 1 then bad "load needs one base operand"
+      else None
+  | Opcode.St ->
+      if has_dst then bad "store with a destination"
+      else if n_srcs <> 2 then bad "store needs value and base"
+      else None
+  | Opcode.Beq | Opcode.Bne | Opcode.Blt | Opcode.Ble | Opcode.Bgt
+  | Opcode.Bge ->
+      if i.Instr.target = None then bad "branch without target"
+      else if n_srcs <> 2 then bad "branch needs two sources"
+      else None
+  | Opcode.Jmp | Opcode.Call ->
+      if i.Instr.target = None then bad "jump/call without target" else None
+  | Opcode.Ret | Opcode.Halt | Opcode.Nop ->
+      if n_srcs <> 0 then bad "nullary op with operands" else None
+
+let check_func ~stage ~function_names (f : Func.t) =
+  let issues = ref [] in
+  let add i = issues := i :: !issues in
+  let where = "function " ^ f.Func.name in
+  let block_labels =
+    List.map (fun b -> Label.to_string b.Block.label) f.Func.blocks
+  in
+  (match f.Func.blocks with
+  | [] -> add (issue where "no blocks")
+  | blocks -> (
+      (* last block must not fall through into nothing *)
+      match List.rev blocks with
+      | last :: _ ->
+          let rec find_terminated = function
+            | [] -> false
+            | b :: rest ->
+                if Block.falls_through b then find_terminated rest else true
+          in
+          if Block.falls_through last && last.Block.instrs <> [] then
+            add (issue where "last block can fall off the end");
+          ignore find_terminated
+      | [] -> ()));
+  List.iter
+    (fun (b : Block.t) ->
+      let bwhere =
+        Printf.sprintf "%s, block %s" where (Label.to_string b.Block.label)
+      in
+      let n = List.length b.Block.instrs in
+      List.iteri
+        (fun k (i : Instr.t) ->
+          (match check_operand_shape ~where:bwhere i with
+          | Some iss -> add iss
+          | None -> ());
+          (* terminators only at the end *)
+          if Instr.is_terminator i && k <> n - 1 then
+            add (issue bwhere "terminator %s before block end"
+                   (Instr.to_string i));
+          (* register stage *)
+          (match stage with
+          | `Allocated ->
+              List.iter
+                (fun reg ->
+                  if Reg.is_virtual reg then
+                    add (issue bwhere "virtual register %s after allocation"
+                           (Reg.to_string reg)))
+                (Instr.defs i @ Instr.uses i)
+          | `Virtual -> ());
+          (* targets resolve *)
+          match i.Instr.target with
+          | Some t ->
+              let name = Label.to_string t in
+              if Instr.is_call i then begin
+                if not (List.mem name function_names) then
+                  add (issue bwhere "call to unknown function %s" name)
+              end
+              else if not (List.mem name block_labels) then
+                add (issue bwhere "jump to unknown label %s" name)
+          | None -> ())
+        b.Block.instrs)
+    f.Func.blocks;
+  List.rev !issues
+
+let check ?(stage = `Virtual) (p : Program.t) : issue list =
+  let function_names =
+    List.map (fun f -> f.Func.name) p.Program.functions
+  in
+  let issues =
+    List.concat_map (check_func ~stage ~function_names) p.Program.functions
+  in
+  let issues =
+    if List.exists (fun f -> f.Func.name = "main") p.Program.functions then
+      issues
+    else issue "program" "no main function" :: issues
+  in
+  issues
+
+let pp_issue ppf i = Fmt.pf ppf "%s: %s" i.where i.what
+
+(* Raise on the first problem; for use in tests and assertions. *)
+exception Invalid of string
+
+let check_exn ?stage p =
+  match check ?stage p with
+  | [] -> ()
+  | first :: _ -> raise (Invalid (Fmt.str "%a" pp_issue first))

@@ -1,0 +1,20 @@
+(** IR well-formedness checking, used by the test suite after every
+    compilation stage and available when debugging passes.
+
+    Checks operand shapes per opcode, label/function resolution,
+    terminator placement, that the last block cannot fall off the end,
+    and (at stage [`Allocated]) that no virtual registers remain. *)
+
+type stage = [ `Virtual | `Allocated ]
+
+type issue = { where : string; what : string }
+
+val check : ?stage:stage -> Program.t -> issue list
+(** Empty when the program is well formed.  Default stage [`Virtual]. *)
+
+val pp_issue : issue Fmt.t
+
+exception Invalid of string
+
+val check_exn : ?stage:stage -> Program.t -> unit
+(** Raises {!Invalid} with the first problem found. *)

@@ -1,0 +1,126 @@
+(* Abstract syntax of MiniMod, the small imperative language in which the
+   benchmark suite is written (DESIGN.md, Section 2).
+
+   MiniMod is deliberately close to the subset of Modula-2/C that the
+   paper's benchmarks exercise: integer and real scalars, one-dimensional
+   arrays, structured control flow, and recursive functions. *)
+
+type ty = Tint | Treal [@@deriving eq, show { with_path = false }]
+
+type unop = Uneg | Unot [@@deriving eq, show { with_path = false }]
+
+type binop =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Bmod
+  | Beq
+  | Bne
+  | Blt
+  | Ble
+  | Bgt
+  | Bge
+  | Band  (** short-circuit && *)
+  | Bor  (** short-circuit || *)
+  | Bbit_and
+  | Bbit_or
+  | Bbit_xor
+  | Bshl
+  | Bshr
+[@@deriving eq, show { with_path = false }]
+
+type pos = { line : int; col : int } [@@deriving eq, show { with_path = false }]
+
+type expr = { enode : expr_node; epos : pos }
+
+and expr_node =
+  | Eint of int
+  | Ereal of float
+  | Evar of string
+  | Eindex of string * expr
+  | Eunary of unop * expr
+  | Ebinary of binop * expr * expr
+  | Ecall of string * expr list
+  | Ecast of ty * expr  (** [int(e)] truncates, [real(e)] converts *)
+[@@deriving eq, show { with_path = false }]
+
+(* A counted [for] loop: [for (v = init; v <= limit; v = v + step)].
+   The comparison operator is kept so that both upward and downward loops
+   can be expressed; [step] is a compile-time constant, which is what
+   makes the loop unrollable. *)
+type for_header = {
+  for_var : string;
+  for_init : expr;
+  for_cmp : binop;  (** [Blt], [Ble], [Bgt] or [Bge] *)
+  for_limit : expr;
+  for_step : int;
+}
+[@@deriving eq, show { with_path = false }]
+
+type stmt = { snode : stmt_node; spos : pos }
+
+and stmt_node =
+  | Sdecl of string * ty * expr option
+  | Sarr_decl of string * ty * int  (** local array of constant size *)
+  | Sassign of string * expr
+  | Sindex_assign of string * expr * expr  (** a[e1] = e2 *)
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of for_header * stmt list
+  | Sreturn of expr option
+  | Sexpr of expr
+  | Ssink of expr  (** store the value to the program checksum cell *)
+[@@deriving eq, show { with_path = false }]
+
+type top_decl =
+  | Dglobal of string * ty * const option
+  | Dglobal_array of string * ty * int * const list option
+  | Dview of string * string
+      (** [Dview (v, a)]: [v] is a view of global array [a]; accesses
+          through different views of the same array are declared
+          non-overlapping (the programmer's interprocedural alias
+          knowledge, Section 4.4 of the paper) *)
+  | Dfun of func
+
+and const = Cint of int | Creal of float
+
+and func = {
+  fname : string;
+  fparams : (string * ty) list;
+  freturn : ty option;
+  fbody : stmt list;
+}
+[@@deriving eq, show { with_path = false }]
+
+type program = top_decl list [@@deriving eq, show { with_path = false }]
+
+let no_pos = { line = 0; col = 0 }
+let expr ?(pos = no_pos) enode = { enode; epos = pos }
+let stmt ?(pos = no_pos) snode = { snode; spos = pos }
+
+let is_comparison = function
+  | Beq | Bne | Blt | Ble | Bgt | Bge -> true
+  | Badd | Bsub | Bmul | Bdiv | Bmod | Band | Bor | Bbit_and | Bbit_or
+  | Bbit_xor | Bshl | Bshr ->
+      false
+
+let binop_name = function
+  | Badd -> "+"
+  | Bsub -> "-"
+  | Bmul -> "*"
+  | Bdiv -> "/"
+  | Bmod -> "%"
+  | Beq -> "=="
+  | Bne -> "!="
+  | Blt -> "<"
+  | Ble -> "<="
+  | Bgt -> ">"
+  | Bge -> ">="
+  | Band -> "&&"
+  | Bor -> "||"
+  | Bbit_and -> "&"
+  | Bbit_or -> "|"
+  | Bbit_xor -> "^"
+  | Bshl -> "<<"
+  | Bshr -> ">>"

@@ -1,0 +1,634 @@
+(* Code generation: typed AST to IR.
+
+   Conventions (see DESIGN.md):
+   - memory is word addressed; globals are laid out from
+     [Program.globals_base] upward in declaration order, the stack grows
+     downward from the top of memory;
+   - every MiniMod variable lives in memory at this stage: globals at
+     absolute addresses, locals and parameters in the stack frame.  Each
+     access emits an explicit load or store, exactly the code the paper's
+     "no global register allocation" configuration sees; the register
+     allocator later promotes hot variables into home registers;
+   - expression temporaries are fresh virtual registers whose live ranges
+     never cross a basic-block boundary (conditions are compiled with
+     branches, variables through memory), which the temp allocator relies
+     on;
+   - frame layout, for a function with [nargs] parameters and [L] local
+     words: locals at sp+0 .. sp+L-1, incoming argument [i] at
+     sp+F-nargs+i with F = L + nargs.  The prologue is "add sp, sp, -F",
+     each return runs "add sp, sp, F" before [ret].  Callers store
+     outgoing argument [i] at sp-nargs+i, below their own frame;
+   - the return value travels in [Instr.ret_reg];
+   - a designated one-word global [sink_name] receives values from
+     [sink(e)], keeping benchmark computations observably live. *)
+
+open Ilp_ir
+
+let sink_name = "__sink"
+
+exception Error of string
+
+type var_location =
+  | Loc_global of int  (** absolute address *)
+  | Loc_global_array of int  (** absolute base address *)
+  | Loc_view of int * string  (** base address, base array name *)
+  | Loc_local of int  (** frame slot *)
+  | Loc_local_array of int  (** first frame slot *)
+  | Loc_param of int  (** parameter index *)
+
+type func_state = {
+  fname : string;
+  nargs : int;
+  frame_size : int;
+  locations : (string, var_location) Hashtbl.t;
+  global_addrs : (string, int) Hashtbl.t;
+  mutable current_label : Label.t;
+  mutable current_instrs : Instr.t list;  (** reversed *)
+  mutable blocks : Block.t list;  (** reversed *)
+}
+
+let emit st i = st.current_instrs <- i :: st.current_instrs
+
+(* Close the current block.  [terminated] tells whether the block already
+   ends in a terminator; if not it falls through to the next block. *)
+let close_block st =
+  let block = Block.make st.current_label (List.rev st.current_instrs) in
+  st.blocks <- block :: st.blocks;
+  st.current_instrs <- []
+
+let start_block st label =
+  close_block st;
+  st.current_label <- label
+
+let fresh_label st hint = Label.fresh (st.fname ^ "." ^ hint)
+
+(* --- variable locations ----------------------------------------------- *)
+
+let location st name =
+  match Hashtbl.find_opt st.locations name with
+  | Some loc -> loc
+  | None -> raise (Error ("codegen: no location for variable " ^ name))
+
+let param_offset st i = st.frame_size - st.nargs + i
+
+(* Load a scalar variable into a fresh virtual register. *)
+let load_var st (vr : Tast.var_ref) =
+  let v = Reg.virt () in
+  (match location st vr.Tast.vr_name with
+  | Loc_global addr ->
+      emit st
+        (Instr.make Opcode.Ld ~dst:v ~srcs:[ Instr.Oimm addr ]
+           ~mem:(Mem_info.make (Mem_info.Global vr.Tast.vr_name)
+                   (Mem_info.Const addr)))
+  | Loc_local slot ->
+      emit st
+        (Instr.make Opcode.Ld ~dst:v ~srcs:[ Instr.Oreg Reg.sp ] ~offset:slot
+           ~mem:(Mem_info.make (Mem_info.Stack_slot (st.fname, slot))
+                   (Mem_info.Const slot)))
+  | Loc_param i ->
+      emit st
+        (Instr.make Opcode.Ld ~dst:v ~srcs:[ Instr.Oreg Reg.sp ]
+           ~offset:(param_offset st i)
+           ~mem:(Mem_info.make (Mem_info.Arg_slot (st.fname, i))
+                   (Mem_info.Const i)))
+  | Loc_global_array _ | Loc_local_array _ | Loc_view _ ->
+      raise (Error ("codegen: array used as scalar: " ^ vr.Tast.vr_name)));
+  v
+
+let store_var st (vr : Tast.var_ref) value =
+  match location st vr.Tast.vr_name with
+  | Loc_global addr ->
+      emit st
+        (Instr.make Opcode.St ~srcs:[ Instr.Oreg value; Instr.Oimm addr ]
+           ~mem:(Mem_info.make (Mem_info.Global vr.Tast.vr_name)
+                   (Mem_info.Const addr)))
+  | Loc_local slot ->
+      emit st
+        (Instr.make Opcode.St
+           ~srcs:[ Instr.Oreg value; Instr.Oreg Reg.sp ]
+           ~offset:slot
+           ~mem:(Mem_info.make (Mem_info.Stack_slot (st.fname, slot))
+                   (Mem_info.Const slot)))
+  | Loc_param i ->
+      emit st
+        (Instr.make Opcode.St
+           ~srcs:[ Instr.Oreg value; Instr.Oreg Reg.sp ]
+           ~offset:(param_offset st i)
+           ~mem:(Mem_info.make (Mem_info.Arg_slot (st.fname, i))
+                   (Mem_info.Const i)))
+  | Loc_global_array _ | Loc_local_array _ | Loc_view _ ->
+      raise (Error ("codegen: array used as scalar: " ^ vr.Tast.vr_name))
+
+(* --- expressions -------------------------------------------------------- *)
+
+let binop_int_opcode = function
+  | Ast.Badd -> Opcode.Add
+  | Ast.Bsub -> Opcode.Sub
+  | Ast.Bmul -> Opcode.Mul
+  | Ast.Bdiv -> Opcode.Div
+  | Ast.Bmod -> Opcode.Rem
+  | Ast.Bbit_and -> Opcode.And
+  | Ast.Bbit_or -> Opcode.Or
+  | Ast.Bbit_xor -> Opcode.Xor
+  | Ast.Bshl -> Opcode.Shl
+  | Ast.Bshr -> Opcode.Sra
+  | Ast.Beq | Ast.Bne | Ast.Blt | Ast.Ble | Ast.Bgt | Ast.Bge | Ast.Band
+  | Ast.Bor ->
+      raise (Error "codegen: not a direct int binop")
+
+let binop_real_opcode = function
+  | Ast.Badd -> Opcode.Fadd
+  | Ast.Bsub -> Opcode.Fsub
+  | Ast.Bmul -> Opcode.Fmul
+  | Ast.Bdiv -> Opcode.Fdiv
+  | _ -> raise (Error "codegen: not a real binop")
+
+let rec gen_expr st (e : Tast.texpr) : Reg.t =
+  match e.Tast.tnode with
+  | Tast.Tint_lit n ->
+      let v = Reg.virt () in
+      emit st (Instr.make Opcode.Li ~dst:v ~srcs:[ Instr.Oimm n ]);
+      v
+  | Tast.Treal_lit f ->
+      let v = Reg.virt () in
+      emit st (Instr.make Opcode.Fli ~dst:v ~srcs:[ Instr.Ofimm f ]);
+      v
+  | Tast.Tvar vr -> load_var st vr
+  | Tast.Tindex (vr, idx) -> gen_index_access st vr idx
+  | Tast.Tunary (Ast.Uneg, a) ->
+      let ra = gen_expr st a in
+      let v = Reg.virt () in
+      let op = if a.Tast.tty = Ast.Treal then Opcode.Fneg else Opcode.Neg in
+      emit st (Instr.make op ~dst:v ~srcs:[ Instr.Oreg ra ]);
+      v
+  | Tast.Tunary (Ast.Unot, a) ->
+      let ra = gen_expr st a in
+      let v = Reg.virt () in
+      emit st (Instr.make Opcode.Seq ~dst:v ~srcs:[ Instr.Oreg ra; Instr.Oimm 0 ]);
+      v
+  | Tast.Tbinary ((Ast.Band | Ast.Bor) as op, a, b) ->
+      (* value context: strict evaluation on normalized booleans *)
+      let ra = gen_expr st a in
+      let rb = gen_expr st b in
+      let na = Reg.virt () and nb = Reg.virt () and v = Reg.virt () in
+      emit st (Instr.make Opcode.Sne ~dst:na ~srcs:[ Instr.Oreg ra; Instr.Oimm 0 ]);
+      emit st (Instr.make Opcode.Sne ~dst:nb ~srcs:[ Instr.Oreg rb; Instr.Oimm 0 ]);
+      let bop = if op = Ast.Band then Opcode.And else Opcode.Or in
+      emit st (Instr.make bop ~dst:v ~srcs:[ Instr.Oreg na; Instr.Oreg nb ]);
+      v
+  | Tast.Tbinary (op, a, b) when Ast.is_comparison op ->
+      gen_comparison st op a b
+  | Tast.Tbinary (op, a, b) ->
+      let ra = gen_expr st a in
+      let rb = gen_expr st b in
+      let v = Reg.virt () in
+      let opcode =
+        if e.Tast.tty = Ast.Treal then binop_real_opcode op
+        else binop_int_opcode op
+      in
+      emit st (Instr.make opcode ~dst:v ~srcs:[ Instr.Oreg ra; Instr.Oreg rb ]);
+      v
+  | Tast.Tcall (name, args) -> gen_call st name args
+  | Tast.Tcast (ty, a) ->
+      let ra = gen_expr st a in
+      if ty = a.Tast.tty then ra
+      else
+        let v = Reg.virt () in
+        let op = if ty = Ast.Treal then Opcode.Itof else Opcode.Ftoi in
+        emit st (Instr.make op ~dst:v ~srcs:[ Instr.Oreg ra ]);
+        v
+
+(* Comparison producing 0/1.  Integer comparisons map to set instructions
+   (swapping operands for > and >=); real comparisons go through the FP
+   compare instructions, negated via seq when needed. *)
+and gen_comparison st op a b =
+  let real = a.Tast.tty = Ast.Treal in
+  let ra = gen_expr st a in
+  let rb = gen_expr st b in
+  let v = Reg.virt () in
+  if not real then begin
+    let opcode, x, y =
+      match op with
+      | Ast.Beq -> (Opcode.Seq, ra, rb)
+      | Ast.Bne -> (Opcode.Sne, ra, rb)
+      | Ast.Blt -> (Opcode.Slt, ra, rb)
+      | Ast.Ble -> (Opcode.Sle, ra, rb)
+      | Ast.Bgt -> (Opcode.Slt, rb, ra)
+      | Ast.Bge -> (Opcode.Sle, rb, ra)
+      | _ -> raise (Error "codegen: not a comparison")
+    in
+    emit st (Instr.make opcode ~dst:v ~srcs:[ Instr.Oreg x; Instr.Oreg y ]);
+    v
+  end
+  else begin
+    (match op with
+    | Ast.Beq ->
+        emit st (Instr.make Opcode.Feq ~dst:v ~srcs:[ Instr.Oreg ra; Instr.Oreg rb ])
+    | Ast.Blt ->
+        emit st (Instr.make Opcode.Flt ~dst:v ~srcs:[ Instr.Oreg ra; Instr.Oreg rb ])
+    | Ast.Ble ->
+        emit st (Instr.make Opcode.Fle ~dst:v ~srcs:[ Instr.Oreg ra; Instr.Oreg rb ])
+    | Ast.Bgt ->
+        emit st (Instr.make Opcode.Flt ~dst:v ~srcs:[ Instr.Oreg rb; Instr.Oreg ra ])
+    | Ast.Bge ->
+        emit st (Instr.make Opcode.Fle ~dst:v ~srcs:[ Instr.Oreg rb; Instr.Oreg ra ])
+    | Ast.Bne ->
+        let t = Reg.virt () in
+        emit st (Instr.make Opcode.Feq ~dst:t ~srcs:[ Instr.Oreg ra; Instr.Oreg rb ]);
+        emit st (Instr.make Opcode.Seq ~dst:v ~srcs:[ Instr.Oreg t; Instr.Oimm 0 ])
+    | _ -> raise (Error "codegen: not a comparison"));
+    v
+  end
+
+(* Array element access.  The index peephole recognises i, i+c and i-c so
+   that the memory annotation records a symbolic offset the scheduler can
+   disambiguate (A[i] vs A[i+1] in unrolled loops). *)
+and gen_index_parts st (idx : Tast.texpr) : Reg.t option * int =
+  match idx.Tast.tnode with
+  | Tast.Tint_lit n -> (None, n)
+  | Tast.Tbinary (Ast.Badd, e, { Tast.tnode = Tast.Tint_lit c; _ }) ->
+      let base, c' = gen_index_parts st e in
+      (base, c + c')
+  | Tast.Tbinary (Ast.Badd, { Tast.tnode = Tast.Tint_lit c; _ }, e) ->
+      let base, c' = gen_index_parts st e in
+      (base, c + c')
+  | Tast.Tbinary (Ast.Bsub, e, { Tast.tnode = Tast.Tint_lit c; _ }) ->
+      let base, c' = gen_index_parts st e in
+      (base, c' - c)
+  | Tast.Tvar vr -> (Some (load_var st vr), 0)
+  | _ -> (Some (gen_expr st idx), 0)
+
+and gen_index_address st (vr : Tast.var_ref) idx :
+    Instr.operand * int * Mem_info.t =
+  let index_reg, const = gen_index_parts st idx in
+  match (location st vr.Tast.vr_name, index_reg) with
+  | Loc_global_array base, Some ri ->
+      ( Instr.Oreg ri,
+        base + const,
+        Mem_info.make (Mem_info.Global_array vr.Tast.vr_name)
+          (Mem_info.Sym (ri, const)) )
+  | Loc_global_array base, None ->
+      ( Instr.Oimm (base + const),
+        0,
+        Mem_info.make (Mem_info.Global_array vr.Tast.vr_name)
+          (Mem_info.Const const) )
+  | Loc_view (base, array_name), Some ri ->
+      ( Instr.Oreg ri,
+        base + const,
+        Mem_info.make
+          (Mem_info.Global_array_view (array_name, vr.Tast.vr_name))
+          (Mem_info.Sym (ri, const)) )
+  | Loc_view (base, array_name), None ->
+      ( Instr.Oimm (base + const),
+        0,
+        Mem_info.make
+          (Mem_info.Global_array_view (array_name, vr.Tast.vr_name))
+          (Mem_info.Const const) )
+  | Loc_local_array slot, Some ri ->
+      let addr = Reg.virt () in
+      emit st
+        (Instr.make Opcode.Add ~dst:addr
+           ~srcs:[ Instr.Oreg Reg.sp; Instr.Oreg ri ]);
+      ( Instr.Oreg addr,
+        slot + const,
+        Mem_info.make (Mem_info.Stack_array (st.fname, slot))
+          (Mem_info.Sym (ri, const)) )
+  | Loc_local_array slot, None ->
+      ( Instr.Oreg Reg.sp,
+        slot + const,
+        Mem_info.make (Mem_info.Stack_array (st.fname, slot))
+          (Mem_info.Const const) )
+  | (Loc_global _ | Loc_local _ | Loc_param _), _ ->
+      raise (Error ("codegen: not an array: " ^ vr.Tast.vr_name))
+
+and gen_index_access st vr idx =
+  let base, offset, mem = gen_index_address st vr idx in
+  let v = Reg.virt () in
+  emit st (Instr.make Opcode.Ld ~dst:v ~srcs:[ base ] ~offset ~mem);
+  v
+
+(* Calls: evaluate arguments, store them below sp at the callee's incoming
+   argument slots, call, and fetch the result from the return register. *)
+and gen_call st name args =
+  let arg_regs = List.map (gen_expr st) args in
+  let nargs = List.length args in
+  List.iteri
+    (fun i r ->
+      emit st
+        (Instr.make Opcode.St
+           ~srcs:[ Instr.Oreg r; Instr.Oreg Reg.sp ]
+           ~offset:(i - nargs)
+           ~mem:(Mem_info.make (Mem_info.Arg_slot (name, i)) (Mem_info.Const i))))
+    arg_regs;
+  emit st (Instr.make Opcode.Call ~target:(Label.of_string name));
+  let v = Reg.virt () in
+  emit st (Instr.make Opcode.Mov ~dst:v ~srcs:[ Instr.Oreg Instr.ret_reg ]);
+  v
+
+(* --- conditions --------------------------------------------------------- *)
+
+(* Jump to [target] when [e] is false (resp. true); fall through
+   otherwise.  Short-circuit && and || compile to branch chains, so no
+   virtual register ever carries a value across a block boundary. *)
+let rec gen_branch_false st (e : Tast.texpr) target =
+  match e.Tast.tnode with
+  | Tast.Tbinary (Ast.Band, a, b) ->
+      gen_branch_false st a target;
+      gen_branch_false st b target
+  | Tast.Tbinary (Ast.Bor, a, b) ->
+      let continue_label = fresh_label st "or" in
+      gen_branch_true st a continue_label;
+      gen_branch_false st b target;
+      start_block st continue_label
+  | Tast.Tunary (Ast.Unot, a) -> gen_branch_true st a target
+  | Tast.Tbinary (op, a, b)
+    when Ast.is_comparison op && a.Tast.tty <> Ast.Treal ->
+      let ra = gen_expr st a in
+      let rb = gen_expr st b in
+      (* branch on the negated comparison *)
+      let opcode, x, y =
+        match op with
+        | Ast.Beq -> (Opcode.Bne, ra, rb)
+        | Ast.Bne -> (Opcode.Beq, ra, rb)
+        | Ast.Blt -> (Opcode.Bge, ra, rb)
+        | Ast.Ble -> (Opcode.Bgt, ra, rb)
+        | Ast.Bgt -> (Opcode.Ble, ra, rb)
+        | Ast.Bge -> (Opcode.Blt, ra, rb)
+        | _ -> assert false
+      in
+      emit st
+        (Instr.make opcode ~srcs:[ Instr.Oreg x; Instr.Oreg y ] ~target);
+      start_block st (fresh_label st "ft")
+  | _ ->
+      let r = gen_expr st e in
+      emit st
+        (Instr.make Opcode.Beq ~srcs:[ Instr.Oreg r; Instr.Oimm 0 ] ~target);
+      start_block st (fresh_label st "ft")
+
+and gen_branch_true st (e : Tast.texpr) target =
+  match e.Tast.tnode with
+  | Tast.Tbinary (Ast.Bor, a, b) ->
+      gen_branch_true st a target;
+      gen_branch_true st b target
+  | Tast.Tbinary (Ast.Band, a, b) ->
+      let continue_label = fresh_label st "and" in
+      gen_branch_false st a continue_label;
+      gen_branch_true st b target;
+      start_block st continue_label
+  | Tast.Tunary (Ast.Unot, a) -> gen_branch_false st a target
+  | Tast.Tbinary (op, a, b)
+    when Ast.is_comparison op && a.Tast.tty <> Ast.Treal ->
+      let ra = gen_expr st a in
+      let rb = gen_expr st b in
+      let opcode, x, y =
+        match op with
+        | Ast.Beq -> (Opcode.Beq, ra, rb)
+        | Ast.Bne -> (Opcode.Bne, ra, rb)
+        | Ast.Blt -> (Opcode.Blt, ra, rb)
+        | Ast.Ble -> (Opcode.Ble, ra, rb)
+        | Ast.Bgt -> (Opcode.Bgt, ra, rb)
+        | Ast.Bge -> (Opcode.Bge, ra, rb)
+        | _ -> assert false
+      in
+      emit st
+        (Instr.make opcode ~srcs:[ Instr.Oreg x; Instr.Oreg y ] ~target);
+      start_block st (fresh_label st "ft")
+  | _ ->
+      let r = gen_expr st e in
+      emit st
+        (Instr.make Opcode.Bne ~srcs:[ Instr.Oreg r; Instr.Oimm 0 ] ~target);
+      start_block st (fresh_label st "ft")
+
+(* --- statements --------------------------------------------------------- *)
+
+(* The prologue/epilogue are emitted even for empty frames so that the
+   register allocator can grow the frame for spill slots by rewriting
+   their immediates. *)
+let gen_epilogue st =
+  emit st
+    (Instr.make Opcode.Add ~dst:Reg.sp
+       ~srcs:[ Instr.Oreg Reg.sp; Instr.Oimm st.frame_size ])
+
+let rec gen_stmt st (s : Tast.tstmt) =
+  match s with
+  | Tast.TSdecl (vr, init) -> (
+      match init with
+      | None -> ()
+      | Some e ->
+          let r = gen_expr st e in
+          store_var st vr r)
+  | Tast.TSassign (vr, e) ->
+      let r = gen_expr st e in
+      store_var st vr r
+  | Tast.TSindex_assign (vr, idx, e) ->
+      (* evaluate the value first so its loads see pre-store memory *)
+      let r = gen_expr st e in
+      let base, offset, mem = gen_index_address st vr idx in
+      emit st (Instr.make Opcode.St ~srcs:[ Instr.Oreg r; base ] ~offset ~mem)
+  | Tast.TSif (cond, then_, []) ->
+      let l_end = fresh_label st "endif" in
+      gen_branch_false st cond l_end;
+      List.iter (gen_stmt st) then_;
+      start_block st l_end
+  | Tast.TSif (cond, then_, else_) ->
+      let l_else = fresh_label st "else" in
+      let l_end = fresh_label st "endif" in
+      gen_branch_false st cond l_else;
+      List.iter (gen_stmt st) then_;
+      emit st (Instr.make Opcode.Jmp ~target:l_end);
+      start_block st l_else;
+      List.iter (gen_stmt st) else_;
+      start_block st l_end
+  | Tast.TSwhile (cond, body) ->
+      let l_test = fresh_label st "while" in
+      let l_end = fresh_label st "endwhile" in
+      start_block st l_test;
+      gen_branch_false st cond l_end;
+      List.iter (gen_stmt st) body;
+      emit st (Instr.make Opcode.Jmp ~target:l_test);
+      start_block st l_end
+  | Tast.TSfor (hdr, body) ->
+      let l_test = fresh_label st "for" in
+      let l_end = fresh_label st "endfor" in
+      let r_init = gen_expr st hdr.Tast.tf_init in
+      store_var st hdr.Tast.tf_var r_init;
+      start_block st l_test;
+      let cond =
+        { Tast.tnode =
+            Tast.Tbinary (hdr.Tast.tf_cmp, Tast.var_expr hdr.Tast.tf_var,
+                          hdr.Tast.tf_limit);
+          tty = Ast.Tint;
+        }
+      in
+      gen_branch_false st cond l_end;
+      List.iter (gen_stmt st) body;
+      let r_var = load_var st hdr.Tast.tf_var in
+      let r_next = Reg.virt () in
+      emit st
+        (Instr.make Opcode.Add ~dst:r_next
+           ~srcs:[ Instr.Oreg r_var; Instr.Oimm hdr.Tast.tf_step ]);
+      store_var st hdr.Tast.tf_var r_next;
+      emit st (Instr.make Opcode.Jmp ~target:l_test);
+      start_block st l_end
+  | Tast.TSreturn e ->
+      (match e with
+      | Some e ->
+          let r = gen_expr st e in
+          emit st (Instr.make Opcode.Mov ~dst:Instr.ret_reg ~srcs:[ Instr.Oreg r ])
+      | None -> ());
+      gen_epilogue st;
+      if String.equal st.fname "main" then emit st (Instr.make Opcode.Halt)
+      else emit st (Instr.make Opcode.Ret);
+      start_block st (fresh_label st "dead")
+  | Tast.TSexpr e -> ignore (gen_expr st e)
+  | Tast.TSsink e ->
+      let r = gen_expr st e in
+      let addr = Hashtbl.find st.global_addrs sink_name in
+      emit st
+        (Instr.make Opcode.St ~srcs:[ Instr.Oreg r; Instr.Oimm addr ]
+           ~mem:(Mem_info.make (Mem_info.Global sink_name) (Mem_info.Const addr)))
+
+(* --- declarations and slot assignment ----------------------------------- *)
+
+(* Collect the frame slots needed by a function body: every declared
+   scalar gets one word, every local array its element count.  Duplicate
+   declarations of the same name (created by loop unrolling) share their
+   slot. *)
+let assign_slots (f : Tast.tfunc) locations =
+  let next = ref 0 in
+  let add name words =
+    if not (Hashtbl.mem locations name) then begin
+      let slot = !next in
+      next := !next + words;
+      Hashtbl.replace locations name
+        (if words = 1 then Loc_local slot else Loc_local_array slot)
+    end
+  in
+  let rec walk_stmt s =
+    match s with
+    | Tast.TSdecl (vr, _) -> (
+        match vr.Tast.vr_kind with
+        | Tast.Vlocal -> add vr.Tast.vr_name 1
+        | Tast.Vlocal_array n -> add vr.Tast.vr_name n
+        | Tast.Vglobal | Tast.Vglobal_array _ | Tast.Vview _ | Tast.Vparam _
+          ->
+            ())
+    | Tast.TSif (_, a, b) ->
+        List.iter walk_stmt a;
+        List.iter walk_stmt b
+    | Tast.TSwhile (_, body) | Tast.TSfor (_, body) -> List.iter walk_stmt body
+    | Tast.TSassign _ | Tast.TSindex_assign _ | Tast.TSreturn _ | Tast.TSexpr _
+    | Tast.TSsink _ ->
+        ()
+  in
+  List.iter walk_stmt f.Tast.tf_body;
+  List.iteri
+    (fun i vr -> Hashtbl.replace locations vr.Tast.vr_name (Loc_param i))
+    f.Tast.tf_params;
+  !next
+
+let gen_func global_addrs global_locs (f : Tast.tfunc) : Func.t =
+  let locations = Hashtbl.copy global_locs in
+  let local_words = assign_slots f locations in
+  let nargs = List.length f.Tast.tf_params in
+  let frame_size = local_words + nargs in
+  let st =
+    { fname = f.Tast.tf_name; nargs; frame_size; locations; global_addrs;
+      current_label = Label.of_string f.Tast.tf_name; current_instrs = [];
+      blocks = [];
+    }
+  in
+  emit st
+    (Instr.make Opcode.Add ~dst:Reg.sp
+       ~srcs:[ Instr.Oreg Reg.sp; Instr.Oimm (-frame_size) ]);
+  List.iter (gen_stmt st) f.Tast.tf_body;
+  (* implicit return for functions that fall off the end *)
+  gen_epilogue st;
+  emit st
+    (Instr.make (if String.equal f.Tast.tf_name "main" then Opcode.Halt
+                 else Opcode.Ret));
+  close_block st;
+  let blocks = List.rev st.blocks in
+  (* Empty blocks (labels that collected no instructions, e.g. an endfor
+     at the end of an if body, or dead blocks after returns) are merged
+     forward: their labels alias the next non-empty block and all branch
+     targets are rewritten.  The last block is never empty because the
+     function-final epilogue lands in it. *)
+  let alias : (string, Label.t) Hashtbl.t = Hashtbl.create 8 in
+  let next_label = ref None in
+  List.iter
+    (fun (b : Block.t) ->
+      if b.Block.instrs = [] then
+        match !next_label with
+        | Some l -> Hashtbl.replace alias (Label.to_string b.Block.label) l
+        | None ->
+            raise (Error ("codegen: empty final block in " ^ f.Tast.tf_name))
+      else next_label := Some b.Block.label)
+    (List.rev blocks);
+  let resolve l =
+    match Hashtbl.find_opt alias (Label.to_string l) with
+    | Some l' -> l'
+    | None -> l
+  in
+  let blocks =
+    List.filter_map
+      (fun (b : Block.t) ->
+        if b.Block.instrs = [] then None
+        else
+          Some
+            (Block.make b.Block.label
+               (List.map
+                  (fun (i : Instr.t) ->
+                    match i.Instr.target with
+                    | Some t when i.Instr.op <> Opcode.Call ->
+                        { i with Instr.target = Some (resolve t) }
+                    | _ -> i)
+                  b.Block.instrs)))
+      blocks
+  in
+  Func.make ~name:f.Tast.tf_name ~frame_size ~n_params:nargs blocks
+
+let is_array_global (g : Tast.tglobal) = g.Tast.tg_words > 1
+
+let gen_program (p : Tast.tprogram) : Program.t =
+  (* the checksum cell is always the first global *)
+  let globals =
+    { Program.gname = sink_name; words = 1; init = Program.Zero }
+    :: List.map
+         (fun g ->
+           let init =
+             match g.Tast.tg_init with
+             | Some (Ast.Cint n) -> Program.Ints [ n ]
+             | Some (Ast.Creal f) -> Program.Floats [ f ]
+             | None -> Program.Zero
+           in
+           { Program.gname = g.Tast.tg_name; words = g.Tast.tg_words; init })
+         p.Tast.tglobals
+  in
+  let global_addrs = Hashtbl.create 64 in
+  let next = ref Program.globals_base in
+  List.iter
+    (fun g ->
+      Hashtbl.replace global_addrs g.Program.gname !next;
+      next := !next + g.Program.words)
+    globals;
+  let global_locs = Hashtbl.create 64 in
+  List.iter
+    (fun g ->
+      let addr = Hashtbl.find global_addrs g.Tast.tg_name in
+      Hashtbl.replace global_locs g.Tast.tg_name
+        (if g.Tast.tg_words = 1 && not (is_array_global g) then
+           Loc_global addr
+         else Loc_global_array addr))
+    p.Tast.tglobals;
+  List.iter
+    (fun v ->
+      match Hashtbl.find_opt global_addrs v.Tast.tv_base with
+      | Some addr ->
+          Hashtbl.replace global_locs v.Tast.tv_name
+            (Loc_view (addr, v.Tast.tv_base))
+      | None ->
+          raise (Error ("codegen: view of unknown array " ^ v.Tast.tv_base)))
+    p.Tast.tviews;
+  let functions = List.map (gen_func global_addrs global_locs) p.Tast.tfuncs in
+  Program.make ~globals ~functions

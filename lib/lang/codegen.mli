@@ -1,0 +1,23 @@
+(** Code generation: typed AST to IR.
+
+    Every MiniMod variable lives in memory at this stage — globals at
+    absolute addresses, locals and parameters in the stack frame — and
+    each access emits an explicit load or store, which is exactly the
+    code the paper's "no global register allocation" configuration
+    measures; home promotion happens later in [Ilp_regalloc].
+    Expression temporaries are fresh virtual registers.  Loads and
+    stores carry {!Ilp_ir.Mem_info} annotations, with array subscripts
+    of the form [e ± c] recorded symbolically for the scheduler's
+    disambiguation.
+
+    Calling convention: outgoing argument [i] is stored at [sp-nargs+i]
+    below the caller's frame; the callee's prologue claims it; results
+    travel in [Instr.ret_reg]; return addresses live outside simulated
+    memory.  See the implementation header for the frame layout. *)
+
+exception Error of string
+
+val sink_name : string
+(** The reserved checksum global, always the first global (["__sink"]). *)
+
+val gen_program : Tast.tprogram -> Ilp_ir.Program.t

@@ -1,0 +1,271 @@
+(* Hand-written lexer for MiniMod. *)
+
+type token =
+  | INT of int
+  | REAL of float
+  | IDENT of string
+  (* keywords *)
+  | KVAR
+  | KARR
+  | KFUN
+  | KIF
+  | KELSE
+  | KWHILE
+  | KFOR
+  | KRETURN
+  | KSINK
+  | KINT
+  | KREAL_TY
+  | KVIEW
+  | KOF
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | COLON
+  | ASSIGN
+  (* operators *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | AMP
+  | PIPE
+  | CARET
+  | SHL
+  | SHR
+  | EOF
+
+exception Error of string * Ast.pos
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make src = { src; pos = 0; line = 1; col = 1 }
+
+let position lx = { Ast.line = lx.line; col = lx.col }
+
+let error lx msg = raise (Error (msg, position lx))
+
+let peek_char lx =
+  if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let peek_char2 lx =
+  if lx.pos + 1 < String.length lx.src then Some lx.src.[lx.pos + 1] else None
+
+let advance lx =
+  (match peek_char lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.col <- 1
+  | Some _ -> lx.col <- lx.col + 1
+  | None -> ());
+  lx.pos <- lx.pos + 1
+
+let rec skip_ws_and_comments lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws_and_comments lx
+  | Some '#' ->
+      (* line comment *)
+      let rec to_eol () =
+        match peek_char lx with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance lx;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws_and_comments lx
+  | Some '/' when peek_char2 lx = Some '/' ->
+      let rec to_eol () =
+        match peek_char lx with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance lx;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws_and_comments lx
+  | Some _ | None -> ()
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let keyword_of_string = function
+  | "var" -> Some KVAR
+  | "arr" -> Some KARR
+  | "fun" -> Some KFUN
+  | "if" -> Some KIF
+  | "else" -> Some KELSE
+  | "while" -> Some KWHILE
+  | "for" -> Some KFOR
+  | "return" -> Some KRETURN
+  | "sink" -> Some KSINK
+  | "int" -> Some KINT
+  | "real" -> Some KREAL_TY
+  | "view" -> Some KVIEW
+  | "of" -> Some KOF
+  | _ -> None
+
+let lex_number lx =
+  let start = lx.pos in
+  while (match peek_char lx with Some c -> is_digit c | None -> false) do
+    advance lx
+  done;
+  let is_real =
+    match (peek_char lx, peek_char2 lx) with
+    | Some '.', Some c when is_digit c -> true
+    | Some '.', _ -> true
+    | _ -> false
+  in
+  if is_real then begin
+    advance lx (* '.' *);
+    while (match peek_char lx with Some c -> is_digit c | None -> false) do
+      advance lx
+    done;
+    (match peek_char lx with
+    | Some ('e' | 'E') ->
+        advance lx;
+        (match peek_char lx with
+        | Some ('+' | '-') -> advance lx
+        | _ -> ());
+        while
+          match peek_char lx with Some c -> is_digit c | None -> false
+        do
+          advance lx
+        done
+    | _ -> ());
+    REAL (float_of_string (String.sub lx.src start (lx.pos - start)))
+  end
+  else INT (int_of_string (String.sub lx.src start (lx.pos - start)))
+
+let lex_ident lx =
+  let start = lx.pos in
+  while (match peek_char lx with Some c -> is_alnum c | None -> false) do
+    advance lx
+  done;
+  let s = String.sub lx.src start (lx.pos - start) in
+  match keyword_of_string s with Some k -> k | None -> IDENT s
+
+(* Next token together with the position where it starts. *)
+let next lx =
+  skip_ws_and_comments lx;
+  let pos = position lx in
+  let tok =
+    match peek_char lx with
+    | None -> EOF
+    | Some c when is_digit c -> lex_number lx
+    | Some c when is_alpha c -> lex_ident lx
+    | Some c -> (
+        let two result =
+          advance lx;
+          advance lx;
+          result
+        in
+        let one result =
+          advance lx;
+          result
+        in
+        match (c, peek_char2 lx) with
+        | '=', Some '=' -> two EQ
+        | '=', _ -> one ASSIGN
+        | '!', Some '=' -> two NE
+        | '!', _ -> one BANG
+        | '<', Some '=' -> two LE
+        | '<', Some '<' -> two SHL
+        | '<', _ -> one LT
+        | '>', Some '=' -> two GE
+        | '>', Some '>' -> two SHR
+        | '>', _ -> one GT
+        | '&', Some '&' -> two ANDAND
+        | '&', _ -> one AMP
+        | '|', Some '|' -> two OROR
+        | '|', _ -> one PIPE
+        | '^', _ -> one CARET
+        | '+', _ -> one PLUS
+        | '-', _ -> one MINUS
+        | '*', _ -> one STAR
+        | '/', _ -> one SLASH
+        | '%', _ -> one PERCENT
+        | '(', _ -> one LPAREN
+        | ')', _ -> one RPAREN
+        | '{', _ -> one LBRACE
+        | '}', _ -> one RBRACE
+        | '[', _ -> one LBRACKET
+        | ']', _ -> one RBRACKET
+        | ',', _ -> one COMMA
+        | ';', _ -> one SEMI
+        | ':', _ -> one COLON
+        | _ -> error lx (Printf.sprintf "unexpected character %C" c))
+  in
+  (tok, pos)
+
+let token_name = function
+  | INT n -> string_of_int n
+  | REAL f -> string_of_float f
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | KVAR -> "var"
+  | KARR -> "arr"
+  | KFUN -> "fun"
+  | KIF -> "if"
+  | KELSE -> "else"
+  | KWHILE -> "while"
+  | KFOR -> "for"
+  | KRETURN -> "return"
+  | KSINK -> "sink"
+  | KINT -> "int"
+  | KREAL_TY -> "real"
+  | KVIEW -> "view"
+  | KOF -> "of"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | COLON -> ":"
+  | ASSIGN -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | EQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | BANG -> "!"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | EOF -> "end of input"

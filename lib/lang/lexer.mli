@@ -1,0 +1,64 @@
+(** Hand-written lexer for MiniMod. *)
+
+type token =
+  | INT of int
+  | REAL of float
+  | IDENT of string
+  | KVAR
+  | KARR
+  | KFUN
+  | KIF
+  | KELSE
+  | KWHILE
+  | KFOR
+  | KRETURN
+  | KSINK
+  | KINT
+  | KREAL_TY
+  | KVIEW
+  | KOF
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | COLON
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | AMP
+  | PIPE
+  | CARET
+  | SHL
+  | SHR
+  | EOF
+
+exception Error of string * Ast.pos
+
+type t
+(** Mutable lexer state over one source string. *)
+
+val make : string -> t
+
+val next : t -> token * Ast.pos
+(** The next token and the position where it starts; [EOF] at the end.
+    ['#'] and ["//"] start line comments.  Raises {!Error} on an
+    unexpected character. *)
+
+val token_name : token -> string
+(** For error messages. *)

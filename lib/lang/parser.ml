@@ -1,0 +1,453 @@
+(* Recursive-descent parser for MiniMod.
+
+   Grammar sketch (see DESIGN.md):
+
+     program   := topdecl*
+     topdecl   := "var" id ":" ty ("=" literal)? ";"
+                | "arr" id ":" ty "[" int "]" ";"
+                | "fun" id "(" params? ")" (":" ty)? block
+     stmt      := "var" id ":" ty ("=" expr)? ";"
+                | "arr" id ":" ty "[" int "]" ";"
+                | id "=" expr ";"   |   id "[" expr "]" "=" expr ";"
+                | "if" "(" expr ")" block ("else" (block | if-stmt))?
+                | "while" "(" expr ")" block
+                | "for" "(" id "=" expr ";" id cmp expr ";" id "=" id ("+"|"-") int ")" block
+                | "return" expr? ";"   |   "sink" "(" expr ")" ";"
+                | expr ";"
+     expr      := precedence climbing over || && | ^ & == != < <= > >=
+                  << >> + - * / % with unary - and ! *)
+
+exception Error of string * Ast.pos
+
+type t = {
+  lexer : Lexer.t;
+  mutable tok : Lexer.token;
+  mutable pos : Ast.pos;
+}
+
+let error p msg = raise (Error (msg, p.pos))
+
+let advance p =
+  let tok, pos = Lexer.next p.lexer in
+  p.tok <- tok;
+  p.pos <- pos
+
+let make src =
+  let lexer = Lexer.make src in
+  let tok, pos = Lexer.next lexer in
+  { lexer; tok; pos }
+
+let expect p tok =
+  if p.tok = tok then advance p
+  else
+    error p
+      (Printf.sprintf "expected %s but found %s" (Lexer.token_name tok)
+         (Lexer.token_name p.tok))
+
+let expect_ident p =
+  match p.tok with
+  | Lexer.IDENT s ->
+      advance p;
+      s
+  | t -> error p (Printf.sprintf "expected identifier, found %s" (Lexer.token_name t))
+
+let expect_int p =
+  match p.tok with
+  | Lexer.INT n ->
+      advance p;
+      n
+  | t -> error p (Printf.sprintf "expected integer, found %s" (Lexer.token_name t))
+
+let parse_ty p =
+  match p.tok with
+  | Lexer.KINT ->
+      advance p;
+      Ast.Tint
+  | Lexer.KREAL_TY ->
+      advance p;
+      Ast.Treal
+  | t -> error p (Printf.sprintf "expected a type, found %s" (Lexer.token_name t))
+
+(* Binary operator of a token, with precedence level (higher binds
+   tighter).  Mirrors C precedence. *)
+let binop_of_token = function
+  | Lexer.OROR -> Some (Ast.Bor, 1)
+  | Lexer.ANDAND -> Some (Ast.Band, 2)
+  | Lexer.PIPE -> Some (Ast.Bbit_or, 3)
+  | Lexer.CARET -> Some (Ast.Bbit_xor, 4)
+  | Lexer.AMP -> Some (Ast.Bbit_and, 5)
+  | Lexer.EQ -> Some (Ast.Beq, 6)
+  | Lexer.NE -> Some (Ast.Bne, 6)
+  | Lexer.LT -> Some (Ast.Blt, 7)
+  | Lexer.LE -> Some (Ast.Ble, 7)
+  | Lexer.GT -> Some (Ast.Bgt, 7)
+  | Lexer.GE -> Some (Ast.Bge, 7)
+  | Lexer.SHL -> Some (Ast.Bshl, 8)
+  | Lexer.SHR -> Some (Ast.Bshr, 8)
+  | Lexer.PLUS -> Some (Ast.Badd, 9)
+  | Lexer.MINUS -> Some (Ast.Bsub, 9)
+  | Lexer.STAR -> Some (Ast.Bmul, 10)
+  | Lexer.SLASH -> Some (Ast.Bdiv, 10)
+  | Lexer.PERCENT -> Some (Ast.Bmod, 10)
+  | _ -> None
+
+let rec parse_expr p = parse_binary p 0
+
+and parse_binary p min_prec =
+  let lhs = parse_unary p in
+  let rec loop lhs =
+    match binop_of_token p.tok with
+    | Some (op, prec) when prec >= min_prec ->
+        let pos = p.pos in
+        advance p;
+        let rhs = parse_binary p (prec + 1) in
+        loop (Ast.expr ~pos (Ast.Ebinary (op, lhs, rhs)))
+    | Some _ | None -> lhs
+  in
+  loop lhs
+
+and parse_unary p =
+  let pos = p.pos in
+  match p.tok with
+  | Lexer.MINUS ->
+      advance p;
+      Ast.expr ~pos (Ast.Eunary (Ast.Uneg, parse_unary p))
+  | Lexer.BANG ->
+      advance p;
+      Ast.expr ~pos (Ast.Eunary (Ast.Unot, parse_unary p))
+  | _ -> parse_primary p
+
+and parse_primary p =
+  let pos = p.pos in
+  match p.tok with
+  | Lexer.INT n ->
+      advance p;
+      Ast.expr ~pos (Ast.Eint n)
+  | Lexer.REAL f ->
+      advance p;
+      Ast.expr ~pos (Ast.Ereal f)
+  | Lexer.LPAREN ->
+      advance p;
+      let e = parse_expr p in
+      expect p Lexer.RPAREN;
+      e
+  | Lexer.KINT ->
+      (* cast: int(e) *)
+      advance p;
+      expect p Lexer.LPAREN;
+      let e = parse_expr p in
+      expect p Lexer.RPAREN;
+      Ast.expr ~pos (Ast.Ecast (Ast.Tint, e))
+  | Lexer.KREAL_TY ->
+      advance p;
+      expect p Lexer.LPAREN;
+      let e = parse_expr p in
+      expect p Lexer.RPAREN;
+      Ast.expr ~pos (Ast.Ecast (Ast.Treal, e))
+  | Lexer.IDENT name -> (
+      advance p;
+      match p.tok with
+      | Lexer.LBRACKET ->
+          advance p;
+          let idx = parse_expr p in
+          expect p Lexer.RBRACKET;
+          Ast.expr ~pos (Ast.Eindex (name, idx))
+      | Lexer.LPAREN ->
+          advance p;
+          let args = parse_args p in
+          Ast.expr ~pos (Ast.Ecall (name, args))
+      | _ -> Ast.expr ~pos (Ast.Evar name))
+  | t -> error p (Printf.sprintf "expected expression, found %s" (Lexer.token_name t))
+
+and parse_args p =
+  if p.tok = Lexer.RPAREN then begin
+    advance p;
+    []
+  end
+  else
+    let rec loop acc =
+      let e = parse_expr p in
+      match p.tok with
+      | Lexer.COMMA ->
+          advance p;
+          loop (e :: acc)
+      | _ ->
+          expect p Lexer.RPAREN;
+          List.rev (e :: acc)
+    in
+    loop []
+
+let parse_literal p =
+  match p.tok with
+  | Lexer.INT n ->
+      advance p;
+      Ast.Cint n
+  | Lexer.REAL f ->
+      advance p;
+      Ast.Creal f
+  | Lexer.MINUS -> (
+      advance p;
+      match p.tok with
+      | Lexer.INT n ->
+          advance p;
+          Ast.Cint (-n)
+      | Lexer.REAL f ->
+          advance p;
+          Ast.Creal (-.f)
+      | t ->
+          error p
+            (Printf.sprintf "expected numeric literal, found %s"
+               (Lexer.token_name t)))
+  | t ->
+      error p
+        (Printf.sprintf "expected numeric literal, found %s"
+           (Lexer.token_name t))
+
+let rec parse_block p =
+  expect p Lexer.LBRACE;
+  let rec loop acc =
+    if p.tok = Lexer.RBRACE then begin
+      advance p;
+      List.rev acc
+    end
+    else loop (parse_stmt p :: acc)
+  in
+  loop []
+
+and parse_stmt p =
+  let pos = p.pos in
+  match p.tok with
+  | Lexer.KVAR ->
+      advance p;
+      let name = expect_ident p in
+      expect p Lexer.COLON;
+      let ty = parse_ty p in
+      let init =
+        if p.tok = Lexer.ASSIGN then begin
+          advance p;
+          Some (parse_expr p)
+        end
+        else None
+      in
+      expect p Lexer.SEMI;
+      Ast.stmt ~pos (Ast.Sdecl (name, ty, init))
+  | Lexer.KARR ->
+      advance p;
+      let name = expect_ident p in
+      expect p Lexer.COLON;
+      let ty = parse_ty p in
+      expect p Lexer.LBRACKET;
+      let size = expect_int p in
+      expect p Lexer.RBRACKET;
+      expect p Lexer.SEMI;
+      Ast.stmt ~pos (Ast.Sarr_decl (name, ty, size))
+  | Lexer.KIF -> parse_if p
+  | Lexer.KWHILE ->
+      advance p;
+      expect p Lexer.LPAREN;
+      let cond = parse_expr p in
+      expect p Lexer.RPAREN;
+      let body = parse_block p in
+      Ast.stmt ~pos (Ast.Swhile (cond, body))
+  | Lexer.KFOR -> parse_for p
+  | Lexer.KRETURN ->
+      advance p;
+      if p.tok = Lexer.SEMI then begin
+        advance p;
+        Ast.stmt ~pos (Ast.Sreturn None)
+      end
+      else begin
+        let e = parse_expr p in
+        expect p Lexer.SEMI;
+        Ast.stmt ~pos (Ast.Sreturn (Some e))
+      end
+  | Lexer.KSINK ->
+      advance p;
+      expect p Lexer.LPAREN;
+      let e = parse_expr p in
+      expect p Lexer.RPAREN;
+      expect p Lexer.SEMI;
+      Ast.stmt ~pos (Ast.Ssink e)
+  | Lexer.IDENT name -> (
+      advance p;
+      match p.tok with
+      | Lexer.ASSIGN ->
+          advance p;
+          let e = parse_expr p in
+          expect p Lexer.SEMI;
+          Ast.stmt ~pos (Ast.Sassign (name, e))
+      | Lexer.LBRACKET ->
+          advance p;
+          let idx = parse_expr p in
+          expect p Lexer.RBRACKET;
+          expect p Lexer.ASSIGN;
+          let e = parse_expr p in
+          expect p Lexer.SEMI;
+          Ast.stmt ~pos (Ast.Sindex_assign (name, idx, e))
+      | Lexer.LPAREN ->
+          advance p;
+          let args = parse_args p in
+          expect p Lexer.SEMI;
+          Ast.stmt ~pos (Ast.Sexpr (Ast.expr ~pos (Ast.Ecall (name, args))))
+      | t ->
+          error p
+            (Printf.sprintf "expected =, [ or ( after identifier, found %s"
+               (Lexer.token_name t)))
+  | t -> error p (Printf.sprintf "expected statement, found %s" (Lexer.token_name t))
+
+and parse_if p =
+  let pos = p.pos in
+  expect p Lexer.KIF;
+  expect p Lexer.LPAREN;
+  let cond = parse_expr p in
+  expect p Lexer.RPAREN;
+  let then_ = parse_block p in
+  let else_ =
+    if p.tok = Lexer.KELSE then begin
+      advance p;
+      if p.tok = Lexer.KIF then [ parse_if p ] else parse_block p
+    end
+    else []
+  in
+  Ast.stmt ~pos (Ast.Sif (cond, then_, else_))
+
+(* for (i = e1; i <cmp> e2; i = i +/- c) { ... } *)
+and parse_for p =
+  let pos = p.pos in
+  expect p Lexer.KFOR;
+  expect p Lexer.LPAREN;
+  let var = expect_ident p in
+  expect p Lexer.ASSIGN;
+  let init = parse_expr p in
+  expect p Lexer.SEMI;
+  let var2 = expect_ident p in
+  if not (String.equal var var2) then
+    error p "for-loop condition must test the loop variable";
+  let cmp =
+    match p.tok with
+    | Lexer.LT ->
+        advance p;
+        Ast.Blt
+    | Lexer.LE ->
+        advance p;
+        Ast.Ble
+    | Lexer.GT ->
+        advance p;
+        Ast.Bgt
+    | Lexer.GE ->
+        advance p;
+        Ast.Bge
+    | t ->
+        error p
+          (Printf.sprintf "expected comparison in for-loop, found %s"
+             (Lexer.token_name t))
+  in
+  let limit = parse_expr p in
+  expect p Lexer.SEMI;
+  let var3 = expect_ident p in
+  if not (String.equal var var3) then
+    error p "for-loop increment must update the loop variable";
+  expect p Lexer.ASSIGN;
+  let var4 = expect_ident p in
+  if not (String.equal var var4) then
+    error p "for-loop increment must have the form i = i + c";
+  let sign =
+    match p.tok with
+    | Lexer.PLUS ->
+        advance p;
+        1
+    | Lexer.MINUS ->
+        advance p;
+        -1
+    | t ->
+        error p
+          (Printf.sprintf "expected + or - in for-loop increment, found %s"
+             (Lexer.token_name t))
+  in
+  let step = sign * expect_int p in
+  expect p Lexer.RPAREN;
+  let body = parse_block p in
+  Ast.stmt ~pos
+    (Ast.Sfor
+       ( { Ast.for_var = var; for_init = init; for_cmp = cmp;
+           for_limit = limit; for_step = step },
+         body ))
+
+let parse_top_decl p =
+  match p.tok with
+  | Lexer.KVIEW ->
+      advance p;
+      let vname = expect_ident p in
+      expect p Lexer.KOF;
+      let aname = expect_ident p in
+      expect p Lexer.SEMI;
+      Ast.Dview (vname, aname)
+  | Lexer.KVAR ->
+      advance p;
+      let name = expect_ident p in
+      expect p Lexer.COLON;
+      let ty = parse_ty p in
+      let init =
+        if p.tok = Lexer.ASSIGN then begin
+          advance p;
+          Some (parse_literal p)
+        end
+        else None
+      in
+      expect p Lexer.SEMI;
+      Ast.Dglobal (name, ty, init)
+  | Lexer.KARR ->
+      advance p;
+      let name = expect_ident p in
+      expect p Lexer.COLON;
+      let ty = parse_ty p in
+      expect p Lexer.LBRACKET;
+      let size = expect_int p in
+      expect p Lexer.RBRACKET;
+      expect p Lexer.SEMI;
+      Ast.Dglobal_array (name, ty, size, None)
+  | Lexer.KFUN ->
+      advance p;
+      let name = expect_ident p in
+      expect p Lexer.LPAREN;
+      let params =
+        if p.tok = Lexer.RPAREN then begin
+          advance p;
+          []
+        end
+        else
+          let rec loop acc =
+            let pname = expect_ident p in
+            expect p Lexer.COLON;
+            let ty = parse_ty p in
+            match p.tok with
+            | Lexer.COMMA ->
+                advance p;
+                loop ((pname, ty) :: acc)
+            | _ ->
+                expect p Lexer.RPAREN;
+                List.rev ((pname, ty) :: acc)
+          in
+          loop []
+      in
+      let freturn =
+        if p.tok = Lexer.COLON then begin
+          advance p;
+          Some (parse_ty p)
+        end
+        else None
+      in
+      let body = parse_block p in
+      Ast.Dfun { Ast.fname = name; fparams = params; freturn; fbody = body }
+  | t ->
+      error p
+        (Printf.sprintf "expected top-level declaration, found %s"
+           (Lexer.token_name t))
+
+let parse_program src =
+  let p = make src in
+  let rec loop acc =
+    if p.tok = Lexer.EOF then List.rev acc
+    else loop (parse_top_decl p :: acc)
+  in
+  loop []

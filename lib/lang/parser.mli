@@ -1,0 +1,24 @@
+(** Recursive-descent parser for MiniMod.
+
+    Grammar sketch:
+    {v
+    program  := topdecl*
+    topdecl  := "var" id ":" ty ("=" literal)? ";"
+              | "arr" id ":" ty "[" int "]" ";"
+              | "view" id "of" id ";"
+              | "fun" id "(" params? ")" (":" ty)? block
+    stmt     := "var" id ":" ty ("=" expr)? ";"
+              | "arr" id ":" ty "[" int "]" ";"
+              | id "=" expr ";"  |  id "[" expr "]" "=" expr ";"
+              | "if" "(" expr ")" block ("else" (block | if-stmt))?
+              | "while" "(" expr ")" block
+              | "for" "(" id "=" e ";" id cmp e ";" id "=" id +/- int ")" block
+              | "return" expr? ";"  |  "sink" "(" expr ")" ";"  |  expr ";"
+    expr     := precedence climbing: || && | ^ & ==/!= </<=/>/>= <</>>
+                +/- * / % with unary - and ! (C-like precedence)
+    v} *)
+
+exception Error of string * Ast.pos
+
+val parse_program : string -> Ast.program
+(** Raises {!Error} or {!Lexer.Error} on malformed input. *)

@@ -1,0 +1,295 @@
+(* Semantic analysis: name resolution and type checking, lowering the raw
+   AST to the typed AST.
+
+   Typing rules:
+   - arithmetic (+ - * /) on two ints is int, on two reals is real; a
+     mixed operation promotes the int operand to real;
+   - % << >> & | ^ ! require ints;
+   - comparisons and the short-circuit && || produce int (0 or 1);
+   - assignment promotes int to real implicitly; real to int requires an
+     explicit [int(...)] cast;
+   - array indices are ints;
+   - a for-loop variable is an already-declared int scalar. *)
+
+exception Error of string * Ast.pos
+
+type signature = { sig_params : Ast.ty list; sig_return : Ast.ty option }
+
+type env = {
+  globals : (string, Tast.var_ref) Hashtbl.t;
+  functions : (string, signature) Hashtbl.t;
+  locals : (string, Tast.var_ref) Hashtbl.t;  (** current function *)
+}
+
+let error pos fmt = Printf.ksprintf (fun msg -> raise (Error (msg, pos))) fmt
+
+let lookup_var env pos name =
+  match Hashtbl.find_opt env.locals name with
+  | Some vr -> vr
+  | None -> (
+      match Hashtbl.find_opt env.globals name with
+      | Some vr -> vr
+      | None -> error pos "undeclared variable %s" name)
+
+let promote pos (e : Tast.texpr) (ty : Ast.ty) =
+  match (e.Tast.tty, ty) with
+  | Ast.Tint, Ast.Tint | Ast.Treal, Ast.Treal -> e
+  | Ast.Tint, Ast.Treal -> { Tast.tnode = Tast.Tcast (Ast.Treal, e); tty = Ast.Treal }
+  | Ast.Treal, Ast.Tint ->
+      error pos "implicit real-to-int conversion (use int(...))"
+
+let rec check_expr env (e : Ast.expr) : Tast.texpr =
+  let pos = e.Ast.epos in
+  match e.Ast.enode with
+  | Ast.Eint n -> { Tast.tnode = Tast.Tint_lit n; tty = Ast.Tint }
+  | Ast.Ereal f -> { Tast.tnode = Tast.Treal_lit f; tty = Ast.Treal }
+  | Ast.Evar name ->
+      let vr = lookup_var env pos name in
+      if Tast.is_array vr then error pos "%s is an array, expected a scalar" name;
+      Tast.var_expr vr
+  | Ast.Eindex (name, idx) ->
+      let vr = lookup_var env pos name in
+      if not (Tast.is_array vr) then error pos "%s is not an array" name;
+      let tidx = check_expr env idx in
+      if tidx.Tast.tty <> Ast.Tint then error pos "array index must be int";
+      { Tast.tnode = Tast.Tindex (vr, tidx); tty = vr.Tast.vr_ty }
+  | Ast.Eunary (Ast.Uneg, a) ->
+      let ta = check_expr env a in
+      { Tast.tnode = Tast.Tunary (Ast.Uneg, ta); tty = ta.Tast.tty }
+  | Ast.Eunary (Ast.Unot, a) ->
+      let ta = check_expr env a in
+      if ta.Tast.tty <> Ast.Tint then error pos "! requires an int operand";
+      { Tast.tnode = Tast.Tunary (Ast.Unot, ta); tty = Ast.Tint }
+  | Ast.Ebinary (op, a, b) -> check_binary env pos op a b
+  | Ast.Ecall (name, args) -> (
+      match Hashtbl.find_opt env.functions name with
+      | None -> error pos "call to undeclared function %s" name
+      | Some s ->
+          if List.length args <> List.length s.sig_params then
+            error pos "%s expects %d arguments, got %d" name
+              (List.length s.sig_params) (List.length args);
+          let targs =
+            List.map2
+              (fun arg ty -> promote pos (check_expr env arg) ty)
+              args s.sig_params
+          in
+          let tty =
+            match s.sig_return with
+            | Some ty -> ty
+            | None -> error pos "%s returns no value" name
+          in
+          { Tast.tnode = Tast.Tcall (name, targs); tty })
+  | Ast.Ecast (ty, a) ->
+      let ta = check_expr env a in
+      { Tast.tnode = Tast.Tcast (ty, ta); tty = ty }
+
+and check_binary env pos op a b =
+  let ta = check_expr env a in
+  let tb = check_expr env b in
+  let int_only () =
+    if ta.Tast.tty <> Ast.Tint || tb.Tast.tty <> Ast.Tint then
+      error pos "%s requires int operands" (Ast.binop_name op)
+  in
+  match op with
+  | Ast.Bmod | Ast.Bshl | Ast.Bshr | Ast.Bbit_and | Ast.Bbit_or
+  | Ast.Bbit_xor | Ast.Band | Ast.Bor ->
+      int_only ();
+      { Tast.tnode = Tast.Tbinary (op, ta, tb); tty = Ast.Tint }
+  | Ast.Beq | Ast.Bne | Ast.Blt | Ast.Ble | Ast.Bgt | Ast.Bge ->
+      let common =
+        if ta.Tast.tty = Ast.Treal || tb.Tast.tty = Ast.Treal then Ast.Treal
+        else Ast.Tint
+      in
+      let ta = promote pos ta common and tb = promote pos tb common in
+      { Tast.tnode = Tast.Tbinary (op, ta, tb); tty = Ast.Tint }
+  | Ast.Badd | Ast.Bsub | Ast.Bmul | Ast.Bdiv ->
+      let common =
+        if ta.Tast.tty = Ast.Treal || tb.Tast.tty = Ast.Treal then Ast.Treal
+        else Ast.Tint
+      in
+      let ta = promote pos ta common and tb = promote pos tb common in
+      { Tast.tnode = Tast.Tbinary (op, ta, tb); tty = common }
+
+let check_cond env (e : Ast.expr) =
+  let te = check_expr env e in
+  if te.Tast.tty <> Ast.Tint then
+    error e.Ast.epos "condition must be int (0 = false)";
+  te
+
+(* Declarations are function-scoped; duplicate names in one function are
+   rejected so that code generation's name-to-slot map is unambiguous. *)
+let declare_local env pos name vr =
+  if Hashtbl.mem env.locals name then
+    error pos "duplicate declaration of %s" name;
+  Hashtbl.replace env.locals name vr
+
+let rec check_stmt env freturn (s : Ast.stmt) : Tast.tstmt =
+  let pos = s.Ast.spos in
+  match s.Ast.snode with
+  | Ast.Sdecl (name, ty, init) ->
+      let vr = { Tast.vr_name = name; vr_ty = ty; vr_kind = Tast.Vlocal } in
+      let tinit =
+        Option.map (fun e -> promote pos (check_expr env e) ty) init
+      in
+      declare_local env pos name vr;
+      Tast.TSdecl (vr, tinit)
+  | Ast.Sarr_decl (name, ty, size) ->
+      if size <= 0 then error pos "array %s must have positive size" name;
+      let vr =
+        { Tast.vr_name = name; vr_ty = ty; vr_kind = Tast.Vlocal_array size }
+      in
+      declare_local env pos name vr;
+      Tast.TSdecl (vr, None)
+  | Ast.Sassign (name, e) ->
+      let vr = lookup_var env pos name in
+      if Tast.is_array vr then error pos "cannot assign to array %s" name;
+      let te = promote pos (check_expr env e) vr.Tast.vr_ty in
+      Tast.TSassign (vr, te)
+  | Ast.Sindex_assign (name, idx, e) ->
+      let vr = lookup_var env pos name in
+      if not (Tast.is_array vr) then error pos "%s is not an array" name;
+      let tidx = check_expr env idx in
+      if tidx.Tast.tty <> Ast.Tint then error pos "array index must be int";
+      let te = promote pos (check_expr env e) vr.Tast.vr_ty in
+      Tast.TSindex_assign (vr, tidx, te)
+  | Ast.Sif (cond, then_, else_) ->
+      let tcond = check_cond env cond in
+      Tast.TSif
+        ( tcond,
+          List.map (check_stmt env freturn) then_,
+          List.map (check_stmt env freturn) else_ )
+  | Ast.Swhile (cond, body) ->
+      let tcond = check_cond env cond in
+      Tast.TSwhile (tcond, List.map (check_stmt env freturn) body)
+  | Ast.Sfor (hdr, body) ->
+      let vr = lookup_var env pos hdr.Ast.for_var in
+      if vr.Tast.vr_ty <> Ast.Tint || Tast.is_array vr then
+        error pos "for-loop variable %s must be an int scalar" hdr.Ast.for_var;
+      if hdr.Ast.for_step = 0 then error pos "for-loop step must be nonzero";
+      let tinit = check_expr env hdr.Ast.for_init in
+      if tinit.Tast.tty <> Ast.Tint then error pos "for-loop bound must be int";
+      let tlimit = check_expr env hdr.Ast.for_limit in
+      if tlimit.Tast.tty <> Ast.Tint then error pos "for-loop bound must be int";
+      let tfor =
+        { Tast.tf_var = vr; tf_init = tinit; tf_cmp = hdr.Ast.for_cmp;
+          tf_limit = tlimit; tf_step = hdr.Ast.for_step }
+      in
+      Tast.TSfor (tfor, List.map (check_stmt env freturn) body)
+  | Ast.Sreturn None ->
+      if freturn <> None then error pos "missing return value";
+      Tast.TSreturn None
+  | Ast.Sreturn (Some e) -> (
+      match freturn with
+      | None -> error pos "returning a value from a function with no return type"
+      | Some ty -> Tast.TSreturn (Some (promote pos (check_expr env e) ty)))
+  | Ast.Sexpr e -> (
+      (* statement calls may target functions with no return value *)
+      match e.Ast.enode with
+      | Ast.Ecall (name, args) -> (
+          match Hashtbl.find_opt env.functions name with
+          | None -> error pos "call to undeclared function %s" name
+          | Some s ->
+              if List.length args <> List.length s.sig_params then
+                error pos "%s expects %d arguments, got %d" name
+                  (List.length s.sig_params) (List.length args);
+              let targs =
+                List.map2
+                  (fun arg ty -> promote pos (check_expr env arg) ty)
+                  args s.sig_params
+              in
+              let tty = Option.value s.sig_return ~default:Ast.Tint in
+              Tast.TSexpr { Tast.tnode = Tast.Tcall (name, targs); tty })
+      | _ -> Tast.TSexpr (check_expr env e))
+  | Ast.Ssink e -> Tast.TSsink (check_expr env e)
+
+let check_func env (f : Ast.func) : Tast.tfunc =
+  Hashtbl.reset env.locals;
+  let tparams =
+    List.mapi
+      (fun i (name, ty) ->
+        let vr = { Tast.vr_name = name; vr_ty = ty; vr_kind = Tast.Vparam i } in
+        declare_local env Ast.no_pos name vr;
+        vr)
+      f.Ast.fparams
+  in
+  let tbody = List.map (check_stmt env f.Ast.freturn) f.Ast.fbody in
+  { Tast.tf_name = f.Ast.fname; tf_params = tparams;
+    tf_return = f.Ast.freturn; tf_body = tbody }
+
+let check_program (prog : Ast.program) : Tast.tprogram =
+  let env =
+    { globals = Hashtbl.create 64;
+      functions = Hashtbl.create 64;
+      locals = Hashtbl.create 64;
+    }
+  in
+  (* first pass: collect globals and function signatures *)
+  List.iter
+    (fun decl ->
+      match decl with
+      | Ast.Dglobal (name, ty, _) ->
+          if Hashtbl.mem env.globals name then
+            error Ast.no_pos "duplicate global %s" name;
+          Hashtbl.replace env.globals name
+            { Tast.vr_name = name; vr_ty = ty; vr_kind = Tast.Vglobal }
+      | Ast.Dglobal_array (name, ty, size, _) ->
+          if Hashtbl.mem env.globals name then
+            error Ast.no_pos "duplicate global %s" name;
+          if size <= 0 then error Ast.no_pos "array %s must have positive size" name;
+          Hashtbl.replace env.globals name
+            { Tast.vr_name = name; vr_ty = ty;
+              vr_kind = Tast.Vglobal_array size }
+      | Ast.Dview _ -> ()
+      | Ast.Dfun f ->
+          if Hashtbl.mem env.functions f.Ast.fname then
+            error Ast.no_pos "duplicate function %s" f.Ast.fname;
+          Hashtbl.replace env.functions f.Ast.fname
+            { sig_params = List.map snd f.Ast.fparams;
+              sig_return = f.Ast.freturn;
+            })
+    prog;
+  (* views resolve once every array is known *)
+  List.iter
+    (fun decl ->
+      match decl with
+      | Ast.Dview (vname, aname) -> (
+          if Hashtbl.mem env.globals vname then
+            error Ast.no_pos "duplicate global %s" vname;
+          match Hashtbl.find_opt env.globals aname with
+          | Some { Tast.vr_ty; vr_kind = Tast.Vglobal_array size; _ } ->
+              Hashtbl.replace env.globals vname
+                { Tast.vr_name = vname; vr_ty;
+                  vr_kind = Tast.Vview (aname, size) }
+          | Some _ | None ->
+              error Ast.no_pos "view %s: %s is not a global array" vname aname)
+      | Ast.Dglobal _ | Ast.Dglobal_array _ | Ast.Dfun _ -> ())
+    prog;
+  if not (Hashtbl.mem env.functions "main") then
+    error Ast.no_pos "program has no main function";
+  let tglobals =
+    List.filter_map
+      (fun decl ->
+        match decl with
+        | Ast.Dglobal (name, ty, init) ->
+            Some { Tast.tg_name = name; tg_ty = ty; tg_words = 1; tg_init = init }
+        | Ast.Dglobal_array (name, ty, size, _) ->
+            Some { Tast.tg_name = name; tg_ty = ty; tg_words = size; tg_init = None }
+        | Ast.Dview _ | Ast.Dfun _ -> None)
+      prog
+  in
+  let tviews =
+    List.filter_map
+      (function
+        | Ast.Dview (v, a) -> Some { Tast.tv_name = v; tv_base = a }
+        | Ast.Dglobal _ | Ast.Dglobal_array _ | Ast.Dfun _ -> None)
+      prog
+  in
+  let tfuncs =
+    List.filter_map
+      (function Ast.Dfun f -> Some (check_func env f) | _ -> None)
+      prog
+  in
+  { Tast.tglobals; tviews; tfuncs }
+
+(* Parse and check in one step; the usual entry point. *)
+let compile_source src = check_program (Parser.parse_program src)

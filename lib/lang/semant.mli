@@ -1,0 +1,20 @@
+(** Semantic analysis: name resolution and type checking, lowering the
+    raw AST to the typed AST.
+
+    Typing rules:
+    - arithmetic (+ - * /) on two ints is int, on two reals is real; a
+      mixed operation promotes the int operand to real;
+    - [%], shifts, bitwise and the short-circuit [&&]/[||] require ints;
+    - comparisons produce int (0 or 1);
+    - assignment promotes int to real implicitly; real to int requires an
+      explicit [int(...)];
+    - array subscripts are ints;
+    - a for-loop variable is an already-declared int scalar;
+    - a [view] must name a declared global array. *)
+
+exception Error of string * Ast.pos
+
+val check_program : Ast.program -> Tast.tprogram
+
+val compile_source : string -> Tast.tprogram
+(** Parse and check in one step: the usual entry point. *)

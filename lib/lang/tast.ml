@@ -1,0 +1,110 @@
+(* Typed abstract syntax, produced by semantic analysis.
+
+   Every expression carries its type and every variable reference its
+   resolved kind, so later phases (loop unrolling, code generation) need
+   no symbol tables. *)
+
+type ty = Ast.ty = Tint | Treal [@@deriving eq, show { with_path = false }]
+
+type kind =
+  | Vglobal
+  | Vglobal_array of int  (** element count *)
+  | Vview of string * int  (** declared-disjoint view: base array, count *)
+  | Vlocal
+  | Vlocal_array of int
+  | Vparam of int  (** parameter index *)
+[@@deriving eq, show { with_path = false }]
+
+type var_ref = { vr_name : string; vr_ty : ty; vr_kind : kind }
+[@@deriving eq, show { with_path = false }]
+
+type texpr = { tnode : tnode; tty : ty }
+
+and tnode =
+  | Tint_lit of int
+  | Treal_lit of float
+  | Tvar of var_ref
+  | Tindex of var_ref * texpr
+  | Tunary of Ast.unop * texpr
+  | Tbinary of Ast.binop * texpr * texpr
+  | Tcall of string * texpr list
+  | Tcast of ty * texpr
+[@@deriving eq, show { with_path = false }]
+
+type tfor = {
+  tf_var : var_ref;
+  tf_init : texpr;
+  tf_cmp : Ast.binop;
+  tf_limit : texpr;
+  tf_step : int;
+}
+[@@deriving eq, show { with_path = false }]
+
+type tstmt =
+  | TSdecl of var_ref * texpr option
+  | TSassign of var_ref * texpr
+  | TSindex_assign of var_ref * texpr * texpr
+  | TSif of texpr * tstmt list * tstmt list
+  | TSwhile of texpr * tstmt list
+  | TSfor of tfor * tstmt list
+  | TSreturn of texpr option
+  | TSexpr of texpr
+  | TSsink of texpr
+[@@deriving eq, show { with_path = false }]
+
+type tfunc = {
+  tf_name : string;
+  tf_params : var_ref list;
+  tf_return : ty option;
+  tf_body : tstmt list;
+}
+[@@deriving eq, show { with_path = false }]
+
+type tglobal = {
+  tg_name : string;
+  tg_ty : ty;
+  tg_words : int;  (** 1 for scalars *)
+  tg_init : Ast.const option;
+}
+[@@deriving eq, show { with_path = false }]
+
+type tview = { tv_name : string; tv_base : string }
+[@@deriving eq, show { with_path = false }]
+
+type tprogram = {
+  tglobals : tglobal list;
+  tviews : tview list;
+  tfuncs : tfunc list;
+}
+[@@deriving eq, show { with_path = false }]
+
+let int_expr n = { tnode = Tint_lit n; tty = Tint }
+let var_expr vr = { tnode = Tvar vr; tty = vr.vr_ty }
+
+let is_array vr =
+  match vr.vr_kind with
+  | Vglobal_array _ | Vlocal_array _ | Vview _ -> true
+  | Vglobal | Vlocal | Vparam _ -> false
+
+(* Calls appearing anywhere in an expression tree; used to decide whether
+   evaluation can be freely reordered or duplicated. *)
+let rec contains_call e =
+  match e.tnode with
+  | Tcall _ -> true
+  | Tint_lit _ | Treal_lit _ | Tvar _ -> false
+  | Tindex (_, i) -> contains_call i
+  | Tunary (_, a) | Tcast (_, a) -> contains_call a
+  | Tbinary (_, a, b) -> contains_call a || contains_call b
+
+let rec map_expr f e =
+  let e' =
+    match e.tnode with
+    | Tint_lit _ | Treal_lit _ | Tvar _ -> e
+    | Tindex (v, i) -> { e with tnode = Tindex (v, map_expr f i) }
+    | Tunary (op, a) -> { e with tnode = Tunary (op, map_expr f a) }
+    | Tbinary (op, a, b) ->
+        { e with tnode = Tbinary (op, map_expr f a, map_expr f b) }
+    | Tcall (n, args) -> { e with tnode = Tcall (n, List.map (map_expr f) args) }
+    | Tcast (t, a) -> { e with tnode = Tcast (t, map_expr f a) }
+  in
+  f e'

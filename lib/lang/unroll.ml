@@ -1,0 +1,342 @@
+(* Loop unrolling at the typed-AST level (Figure 4-6 of the paper).
+
+   The paper unrolled Linpack and Livermore by hand in two ways:
+
+   - *naive*: duplicate the loop body inside the loop and let the normal
+     optimizer remove redundant computations — here each copy [j] of the
+     body sees the index expression [i + j*step], and the loop steps by
+     [factor*step] with a scalar remainder loop after it;
+
+   - *careful*: additionally reassociate long accumulation chains —
+     a statement [s = s op e] (op associative and commutative) in copy
+     [j > 0] updates a fresh partial accumulator [s_j] instead, and the
+     partials fold into [s] after the loop.  Together with the symbolic
+     memory disambiguation performed by the scheduler this removes the
+     false inter-copy dependences that cap naive unrolling.
+
+   Only innermost counted loops are unrolled; loops containing [return]
+   are left alone. *)
+
+type mode = Naive | Careful
+
+(* substitute every occurrence of scalar [var] by expression [repl] *)
+let rec subst_expr var repl (e : Tast.texpr) : Tast.texpr =
+  match e.Tast.tnode with
+  | Tast.Tvar vr when String.equal vr.Tast.vr_name var -> repl
+  | Tast.Tvar _ | Tast.Tint_lit _ | Tast.Treal_lit _ -> e
+  | Tast.Tindex (vr, idx) ->
+      { e with Tast.tnode = Tast.Tindex (vr, subst_expr var repl idx) }
+  | Tast.Tunary (op, a) ->
+      { e with Tast.tnode = Tast.Tunary (op, subst_expr var repl a) }
+  | Tast.Tbinary (op, a, b) ->
+      { e with
+        Tast.tnode =
+          Tast.Tbinary (op, subst_expr var repl a, subst_expr var repl b)
+      }
+  | Tast.Tcall (n, args) ->
+      { e with Tast.tnode = Tast.Tcall (n, List.map (subst_expr var repl) args) }
+  | Tast.Tcast (t, a) ->
+      { e with Tast.tnode = Tast.Tcast (t, subst_expr var repl a) }
+
+let rec subst_stmt var repl (s : Tast.tstmt) : Tast.tstmt =
+  let se = subst_expr var repl in
+  match s with
+  | Tast.TSdecl (vr, init) -> Tast.TSdecl (vr, Option.map se init)
+  | Tast.TSassign (vr, e) -> Tast.TSassign (vr, se e)
+  | Tast.TSindex_assign (vr, idx, e) -> Tast.TSindex_assign (vr, se idx, se e)
+  | Tast.TSif (c, a, b) ->
+      Tast.TSif (se c, List.map (subst_stmt var repl) a,
+                 List.map (subst_stmt var repl) b)
+  | Tast.TSwhile (c, body) ->
+      Tast.TSwhile (se c, List.map (subst_stmt var repl) body)
+  | Tast.TSfor (hdr, body) ->
+      Tast.TSfor
+        ( { hdr with Tast.tf_init = se hdr.Tast.tf_init;
+            tf_limit = se hdr.Tast.tf_limit },
+          List.map (subst_stmt var repl) body )
+  | Tast.TSreturn e -> Tast.TSreturn (Option.map se e)
+  | Tast.TSexpr e -> Tast.TSexpr (se e)
+  | Tast.TSsink e -> Tast.TSsink (se e)
+
+let rec stmt_has_return = function
+  | Tast.TSreturn _ -> true
+  | Tast.TSif (_, a, b) ->
+      List.exists stmt_has_return a || List.exists stmt_has_return b
+  | Tast.TSwhile (_, body) | Tast.TSfor (_, body) ->
+      List.exists stmt_has_return body
+  | Tast.TSdecl _ | Tast.TSassign _ | Tast.TSindex_assign _ | Tast.TSexpr _
+  | Tast.TSsink _ ->
+      false
+
+let rec stmt_has_loop = function
+  | Tast.TSwhile _ | Tast.TSfor _ -> true
+  | Tast.TSif (_, a, b) ->
+      List.exists stmt_has_loop a || List.exists stmt_has_loop b
+  | Tast.TSdecl _ | Tast.TSassign _ | Tast.TSindex_assign _ | Tast.TSreturn _
+  | Tast.TSexpr _ | Tast.TSsink _ ->
+      false
+
+(* does expression [e] mention scalar [name]? *)
+let rec expr_mentions name (e : Tast.texpr) =
+  match e.Tast.tnode with
+  | Tast.Tvar vr -> String.equal vr.Tast.vr_name name
+  | Tast.Tint_lit _ | Tast.Treal_lit _ -> false
+  | Tast.Tindex (vr, idx) ->
+      String.equal vr.Tast.vr_name name || expr_mentions name idx
+  | Tast.Tunary (_, a) | Tast.Tcast (_, a) -> expr_mentions name a
+  | Tast.Tbinary (_, a, b) -> expr_mentions name a || expr_mentions name b
+  | Tast.Tcall (_, args) -> List.exists (expr_mentions name) args
+
+(* accumulation statement [s = s op e] with op associative-commutative
+   and e not mentioning s *)
+let accumulator_pattern (s : Tast.tstmt) =
+  match s with
+  | Tast.TSassign
+      (vr, { Tast.tnode = Tast.Tbinary ((Ast.Badd | Ast.Bmul) as op, a, b); _ })
+    -> (
+      let is_self e =
+        match e.Tast.tnode with
+        | Tast.Tvar v -> String.equal v.Tast.vr_name vr.Tast.vr_name
+        | _ -> false
+      in
+      match (is_self a, is_self b) with
+      | true, false when not (expr_mentions vr.Tast.vr_name b) ->
+          Some (vr, op, b)
+      | false, true when not (expr_mentions vr.Tast.vr_name a) ->
+          Some (vr, op, a)
+      | _ -> None)
+  | _ -> None
+
+let identity_lit (ty : Ast.ty) (op : Ast.binop) : Tast.texpr =
+  match (ty, op) with
+  | Ast.Tint, Ast.Badd -> { Tast.tnode = Tast.Tint_lit 0; tty = Ast.Tint }
+  | Ast.Tint, _ -> { Tast.tnode = Tast.Tint_lit 1; tty = Ast.Tint }
+  | Ast.Treal, Ast.Badd -> { Tast.tnode = Tast.Treal_lit 0.0; tty = Ast.Treal }
+  | Ast.Treal, _ -> { Tast.tnode = Tast.Treal_lit 1.0; tty = Ast.Treal }
+
+(* --- index canonicalisation (careful mode) -------------------------------
+
+   Careful unrolling reassociates array subscripts so that every copy of
+   the body computes the same non-constant base expression with the copy
+   offset as a trailing constant: [yoff + (k + 2)] becomes
+   [(yoff + k) + 2].  Local CSE then unifies the base across copies and
+   the scheduler's symbolic disambiguation proves that stores from early
+   copies do not interfere with loads in later copies (Section 4.4). *)
+
+let rec flatten_sum (e : Tast.texpr) : Tast.texpr list * int =
+  if e.Tast.tty <> Ast.Tint then ([ e ], 0)
+  else
+    match e.Tast.tnode with
+    | Tast.Tint_lit n -> ([], n)
+    | Tast.Tbinary (Ast.Badd, a, b) ->
+        let ta, ca = flatten_sum a in
+        let tb, cb = flatten_sum b in
+        (ta @ tb, ca + cb)
+    | Tast.Tbinary (Ast.Bsub, a, { Tast.tnode = Tast.Tint_lit n; _ }) ->
+        let ta, ca = flatten_sum a in
+        (ta, ca - n)
+    | _ -> ([ e ], 0)
+
+let normalize_index (e : Tast.texpr) : Tast.texpr =
+  if e.Tast.tty <> Ast.Tint then e
+  else
+    let terms, c = flatten_sum e in
+    match terms with
+    | [] -> Tast.int_expr c
+    | t :: rest ->
+        let sum =
+          List.fold_left
+            (fun acc t ->
+              { Tast.tnode = Tast.Tbinary (Ast.Badd, acc, t); tty = Ast.Tint })
+            t rest
+        in
+        if c = 0 then sum
+        else
+          { Tast.tnode = Tast.Tbinary (Ast.Badd, sum, Tast.int_expr c);
+            tty = Ast.Tint;
+          }
+
+let normalize_expr (e : Tast.texpr) : Tast.texpr =
+  Tast.map_expr
+    (fun e ->
+      match e.Tast.tnode with
+      | Tast.Tindex (vr, idx) ->
+          { e with Tast.tnode = Tast.Tindex (vr, normalize_index idx) }
+      | _ -> e)
+    e
+
+let rec normalize_stmt (s : Tast.tstmt) : Tast.tstmt =
+  match s with
+  | Tast.TSdecl (vr, init) -> Tast.TSdecl (vr, Option.map normalize_expr init)
+  | Tast.TSassign (vr, e) -> Tast.TSassign (vr, normalize_expr e)
+  | Tast.TSindex_assign (vr, idx, e) ->
+      Tast.TSindex_assign (vr, normalize_index idx, normalize_expr e)
+  | Tast.TSif (c, a, b) ->
+      Tast.TSif (normalize_expr c, List.map normalize_stmt a,
+                 List.map normalize_stmt b)
+  | Tast.TSwhile (c, body) ->
+      Tast.TSwhile (normalize_expr c, List.map normalize_stmt body)
+  | Tast.TSfor (hdr, body) ->
+      Tast.TSfor
+        ( { hdr with Tast.tf_init = normalize_expr hdr.Tast.tf_init;
+            tf_limit = normalize_expr hdr.Tast.tf_limit },
+          List.map normalize_stmt body )
+  | Tast.TSreturn e -> Tast.TSreturn (Option.map normalize_expr e)
+  | Tast.TSexpr e -> Tast.TSexpr (normalize_expr e)
+  | Tast.TSsink e -> Tast.TSsink (normalize_expr e)
+
+(* fresh partial-accumulator names; '$' cannot appear in source
+   identifiers, so no collision is possible *)
+let partial_name base j = Printf.sprintf "%s$u%d" base j
+
+type acc_info = {
+  acc_var : Tast.var_ref;
+  acc_op : Ast.binop;
+  partials : Tast.var_ref list;
+}
+
+(* Unroll one counted loop by [factor]. *)
+let unroll_for mode factor (hdr : Tast.tfor) body =
+  let var = hdr.Tast.tf_var.Tast.vr_name in
+  let step = hdr.Tast.tf_step in
+  (* collect accumulators for careful mode *)
+  let accs =
+    if mode <> Careful then []
+    else
+      List.filter_map accumulator_pattern body
+      |> List.map (fun (vr, op, _) -> (vr, op))
+      |> List.sort_uniq compare
+  in
+  let acc_infos =
+    List.map
+      (fun (vr, op) ->
+        let partials =
+          List.init (factor - 1) (fun j ->
+              { Tast.vr_name = partial_name vr.Tast.vr_name (j + 1);
+                vr_ty = vr.Tast.vr_ty;
+                vr_kind = Tast.Vlocal;
+              })
+        in
+        { acc_var = vr; acc_op = op; partials })
+      accs
+  in
+  let find_acc vr =
+    List.find_opt
+      (fun a -> String.equal a.acc_var.Tast.vr_name vr.Tast.vr_name)
+      acc_infos
+  in
+  (* body copy [j]: index variable becomes [var + j*step]; in careful
+     mode accumulator updates in copy j>0 target the j-th partial *)
+  let copy j =
+    let iv = hdr.Tast.tf_var in
+    let index_expr =
+      if j = 0 then Tast.var_expr iv
+      else
+        { Tast.tnode =
+            Tast.Tbinary
+              (Ast.Badd, Tast.var_expr iv,
+               { Tast.tnode = Tast.Tint_lit (j * step); tty = Ast.Tint });
+          tty = Ast.Tint;
+        }
+    in
+    let redirect stmt =
+      if j = 0 || mode <> Careful then stmt
+      else
+        match (stmt, accumulator_pattern stmt) with
+        | Tast.TSassign (_, _), Some (vr, op, operand) -> (
+            match find_acc vr with
+            | Some info ->
+                let p = List.nth info.partials (j - 1) in
+                Tast.TSassign
+                  ( p,
+                    { Tast.tnode =
+                        Tast.Tbinary (op, Tast.var_expr p, operand);
+                      tty = p.Tast.vr_ty;
+                    } )
+            | None -> stmt)
+        | _ -> stmt
+    in
+    let copied = List.map (fun s -> subst_stmt var index_expr (redirect s)) body in
+    if mode = Careful then List.map normalize_stmt copied else copied
+  in
+  let unrolled_body = List.concat (List.init factor copy) in
+  (* main-loop limit shrinks so that all copies stay in range:
+     i cmp limit && i+(factor-1)*step cmp limit *)
+  let adjust = (factor - 1) * step in
+  let new_limit =
+    { Tast.tnode =
+        Tast.Tbinary
+          (Ast.Bsub, hdr.Tast.tf_limit,
+           { Tast.tnode = Tast.Tint_lit adjust; tty = Ast.Tint });
+      tty = Ast.Tint;
+    }
+  in
+  let main_hdr =
+    { hdr with Tast.tf_limit = new_limit; tf_step = factor * step }
+  in
+  (* initialisation of partial accumulators *)
+  let partial_decls =
+    List.concat_map
+      (fun info ->
+        List.map
+          (fun p ->
+            Tast.TSdecl
+              (p, Some (identity_lit p.Tast.vr_ty info.acc_op)))
+          info.partials)
+      acc_infos
+  in
+  (* fold partials back into the accumulator *)
+  let partial_folds =
+    List.map
+      (fun info ->
+        let combined =
+          List.fold_left
+            (fun acc p ->
+              { Tast.tnode = Tast.Tbinary (info.acc_op, acc, Tast.var_expr p);
+                tty = info.acc_var.Tast.vr_ty;
+              })
+            (Tast.var_expr info.acc_var) info.partials
+        in
+        Tast.TSassign (info.acc_var, combined))
+      acc_infos
+  in
+  (* remainder loop continues from the current value of the index *)
+  let remainder_hdr =
+    { hdr with Tast.tf_init = Tast.var_expr hdr.Tast.tf_var }
+  in
+  partial_decls
+  @ [ Tast.TSfor (main_hdr, unrolled_body) ]
+  @ partial_folds
+  @ [ Tast.TSfor (remainder_hdr, body) ]
+
+(* Rewrite statements, unrolling innermost counted loops. *)
+let rec unroll_stmts mode factor stmts =
+  List.concat_map
+    (fun s ->
+      match s with
+      | Tast.TSfor (hdr, body) ->
+          if
+            (not (List.exists stmt_has_loop body))
+            && (not (List.exists stmt_has_return body))
+            && factor > 1
+          then unroll_for mode factor hdr body
+          else [ Tast.TSfor (hdr, unroll_stmts mode factor body) ]
+      | Tast.TSwhile (c, body) ->
+          [ Tast.TSwhile (c, unroll_stmts mode factor body) ]
+      | Tast.TSif (c, a, b) ->
+          [ Tast.TSif (c, unroll_stmts mode factor a, unroll_stmts mode factor b) ]
+      | Tast.TSdecl _ | Tast.TSassign _ | Tast.TSindex_assign _
+      | Tast.TSreturn _ | Tast.TSexpr _ | Tast.TSsink _ ->
+          [ s ])
+    stmts
+
+let program mode factor (p : Tast.tprogram) =
+  if factor <= 1 then p
+  else
+    { p with
+      Tast.tfuncs =
+        List.map
+          (fun f ->
+            { f with Tast.tf_body = unroll_stmts mode factor f.Tast.tf_body })
+          p.Tast.tfuncs;
+    }

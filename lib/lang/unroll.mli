@@ -1,0 +1,25 @@
+(** Loop unrolling at the typed-AST level (Figure 4-6).
+
+    The paper unrolled Linpack and Livermore by hand in two ways; both
+    are reproduced as mechanical transforms of innermost counted loops:
+
+    - {e naive}: duplicate the loop body, each copy [j] seeing the index
+      expression [i + j*step]; the main loop steps by [factor*step] with
+      a scalar remainder loop after it.  The normal optimizer then
+      removes the redundant computations;
+    - {e careful}: additionally (a) reassociate accumulation chains —
+      [s = s op e] in copy [j > 0] updates a fresh partial accumulator,
+      folded into [s] after the loop — and (b) canonicalise array
+      subscripts to [(base) + constant] form so local CSE unifies the
+      base across copies and the scheduler's symbolic disambiguation
+      proves stores from early copies independent of loads in later
+      copies.
+
+    Loops containing [return], and non-innermost loops, are left
+    alone. *)
+
+type mode = Naive | Careful
+
+val program : mode -> int -> Tast.tprogram -> Tast.tprogram
+(** [program mode factor p]: unroll every innermost counted loop of
+    every function by [factor] (1 = identity). *)

@@ -1,0 +1,105 @@
+(* Preset machine configurations used throughout the paper's evaluation. *)
+
+open Ilp_ir
+
+(* The base machine of Section 2.1: one instruction per cycle, all simple
+   operations complete in one cycle.  Parallelism required to fully
+   utilize it is exactly 1. *)
+let base = Config.make "base"
+
+(* Ideal superscalar machine of degree [n] (Section 2.3): n issues per
+   cycle, unit latencies, no class conflicts. *)
+let superscalar n =
+  Config.make (Printf.sprintf "superscalar-%d" n) ~issue_width:n
+
+(* Superpipelined machine of degree [m] (Section 2.4): one issue per
+   minor cycle, every operation takes [m] minor cycles. *)
+let superpipelined m =
+  Config.make
+    (Printf.sprintf "superpipelined-%d" m)
+    ~pipe_degree:m
+    ~latencies:(Config.scale_latencies (Config.latency_table []) m)
+
+(* Superpipelined superscalar machine of degree (n, m) (Section 2.5). *)
+let superpipelined_superscalar ~n ~m =
+  Config.make
+    (Printf.sprintf "sps-%dx%d" n m)
+    ~issue_width:n ~pipe_degree:m
+    ~latencies:(Config.scale_latencies (Config.latency_table []) m)
+
+(* An underpipelined machine (Section 2.2, Figure 2-3): loads can only
+   issue every other cycle, modelled with a dedicated load/store unit of
+   issue latency 2. *)
+let underpipelined =
+  Config.make "underpipelined"
+    ~units:
+      [ { Config.unit_name = "mem";
+          classes = [ Iclass.Load; Iclass.Store ];
+          issue_latency = 2;
+          multiplicity = 1;
+        } ]
+
+(* The MultiTitan (Section 2.7, Table 2-1): ALU operations one cycle;
+   loads, stores and branches two cycles; floating point three cycles.
+   Average degree of superpipelining 1.7. *)
+let multititan_latencies =
+  Config.latency_table
+    [ (Iclass.Logical, 1); (Iclass.Shift, 1); (Iclass.Add_sub, 1);
+      (Iclass.Int_mul, 3); (Iclass.Int_div, 12); (Iclass.Move, 1);
+      (Iclass.Load, 2); (Iclass.Store, 2); (Iclass.Branch, 2);
+      (Iclass.Jump, 2); (Iclass.Fp_add, 3); (Iclass.Fp_mul, 3);
+      (Iclass.Fp_div, 12); (Iclass.Fp_cvt, 3) ]
+
+let multititan = Config.make "MultiTitan" ~latencies:multititan_latencies
+
+(* The CRAY-1 (Table 2-1): logical 1, shift 2, add/sub 3, load 11,
+   store 1, branch 3, floating point 7.  Average degree of
+   superpipelining 4.4.  [issue_width] is variable so Figure 4-4 can
+   sweep issue multiplicity. *)
+let cray1_latencies =
+  Config.latency_table
+    [ (Iclass.Logical, 1); (Iclass.Shift, 2); (Iclass.Add_sub, 3);
+      (Iclass.Int_mul, 7); (Iclass.Int_div, 25); (Iclass.Move, 1);
+      (Iclass.Load, 11); (Iclass.Store, 1); (Iclass.Branch, 3);
+      (Iclass.Jump, 3); (Iclass.Fp_add, 7); (Iclass.Fp_mul, 7);
+      (Iclass.Fp_div, 25); (Iclass.Fp_cvt, 7) ]
+
+let cray1 ?(issue_width = 1) () =
+  Config.make
+    (Printf.sprintf "CRAY-1-issue%d" issue_width)
+    ~issue_width ~latencies:cray1_latencies
+
+(* The CRAY-1 as simulated in the study the paper criticises
+   (Section 4.2, [1]): same machine but all functional units pretended to
+   have one-cycle latency. *)
+let cray1_unit_latencies ?(issue_width = 1) () =
+  Config.make
+    (Printf.sprintf "CRAY-1-unit-issue%d" issue_width)
+    ~issue_width
+
+(* A superscalar machine with class conflicts (Section 2.3.2): only the
+   decode logic and register ports are duplicated, so each class is
+   served by a single non-replicated unit. *)
+let superscalar_with_class_conflicts n =
+  let one_unit name classes =
+    { Config.unit_name = name; classes; issue_latency = 1; multiplicity = 1 }
+  in
+  Config.make
+    (Printf.sprintf "superscalar-%d-conflicts" n)
+    ~issue_width:n
+    ~units:
+      [ one_unit "alu"
+          [ Iclass.Logical; Iclass.Shift; Iclass.Add_sub; Iclass.Move ];
+        one_unit "mul/div" [ Iclass.Int_mul; Iclass.Int_div ];
+        one_unit "mem" [ Iclass.Load; Iclass.Store ];
+        one_unit "ctl" [ Iclass.Branch; Iclass.Jump ];
+        one_unit "fpadd" [ Iclass.Fp_add; Iclass.Fp_cvt ];
+        one_unit "fpmul" [ Iclass.Fp_mul; Iclass.Fp_div ] ]
+
+let by_name = function
+  | "base" -> Some base
+  | "multititan" -> Some multititan
+  | "cray1" -> Some (cray1 ())
+  | "cray1-unit" -> Some (cray1_unit_latencies ())
+  | "underpipelined" -> Some underpipelined
+  | _ -> None

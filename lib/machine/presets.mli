@@ -1,0 +1,53 @@
+(** Preset machine configurations used throughout the paper's
+    evaluation. *)
+
+val base : Config.t
+(** The base machine of Section 2.1: one instruction per cycle, every
+    simple operation completes in one cycle; the reference point all
+    speedups are measured against. *)
+
+val superscalar : int -> Config.t
+(** [superscalar n]: the ideal superscalar machine of degree [n]
+    (Section 2.3) — [n] issues per cycle, unit latencies, no class
+    conflicts. *)
+
+val superpipelined : int -> Config.t
+(** [superpipelined m]: the superpipelined machine of degree [m]
+    (Section 2.4) — one issue per minor cycle, every operation takes
+    [m] minor cycles. *)
+
+val superpipelined_superscalar : n:int -> m:int -> Config.t
+(** Section 2.5: cycle time 1/m of the base machine, [n] issues per
+    minor cycle; full utilization needs ILP of [n*m]. *)
+
+val underpipelined : Config.t
+(** Section 2.2 / Figure 2-3: loads and stores issue every other cycle
+    (a single memory unit with issue latency 2). *)
+
+val multititan : Config.t
+(** The MultiTitan of Section 2.7 / Table 2-1: ALU 1 cycle; loads,
+    stores and branches 2; floating point 3.  Average degree of
+    superpipelining 1.7. *)
+
+val multititan_latencies : int array
+
+val cray1 : ?issue_width:int -> unit -> Config.t
+(** The CRAY-1 of Table 2-1: logical 1, shift 2, add/sub 3, load 11,
+    store 1, branch 3, FP 7.  Average degree of superpipelining 4.4.
+    [issue_width] lets Figure 4-4 sweep issue multiplicity. *)
+
+val cray1_latencies : int array
+
+val cray1_unit_latencies : ?issue_width:int -> unit -> Config.t
+(** The CRAY-1 as (mis)simulated by the study the paper criticises in
+    Section 4.2: same machine, all functional-unit latencies pretended
+    to be one cycle. *)
+
+val superscalar_with_class_conflicts : int -> Config.t
+(** A superscalar machine built by duplicating only decode and register
+    ports (Section 2.3.2): each class served by one non-replicated
+    functional unit, so class conflicts throttle issue. *)
+
+val by_name : string -> Config.t option
+(** Look up ["base"], ["multititan"], ["cray1"], ["cray1-unit"],
+    ["underpipelined"]. *)

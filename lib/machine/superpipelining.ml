@@ -1,0 +1,63 @@
+(* The average degree of superpipelining (Section 2.7, Table 2-1).
+
+   Multiplying the latency of each instruction class by the dynamic
+   frequency of that class gives a single number describing how deeply a
+   machine is already pipelined relative to the base machine.  To the
+   extent this exceeds one, the machine is already exploiting
+   instruction-level parallelism without issuing multiple instructions
+   per cycle. *)
+
+open Ilp_ir
+
+type frequencies = float array (* indexed by Iclass.to_index, sums to 1 *)
+
+let frequencies_of_assoc assoc : frequencies =
+  let table = Array.make Iclass.count 0.0 in
+  List.iter (fun (c, f) -> table.(Iclass.to_index c) <- f) assoc;
+  table
+
+(* The instruction mix of Table 2-1: logical 10%, shift 10%,
+   add/sub 20%, load 20%, store 15%, branch 15%, FP 10%. *)
+let paper_frequencies =
+  frequencies_of_assoc
+    [ (Iclass.Logical, 0.10); (Iclass.Shift, 0.10); (Iclass.Add_sub, 0.20);
+      (Iclass.Load, 0.20); (Iclass.Store, 0.15); (Iclass.Branch, 0.15);
+      (Iclass.Fp_add, 0.10) ]
+
+let total (freqs : frequencies) = Array.fold_left ( +. ) 0.0 freqs
+
+(* Weighted average of per-class latencies, in the machine's own cycles. *)
+let average_degree (config : Config.t) (freqs : frequencies) =
+  let sum = ref 0.0 in
+  Array.iteri
+    (fun i f -> sum := !sum +. (f *. float_of_int config.Config.latencies.(i)))
+    freqs;
+  let t = total freqs in
+  if t = 0.0 then 0.0 else !sum /. t
+
+(* One row of Table 2-1: class, frequency, latency, contribution. *)
+type row = {
+  row_class : Iclass.t;
+  frequency : float;
+  latency : int;
+  contribution : float;
+}
+
+let table (config : Config.t) (freqs : frequencies) =
+  let t = total freqs in
+  let rows =
+    List.filter_map
+      (fun c ->
+        let f = freqs.(Iclass.to_index c) /. (if t = 0.0 then 1.0 else t) in
+        if f = 0.0 then None
+        else
+          let l = Config.latency config c in
+          Some
+            { row_class = c;
+              frequency = f;
+              latency = l;
+              contribution = f *. float_of_int l;
+            })
+      Iclass.all
+  in
+  (rows, List.fold_left (fun acc r -> acc +. r.contribution) 0.0 rows)

@@ -1,0 +1,38 @@
+(** The average degree of superpipelining (Section 2.7, Table 2-1).
+
+    Multiplying each instruction class's operation latency by the
+    dynamic frequency of that class gives a single number describing how
+    deeply a machine is already pipelined relative to the base machine.
+    To the extent this exceeds one, the machine already exploits
+    instruction-level parallelism without issuing multiple instructions
+    per cycle — the paper's explanation of why the CRAY-1 gains almost
+    nothing from multi-issue (Figure 4-4). *)
+
+open Ilp_ir
+
+type frequencies = float array
+(** Dynamic frequency per class, indexed by [Iclass.to_index]. *)
+
+val frequencies_of_assoc : (Iclass.t * float) list -> frequencies
+
+val paper_frequencies : frequencies
+(** The instruction mix of Table 2-1: logical 10%, shift 10%, add/sub
+    20%, load 20%, store 15%, branch 15%, FP 10%. *)
+
+val total : frequencies -> float
+
+val average_degree : Config.t -> frequencies -> float
+(** Frequency-weighted mean operation latency, in the machine's own
+    cycles: 1.7 for the MultiTitan, 4.4 for the CRAY-1 under
+    {!paper_frequencies}. *)
+
+type row = {
+  row_class : Iclass.t;
+  frequency : float;
+  latency : int;
+  contribution : float;  (** frequency x latency *)
+}
+
+val table : Config.t -> frequencies -> row list * float
+(** The rows of Table 2-1 (classes with nonzero frequency) and their
+    total, the average degree of superpipelining. *)

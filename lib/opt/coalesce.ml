@@ -1,0 +1,96 @@
+(* Copy coalescing: fold [op v <- ...; ...; mov h <- v] into
+   [op h <- ...] when it is safe, deleting the move.
+
+   Home promotion turns every store to a promoted variable into a
+   register move; most of those moves copy a freshly computed value and
+   disappear here, as they would in the paper's compiler.
+
+   Safety conditions for a move at position [j] copying virtual [v]
+   (defined at position [i] in the same block) into [h]:
+   - [v]'s only reader is the move (it is block-local, and no other use
+     exists in the block);
+   - [h] is neither read nor written in (i, j): writing it earlier must
+     not change what intermediate instructions see, nor be clobbered;
+   - no call sits in (i, j) when [h] is physical: calls clobber every
+     physical register except the stack pointer, so the value must not
+     reach [h] until after the call — which is impossible if the def
+     itself moves into [h]. *)
+
+open Ilp_ir
+
+let occurrences_of reg (i : Instr.t) =
+  List.exists (Reg.equal reg) (Instr.defs i)
+  || List.exists (Reg.equal reg) (Instr.uses i)
+
+let run_block ~deletable (b : Block.t) =
+  let instrs = ref (Array.of_list b.Block.instrs) in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 8 do
+    changed := false;
+    incr rounds;
+    let arr = !instrs in
+    let n = Array.length arr in
+    (* def position and use positions of each virtual register *)
+    let def_pos : (int, int) Hashtbl.t = Hashtbl.create 32 in
+    let use_count : (int, int) Hashtbl.t = Hashtbl.create 32 in
+    Array.iteri
+      (fun k i ->
+        List.iter
+          (fun d ->
+            if Reg.is_virtual d then
+              if Hashtbl.mem def_pos (Reg.index d) then
+                (* multiple defs: disqualify *)
+                Hashtbl.replace def_pos (Reg.index d) (-1)
+              else Hashtbl.replace def_pos (Reg.index d) k)
+          (Instr.defs i);
+        List.iter
+          (fun u ->
+            if Reg.is_virtual u then
+              Hashtbl.replace use_count (Reg.index u)
+                (1 + Option.value (Hashtbl.find_opt use_count (Reg.index u))
+                       ~default:0))
+          (Instr.uses i))
+      arr;
+    let try_coalesce j =
+      match arr.(j).Instr.op with
+      | Opcode.Mov -> (
+          match (arr.(j).Instr.dst, arr.(j).Instr.srcs) with
+          | Some h, [ Instr.Oreg v ]
+            when Reg.is_virtual v && deletable v
+                 && Hashtbl.find_opt use_count (Reg.index v) = Some 1 -> (
+              match Hashtbl.find_opt def_pos (Reg.index v) with
+              | Some i when i >= 0 && i < j ->
+                  let window_ok = ref true in
+                  for k = i + 1 to j - 1 do
+                    if
+                      occurrences_of h arr.(k)
+                      || (Reg.is_physical h && Instr.is_call arr.(k))
+                    then window_ok := false
+                  done;
+                  if !window_ok then begin
+                    arr.(i) <- { (arr.(i)) with Instr.dst = Some h };
+                    arr.(j) <- Instr.make Opcode.Nop;
+                    changed := true
+                  end
+              | Some _ | None -> ())
+          | _ -> ())
+      | _ -> ()
+    in
+    for j = 0 to n - 1 do
+      try_coalesce j
+    done;
+    if !changed then
+      instrs :=
+        Array.of_list
+          (List.filter
+             (fun i -> i.Instr.op <> Opcode.Nop)
+             (Array.to_list arr))
+  done;
+  Block.make b.Block.label (Array.to_list !instrs)
+
+let run_func (f : Func.t) =
+  let deletable = Locality.block_local_vregs f in
+  Func.map_blocks (run_block ~deletable) f
+
+let run (p : Program.t) = Program.map_functions run_func p

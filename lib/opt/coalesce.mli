@@ -1,0 +1,12 @@
+(** Copy coalescing: fold [op v <- …; mov h <- v] into [op h <- …]
+    when the intermediate window neither touches [h] nor (for physical
+    [h]) contains a call, and the move is [v]'s only reader.
+
+    Home promotion turns stores to promoted variables into moves; most
+    copy freshly computed values and disappear here, as in the paper's
+    compiler. *)
+
+open Ilp_ir
+
+val run_func : Func.t -> Func.t
+val run : Program.t -> Program.t

@@ -1,0 +1,163 @@
+(* Local constant propagation, constant folding, algebraic
+   simplification, and a little strength reduction (multiplication by a
+   power of two becomes a shift).
+
+   Works block by block: a table maps registers to known constants;
+   instructions whose operands are all known fold to load-immediates.
+   Division and modulo fold only when the divisor is a nonzero constant
+   (folding must not hide a runtime fault). *)
+
+open Ilp_ir
+
+type const = Cint of int | Cfloat of float
+
+let log2_exact n =
+  if n <= 0 then None
+  else
+    let rec go k v = if v = 1 then Some k else go (k + 1) (v / 2) in
+    if n land (n - 1) = 0 then go 0 n else None
+
+let fold_int op a b =
+  match op with
+  | Opcode.Add -> Some (a + b)
+  | Opcode.Sub -> Some (a - b)
+  | Opcode.Mul -> Some (a * b)
+  | Opcode.Div -> if b = 0 then None else Some (a / b)
+  | Opcode.Rem -> if b = 0 then None else Some (a mod b)
+  | Opcode.And -> Some (a land b)
+  | Opcode.Or -> Some (a lor b)
+  | Opcode.Xor -> Some (a lxor b)
+  | Opcode.Shl -> Some (a lsl b)
+  | Opcode.Shr -> Some (a lsr b)
+  | Opcode.Sra -> Some (a asr b)
+  | Opcode.Slt -> Some (if a < b then 1 else 0)
+  | Opcode.Sle -> Some (if a <= b then 1 else 0)
+  | Opcode.Seq -> Some (if a = b then 1 else 0)
+  | Opcode.Sne -> Some (if a <> b then 1 else 0)
+  | _ -> None
+
+let fold_float op a b =
+  match op with
+  | Opcode.Fadd -> Some (a +. b)
+  | Opcode.Fsub -> Some (a -. b)
+  | Opcode.Fmul -> Some (a *. b)
+  | Opcode.Fdiv -> Some (a /. b)
+  | _ -> None
+
+let run_block (b : Block.t) =
+  let consts : (int, const) Hashtbl.t = Hashtbl.create 32 in
+  let known = function
+    | Instr.Oimm n -> Some (Cint n)
+    | Instr.Ofimm f -> Some (Cfloat f)
+    | Instr.Oreg r -> Hashtbl.find_opt consts (Reg.index r)
+  in
+  let invalidate_defs (i : Instr.t) =
+    List.iter (fun d -> Hashtbl.remove consts (Reg.index d)) (Instr.defs i);
+    (* calls clobber every physical register except the stack pointer
+       (the callee writes its own promoted home registers) *)
+    if Instr.is_call i then begin
+      let stale =
+        Hashtbl.fold
+          (fun k _ acc ->
+            if k >= 0 && k <> Reg.index Reg.sp then k :: acc else acc)
+          consts []
+      in
+      List.iter (Hashtbl.remove consts) stale
+    end
+  in
+  let record d c = Hashtbl.replace consts (Reg.index d) c in
+  let rewrite (i : Instr.t) =
+    let dst = i.Instr.dst in
+    (* never touch stack-pointer arithmetic: the prologue/epilogue
+       instructions are recognised structurally by the register
+       allocator when it grows the frame for spill slots *)
+    if dst = Some Reg.sp then begin
+      List.iter (fun d -> Hashtbl.remove consts (Reg.index d)) (Instr.defs i);
+      i
+    end
+    else
+    match (i.Instr.op, dst, List.map known i.Instr.srcs) with
+    | Opcode.Li, Some d, [ Some (Cint n) ] ->
+        invalidate_defs i;
+        record d (Cint n);
+        i
+    | Opcode.Fli, Some d, [ Some (Cfloat f) ] ->
+        invalidate_defs i;
+        record d (Cfloat f);
+        i
+    | Opcode.Mov, Some d, [ Some c ] ->
+        invalidate_defs i;
+        record d c;
+        (match c with
+        | Cint n -> Instr.make Opcode.Li ~dst:d ~srcs:[ Instr.Oimm n ]
+        | Cfloat f -> Instr.make Opcode.Fli ~dst:d ~srcs:[ Instr.Ofimm f ])
+    | Opcode.Neg, Some d, [ Some (Cint a) ] ->
+        invalidate_defs i;
+        record d (Cint (-a));
+        Instr.make Opcode.Li ~dst:d ~srcs:[ Instr.Oimm (-a) ]
+    | Opcode.Fneg, Some d, [ Some (Cfloat a) ] ->
+        invalidate_defs i;
+        record d (Cfloat (-.a));
+        Instr.make Opcode.Fli ~dst:d ~srcs:[ Instr.Ofimm (-.a) ]
+    | Opcode.Not, Some d, [ Some (Cint a) ] ->
+        invalidate_defs i;
+        record d (Cint (lnot a));
+        Instr.make Opcode.Li ~dst:d ~srcs:[ Instr.Oimm (lnot a) ]
+    | Opcode.Itof, Some d, [ Some (Cint a) ] ->
+        invalidate_defs i;
+        let f = float_of_int a in
+        record d (Cfloat f);
+        Instr.make Opcode.Fli ~dst:d ~srcs:[ Instr.Ofimm f ]
+    | Opcode.Ftoi, Some d, [ Some (Cfloat a) ] ->
+        invalidate_defs i;
+        let n = int_of_float a in
+        record d (Cint n);
+        Instr.make Opcode.Li ~dst:d ~srcs:[ Instr.Oimm n ]
+    | op, Some d, [ Some (Cint a); Some (Cint b) ] -> (
+        match fold_int op a b with
+        | Some r ->
+            invalidate_defs i;
+            record d (Cint r);
+            Instr.make Opcode.Li ~dst:d ~srcs:[ Instr.Oimm r ]
+        | None ->
+            invalidate_defs i;
+            i)
+    | op, Some d, [ Some (Cfloat a); Some (Cfloat b) ] -> (
+        match fold_float op a b with
+        | Some r ->
+            invalidate_defs i;
+            record d (Cfloat r);
+            Instr.make Opcode.Fli ~dst:d ~srcs:[ Instr.Ofimm r ]
+        | None ->
+            invalidate_defs i;
+            i)
+    (* algebraic identities with one constant operand *)
+    | Opcode.Add, Some d, [ None; Some (Cint 0) ] -> (
+        match i.Instr.srcs with
+        | [ Instr.Oreg a; _ ] ->
+            invalidate_defs i;
+            Instr.make Opcode.Mov ~dst:d ~srcs:[ Instr.Oreg a ]
+        | _ ->
+            invalidate_defs i;
+            i)
+    | Opcode.Mul, Some d, [ None; Some (Cint b) ] -> (
+        match (i.Instr.srcs, log2_exact b) with
+        | [ Instr.Oreg a; _ ], Some k when k > 0 ->
+            invalidate_defs i;
+            Instr.make Opcode.Shl ~dst:d ~srcs:[ Instr.Oreg a; Instr.Oimm k ]
+        | [ Instr.Oreg a; _ ], _ when b = 1 ->
+            invalidate_defs i;
+            Instr.make Opcode.Mov ~dst:d ~srcs:[ Instr.Oreg a ]
+        | _ ->
+            invalidate_defs i;
+            i
+        )
+    | _ ->
+        invalidate_defs i;
+        i
+  in
+  Block.make b.Block.label (List.map rewrite b.Block.instrs)
+
+let run_func (f : Func.t) = Func.map_blocks run_block f
+
+let run (p : Program.t) = Program.map_functions run_func p

@@ -1,0 +1,14 @@
+(** Local constant propagation, constant folding, algebraic
+    simplification, and light strength reduction (multiplication by a
+    power of two becomes a shift).
+
+    Per basic block; integer division and modulo fold only when the
+    divisor is a nonzero constant, so folding never hides a runtime
+    fault.  Stack-pointer arithmetic is never rewritten: the register
+    allocator recognises the prologue/epilogue structurally. *)
+
+open Ilp_ir
+
+val run_block : Block.t -> Block.t
+val run_func : Func.t -> Func.t
+val run : Program.t -> Program.t

@@ -1,0 +1,53 @@
+(* Dead-code elimination for pure instructions.
+
+   An instruction is dead when it is pure and its destination is a
+   virtual register that is never read afterwards.  For block-local
+   registers one backward pass per block decides this exactly;
+   cross-block registers are kept alive whenever any other block reads
+   them (computed from liveness).  Stores, calls and control flow are
+   never removed. *)
+
+open Ilp_ir
+
+let run_func (f : Func.t) =
+  let cfg = Cfg_info.build f in
+  let live = Liveness.compute cfg in
+  let blocks =
+    Array.mapi
+      (fun bi (b : Block.t) ->
+        let needed = ref live.Liveness.live_out.(bi) in
+        let keep_physical r = Reg.is_physical r in
+        let process kept (i : Instr.t) =
+          let dead =
+            Opcode.is_pure i.Instr.op
+            && (match i.Instr.dst with
+               | Some d ->
+                   (not (keep_physical d)) && not (Reg.Set.mem d !needed)
+               | None -> i.Instr.op = Opcode.Nop)
+          in
+          if dead then kept
+          else begin
+            (match i.Instr.dst with
+            | Some d -> needed := Reg.Set.remove d !needed
+            | None -> ());
+            List.iter
+              (fun r ->
+                if Reg.is_virtual r then needed := Reg.Set.add r !needed)
+              (Instr.uses i);
+            i :: kept
+          end
+        in
+        let instrs = List.fold_left process [] (List.rev b.Block.instrs) in
+        Block.make b.Block.label instrs)
+      cfg.Cfg_info.blocks
+  in
+  Cfg_info.to_func cfg blocks
+
+(* Iterate to a fixed point: removing one instruction can make its
+   operands' producers dead in turn.  Convergence is fast because each
+   round strictly shrinks the program. *)
+let rec fixpoint_func f =
+  let f' = run_func f in
+  if Func.instr_count f' < Func.instr_count f then fixpoint_func f' else f'
+
+let run (p : Program.t) = Program.map_functions fixpoint_func p

@@ -1,0 +1,14 @@
+(** Dead-code elimination for pure instructions.
+
+    Removes pure instructions whose destination is a virtual register
+    never read afterwards (per block, with cross-block uses accounted
+    through liveness).  Stores, calls and control flow are never
+    removed.  Iterates to a fixed point. *)
+
+open Ilp_ir
+
+val run_func : Func.t -> Func.t
+(** One backward pass per block. *)
+
+val run : Program.t -> Program.t
+(** To a fixed point. *)

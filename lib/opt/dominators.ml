@@ -1,0 +1,66 @@
+(* Dominator tree, computed with the Cooper–Harvey–Kennedy iterative
+   algorithm over the reverse postorder. *)
+
+type t = {
+  idom : int array;  (** immediate dominator; entry maps to itself *)
+  rpo_number : int array;  (** position of each block in reverse postorder *)
+}
+
+let compute (cfg : Cfg_info.t) =
+  let n = Cfg_info.n_blocks cfg in
+  let idom = Array.make n (-1) in
+  let rpo_number = Array.make n max_int in
+  Array.iteri (fun pos b -> rpo_number.(b) <- pos) cfg.Cfg_info.rpo;
+  if n > 0 then idom.(0) <- 0;
+  let intersect b1 b2 =
+    let f1 = ref b1 and f2 = ref b2 in
+    while !f1 <> !f2 do
+      while rpo_number.(!f1) > rpo_number.(!f2) do
+        f1 := idom.(!f1)
+      done;
+      while rpo_number.(!f2) > rpo_number.(!f1) do
+        f2 := idom.(!f2)
+      done
+    done;
+    !f1
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> 0 then begin
+          let processed_preds =
+            List.filter (fun p -> idom.(p) >= 0) cfg.Cfg_info.preds.(b)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> new_idom then begin
+                idom.(b) <- new_idom;
+                changed := true
+              end
+        end)
+      cfg.Cfg_info.rpo
+  done;
+  { idom; rpo_number }
+
+(* Does [a] dominate [b]?  (Reflexive.)  Unreachable blocks dominate
+   nothing and are dominated by nothing. *)
+let dominates t a b =
+  if t.idom.(b) < 0 || t.idom.(a) < 0 then false
+  else begin
+    let rec climb x = if x = a then true else if x = 0 then a = 0 else climb t.idom.(x) in
+    climb b
+  end
+
+(* Children of each node in the dominator tree. *)
+let children t =
+  let n = Array.length t.idom in
+  let kids = Array.make n [] in
+  for b = n - 1 downto 1 do
+    let d = t.idom.(b) in
+    if d >= 0 && d <> b then kids.(d) <- b :: kids.(d)
+  done;
+  kids

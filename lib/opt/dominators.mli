@@ -1,0 +1,16 @@
+(** Dominator trees, computed with the Cooper–Harvey–Kennedy iterative
+    algorithm over the reverse postorder. *)
+
+type t = {
+  idom : int array;  (** immediate dominator; the entry maps to itself,
+                         unreachable blocks to -1 *)
+  rpo_number : int array;
+}
+
+val compute : Cfg_info.t -> t
+
+val dominates : t -> int -> int -> bool
+(** Reflexive.  Unreachable blocks dominate nothing. *)
+
+val children : t -> int list array
+(** Dominator-tree children of each block. *)

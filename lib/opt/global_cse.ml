@@ -1,0 +1,124 @@
+(* Global common-subexpression elimination: dominator-tree value
+   numbering over pure register operations.
+
+   Walking the dominator tree with a scoped expression table makes an
+   expression available exactly in the blocks its computation dominates.
+   Loads are not handled here (a path between the two occurrences could
+   contain an aliasing store); [Local_cse] covers loads within blocks.
+
+   When a repeated computation's destination is a block-local virtual
+   register the instruction is deleted and later uses substituted;
+   otherwise it degrades to a register move, which later cleanup passes
+   can remove. *)
+
+open Ilp_ir
+
+type key_operand = Kvn of int | Kimm of int | Kfimm of float
+
+type key = Opcode.t * key_operand list * int
+
+let run_func (f : Func.t) =
+  let cfg = Cfg_info.build f in
+  let dom = Dominators.compute cfg in
+  let kids = Dominators.children dom in
+  let deletable = Locality.block_local_vregs f in
+  let next_vn = ref 0 in
+  let fresh_vn () =
+    incr next_vn;
+    !next_vn
+  in
+  let vn_of_reg : (int, int) Hashtbl.t = Hashtbl.create 128 in
+  let rep_of_vn : (int, Reg.t) Hashtbl.t = Hashtbl.create 128 in
+  let expr_table : (key, int) Hashtbl.t = Hashtbl.create 128 in
+  let reg_vn r =
+    match Hashtbl.find_opt vn_of_reg (Reg.index r) with
+    | Some v -> v
+    | None ->
+        let v = fresh_vn () in
+        Hashtbl.replace vn_of_reg (Reg.index r) v;
+        if Reg.is_virtual r then Hashtbl.replace rep_of_vn v r;
+        v
+  in
+  let operand_key = function
+    | Instr.Oreg r -> Kvn (reg_vn r)
+    | Instr.Oimm n -> Kimm n
+    | Instr.Ofimm f -> Kfimm f
+  in
+  let canonical r =
+    match Hashtbl.find_opt vn_of_reg (Reg.index r) with
+    | None -> r
+    | Some v -> (
+        match Hashtbl.find_opt rep_of_vn v with
+        | Some rep when Reg.is_virtual rep || Reg.equal rep r -> rep
+        | Some _ | None -> r)
+  in
+  let new_blocks = Array.copy cfg.Cfg_info.blocks in
+  let rec walk bi =
+    let b = new_blocks.(bi) in
+    let undo : (key * int option) list ref = ref [] in
+    let process acc (i : Instr.t) =
+      let i = Subst.apply canonical i in
+      match (i.Instr.op, i.Instr.dst) with
+      | op, Some d
+        when Opcode.is_pure op && op <> Opcode.Mov && op <> Opcode.Li
+             && op <> Opcode.Fli && Reg.is_virtual d -> (
+          (* Li/Fli are excluded: unifying a constant across blocks can
+             stretch its live range over a call and force a spill that
+             costs more than rematerializing the immediate *)
+          let key : key =
+            (op, List.map operand_key i.Instr.srcs, i.Instr.offset)
+          in
+          match Hashtbl.find_opt expr_table key with
+          | Some v when Hashtbl.mem rep_of_vn v ->
+              let rep =
+                match Hashtbl.find_opt rep_of_vn v with
+                | Some r -> r
+                | None -> assert false
+              in
+              Hashtbl.replace vn_of_reg (Reg.index d) v;
+              if deletable d then acc
+              else Instr.make Opcode.Mov ~dst:d ~srcs:[ Instr.Oreg rep ] :: acc
+          | Some _ | None ->
+              let v = fresh_vn () in
+              Hashtbl.replace vn_of_reg (Reg.index d) v;
+              Hashtbl.replace rep_of_vn v d;
+              undo := (key, Hashtbl.find_opt expr_table key) :: !undo;
+              Hashtbl.replace expr_table key v;
+              i :: acc)
+      | _, _ ->
+          (* physical destinations get a fresh, unrepresented value; a
+             call invalidates every physical register except the stack
+             pointer (the callee writes its own home registers) *)
+          List.iter
+            (fun dreg ->
+              if Reg.is_physical dreg then
+                Hashtbl.replace vn_of_reg (Reg.index dreg) (fresh_vn ()))
+            (Instr.defs i);
+          if Instr.is_call i then begin
+            let stale =
+              Hashtbl.fold
+                (fun k _ acc ->
+                  if k >= 0 && k <> Reg.index Reg.sp then k :: acc else acc)
+                vn_of_reg []
+            in
+            List.iter
+              (fun k -> Hashtbl.replace vn_of_reg k (fresh_vn ()))
+              stale
+          end;
+          i :: acc
+    in
+    let instrs = List.rev (List.fold_left process [] b.Block.instrs) in
+    new_blocks.(bi) <- Block.make b.Block.label instrs;
+    List.iter walk kids.(bi);
+    (* leave scope: restore sibling-invisible expressions *)
+    List.iter
+      (fun (key, prev) ->
+        match prev with
+        | Some v -> Hashtbl.replace expr_table key v
+        | None -> Hashtbl.remove expr_table key)
+      !undo
+  in
+  if Array.length new_blocks > 0 then walk 0;
+  Cfg_info.to_func cfg new_blocks
+
+let run (p : Program.t) = Program.map_functions run_func p

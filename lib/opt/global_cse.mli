@@ -1,0 +1,15 @@
+(** Global common-subexpression elimination: dominator-tree value
+    numbering over pure register operations.
+
+    An expression is available exactly in the blocks its computation
+    dominates (scoped table over the dominator tree).  Loads are not
+    handled across blocks (an intervening path could contain an aliasing
+    store); {!Local_cse} covers those within blocks.  Immediate loads
+    ([li]/[fli]) are excluded: unifying constants across blocks can
+    stretch a live range over a call and force a spill costlier than
+    rematerialising. *)
+
+open Ilp_ir
+
+val run_func : Func.t -> Func.t
+val run : Program.t -> Program.t

@@ -1,0 +1,200 @@
+(* Loop-invariant code motion.
+
+   For each natural loop a preheader block is inserted in front of the
+   header, and invariant instructions move into it:
+
+   - pure ALU operations whose operands are loop invariant are hoisted
+     unconditionally (they cannot fault, so speculation is safe; integer
+     divide and modulo are excluded because they can fault);
+   - loads are hoisted only when no store or call in the loop may alias
+     them *and* their block dominates every loop exit (a speculated load
+     could fault on an address that the loop would never compute).
+
+   Instructions writing physical registers are never moved. *)
+
+open Ilp_ir
+
+let is_hoistable_op op =
+  Opcode.is_pure op && op <> Opcode.Div && op <> Opcode.Rem
+
+(* Process one loop of [f]; returns the rewritten function and whether
+   anything moved. *)
+let process_loop (f : Func.t) (cfg : Cfg_info.t) (dom : Dominators.t)
+    (loop : Loops.loop) =
+  let in_loop = Array.make (Cfg_info.n_blocks cfg) false in
+  List.iter (fun b -> in_loop.(b) <- true) loop.Loops.body;
+  let header = loop.Loops.header in
+  (* registers defined inside the loop *)
+  let defined_in_loop = ref Reg.Set.empty in
+  let loop_stores = ref [] in
+  let loop_has_call = ref false in
+  List.iter
+    (fun bi ->
+      List.iter
+        (fun (i : Instr.t) ->
+          List.iter
+            (fun d -> defined_in_loop := Reg.Set.add d !defined_in_loop)
+            (Instr.defs i);
+          if Instr.is_call i then loop_has_call := true;
+          if Instr.is_store i then
+            loop_stores :=
+              (match i.Instr.mem with
+              | Some m -> m
+              | None -> Mem_info.unknown)
+              :: !loop_stores)
+        cfg.Cfg_info.blocks.(bi).Block.instrs)
+    loop.Loops.body;
+  (* sources of loop exit edges, for the load-safety condition *)
+  let exit_sources =
+    List.filter
+      (fun bi -> List.exists (fun s -> not in_loop.(s)) cfg.Cfg_info.succs.(bi))
+      loop.Loops.body
+  in
+  (* A load may move to the preheader if it cannot fault when executed
+     speculatively.  Scalar cells (globals, stack slots, argument slots)
+     have compiler-chosen, always-valid addresses, so they may speculate
+     freely; array accesses are only hoisted from blocks that dominate
+     every loop exit (the loop would have executed them anyway). *)
+  let load_safe bi (i : Instr.t) =
+    match i.Instr.mem with
+    | Some { Mem_info.region = Mem_info.Global _ | Mem_info.Stack_slot _
+                               | Mem_info.Arg_slot _; _ } ->
+        true
+    | Some _ | None ->
+        List.for_all (fun e -> Dominators.dominates dom bi e) exit_sources
+  in
+  (* iterate: an instruction becomes invariant once all its operands are
+     invariant (defined outside, or by an already-hoisted instruction) *)
+  let hoisted : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let hoisted_list = ref [] in
+  let invariant_reg r =
+    (* with a call in the loop, every physical register except the stack
+       pointer may change (promoted home registers are written by
+       callees) *)
+    if
+      !loop_has_call && Reg.is_physical r && not (Reg.equal r Reg.sp)
+    then false
+    else
+      (not (Reg.Set.mem r !defined_in_loop))
+      || Hashtbl.mem hoisted (Reg.index r)
+  in
+  let try_hoist bi (i : Instr.t) =
+    if Hashtbl.mem hoisted (match i.Instr.dst with
+                            | Some d -> Reg.index d
+                            | None -> max_int)
+    then false
+    else
+      match i.Instr.dst with
+      | Some d when Reg.is_virtual d -> (
+          let srcs_ok = List.for_all invariant_reg (Instr.uses i) in
+          match i.Instr.op with
+          | Opcode.Ld ->
+              if
+                srcs_ok
+                && (not !loop_has_call)
+                && (match i.Instr.mem with
+                   | Some m ->
+                       List.for_all (Mem_info.disjoint m) !loop_stores
+                   | None -> false)
+                && load_safe bi i
+              then begin
+                Hashtbl.replace hoisted (Reg.index d) ();
+                hoisted_list := i :: !hoisted_list;
+                true
+              end
+              else false
+          | op when is_hoistable_op op && srcs_ok ->
+              Hashtbl.replace hoisted (Reg.index d) ();
+              hoisted_list := i :: !hoisted_list;
+              true
+          | _ -> false)
+      | Some _ | None -> false
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun bi ->
+        List.iter
+          (fun i ->
+            let already =
+              match i.Instr.dst with
+              | Some d -> Hashtbl.mem hoisted (Reg.index d)
+              | None -> true
+            in
+            if (not already) && try_hoist bi i then changed := true)
+          cfg.Cfg_info.blocks.(bi).Block.instrs)
+      loop.Loops.body
+  done;
+  if !hoisted_list = [] then (f, false)
+  else begin
+    let moved i =
+      match i.Instr.dst with
+      | Some d -> Hashtbl.mem hoisted (Reg.index d)
+      | None -> false
+    in
+    let header_label = cfg.Cfg_info.blocks.(header).Block.label in
+    let ph_label =
+      Label.fresh (Label.to_string header_label ^ ".ph")
+    in
+    let preheader = Block.make ph_label (List.rev !hoisted_list) in
+    (* rewrite blocks: remove moved instructions; retarget out-of-loop
+       branches to the header; force in-loop fall-through into the header
+       to use an explicit jump (the preheader will sit in between) *)
+    let n = Cfg_info.n_blocks cfg in
+    let new_blocks = ref [] in
+    for bi = n - 1 downto 0 do
+      let b = cfg.Cfg_info.blocks.(bi) in
+      let instrs =
+        List.filter (fun i -> in_loop.(bi) = false || not (moved i)) b.Block.instrs
+      in
+      let instrs =
+        if in_loop.(bi) then instrs
+        else
+          List.map
+            (fun (i : Instr.t) ->
+              match i.Instr.target with
+              | Some t
+                when Label.equal t header_label
+                     && (Instr.is_branch i || i.Instr.op = Opcode.Jmp) ->
+                  { i with Instr.target = Some ph_label }
+              | _ -> i)
+            instrs
+      in
+      (* in-loop layout predecessor falling through into the header *)
+      let instrs =
+        if
+          in_loop.(bi) && bi + 1 = header
+          && Block.falls_through (Block.make b.Block.label instrs)
+        then instrs @ [ Instr.make Opcode.Jmp ~target:header_label ]
+        else instrs
+      in
+      let rebuilt = Block.make b.Block.label instrs in
+      if bi = header then new_blocks := preheader :: rebuilt :: !new_blocks
+      else new_blocks := rebuilt :: !new_blocks
+    done;
+    ({ f with Func.blocks = !new_blocks }, true)
+  end
+
+(* Hoist every loop, innermost first, recomputing analyses after each
+   change (block indices shift when a preheader is inserted). *)
+let run_func (f : Func.t) =
+  let rec go f budget =
+    if budget = 0 then f
+    else begin
+      let cfg = Cfg_info.build f in
+      let dom = Dominators.compute cfg in
+      let loops = Loops.compute cfg in
+      (* find the first loop (innermost first) with something to move *)
+      let rec try_loops = function
+        | [] -> f
+        | l :: rest ->
+            let f', moved = process_loop f cfg dom l in
+            if moved then go f' (budget - 1) else try_loops rest
+      in
+      try_loops (Loops.innermost_first loops)
+    end
+  in
+  go f 64
+
+let run (p : Program.t) = Program.map_functions run_func p

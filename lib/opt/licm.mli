@@ -1,0 +1,16 @@
+(** Loop-invariant code motion.
+
+    For each natural loop a preheader block is inserted in front of the
+    header and invariant instructions move into it.  Pure ALU
+    operations with invariant operands speculate freely (they cannot
+    fault; integer divide/modulo excluded); loads require no aliasing
+    store and no call in the loop, and either an always-valid scalar
+    cell (global, stack slot, argument slot) or a block dominating
+    every loop exit.  Instructions writing physical registers never
+    move; with a call in the loop no physical register except the stack
+    pointer counts as invariant. *)
+
+open Ilp_ir
+
+val run_func : Func.t -> Func.t
+val run : Program.t -> Program.t

@@ -1,0 +1,63 @@
+(* Backward liveness analysis over virtual registers.
+
+   Physical registers (stack pointer, return register, promoted home
+   registers) are excluded: they are dedicated and never reallocated, so
+   only virtual registers need live ranges. *)
+
+open Ilp_ir
+
+type t = { live_in : Reg.Set.t array; live_out : Reg.Set.t array }
+
+let block_use_def (b : Block.t) =
+  List.fold_left
+    (fun (uses, defs) i ->
+      let uses =
+        List.fold_left
+          (fun acc r ->
+            if Reg.is_virtual r && not (Reg.Set.mem r defs) then
+              Reg.Set.add r acc
+            else acc)
+          uses (Instr.uses i)
+      in
+      let defs =
+        List.fold_left
+          (fun acc r -> if Reg.is_virtual r then Reg.Set.add r acc else acc)
+          defs (Instr.defs i)
+      in
+      (uses, defs))
+    (Reg.Set.empty, Reg.Set.empty)
+    b.Block.instrs
+
+let compute (cfg : Cfg_info.t) =
+  let n = Cfg_info.n_blocks cfg in
+  let use = Array.make n Reg.Set.empty in
+  let def = Array.make n Reg.Set.empty in
+  Array.iteri
+    (fun i b ->
+      let u, d = block_use_def b in
+      use.(i) <- u;
+      def.(i) <- d)
+    cfg.Cfg_info.blocks;
+  let live_in = Array.make n Reg.Set.empty in
+  let live_out = Array.make n Reg.Set.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* iterate in postorder (reverse of rpo) for fast convergence *)
+    for k = Array.length cfg.Cfg_info.rpo - 1 downto 0 do
+      let b = cfg.Cfg_info.rpo.(k) in
+      let out =
+        List.fold_left
+          (fun acc s -> Reg.Set.union acc live_in.(s))
+          Reg.Set.empty cfg.Cfg_info.succs.(b)
+      in
+      let inn = Reg.Set.union use.(b) (Reg.Set.diff out def.(b)) in
+      if not (Reg.Set.equal out live_out.(b) && Reg.Set.equal inn live_in.(b))
+      then begin
+        live_out.(b) <- out;
+        live_in.(b) <- inn;
+        changed := true
+      end
+    done
+  done;
+  { live_in; live_out }

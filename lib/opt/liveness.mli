@@ -1,0 +1,14 @@
+(** Backward liveness analysis over virtual registers.
+
+    Physical registers (stack pointer, return register, promoted homes)
+    are excluded: they are dedicated and never reallocated, so only
+    virtual registers need live ranges. *)
+
+open Ilp_ir
+
+type t = { live_in : Reg.Set.t array; live_out : Reg.Set.t array }
+
+val block_use_def : Block.t -> Reg.Set.t * Reg.Set.t
+(** Upward-exposed uses and definitions of one block. *)
+
+val compute : Cfg_info.t -> t

@@ -1,0 +1,202 @@
+(* Local common-subexpression elimination by value numbering, including
+   copy propagation, redundant-load elimination, and store-to-load
+   forwarding.
+
+   Each register holds a value number; pure instructions are keyed by
+   (opcode, operand value numbers); a repeated computation whose result
+   is in a still-valid register is deleted and its destination
+   substituted.  Loads are available until a store that may alias them
+   (decided by [Mem_info.disjoint]) or a call; a load that exactly
+   matches an earlier store's cell forwards the stored register.
+
+   Destinations that are physical registers are never deleted (their
+   assignment is observable), only their operands are cleaned. *)
+
+open Ilp_ir
+
+type key_operand = Kvn of int | Kimm of int | Kfimm of float
+
+type key = Opcode.t * key_operand list * int  (** opcode, operands, offset *)
+
+let run_block ~deletable (b : Block.t) =
+  let next_vn = ref 0 in
+  let fresh_vn () =
+    incr next_vn;
+    !next_vn
+  in
+  (* value number of each register index *)
+  let vn_of_reg : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* representative register of each value number *)
+  let rep_of_vn : (int, Reg.t) Hashtbl.t = Hashtbl.create 64 in
+  (* known pure expressions *)
+  let expr_table : (key, int) Hashtbl.t = Hashtbl.create 64 in
+  (* available loads and forwarded stores: (mem, base vn, offset, value vn) *)
+  let avail_mem : (Mem_info.t * key_operand * int * int) list ref = ref [] in
+  (* Only virtual registers may serve as representatives: they are
+     single-assignment, so a substitution through them can never be
+     invalidated by a later redefinition.  A physical register (the
+     return register, a promoted home) may be redefined after the fact,
+     which would orphan any use already rewritten to it. *)
+  let reg_vn r =
+    match Hashtbl.find_opt vn_of_reg (Reg.index r) with
+    | Some v -> v
+    | None ->
+        let v = fresh_vn () in
+        Hashtbl.replace vn_of_reg (Reg.index r) v;
+        if Reg.is_virtual r then Hashtbl.replace rep_of_vn v r;
+        v
+  in
+  let operand_key = function
+    | Instr.Oreg r -> Kvn (reg_vn r)
+    | Instr.Oimm n -> Kimm n
+    | Instr.Ofimm f -> Kfimm f
+  in
+  (* substitute each source register by the representative of its value
+     number, which performs copy propagation *)
+  let canonical r =
+    match Hashtbl.find_opt vn_of_reg (Reg.index r) with
+    | None -> r
+    | Some v -> (
+        match Hashtbl.find_opt rep_of_vn v with Some rep -> rep | None -> r)
+  in
+  let set_vn d v =
+    Hashtbl.replace vn_of_reg (Reg.index d) v;
+    if Reg.is_virtual d && not (Hashtbl.mem rep_of_vn v) then
+      Hashtbl.replace rep_of_vn v d
+  in
+  (* a redefined register invalidates value numbers that used it as
+     representative *)
+  let kill_def d =
+    (match Hashtbl.find_opt vn_of_reg (Reg.index d) with
+    | Some old -> (
+        match Hashtbl.find_opt rep_of_vn old with
+        | Some rep when Reg.equal rep d -> Hashtbl.remove rep_of_vn old
+        | Some _ | None -> ())
+    | None -> ());
+    Hashtbl.remove vn_of_reg (Reg.index d)
+  in
+  let kill_aliasing_mem (store_mem : Mem_info.t) =
+    avail_mem :=
+      List.filter (fun (m, _, _, _) -> Mem_info.disjoint m store_mem) !avail_mem
+  in
+  let process acc (i : Instr.t) =
+    let i = Subst.apply canonical i in
+    match i.Instr.op with
+    | Opcode.Call ->
+        (* calls clobber memory, the return register, and every home
+           register (the callee writes its own promoted variables); only
+           the stack pointer survives *)
+        avail_mem := [];
+        Hashtbl.reset expr_table;
+        let stale =
+          Hashtbl.fold
+            (fun k _ acc -> if k >= 0 && k <> Reg.index Reg.sp then k :: acc else acc)
+            vn_of_reg []
+        in
+        List.iter (fun k -> kill_def (Reg.of_index k)) stale;
+        List.iter kill_def (Instr.defs i);
+        i :: acc
+    | Opcode.St -> (
+        match (i.Instr.srcs, i.Instr.mem) with
+        | [ value; base ], Some mem ->
+            kill_aliasing_mem mem;
+            (* remember the stored cell for store-to-load forwarding *)
+            let value_vn =
+              match value with
+              | Instr.Oreg r -> Some (reg_vn r)
+              | Instr.Oimm _ | Instr.Ofimm _ -> None
+            in
+            (match value_vn with
+            | Some v ->
+                avail_mem :=
+                  (mem, operand_key base, i.Instr.offset, v) :: !avail_mem
+            | None -> ());
+            i :: acc
+        | _ ->
+            avail_mem := [];
+            i :: acc)
+    | Opcode.Ld -> (
+        match (i.Instr.dst, i.Instr.srcs, i.Instr.mem) with
+        | Some d, [ base ], Some mem -> (
+            let base_key = operand_key base in
+            let hit =
+              List.find_opt
+                (fun (m, bk, off, _) ->
+                  Mem_info.equal m mem && bk = base_key
+                  && off = i.Instr.offset)
+                !avail_mem
+            in
+            match hit with
+            | Some (_, _, _, value_vn) when deletable d -> (
+                match Hashtbl.find_opt rep_of_vn value_vn with
+                | Some _ ->
+                    (* load is redundant: reuse the representative *)
+                    kill_def d;
+                    set_vn d value_vn;
+                    acc
+                | None ->
+                    kill_def d;
+                    let v = fresh_vn () in
+                    set_vn d v;
+                    avail_mem :=
+                      (mem, base_key, i.Instr.offset, v) :: !avail_mem;
+                    i :: acc)
+            | Some _ | None ->
+                kill_def d;
+                let v = fresh_vn () in
+                set_vn d v;
+                avail_mem := (mem, base_key, i.Instr.offset, v) :: !avail_mem;
+                i :: acc)
+        | _ ->
+            List.iter kill_def (Instr.defs i);
+            i :: acc)
+    | op when Opcode.is_pure op -> (
+        match i.Instr.dst with
+        | Some d -> (
+            let key : key = (op, List.map operand_key i.Instr.srcs, i.Instr.offset) in
+            (* moves are pure copies: propagate the value number *)
+            if op = Opcode.Mov then begin
+              match i.Instr.srcs with
+              | [ Instr.Oreg s ] when Reg.is_virtual s ->
+                  let v = reg_vn s in
+                  kill_def d;
+                  set_vn d v;
+                  if deletable d then acc else i :: acc
+              | [ Instr.Oreg s ] ->
+                  (* physical source: no propagation (it may be
+                     redefined before the copy's uses) *)
+                  ignore s;
+                  kill_def d;
+                  set_vn d (fresh_vn ());
+                  i :: acc
+              | _ ->
+                  kill_def d;
+                  let v = fresh_vn () in
+                  set_vn d v;
+                  i :: acc
+            end
+            else
+              match Hashtbl.find_opt expr_table key with
+              | Some v when deletable d && Hashtbl.mem rep_of_vn v ->
+                  kill_def d;
+                  set_vn d v;
+                  acc
+              | Some _ | None ->
+                  kill_def d;
+                  let v = fresh_vn () in
+                  set_vn d v;
+                  Hashtbl.replace expr_table key v;
+                  i :: acc)
+        | None -> i :: acc)
+    | _ ->
+        List.iter kill_def (Instr.defs i);
+        i :: acc
+  in
+  let instrs = List.rev (List.fold_left process [] b.Block.instrs) in
+  Block.make b.Block.label instrs
+
+let run_func (f : Func.t) =
+  let deletable = Locality.block_local_vregs f in
+  Func.map_blocks (run_block ~deletable) f
+
+let run (p : Program.t) = Program.map_functions run_func p

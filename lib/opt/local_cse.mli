@@ -1,0 +1,17 @@
+(** Local common-subexpression elimination by value numbering, including
+    copy propagation, redundant-load elimination, and store-to-load
+    forwarding.
+
+    Loads stay available until a store that may alias them (decided by
+    {!Ilp_ir.Mem_info.disjoint}) or a call.  Calls clobber memory, the
+    return register, and every home register (callees write their own
+    promoted variables).  Only single-assignment virtual registers serve
+    as substitution representatives — a physical register could be
+    redefined after the fact and orphan rewritten uses.  Destinations
+    that escape their block, or that are physical, are kept (degrading
+    to moves where a value is already available). *)
+
+open Ilp_ir
+
+val run_func : Func.t -> Func.t
+val run : Program.t -> Program.t

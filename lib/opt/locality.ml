@@ -1,0 +1,29 @@
+(* Which virtual registers are block-local?
+
+   A pass may delete the defining instruction of a virtual register only
+   if every occurrence of that register sits in the same block; global
+   passes (global CSE, loop-invariant code motion) create cross-block
+   registers whose definitions must survive local cleanups. *)
+
+open Ilp_ir
+
+let block_local_vregs (f : Func.t) =
+  let home : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let escaped : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri
+    (fun bi b ->
+      List.iter
+        (fun i ->
+          let note r =
+            if Reg.is_virtual r then
+              match Hashtbl.find_opt home (Reg.index r) with
+              | None -> Hashtbl.replace home (Reg.index r) bi
+              | Some bj ->
+                  if bj <> bi then Hashtbl.replace escaped (Reg.index r) ()
+          in
+          List.iter note (Instr.defs i);
+          List.iter note (Instr.uses i))
+        b.Block.instrs)
+    f.Func.blocks;
+  fun r ->
+    Reg.is_virtual r && not (Hashtbl.mem escaped (Reg.index r))

@@ -1,0 +1,11 @@
+(** Which virtual registers are block-local?
+
+    A pass may delete the defining instruction of a virtual register
+    only if every occurrence sits in one block; global passes create
+    cross-block registers whose definitions must survive local
+    cleanups. *)
+
+open Ilp_ir
+
+val block_local_vregs : Func.t -> Reg.t -> bool
+(** A predicate valid for the function it was computed from. *)

@@ -1,0 +1,59 @@
+(* Natural loops and loop-nesting depth.
+
+   A back edge is an edge b -> h where h dominates b; the natural loop of
+   the edge is h plus every block that can reach b without passing
+   through h.  Loop depth weights the register allocator's usage
+   estimates and guides loop-invariant code motion. *)
+
+type loop = { header : int; body : int list  (** includes the header *) }
+
+type t = { loops : loop list; depth : int array }
+
+let natural_loop (cfg : Cfg_info.t) header back_source =
+  let in_loop = Hashtbl.create 16 in
+  Hashtbl.replace in_loop header ();
+  let rec add b =
+    if not (Hashtbl.mem in_loop b) then begin
+      Hashtbl.replace in_loop b ();
+      List.iter add cfg.Cfg_info.preds.(b)
+    end
+  in
+  add back_source;
+  { header;
+    body = Hashtbl.fold (fun b () acc -> b :: acc) in_loop [];
+  }
+
+let compute (cfg : Cfg_info.t) =
+  let dom = Dominators.compute cfg in
+  let n = Cfg_info.n_blocks cfg in
+  let loops = ref [] in
+  for b = 0 to n - 1 do
+    List.iter
+      (fun s ->
+        if Dominators.dominates dom s b then
+          loops := natural_loop cfg s b :: !loops)
+      cfg.Cfg_info.succs.(b)
+  done;
+  (* merge loops sharing a header (multiple back edges) *)
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      match Hashtbl.find_opt tbl l.header with
+      | None -> Hashtbl.replace tbl l.header l.body
+      | Some body ->
+          Hashtbl.replace tbl l.header (List.sort_uniq compare (body @ l.body)))
+    !loops;
+  let merged =
+    Hashtbl.fold (fun header body acc -> { header; body } :: acc) tbl []
+  in
+  let depth = Array.make n 0 in
+  List.iter
+    (fun l -> List.iter (fun b -> depth.(b) <- depth.(b) + 1) l.body)
+    merged;
+  { loops = merged; depth }
+
+let depth t b = if b < Array.length t.depth then t.depth.(b) else 0
+
+(* Loops ordered innermost first (by body size). *)
+let innermost_first t =
+  List.sort (fun a b -> compare (List.length a.body) (List.length b.body)) t.loops

@@ -1,0 +1,18 @@
+(** Natural loops and loop-nesting depth.
+
+    A back edge is an edge b → h with h dominating b; the natural loop
+    of the edge is h plus every block reaching b without passing through
+    h.  Loop depth weights the register allocator's usage estimates and
+    guides loop-invariant code motion. *)
+
+type loop = { header : int; body : int list  (** includes the header *) }
+
+type t = { loops : loop list; depth : int array }
+
+val compute : Cfg_info.t -> t
+
+val depth : t -> int -> int
+(** Nesting depth of a block (0 outside all loops). *)
+
+val innermost_first : t -> loop list
+(** Loops ordered smallest body first. *)

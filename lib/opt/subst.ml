@@ -1,0 +1,25 @@
+(* Register substitution that keeps memory annotations in step: when a
+   pass replaces register [v] by a value-equal register [w] in operands,
+   the symbolic [Mem_info.Sym] offsets are rewritten identically so the
+   scheduler's alias precision survives (see Mem_info). *)
+
+open Ilp_ir
+
+let apply_mem lookup (i : Instr.t) =
+  match i.Instr.mem with
+  | Some { Mem_info.region; offset = Mem_info.Sym (r, c) } ->
+      (* [Sym] bases must stay virtual: a virtual register names one
+         fixed value forever, while a physical register can be
+         redefined, which would let two accesses claim disjointness
+         while actually touching the same word.  When the substitution
+         target is physical the original virtual name is kept — it is
+         still a valid value identity even if its defining instruction
+         was deleted. *)
+      let r' = lookup r in
+      let base = if Reg.is_virtual r' then r' else r in
+      Instr.with_mem i (Mem_info.make region (Mem_info.Sym (base, c)))
+  | Some _ | None -> i
+
+let apply lookup (i : Instr.t) =
+  let i = Instr.map_src_regs lookup i in
+  apply_mem lookup i

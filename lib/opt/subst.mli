@@ -1,0 +1,17 @@
+(** Register substitution that keeps memory annotations in step.
+
+    When a pass replaces register [v] by a value-equal register [w] in
+    operands, the symbolic [Mem_info.Sym] offsets rewrite identically so
+    the scheduler's alias precision survives — except that a [Sym] base
+    is never replaced by a {e physical} register, which could be
+    redefined and would poison the value-identity claim (the original
+    virtual name stays valid even if its defining instruction was
+    deleted). *)
+
+open Ilp_ir
+
+val apply : (Reg.t -> Reg.t) -> Instr.t -> Instr.t
+(** Substitute sources and the memory annotation. *)
+
+val apply_mem : (Reg.t -> Reg.t) -> Instr.t -> Instr.t
+(** Substitute only the memory annotation. *)

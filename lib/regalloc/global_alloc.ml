@@ -1,0 +1,279 @@
+(* Global register allocation: promoting variables into home registers
+   (Section 3 and Section 4.4 of the paper, after Wall's link-time
+   allocator [16]).
+
+   Scalar global variables and scalar locals of non-recursive functions
+   are candidates.  Estimated dynamic use counts — static access counts
+   weighted by 10^loop-depth — rank the candidates, and the top
+   [home_regs] get a dedicated home register each, program-wide.  Loads
+   from a promoted variable disappear (uses are substituted); stores
+   become register moves.
+
+   Locals of functions on call-graph cycles are excluded (a recursive
+   instance would clobber its caller's value), as are parameters (they
+   travel through memory by calling convention), arrays, and the
+   [__sink] checksum cell (its stores are the benchmarks' observable
+   output). *)
+
+open Ilp_ir
+open Ilp_machine
+open Ilp_opt
+
+type candidate =
+  | Cand_global of string
+  | Cand_local of string * int  (** function name, slot *)
+
+let candidate_of_region = function
+  | Mem_info.Global g when not (String.equal g "__sink") ->
+      Some (Cand_global g)
+  | Mem_info.Stack_slot (f, slot) -> Some (Cand_local (f, slot))
+  | Mem_info.Global _ | Mem_info.Global_array _ | Mem_info.Global_array_view _
+  | Mem_info.Stack_array _ | Mem_info.Arg_slot _ | Mem_info.Unknown ->
+      None
+
+(* Functions involved in call-graph cycles (including self-recursion). *)
+let recursive_functions (p : Program.t) =
+  let callees : (string, string list) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (f : Func.t) ->
+      let targets =
+        List.concat_map
+          (fun (b : Block.t) ->
+            List.filter_map
+              (fun (i : Instr.t) ->
+                if Instr.is_call i then
+                  Option.map Label.to_string i.Instr.target
+                else None)
+              b.Block.instrs)
+          f.Func.blocks
+      in
+      Hashtbl.replace callees f.Func.name targets)
+    p.Program.functions;
+  let recursive : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  (* DFS from each function looking for a path back to itself *)
+  List.iter
+    (fun (f : Func.t) ->
+      let name = f.Func.name in
+      let visited : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+      let rec reachable from =
+        match Hashtbl.find_opt callees from with
+        | None -> false
+        | Some targets ->
+            List.exists
+              (fun t ->
+                String.equal t name
+                || (not (Hashtbl.mem visited t))
+                   && begin
+                        Hashtbl.replace visited t ();
+                        reachable t
+                      end)
+              targets
+      in
+      if reachable name then Hashtbl.replace recursive name ())
+    p.Program.functions;
+  fun name -> Hashtbl.mem recursive name
+
+(* Estimated dynamic accesses of each candidate. *)
+let usage_counts (p : Program.t) is_recursive =
+  let counts : (candidate, float) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Func.t) ->
+      let cfg = Cfg_info.build f in
+      let loops = Loops.compute cfg in
+      Array.iteri
+        (fun bi (b : Block.t) ->
+          let weight = 10.0 ** float_of_int (min 5 (Loops.depth loops bi)) in
+          List.iter
+            (fun (i : Instr.t) ->
+              match i.Instr.mem with
+              | Some { Mem_info.region; _ } when Instr.is_memory i -> (
+                  match candidate_of_region region with
+                  | Some (Cand_local (g, _))
+                    when is_recursive g || not (String.equal g f.Func.name) ->
+                      ()
+                  | Some c ->
+                      let prev =
+                        Option.value (Hashtbl.find_opt counts c) ~default:0.0
+                      in
+                      Hashtbl.replace counts c (prev +. weight)
+                  | None -> ())
+              | _ -> ())
+            b.Block.instrs)
+        cfg.Cfg_info.blocks)
+    p.Program.functions;
+  counts
+
+(* Choose the top candidates and assign home registers. *)
+let choose_homes (config : Config.t) counts =
+  let ranked =
+    Hashtbl.fold (fun c w acc -> (c, w) :: acc) counts []
+    |> List.sort (fun (c1, w1) (c2, w2) ->
+           match compare w2 w1 with 0 -> compare c1 c2 | n -> n)
+  in
+  let homes = Regfile.homes config in
+  let table : (candidate, Reg.t) Hashtbl.t = Hashtbl.create 32 in
+  List.iteri
+    (fun i (c, _) ->
+      match List.nth_opt homes i with
+      | Some r -> Hashtbl.replace table c r
+      | None -> ())
+    ranked;
+  table
+
+let promoted_reg table region =
+  match candidate_of_region region with
+  | Some c -> Hashtbl.find_opt table c
+  | None -> None
+
+(* Rewrite one function: loads from promoted variables vanish, stores
+   become moves.
+
+   A deleted load's destination register is substituted by the home
+   register — but only while the home still holds that value.  When the
+   home is redefined (a store-turned-move, or a call, since callees
+   write their own promoted variables) and the substituted register has
+   remaining uses, a compensating move materialises the old value just
+   before the redefinition. *)
+let rewrite_func table (f : Func.t) =
+  let deletable = Locality.block_local_vregs f in
+  let home_regs =
+    Hashtbl.fold (fun _ r acc -> Reg.Set.add r acc) table Reg.Set.empty
+  in
+  let rewrite_block (b : Block.t) =
+    let instrs = Array.of_list b.Block.instrs in
+    (* last source-use position of each virtual register *)
+    let last_use : (int, int) Hashtbl.t = Hashtbl.create 32 in
+    Array.iteri
+      (fun k i ->
+        List.iter
+          (fun r ->
+            if Reg.is_virtual r then Hashtbl.replace last_use (Reg.index r) k)
+          (Instr.src_regs i))
+      instrs;
+    (* active substitutions: vreg -> home, plus the reverse index *)
+    let subst : (int, Reg.t) Hashtbl.t = Hashtbl.create 16 in
+    let by_home : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+    let lookup r =
+      match Hashtbl.find_opt subst (Reg.index r) with
+      | Some s -> s
+      | None -> r
+    in
+    let out = ref [] in
+    let emit i = out := i :: !out in
+    (* the home register [h] is about to be redefined at position [k]:
+       rescue any substituted value still needed later *)
+    let flush_home k h =
+      match Hashtbl.find_opt by_home (Reg.index h) with
+      | None -> ()
+      | Some vregs ->
+          List.iter
+            (fun v ->
+              Hashtbl.remove subst v;
+              match Hashtbl.find_opt last_use v with
+              | Some last when last > k ->
+                  emit
+                    (Instr.make Opcode.Mov ~dst:(Reg.of_index v)
+                       ~srcs:[ Instr.Oreg h ])
+              | Some _ | None -> ())
+            vregs;
+          Hashtbl.remove by_home (Reg.index h)
+    in
+    let flush_all k = Reg.Set.iter (flush_home k) home_regs in
+    let record_subst d home =
+      Hashtbl.replace subst (Reg.index d) home;
+      let prev =
+        Option.value (Hashtbl.find_opt by_home (Reg.index home)) ~default:[]
+      in
+      Hashtbl.replace by_home (Reg.index home) (Reg.index d :: prev)
+    in
+    Array.iteri
+      (fun k i ->
+        let i = Subst.apply lookup i in
+        match i.Instr.op with
+        | Opcode.Ld -> (
+            match (i.Instr.mem, i.Instr.dst) with
+            | Some { Mem_info.region; _ }, Some d -> (
+                match promoted_reg table region with
+                | Some home ->
+                    if deletable d then record_subst d home
+                    else
+                      emit
+                        (Instr.make Opcode.Mov ~dst:d ~srcs:[ Instr.Oreg home ])
+                | None -> emit i)
+            | _ -> emit i)
+        | Opcode.St -> (
+            match (i.Instr.mem, i.Instr.srcs) with
+            | Some { Mem_info.region; _ }, [ value; _base ] -> (
+                match promoted_reg table region with
+                | Some home ->
+                    flush_home k home;
+                    emit
+                      (match value with
+                      | Instr.Oreg r ->
+                          Instr.make Opcode.Mov ~dst:home ~srcs:[ Instr.Oreg r ]
+                      | Instr.Oimm n ->
+                          Instr.make Opcode.Li ~dst:home ~srcs:[ Instr.Oimm n ]
+                      | Instr.Ofimm x ->
+                          Instr.make Opcode.Fli ~dst:home
+                            ~srcs:[ Instr.Ofimm x ])
+                | None -> emit i)
+            | _ -> emit i)
+        | Opcode.Call ->
+            (* callees write their own promoted variables *)
+            flush_all k;
+            emit i
+        | _ ->
+            (* any other redefinition of a home register *)
+            List.iter
+              (fun d -> if Reg.Set.mem d home_regs then flush_home k d)
+              (Instr.defs i);
+            emit i)
+      instrs;
+    Block.make b.Block.label (List.rev !out)
+  in
+  Func.map_blocks rewrite_block f
+
+(* Initial values of promoted globals are loaded from memory at the top
+   of main (the loader already put them there). *)
+let init_instrs (p : Program.t) table =
+  let addr_of = fst (Program.layout p) in
+  Hashtbl.fold
+    (fun c home acc ->
+      match c with
+      | Cand_global g -> (
+          match Hashtbl.find_opt addr_of g with
+          | Some addr ->
+              Instr.make Opcode.Ld ~dst:home ~srcs:[ Instr.Oimm addr ]
+                ~mem:(Mem_info.make (Mem_info.Global g) (Mem_info.Const addr))
+              :: acc
+          | None -> acc)
+      | Cand_local _ -> acc)
+    table []
+
+let insert_at_main_entry (p : Program.t) instrs =
+  if instrs = [] then p
+  else
+    Program.map_functions
+      (fun (f : Func.t) ->
+        if not (String.equal f.Func.name "main") then f
+        else
+          match f.Func.blocks with
+          | [] -> f
+          | entry :: rest ->
+              (* after the prologue, before everything else *)
+              let entry_instrs =
+                match entry.Block.instrs with
+                | prologue :: body -> (prologue :: instrs) @ body
+                | [] -> instrs
+              in
+              { f with
+                Func.blocks = Block.make entry.Block.label entry_instrs :: rest
+              })
+      p
+
+let run (config : Config.t) (p : Program.t) =
+  let is_recursive = recursive_functions p in
+  let counts = usage_counts p is_recursive in
+  let table = choose_homes config counts in
+  let p = Program.map_functions (rewrite_func table) p in
+  insert_at_main_entry p (init_instrs p table)

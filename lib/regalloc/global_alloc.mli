@@ -1,0 +1,19 @@
+(** Global register allocation — home promotion (Sections 3 and 4.4,
+    after Wall's link-time allocator \[16\]).
+
+    Scalar globals and scalar locals of non-recursive functions are
+    candidates; estimated dynamic use counts (static counts weighted by
+    10^loop-depth) rank them, and the top [home_regs] each get a
+    dedicated home register program-wide.  Loads of promoted variables
+    disappear (uses are substituted while the home still holds the
+    value, with compensating moves at redefinitions); stores become
+    register moves.
+
+    Excluded: locals of functions on call-graph cycles (a recursive
+    instance would clobber its caller's value), parameters (they travel
+    through memory by convention), arrays, and the [__sink] checksum
+    cell (its stores are the benchmarks' observable output). *)
+
+open Ilp_machine
+
+val run : Config.t -> Ilp_ir.Program.t -> Ilp_ir.Program.t

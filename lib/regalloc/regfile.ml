@@ -1,0 +1,29 @@
+(* Physical register file layout.
+
+   r0 is the stack pointer and r1 the return-value register.  r2 and r3
+   are reserved scratch registers for spill code, outside the allocatable
+   pools so spilling never shrinks the temp partition.  The machine
+   configuration's [temp_regs] expression temporaries follow, then its
+   [home_regs] home locations for promoted variables (Section 3 of the
+   paper: the compiler divides the register set into these two disjoint
+   parts). *)
+
+open Ilp_ir
+open Ilp_machine
+
+let scratch1 = Reg.phys 2
+let scratch2 = Reg.phys 3
+let temp_base = 4
+
+let temps (config : Config.t) =
+  List.init config.Config.temp_regs (fun i -> Reg.phys (temp_base + i))
+
+let home_base (config : Config.t) = temp_base + config.Config.temp_regs
+
+let homes (config : Config.t) =
+  List.init config.Config.home_regs (fun i ->
+      Reg.phys (home_base config + i))
+
+(* Total registers a simulator must provide for this configuration. *)
+let file_size (config : Config.t) =
+  home_base config + config.Config.home_regs

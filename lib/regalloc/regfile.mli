@@ -1,0 +1,23 @@
+(** Physical register-file layout.
+
+    r0 is the stack pointer and r1 the return-value register.  r2/r3 are
+    reserved scratch registers for spill code, outside the allocatable
+    pools.  The configuration's [temp_regs] expression temporaries
+    follow, then its [home_regs] home locations for promoted variables —
+    the two disjoint parts of Section 3's register split. *)
+
+open Ilp_ir
+open Ilp_machine
+
+val scratch1 : Reg.t
+val scratch2 : Reg.t
+
+val temp_base : int
+(** Index of the first temp register (4). *)
+
+val temps : Config.t -> Reg.t list
+val home_base : Config.t -> int
+val homes : Config.t -> Reg.t list
+
+val file_size : Config.t -> int
+(** Registers a simulator must provide for the configuration. *)

@@ -1,0 +1,294 @@
+(* Expression-temporary allocation: function-wide linear scan mapping
+   virtual registers onto the finite temp partition.
+
+   The finite pool is exactly what creates the "artificial dependencies"
+   of Section 3: once two independent values share a physical temp, the
+   scheduler must serialize them.  Free registers are recycled FIFO
+   (round-robin) to keep reuse distances as long as the pool allows,
+   which is the friendliest policy for the scheduler.
+
+   Spilling:
+   - a virtual register live across a call is always spilled (there are
+     no callee-saved temps; the callee uses the same pool);
+   - when the pool is exhausted the interval with the furthest end is
+     spilled and allocation restarts.
+
+   Spill code uses the two reserved scratch registers, and spill slots
+   grow the frame: the prologue/epilogue immediates and the incoming
+   argument-slot offsets (identified by their [Mem_info.Arg_slot]
+   annotations with non-negative offsets) are rewritten accordingly. *)
+
+open Ilp_ir
+open Ilp_machine
+open Ilp_opt
+
+exception Error of string
+
+type interval = { vreg : Reg.t; start_pos : int; end_pos : int }
+
+(* global instruction numbering and per-vreg interval hulls *)
+let build_intervals (cfg : Cfg_info.t) (live : Liveness.t) =
+  let starts : (int, int) Hashtbl.t = Hashtbl.create 128 in
+  let ends : (int, int) Hashtbl.t = Hashtbl.create 128 in
+  let calls = ref [] in
+  let touch r pos =
+    if Reg.is_virtual r then begin
+      let k = Reg.index r in
+      (match Hashtbl.find_opt starts k with
+      | None -> Hashtbl.replace starts k pos
+      | Some s -> if pos < s then Hashtbl.replace starts k pos);
+      match Hashtbl.find_opt ends k with
+      | None -> Hashtbl.replace ends k pos
+      | Some e -> if pos > e then Hashtbl.replace ends k pos
+    end
+  in
+  let pos = ref 0 in
+  Array.iteri
+    (fun bi (b : Block.t) ->
+      let block_start = !pos in
+      List.iter
+        (fun (i : Instr.t) ->
+          if Instr.is_call i then calls := !pos :: !calls;
+          List.iter (fun r -> touch r !pos) (Instr.uses i);
+          List.iter (fun r -> touch r !pos) (Instr.defs i);
+          incr pos)
+        b.Block.instrs;
+      let block_end = !pos - 1 in
+      Reg.Set.iter
+        (fun r -> touch r block_start)
+        live.Liveness.live_in.(bi);
+      Reg.Set.iter (fun r -> touch r block_end) live.Liveness.live_out.(bi);
+      (* a register live out of a block inside a loop must survive the
+         whole loop body; extending to the max position of any block
+         from which it is live-in keeps the hull conservative *)
+      ignore bi)
+    cfg.Cfg_info.blocks;
+  let intervals =
+    Hashtbl.fold
+      (fun k s acc ->
+        let e =
+          match Hashtbl.find_opt ends k with Some e -> e | None -> s
+        in
+        { vreg = Reg.of_index k; start_pos = s; end_pos = e } :: acc)
+      starts []
+  in
+  (List.sort (fun a b -> compare a.start_pos b.start_pos) intervals,
+   List.sort compare !calls)
+
+(* The hull [start,end] above is not loop-safe on its own: a value
+   defined before a loop and used inside must stay live for the whole
+   loop.  Extend every interval overlapping a loop to cover that loop's
+   full extent when the value is used inside it. *)
+let extend_for_loops (cfg : Cfg_info.t) intervals =
+  let loops = Loops.compute cfg in
+  (* block position ranges *)
+  let n = Cfg_info.n_blocks cfg in
+  let block_first = Array.make n 0 and block_last = Array.make n 0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun bi (b : Block.t) ->
+      block_first.(bi) <- !pos;
+      pos := !pos + List.length b.Block.instrs;
+      block_last.(bi) <- !pos - 1)
+    cfg.Cfg_info.blocks;
+  let loop_ranges =
+    List.map
+      (fun (l : Loops.loop) ->
+        let first =
+          List.fold_left (fun acc b -> min acc block_first.(b)) max_int
+            l.Loops.body
+        in
+        let last =
+          List.fold_left (fun acc b -> max acc block_last.(b)) 0 l.Loops.body
+        in
+        (first, last))
+      loops.Loops.loops
+  in
+  List.map
+    (fun itv ->
+      List.fold_left
+        (fun itv (first, last) ->
+          (* interval crosses into the loop: it must cover it entirely *)
+          if itv.start_pos < first && itv.end_pos >= first && itv.end_pos < last
+          then { itv with end_pos = last }
+          else itv)
+        itv loop_ranges)
+    intervals
+
+let crosses_call calls itv =
+  List.exists (fun c -> itv.start_pos <= c && c < itv.end_pos) calls
+
+(* Linear scan with a FIFO free list; returns assignments or the victim
+   interval to spill. *)
+let scan pool intervals spilled =
+  let assignment : (int, Reg.t) Hashtbl.t = Hashtbl.create 128 in
+  let free = Queue.create () in
+  List.iter (fun r -> Queue.add r free) pool;
+  let active = ref [] in
+  let result = ref `Done in
+  (try
+     List.iter
+       (fun itv ->
+         if not (Hashtbl.mem spilled (Reg.index itv.vreg)) then begin
+           (* expire finished intervals *)
+           let still_active, expired =
+             List.partition (fun a -> a.end_pos >= itv.start_pos) !active
+           in
+           active := still_active;
+           List.iter
+             (fun a -> Queue.add (Hashtbl.find assignment (Reg.index a.vreg)) free)
+             (List.sort (fun a b -> compare a.end_pos b.end_pos) expired);
+           if Queue.is_empty free then begin
+             (* spill the active (or current) interval ending last *)
+             let victim =
+               List.fold_left
+                 (fun v a -> if a.end_pos > v.end_pos then a else v)
+                 itv !active
+             in
+             result := `Spill victim;
+             raise Exit
+           end
+           else begin
+             let r = Queue.pop free in
+             Hashtbl.replace assignment (Reg.index itv.vreg) r;
+             active := itv :: !active
+           end
+         end)
+       intervals
+   with Exit -> ());
+  match !result with `Done -> `Assigned assignment | `Spill v -> `Spill v
+
+(* Rewrite one function given assignments and spill slots. *)
+let rewrite_func (f : Func.t) assignment spill_slot n_spills =
+  let fname = f.Func.name in
+  let old_frame = f.Func.frame_size in
+  let new_frame = old_frame + n_spills in
+  let nargs = f.Func.n_params in
+  let spill_offset slot = old_frame - nargs + slot in
+  let map_reg r =
+    if Reg.is_virtual r then
+      match Hashtbl.find_opt assignment (Reg.index r) with
+      | Some p -> p
+      | None -> raise (Error ("unallocated virtual register " ^ Reg.to_string r))
+    else r
+  in
+  let rewrite_instr acc (i : Instr.t) =
+    (* incoming argument slots move up by the spill count *)
+    let i =
+      match i.Instr.mem with
+      | Some { Mem_info.region = Mem_info.Arg_slot (g, k); _ }
+        when String.equal g fname && i.Instr.offset >= 0 ->
+          { i with Instr.offset = new_frame - nargs + k }
+      | _ -> i
+    in
+    (* prologue / epilogue immediates *)
+    let i =
+      match (i.Instr.op, i.Instr.dst, i.Instr.srcs) with
+      | Opcode.Add, Some d, [ Instr.Oreg s; Instr.Oimm imm ]
+        when Reg.equal d Reg.sp && Reg.equal s Reg.sp ->
+          let imm' = if imm <= 0 then -new_frame else new_frame in
+          { i with Instr.srcs = [ Instr.Oreg s; Instr.Oimm imm' ] }
+      | _ -> i
+    in
+    (* spill loads for sources, at most two (scratch1, scratch2) *)
+    let scratches = [ Regfile.scratch1; Regfile.scratch2 ] in
+    let next_scratch = ref scratches in
+    let loads = ref [] in
+    let subst : (int, Reg.t) Hashtbl.t = Hashtbl.create 4 in
+    List.iter
+      (fun r ->
+        if Reg.is_virtual r && not (Hashtbl.mem subst (Reg.index r)) then
+          match Hashtbl.find_opt spill_slot (Reg.index r) with
+          | Some slot ->
+              let s =
+                match !next_scratch with
+                | s :: rest ->
+                    next_scratch := rest;
+                    s
+                | [] -> raise (Error "more than two spilled sources")
+              in
+              let off = spill_offset slot in
+              loads :=
+                Instr.make Opcode.Ld ~dst:s ~srcs:[ Instr.Oreg Reg.sp ]
+                  ~offset:off
+                  ~mem:(Mem_info.make (Mem_info.Stack_slot (fname, off))
+                          (Mem_info.Const off))
+                :: !loads;
+              Hashtbl.replace subst (Reg.index r) s
+          | None -> ())
+      (Instr.src_regs i);
+    let lookup r =
+      if Reg.is_virtual r then
+        match Hashtbl.find_opt subst (Reg.index r) with
+        | Some s -> s
+        | None -> map_reg r
+      else r
+    in
+    let i = Instr.map_src_regs lookup i in
+    (* spilled destination goes through scratch1 then to its slot *)
+    let tail, i =
+      match i.Instr.dst with
+      | Some d when Reg.is_virtual d -> (
+          match Hashtbl.find_opt spill_slot (Reg.index d) with
+          | Some slot ->
+              let off = spill_offset slot in
+              ( [ Instr.make Opcode.St
+                    ~srcs:[ Instr.Oreg Regfile.scratch1; Instr.Oreg Reg.sp ]
+                    ~offset:off
+                    ~mem:(Mem_info.make (Mem_info.Stack_slot (fname, off))
+                            (Mem_info.Const off)) ],
+                { i with Instr.dst = Some Regfile.scratch1 } )
+          | None -> ([], Instr.map_dst map_reg i))
+      | Some _ | None -> ([], i)
+    in
+    (* acc is in reverse program order; !loads is already reversed *)
+    List.rev_append tail (i :: (!loads @ acc))
+  in
+  let blocks =
+    List.map
+      (fun (b : Block.t) ->
+        Block.make b.Block.label
+          (List.rev (List.fold_left rewrite_instr [] b.Block.instrs)))
+      f.Func.blocks
+  in
+  { f with Func.blocks; frame_size = new_frame }
+
+let run_func (config : Config.t) (f : Func.t) =
+  let cfg = Cfg_info.build f in
+  let live = Liveness.compute cfg in
+  if not (Reg.Set.is_empty live.Liveness.live_in.(0)) then
+    raise
+      (Error
+         (Printf.sprintf "function %s uses virtual registers before definition"
+            f.Func.name));
+  let intervals, calls = build_intervals cfg live in
+  let intervals = extend_for_loops cfg intervals in
+  let spilled : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun itv ->
+      if crosses_call calls itv then
+        Hashtbl.replace spilled (Reg.index itv.vreg) ())
+    intervals;
+  let pool = Regfile.temps config in
+  if pool = [] then raise (Error "temp partition is empty");
+  let rec allocate () =
+    match scan pool intervals spilled with
+    | `Assigned assignment -> assignment
+    | `Spill victim ->
+        Hashtbl.replace spilled (Reg.index victim.vreg) ();
+        allocate ()
+  in
+  let assignment = allocate () in
+  let spill_slot : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let n_spills = ref 0 in
+  List.iter
+    (fun itv ->
+      if Hashtbl.mem spilled (Reg.index itv.vreg) then begin
+        Hashtbl.replace spill_slot (Reg.index itv.vreg) !n_spills;
+        incr n_spills
+      end)
+    intervals;
+  rewrite_func f assignment spill_slot !n_spills
+
+let run config (p : Program.t) =
+  Program.map_functions (run_func config) p

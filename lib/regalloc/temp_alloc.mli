@@ -1,0 +1,26 @@
+(** Expression-temporary allocation: a function-wide linear scan mapping
+    virtual registers onto the finite temp partition.
+
+    The finite pool is what creates the "artificial dependencies" of
+    Section 3: once two independent values share a physical temp, the
+    scheduler must serialize them.  Freed registers recycle FIFO to keep
+    reuse distances as long as the pool allows.
+
+    Spilling: a value live across a call always spills (the temp
+    partition is entirely caller-clobbered); pool exhaustion spills the
+    interval ending furthest away.  Spill code uses the two reserved
+    scratch registers, and spill slots grow the frame — the
+    prologue/epilogue immediates and incoming argument-slot offsets are
+    rewritten accordingly. *)
+
+open Ilp_ir
+open Ilp_machine
+
+exception Error of string
+(** Unallocatable input: a virtual register used before definition, an
+    empty temp pool, or more than two spilled sources on one
+    instruction. *)
+
+val run_func : Config.t -> Func.t -> Func.t
+val run : Config.t -> Program.t -> Program.t
+(** After [run], no instruction operand is a virtual register. *)

@@ -1,0 +1,160 @@
+(* Data-dependence graph of one basic block.
+
+   Nodes are the block's instructions; edges carry minimum issue
+   distances in (minor) cycles:
+
+   - RAW (flow): producer -> consumer, weight = producer's operation
+     latency under the target machine;
+   - WAR and WAW: weight 0 — in-order issue reads operands at issue, so
+     the pair may share a cycle but must keep its order;
+   - memory: store->store and load->store in order (weight 0),
+     store->load with weight 1 (store-buffer forwarding), except when
+     the alias analysis proves the accesses disjoint
+     ([Mem_info.disjoint]);
+   - calls are scheduling barriers: ordered after every earlier node and
+     before every later one;
+   - a terminator is ordered after every other node so it stays last. *)
+
+open Ilp_ir
+open Ilp_machine
+
+
+type t = {
+  instrs : Instr.t array;
+  succs : (int * int) list array;  (** (dst, weight) *)
+  preds : (int * int) list array;  (** (src, weight) *)
+  n_edges : int;
+}
+
+let mem_of (i : Instr.t) =
+  match i.Instr.mem with Some m -> m | None -> Mem_info.unknown
+
+let build (config : Config.t) (instrs : Instr.t list) =
+  let instrs = Array.of_list instrs in
+  let n = Array.length instrs in
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  let edge_set : (int * int, int) Hashtbl.t = Hashtbl.create (4 * n) in
+  let n_edges = ref 0 in
+  let add_edge src dst weight =
+    if src <> dst then
+      match Hashtbl.find_opt edge_set (src, dst) with
+      | Some w when w >= weight -> ()
+      | Some _ | None ->
+          Hashtbl.replace edge_set (src, dst) weight;
+          incr n_edges
+  in
+  (* last definition and uses-since-definition per register *)
+  let last_def : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let uses_since : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  (* memory operations so far: (index, is_store, mem) *)
+  let mem_ops = ref [] in
+  let barrier = ref None in
+  Array.iteri
+    (fun k (i : Instr.t) ->
+      let latency_of j =
+        Config.latency config (Instr.iclass instrs.(j))
+      in
+      (* barrier ordering *)
+      (match !barrier with Some b -> add_edge b k 0 | None -> ());
+      (* RAW *)
+      List.iter
+        (fun r ->
+          match Hashtbl.find_opt last_def (Reg.index r) with
+          | Some d -> add_edge d k (latency_of d)
+          | None -> ())
+        (Instr.uses i);
+      (* WAR and WAW *)
+      List.iter
+        (fun d ->
+          (match Hashtbl.find_opt uses_since (Reg.index d) with
+          | Some users -> List.iter (fun u -> add_edge u k 0) users
+          | None -> ());
+          match Hashtbl.find_opt last_def (Reg.index d) with
+          | Some prev -> add_edge prev k 0
+          | None -> ())
+        (Instr.defs i);
+      (* memory ordering *)
+      if Instr.is_memory i then begin
+        let m = mem_of i in
+        let is_store = Instr.is_store i in
+        List.iter
+          (fun (j, j_store, mj) ->
+            if (is_store || j_store) && not (Mem_info.disjoint m mj) then
+              let weight = if j_store && not is_store then 1 else 0 in
+              add_edge j k weight)
+          !mem_ops;
+        mem_ops := (k, is_store, m) :: !mem_ops
+      end;
+      (* calls: order against everything, and become the new barrier *)
+      if Instr.is_call i then begin
+        for j = 0 to k - 1 do
+          add_edge j k 0
+        done;
+        barrier := Some k
+      end;
+      (* terminators stay last *)
+      if Instr.is_terminator i then
+        for j = 0 to k - 1 do
+          add_edge j k 0
+        done;
+      (* bookkeeping *)
+      List.iter
+        (fun r ->
+          let k' = Reg.index r in
+          let prev = Option.value (Hashtbl.find_opt uses_since k') ~default:[] in
+          Hashtbl.replace uses_since k' (k :: prev))
+        (Instr.uses i);
+      List.iter
+        (fun d ->
+          Hashtbl.replace last_def (Reg.index d) k;
+          Hashtbl.replace uses_since (Reg.index d) [])
+        (Instr.defs i))
+    instrs;
+  Hashtbl.iter
+    (fun (src, dst) weight ->
+      succs.(src) <- (dst, weight) :: succs.(src);
+      preds.(dst) <- (src, weight) :: preds.(dst))
+    edge_set;
+  { instrs; succs; preds; n_edges = !n_edges }
+
+(* Critical-path height of each node: the longest weighted path to any
+   sink, plus the node's own latency.  Used as list-scheduling priority. *)
+let heights (config : Config.t) t =
+  let n = Array.length t.instrs in
+  let height = Array.make n (-1) in
+  let rec compute k =
+    if height.(k) >= 0 then height.(k)
+    else begin
+      (* height = time from this node's issue until the whole dependent
+         subtree completes: at least its own latency, or a successor
+         path (edge weights already carry the producer latency) *)
+      let own = Config.latency config (Instr.iclass t.instrs.(k)) in
+      let best =
+        List.fold_left
+          (fun acc (s, w) -> max acc (w + compute s))
+          own t.succs.(k)
+      in
+      height.(k) <- best;
+      height.(k)
+    end
+  in
+  for k = 0 to n - 1 do
+    ignore (compute k)
+  done;
+  height
+
+(* The data-dependence parallelism of a block, ignoring resource limits:
+   instruction count divided by critical-path length in unit-latency
+   terms.  This is the "available parallelism" of code fragments like
+   Figure 1-1 and Figure 4-7. *)
+let available_parallelism (instrs : Instr.t list) =
+  let unit_config = Config.make "unit" in
+  let t = build unit_config instrs in
+  let n = Array.length t.instrs in
+  if n = 0 then 1.0
+  else begin
+    let h = heights unit_config t in
+    let critical = Array.fold_left max 1 h in
+    float_of_int n /. float_of_int critical
+  end

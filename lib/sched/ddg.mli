@@ -1,0 +1,36 @@
+(** Data-dependence graphs of basic blocks.
+
+    Nodes are the block's instructions; edges carry minimum issue
+    distances in (minor) cycles:
+
+    - RAW (flow): producer → consumer, weight = the producer's operation
+      latency under the target machine;
+    - WAR and WAW: weight 0 — in-order issue reads operands at issue, so
+      the pair may share a cycle but must keep its order;
+    - memory: store→store and load→store in order (weight 0),
+      store→load with weight 1 (store-buffer forwarding), except when
+      {!Ilp_ir.Mem_info.disjoint} proves the accesses independent;
+    - calls are scheduling barriers;
+    - a terminator is ordered after every other node. *)
+
+open Ilp_ir
+open Ilp_machine
+
+type t = {
+  instrs : Instr.t array;
+  succs : (int * int) list array;  (** (successor, weight) *)
+  preds : (int * int) list array;  (** (predecessor, weight) *)
+  n_edges : int;
+}
+
+val build : Config.t -> Instr.t list -> t
+
+val heights : Config.t -> t -> int array
+(** Critical-path height of each node: the time from the node's issue
+    until its whole dependent subtree completes.  The list scheduler's
+    priority function. *)
+
+val available_parallelism : Instr.t list -> float
+(** Instruction count divided by critical-path length under unit
+    latencies, ignoring resource limits — the "parallelism" of code
+    fragments as in Figure 1-1 and Figure 4-7. *)

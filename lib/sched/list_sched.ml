@@ -1,0 +1,108 @@
+(* Machine-aware list scheduling of basic blocks (the paper's pipeline
+   instruction scheduler, Section 3).
+
+   Within each block the scheduler reorders instructions to minimise the
+   stall time the in-order pipeline will see: nodes become ready when all
+   dependence predecessors have been issued and their latencies have
+   elapsed; each simulated cycle issues up to [issue_width] ready nodes —
+   respecting functional-unit issue latency and multiplicity — choosing
+   by greatest critical-path height.  The emitted order is the issue
+   order; run-time timing is then re-derived by the simulator. *)
+
+open Ilp_ir
+open Ilp_machine
+
+type unit_state = { spec : Config.unit_spec; free_at : int array }
+
+let schedule_block (config : Config.t) (b : Block.t) =
+  let ddg = Ddg.build config b.Block.instrs in
+  let n = Array.length ddg.Ddg.instrs in
+  if n <= 1 then b
+  else begin
+    let height = Ddg.heights config ddg in
+    let unscheduled_preds = Array.make n 0 in
+    Array.iteri
+      (fun k ps -> unscheduled_preds.(k) <- List.length ps)
+      ddg.Ddg.preds;
+    let ready_time = Array.make n 0 in
+    let scheduled = Array.make n false in
+    let units =
+      List.map
+        (fun spec -> { spec; free_at = Array.make spec.Config.multiplicity 0 })
+        config.Config.units
+    in
+    let free_unit cls cycle =
+      match
+        List.filter (fun u -> List.mem cls u.spec.Config.classes) units
+      with
+      | [] -> `Unconstrained
+      | pools -> (
+          let found = ref None in
+          List.iter
+            (fun u ->
+              if !found = None then
+                Array.iteri
+                  (fun idx t ->
+                    if !found = None && t <= cycle then found := Some (u, idx))
+                  u.free_at)
+            pools;
+          match !found with Some (u, idx) -> `Free (u, idx) | None -> `Busy)
+    in
+    let order = ref [] in
+    let emitted = ref 0 in
+    let cycle = ref 0 in
+    while !emitted < n do
+      let issued_this_cycle = ref 0 in
+      let progress = ref true in
+      while
+        !issued_this_cycle < config.Config.issue_width
+        && !progress && !emitted < n
+      do
+        progress := false;
+        (* best issuable node: ready, unit available, greatest height;
+           ties broken toward the earliest original position *)
+        let best = ref (-1) in
+        let best_booking = ref `Unconstrained in
+        for k = n - 1 downto 0 do
+          if
+            (not scheduled.(k))
+            && unscheduled_preds.(k) = 0
+            && ready_time.(k) <= !cycle
+            && (!best < 0 || height.(k) >= height.(!best))
+          then begin
+            match free_unit (Instr.iclass ddg.Ddg.instrs.(k)) !cycle with
+            | `Busy -> ()
+            | booking ->
+                best := k;
+                best_booking := booking
+          end
+        done;
+        if !best >= 0 then begin
+          let k = !best in
+          (match !best_booking with
+          | `Free (u, idx) ->
+              u.free_at.(idx) <- !cycle + u.spec.Config.issue_latency
+          | `Unconstrained | `Busy -> ());
+          scheduled.(k) <- true;
+          order := k :: !order;
+          incr emitted;
+          incr issued_this_cycle;
+          progress := true;
+          List.iter
+            (fun (s, w) ->
+              unscheduled_preds.(s) <- unscheduled_preds.(s) - 1;
+              ready_time.(s) <- max ready_time.(s) (!cycle + w))
+            ddg.Ddg.succs.(k)
+        end
+      done;
+      incr cycle
+    done;
+    let instrs = List.rev_map (fun k -> ddg.Ddg.instrs.(k)) !order in
+    Block.make b.Block.label instrs
+  end
+
+let run_func config (f : Func.t) =
+  Func.map_blocks (schedule_block config) f
+
+let run config (p : Program.t) =
+  Program.map_functions (run_func config) p

@@ -1,0 +1,21 @@
+(** Machine-aware list scheduling of basic blocks — the paper's pipeline
+    instruction scheduler (Section 3).
+
+    Within each block, instructions reorder to minimize the stall time
+    the in-order pipeline will see: nodes become ready when their
+    dependence predecessors have issued and the edge latencies have
+    elapsed; each simulated cycle issues up to the machine's width of
+    ready nodes — respecting functional-unit issue latency and
+    multiplicity — choosing by greatest critical-path height.  The
+    emitted order is the issue order; run-time timing is re-derived by
+    the simulator.
+
+    Scheduling never crosses block boundaries (DESIGN.md, decision 3)
+    and never reorders across calls. *)
+
+open Ilp_ir
+open Ilp_machine
+
+val schedule_block : Config.t -> Block.t -> Block.t
+val run_func : Config.t -> Func.t -> Func.t
+val run : Config.t -> Program.t -> Program.t

@@ -1,0 +1,301 @@
+(* Functional execution of IR programs.
+
+   The executor interprets a fully register-allocated program (no virtual
+   registers) and drives an observer callback with every executed
+   instruction, in program order.  Timing models, instruction-mix
+   counters and cache simulators all consume this dynamic stream, so one
+   functional pass can feed several observers at once.
+
+   Machine state: a physical register file, a flat word-addressed memory
+   (globals low, stack high), and a return-address stack managed by
+   call/ret — return addresses never touch simulated memory, which keeps
+   the calling convention out of the measured instruction stream, as on
+   the MultiTitan with its dedicated PSW return-PC. *)
+
+open Ilp_ir
+
+exception Fault of string
+
+type observer = Instr.t -> int -> unit
+(** [observer instr addr]: [addr] is the effective address of a load or
+    store, or [-1] for other instructions. *)
+
+type options = {
+  mem_words : int;
+  max_steps : int;
+  registers : int;  (** size of the physical register file *)
+}
+
+let default_options =
+  { mem_words = 1 lsl 20; max_steps = 400_000_000; registers = 256 }
+
+type outcome = {
+  dyn_instrs : int;  (** dynamically executed instructions *)
+  sink : Value.t;  (** final value of the checksum cell *)
+  class_counts : int array;  (** dynamic count per instruction class *)
+  per_function : (string * int) list;
+      (** dynamic instructions per function, heaviest first *)
+  memory : Value.t array;  (** final memory, for test inspection *)
+  regs : Value.t array;  (** final register file *)
+}
+
+(* Resolved code addresses: function index, block index, instruction
+   index within the block. *)
+type code_pos = { fn : int; blk : int; ins : int }
+
+type resolved = {
+  prog_code : Instr.t array array array;  (** [fn].(blk).(ins) *)
+  block_of_label : (string, code_pos) Hashtbl.t;
+  entry : code_pos;
+}
+
+let resolve (p : Program.t) =
+  let functions = Array.of_list p.Program.functions in
+  let block_of_label = Hashtbl.create 256 in
+  let prog_code =
+    Array.mapi
+      (fun fn f ->
+        let blocks = Array.of_list f.Func.blocks in
+        Array.mapi
+          (fun blk b ->
+            Hashtbl.replace block_of_label
+              (Label.to_string b.Block.label)
+              { fn; blk; ins = 0 };
+            Array.of_list b.Block.instrs)
+          blocks)
+      functions
+  in
+  (* the entry block of every function is also reachable by function name *)
+  Array.iteri
+    (fun fn f ->
+      match f.Func.blocks with
+      | [] -> ()
+      | b :: _ ->
+          Hashtbl.replace block_of_label f.Func.name
+            { fn; blk = 0; ins = 0 };
+          ignore b)
+    functions;
+  let entry =
+    match Hashtbl.find_opt block_of_label "main" with
+    | Some pos -> pos
+    | None -> raise (Fault "program has no main function")
+  in
+  { prog_code; block_of_label; entry }
+
+let init_memory (p : Program.t) mem_words =
+  let memory = Array.make mem_words Value.zero in
+  let addr = ref Program.globals_base in
+  List.iter
+    (fun g ->
+      (match g.Program.init with
+      | Program.Zero -> ()
+      | Program.Ints ns ->
+          List.iteri (fun i n -> memory.(!addr + i) <- Value.Int n) ns
+      | Program.Floats fs ->
+          List.iteri (fun i f -> memory.(!addr + i) <- Value.Float f) fs);
+      addr := !addr + g.Program.words)
+    p.Program.globals;
+  (memory, !addr)
+
+let nothing_observer : observer = fun _ _ -> ()
+
+let run ?(options = default_options) ?(observer = nothing_observer)
+    (p : Program.t) : outcome =
+  let r = resolve p in
+  let memory, globals_end = init_memory p options.mem_words in
+  let regs = Array.make options.registers Value.zero in
+  let class_counts = Array.make Iclass.count 0 in
+  let fn_counts = Array.make (Array.length r.prog_code) 0 in
+  let fn_names =
+    Array.of_list (List.map (fun f -> f.Func.name) p.Program.functions)
+  in
+  regs.(Reg.index Reg.sp) <- Value.Int (options.mem_words - 8);
+  let call_stack = ref [] in
+  let steps = ref 0 in
+  let pos = ref r.entry in
+  let running = ref true in
+  let sink_addr = Program.globals_base in
+  ignore globals_end;
+  (* optimization may leave empty blocks behind; execution falls through
+     them to the next block with instructions *)
+  let rec normalize ({ fn; blk; ins } as p) =
+    if blk >= Array.length r.prog_code.(fn) then
+      raise (Fault "fell off the end of a function")
+    else if ins < Array.length r.prog_code.(fn).(blk) then p
+    else normalize { fn; blk = blk + 1; ins = 0 }
+  in
+  let find_label l =
+    match Hashtbl.find_opt r.block_of_label (Label.to_string l) with
+    | Some p -> normalize p
+    | None -> raise (Fault ("jump to unknown label " ^ Label.to_string l))
+  in
+  let reg_value reg = regs.(Reg.index reg) in
+  let operand_value = function
+    | Instr.Oreg reg -> reg_value reg
+    | Instr.Oimm n -> Value.Int n
+    | Instr.Ofimm f -> Value.Float f
+  in
+  let set_dst (i : Instr.t) v =
+    match i.Instr.dst with
+    | Some d -> regs.(Reg.index d) <- v
+    | None -> raise (Fault ("instruction without destination: " ^ Instr.to_string i))
+  in
+  let src (i : Instr.t) n = operand_value (List.nth i.Instr.srcs n) in
+  let int_binop i f =
+    set_dst i
+      (Value.Int (f (Value.to_int (src i 0)) (Value.to_int (src i 1))))
+  in
+  let float_binop i f =
+    set_dst i
+      (Value.Float (f (Value.to_float (src i 0)) (Value.to_float (src i 1))))
+  in
+  let bool_of b = Value.Int (if b then 1 else 0) in
+  let cmp_values a b =
+    (* branches and seq/sne compare whatever is in the registers; mixed
+       comparisons indicate a compiler bug *)
+    match (a, b) with
+    | Value.Int x, Value.Int y -> compare x y
+    | Value.Float x, Value.Float y -> compare x y
+    | Value.Int x, Value.Float y -> compare (float_of_int x) y
+    | Value.Float x, Value.Int y -> compare x (float_of_int y)
+  in
+  let effective_address (i : Instr.t) base_operand =
+    let base = Value.to_int (operand_value base_operand) in
+    let addr = base + i.Instr.offset in
+    if addr < 0 || addr >= options.mem_words then
+      raise
+        (Fault
+           (Printf.sprintf "memory access out of range: %d (%s)" addr
+              (Instr.to_string i)));
+    addr
+  in
+  (* advance to the next instruction in straight-line order *)
+  let advance () =
+    let { fn; blk; ins } = !pos in
+    pos := normalize { fn; blk; ins = ins + 1 }
+  in
+  while !running do
+    incr steps;
+    if !steps > options.max_steps then
+      raise (Fault (Printf.sprintf "exceeded %d steps" options.max_steps));
+    let { fn; blk; ins } = !pos in
+    let i = r.prog_code.(fn).(blk).(ins) in
+    class_counts.(Iclass.to_index (Instr.iclass i)) <-
+      class_counts.(Iclass.to_index (Instr.iclass i)) + 1;
+    fn_counts.(fn) <- fn_counts.(fn) + 1;
+    let addr_for_observer = ref (-1) in
+    (match i.Instr.op with
+    | Opcode.Add -> int_binop i ( + )
+    | Opcode.Sub -> int_binop i ( - )
+    | Opcode.Mul -> int_binop i ( * )
+    | Opcode.Div ->
+        let b = Value.to_int (src i 1) in
+        if b = 0 then raise (Fault "integer division by zero");
+        int_binop i ( / )
+    | Opcode.Rem ->
+        let b = Value.to_int (src i 1) in
+        if b = 0 then raise (Fault "integer modulo by zero");
+        int_binop i (fun x y -> x mod y)
+    | Opcode.Neg -> set_dst i (Value.Int (-Value.to_int (src i 0)))
+    | Opcode.And -> int_binop i ( land )
+    | Opcode.Or -> int_binop i ( lor )
+    | Opcode.Xor -> int_binop i ( lxor )
+    | Opcode.Not -> set_dst i (Value.Int (lnot (Value.to_int (src i 0))))
+    | Opcode.Shl -> int_binop i (fun x y -> x lsl y)
+    | Opcode.Shr -> int_binop i (fun x y -> x lsr y)
+    | Opcode.Sra -> int_binop i (fun x y -> x asr y)
+    | Opcode.Slt -> set_dst i (bool_of (cmp_values (src i 0) (src i 1) < 0))
+    | Opcode.Sle -> set_dst i (bool_of (cmp_values (src i 0) (src i 1) <= 0))
+    | Opcode.Seq -> set_dst i (bool_of (cmp_values (src i 0) (src i 1) = 0))
+    | Opcode.Sne -> set_dst i (bool_of (cmp_values (src i 0) (src i 1) <> 0))
+    | Opcode.Mov -> set_dst i (src i 0)
+    | Opcode.Li -> set_dst i (src i 0)
+    | Opcode.Fli -> set_dst i (src i 0)
+    | Opcode.Nop -> ()
+    | Opcode.Fadd -> float_binop i ( +. )
+    | Opcode.Fsub -> float_binop i ( -. )
+    | Opcode.Fmul -> float_binop i ( *. )
+    | Opcode.Fdiv -> float_binop i ( /. )
+    | Opcode.Fneg -> set_dst i (Value.Float (-.Value.to_float (src i 0)))
+    | Opcode.Feq ->
+        set_dst i (bool_of (Value.to_float (src i 0) = Value.to_float (src i 1)))
+    | Opcode.Flt ->
+        set_dst i (bool_of (Value.to_float (src i 0) < Value.to_float (src i 1)))
+    | Opcode.Fle ->
+        set_dst i (bool_of (Value.to_float (src i 0) <= Value.to_float (src i 1)))
+    | Opcode.Itof -> set_dst i (Value.Float (float_of_int (Value.to_int (src i 0))))
+    | Opcode.Ftoi ->
+        set_dst i (Value.Int (int_of_float (Value.to_float (src i 0))))
+    | Opcode.Ld -> (
+        match i.Instr.srcs with
+        | [ base ] ->
+            let addr = effective_address i base in
+            addr_for_observer := addr;
+            set_dst i memory.(addr)
+        | _ -> raise (Fault ("malformed load: " ^ Instr.to_string i)))
+    | Opcode.St -> (
+        match i.Instr.srcs with
+        | [ v; base ] ->
+            let addr = effective_address i base in
+            addr_for_observer := addr;
+            memory.(addr) <- operand_value v
+        | _ -> raise (Fault ("malformed store: " ^ Instr.to_string i)))
+    | Opcode.Beq | Opcode.Bne | Opcode.Blt | Opcode.Ble | Opcode.Bgt
+    | Opcode.Bge ->
+        ()
+    | Opcode.Jmp | Opcode.Call | Opcode.Ret | Opcode.Halt -> ());
+    observer i !addr_for_observer;
+    (* control flow *)
+    (match i.Instr.op with
+    | Opcode.Beq | Opcode.Bne | Opcode.Blt | Opcode.Ble | Opcode.Bgt
+    | Opcode.Bge ->
+        let c = cmp_values (src i 0) (src i 1) in
+        let taken =
+          match i.Instr.op with
+          | Opcode.Beq -> c = 0
+          | Opcode.Bne -> c <> 0
+          | Opcode.Blt -> c < 0
+          | Opcode.Ble -> c <= 0
+          | Opcode.Bgt -> c > 0
+          | Opcode.Bge -> c >= 0
+          | _ -> assert false
+        in
+        if taken then
+          match i.Instr.target with
+          | Some l -> pos := find_label l
+          | None -> raise (Fault "branch without target")
+        else advance ()
+    | Opcode.Jmp -> (
+        match i.Instr.target with
+        | Some l -> pos := find_label l
+        | None -> raise (Fault "jump without target"))
+    | Opcode.Call -> (
+        match i.Instr.target with
+        | Some l ->
+            let { fn; blk; ins } = !pos in
+            call_stack := { fn; blk; ins } :: !call_stack;
+            pos := find_label l
+        | None -> raise (Fault "call without target"))
+    | Opcode.Ret -> (
+        match !call_stack with
+        | ra :: rest ->
+            call_stack := rest;
+            pos := ra;
+            advance ()
+        | [] -> running := false)
+    | Opcode.Halt -> running := false
+    | _ -> advance ());
+    ()
+  done;
+  let per_function =
+    Array.to_list (Array.mapi (fun k c -> (fn_names.(k), c)) fn_counts)
+    |> List.filter (fun (_, c) -> c > 0)
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  { dyn_instrs = !steps;
+    sink = memory.(sink_addr);
+    class_counts;
+    per_function;
+    memory;
+    regs;
+  }

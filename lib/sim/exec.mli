@@ -1,0 +1,47 @@
+(** Functional execution of IR programs.
+
+    The executor interprets a fully register-allocated program (no
+    virtual registers) and drives an observer with every executed
+    instruction in program order; timing models, mix counters and cache
+    simulators all consume this dynamic stream, so one functional pass
+    can feed several observers at once.
+
+    Machine state: a physical register file, a flat word-addressed
+    memory (globals low, stack high), and a return-address stack managed
+    by call/ret.  Return addresses never touch simulated memory, keeping
+    the calling convention out of the measured instruction stream. *)
+
+open Ilp_ir
+
+exception Fault of string
+(** Division by zero, out-of-range memory access, unknown label,
+    malformed instruction, or exceeded step budget. *)
+
+type observer = Instr.t -> int -> unit
+(** [observer instr addr]: called after each instruction executes;
+    [addr] is the effective address of a load or store, [-1]
+    otherwise. *)
+
+type options = {
+  mem_words : int;  (** memory size in words (default 2^20) *)
+  max_steps : int;  (** execution budget before a fault *)
+  registers : int;  (** size of the physical register file *)
+}
+
+val default_options : options
+
+type outcome = {
+  dyn_instrs : int;  (** dynamically executed instructions *)
+  sink : Value.t;  (** final value of the checksum cell *)
+  class_counts : int array;  (** dynamic count per instruction class *)
+  per_function : (string * int) list;
+      (** dynamic instructions per function, heaviest first *)
+  memory : Value.t array;  (** final memory, for test inspection *)
+  regs : Value.t array;  (** final register file *)
+}
+
+val nothing_observer : observer
+
+val run : ?options:options -> ?observer:observer -> Program.t -> outcome
+(** Execute from ["main"] until [halt] (or a return with an empty call
+    stack). *)

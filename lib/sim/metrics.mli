@@ -1,0 +1,39 @@
+(** Measurement helpers shared by the experiment harness. *)
+
+open Ilp_machine
+
+type run = {
+  machine : string;
+  dyn_instrs : int;  (** dynamically executed instructions *)
+  minor_cycles : int;
+  base_cycles : float;  (** minor cycles / pipe degree *)
+  speedup : float;
+      (** instructions per base cycle — the ILP the machine exploits,
+          equal to the speedup over the base machine running the same
+          binary *)
+  stall_cycles : int;
+  class_counts : int array;  (** dynamic count per instruction class *)
+  sink : Value.t;  (** final checksum *)
+}
+
+val measure :
+  ?cache:Cache.t ->
+  ?options:Exec.options ->
+  Config.t ->
+  Ilp_ir.Program.t ->
+  run
+(** Execute [program] once, timed against [config].  The program must be
+    fully register-allocated (and normally scheduled for [config])
+    beforehand. *)
+
+val class_frequencies : run -> Superpipelining.frequencies
+(** The run's dynamic instruction-class mix, as fractions. *)
+
+val harmonic_mean : float list -> float
+(** Raises [Invalid_argument] on an empty list.  The paper's summary
+    statistic for speedups. *)
+
+val geometric_mean : float list -> float
+val arithmetic_mean : float list -> float
+
+val pp_run : run Fmt.t

@@ -1,0 +1,186 @@
+(* In-order timing model (Section 3 of the paper).
+
+   The model consumes the dynamic instruction stream produced by [Exec]
+   and charges cycles according to a machine configuration:
+
+   - at most [issue_width] instructions issue per (minor) cycle;
+   - an instruction does not issue until all its source registers are
+     ready (operation latency of the producer has elapsed) — results are
+     bypassed, so a latency of 1 means a dependent instruction can issue
+     in the very next cycle;
+   - writes complete in order (a WAW hazard stalls issue);
+   - if the instruction's class is served by declared functional units, a
+     free unit must exist; issuing occupies it for the unit's issue
+     latency.  Classes with no declared unit are unconstrained (ideal
+     superscalar);
+   - issue is strictly in order: the first stalled instruction ends the
+     cycle's issue group;
+   - control transfers are free (the paper assumes perfect branch
+     prediction and branch-slot filling), so branches occupy an issue
+     slot but never cause a control stall;
+   - an optional data cache adds a blocking miss penalty (Section 5.1).
+
+   Cycle counts are in minor cycles; [base_cycles] divides by the
+   superpipelining degree to express time in base-machine cycles. *)
+
+open Ilp_ir
+open Ilp_machine
+
+type unit_pool = { spec : Config.unit_spec; free_at : int array }
+
+type t = {
+  config : Config.t;
+  reg_ready : int array;
+  pools_by_class : unit_pool list array;  (** indexed by class *)
+  mutable now : int;  (** current minor cycle *)
+  mutable issued_this_cycle : int;
+  mutable instrs : int;
+  mutable stall_cycles : int;
+  cache : Cache.t option;
+  mutable cache_stall_until : int;
+  issue_histogram : int array;
+      (** [issue_histogram.(k)]: cycles that issued exactly [k]
+          instructions, recorded as cycles close *)
+  mutable force_cycle_end : bool;
+}
+
+let create ?cache (config : Config.t) =
+  let pools =
+    List.map
+      (fun spec ->
+        { spec; free_at = Array.make spec.Config.multiplicity 0 })
+      config.Config.units
+  in
+  let pools_by_class =
+    Array.init Iclass.count (fun idx ->
+        let c = Iclass.of_index idx in
+        List.filter (fun p -> List.mem c p.spec.Config.classes) pools)
+  in
+  { config;
+    reg_ready = Array.make 512 0;
+    pools_by_class;
+    now = 0;
+    issued_this_cycle = 0;
+    instrs = 0;
+    stall_cycles = 0;
+    cache;
+    cache_stall_until = 0;
+    issue_histogram = Array.make (config.Config.issue_width + 1) 0;
+    force_cycle_end = false;
+  }
+
+let next_cycle t =
+  t.issue_histogram.(min t.issued_this_cycle
+                       (Array.length t.issue_histogram - 1)) <-
+    t.issue_histogram.(min t.issued_this_cycle
+                         (Array.length t.issue_histogram - 1))
+    + 1;
+  t.now <- t.now + 1;
+  t.issued_this_cycle <- 0;
+  t.force_cycle_end <- false
+
+(* Find a functional unit able to issue at [t.now]; [None] when the class
+   is unconstrained, [Some None] when all units are busy. *)
+let find_unit t cls =
+  match t.pools_by_class.(Iclass.to_index cls) with
+  | [] -> `Unconstrained
+  | pools ->
+      let rec search = function
+        | [] -> `Busy
+        | p :: rest ->
+            let rec scan i =
+              if i >= Array.length p.free_at then search rest
+              else if p.free_at.(i) <= t.now then `Free (p, i)
+              else scan (i + 1)
+            in
+            scan 0
+      in
+      search pools
+
+let sources_ready t (i : Instr.t) =
+  List.for_all
+    (fun r -> t.reg_ready.(Reg.index r) <= t.now)
+    (Instr.uses i)
+
+let waw_clear t (i : Instr.t) latency =
+  List.for_all
+    (fun d -> t.reg_ready.(Reg.index d) <= t.now + latency)
+    (Instr.defs i)
+
+(* Account one dynamic instruction; [addr] is the effective address of a
+   memory operation or -1. *)
+let issue t (i : Instr.t) addr =
+  let cls = Instr.iclass i in
+  let latency = ref (Config.latency t.config cls) in
+  (* a cache miss on a load lengthens its latency; on a store it only
+     blocks the pipeline (write-allocate, blocking cache) *)
+  (match t.cache with
+  | Some cache when addr >= 0 ->
+      if not (Cache.access cache addr) then begin
+        if Instr.is_load i then latency := !latency + Cache.miss_penalty cache
+        else
+          t.cache_stall_until <-
+            max t.cache_stall_until (t.now + Cache.miss_penalty cache)
+      end
+  | Some _ | None -> ());
+  let rec try_issue () =
+    if t.now < t.cache_stall_until then begin
+      t.stall_cycles <- t.stall_cycles + (t.cache_stall_until - t.now);
+      t.now <- t.cache_stall_until;
+      t.issued_this_cycle <- 0
+    end;
+    if
+      t.issued_this_cycle >= t.config.Config.issue_width
+      || t.force_cycle_end
+    then begin
+      next_cycle t;
+      try_issue ()
+    end
+    else if not (sources_ready t i && waw_clear t i !latency) then begin
+      t.stall_cycles <- t.stall_cycles + 1;
+      next_cycle t;
+      try_issue ()
+    end
+    else
+      match find_unit t cls with
+      | `Busy ->
+          t.stall_cycles <- t.stall_cycles + 1;
+          next_cycle t;
+          try_issue ()
+      | `Unconstrained ->
+          List.iter
+            (fun d -> t.reg_ready.(Reg.index d) <- t.now + !latency)
+            (Instr.defs i);
+          t.issued_this_cycle <- t.issued_this_cycle + 1;
+          t.instrs <- t.instrs + 1;
+          if t.config.Config.branch_ends_packet && Iclass.is_control cls then
+            t.force_cycle_end <- true
+      | `Free (pool, idx) ->
+          pool.free_at.(idx) <- t.now + pool.spec.Config.issue_latency;
+          List.iter
+            (fun d -> t.reg_ready.(Reg.index d) <- t.now + !latency)
+            (Instr.defs i);
+          t.issued_this_cycle <- t.issued_this_cycle + 1;
+          t.instrs <- t.instrs + 1;
+          if t.config.Config.branch_ends_packet && Iclass.is_control cls then
+            t.force_cycle_end <- true
+  in
+  try_issue ()
+
+let observer t : Exec.observer = fun i addr -> issue t i addr
+
+(* Total time: the cycle of the last issue plus the drain of the deepest
+   outstanding result. *)
+let minor_cycles t =
+  let drain = Array.fold_left max 0 t.reg_ready in
+  max (t.now + 1) drain
+
+let base_cycles t =
+  float_of_int (minor_cycles t) /. float_of_int t.config.Config.pipe_degree
+
+let instrs t = t.instrs
+
+(* Speedup over the base machine, which executes one instruction per base
+   cycle with no stalls. *)
+let speedup t =
+  if t.instrs = 0 then 1.0 else float_of_int t.instrs /. base_cycles t

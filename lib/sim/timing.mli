@@ -1,0 +1,61 @@
+(** The in-order timing model (Section 3 of the paper).
+
+    Consumes the dynamic instruction stream produced by {!Exec} and
+    charges cycles according to a machine configuration:
+
+    - at most [issue_width] instructions issue per (minor) cycle;
+    - an instruction does not issue until its source registers are ready
+      (results are bypassed: latency 1 means a dependent instruction can
+      issue the very next cycle);
+    - writes complete in order (a WAW hazard stalls);
+    - a declared functional unit must be free; issuing occupies it for
+      its issue latency.  Classes without units are unconstrained;
+    - issue is strictly in order: the first stalled instruction ends the
+      cycle's issue group;
+    - control is free (perfect branch prediction and slot filling, the
+      paper's assumption): branches occupy issue slots only;
+    - an optional blocking data cache adds its miss penalty
+      (Section 5.1).
+
+    Counts are in minor cycles; {!base_cycles} divides by the
+    superpipelining degree. *)
+
+open Ilp_machine
+
+type unit_pool = { spec : Config.unit_spec; free_at : int array }
+
+type t = {
+  config : Config.t;
+  reg_ready : int array;
+  pools_by_class : unit_pool list array;
+  mutable now : int;  (** current minor cycle *)
+  mutable issued_this_cycle : int;
+  mutable instrs : int;
+  mutable stall_cycles : int;
+  cache : Cache.t option;
+  mutable cache_stall_until : int;
+  issue_histogram : int array;
+      (** [issue_histogram.(k)]: completed cycles that issued exactly
+          [k] instructions *)
+  mutable force_cycle_end : bool;
+}
+
+val create : ?cache:Cache.t -> Config.t -> t
+
+val issue : t -> Ilp_ir.Instr.t -> int -> unit
+(** Account one dynamic instruction; the second argument is the
+    effective address of a memory operation or [-1].  After the call,
+    [t.now] is the minor cycle the instruction issued in. *)
+
+val observer : t -> Exec.observer
+
+val minor_cycles : t -> int
+(** Total time: the last issue cycle plus the drain of the deepest
+    outstanding result. *)
+
+val base_cycles : t -> float
+val instrs : t -> int
+
+val speedup : t -> float
+(** Instructions per base cycle = speedup over the base machine, which
+    executes one instruction per base cycle without stalling. *)

@@ -1,0 +1,31 @@
+(* Dynamic-trace capture: the first N executed instructions with their
+   effective addresses, for debugging compiled code and for trace-style
+   tooling (`ilp trace`). *)
+
+open Ilp_ir
+
+type entry = { instr : Instr.t; address : int  (** -1 if not memory *) }
+
+let capture ?(limit = 200) ?options (p : Program.t) =
+  let entries = ref [] in
+  let n = ref 0 in
+  let observer i addr =
+    if !n < limit then begin
+      entries := { instr = i; address = addr } :: !entries;
+      incr n
+    end
+  in
+  let outcome = Exec.run ?options ~observer p in
+  (List.rev !entries, outcome)
+
+let pp_entry ppf e =
+  if e.address >= 0 then
+    Fmt.pf ppf "%-40s  [addr %d]" (Instr.to_string e.instr) e.address
+  else Fmt.string ppf (Instr.to_string e.instr)
+
+let render entries =
+  let buf = Buffer.create 1024 in
+  List.iteri
+    (fun k e -> Buffer.add_string buf (Fmt.str "%6d  %a\n" k pp_entry e))
+    entries;
+  Buffer.contents buf

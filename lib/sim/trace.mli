@@ -1,0 +1,14 @@
+(** Dynamic-trace capture: the first N executed instructions with their
+    effective addresses, for debugging compiled code (`ilp trace`). *)
+
+open Ilp_ir
+
+type entry = { instr : Instr.t; address : int  (** -1 if not memory *) }
+
+val capture :
+  ?limit:int -> ?options:Exec.options -> Program.t -> entry list * Exec.outcome
+(** Run the program to completion, keeping the first [limit] (default
+    200) executed instructions. *)
+
+val pp_entry : entry Fmt.t
+val render : entry list -> string

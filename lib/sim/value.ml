@@ -1,0 +1,30 @@
+(* Runtime values: the simulated machine is word addressed and each word
+   holds either an integer or a floating-point number.  The tag doubles
+   as a type check on the executed code: an FP instruction applied to an
+   integer word indicates a compiler bug. *)
+
+type t = Int of int | Float of float
+
+exception Type_error of string
+
+let zero = Int 0
+
+let to_int = function
+  | Int n -> n
+  | Float f -> raise (Type_error (Printf.sprintf "expected int, got %g" f))
+
+let to_float = function
+  | Float f -> f
+  | Int n -> raise (Type_error (Printf.sprintf "expected float, got %d" n))
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Int _, Float _ | Float _, Int _ -> false
+
+let pp ppf = function
+  | Int n -> Fmt.int ppf n
+  | Float f -> Fmt.pf ppf "%g" f
+
+let to_string v = Fmt.str "%a" pp v

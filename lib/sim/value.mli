@@ -1,0 +1,20 @@
+(** Runtime values: each memory word and register holds either an
+    integer or a floating-point number.  The tag doubles as a dynamic
+    type check on executed code — an FP instruction applied to an
+    integer word indicates a compiler bug. *)
+
+type t = Int of int | Float of float
+
+exception Type_error of string
+
+val zero : t
+
+val to_int : t -> int
+(** Raises {!Type_error} on floats. *)
+
+val to_float : t -> float
+(** Raises {!Type_error} on ints. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t
+val to_string : t -> string

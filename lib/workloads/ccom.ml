@@ -1,0 +1,252 @@
+(* Ccom: a small compiler, standing in for the paper's own C compiler
+   front end.  It synthesises source text (as an integer character
+   stream), lexes it, parses expressions by recursive descent into an
+   array-allocated AST, folds constants, emits stack-machine code, and
+   runs a peephole pass — the same lex/parse/tree-walk/emit phase
+   structure and branchy, table-driven character of a real compiler. *)
+
+let source =
+  {|
+# --- synthesized source text: characters as small ints -------------------
+# char codes: 0..9 digits, 10 '+', 11 '-', 12 '*', 13 '(', 14 ')',
+#             15 'x', 16 'y', 17 'z', 18 end
+arr text : int[8192];
+var textlen : int = 0;
+var cseed : int = 20077;
+
+fun crand(n: int) : int {
+  cseed = (cseed * 1103515245 + 12345) % 1073741824;
+  return (cseed / 1024) % n;
+}
+
+fun gen_expr(depth: int) {
+  var shape : int;
+  shape = crand(5);
+  if (depth <= 0 || shape == 0) {
+    if (crand(2) == 0) {
+      text[textlen] = crand(10);         # digit literal
+    } else {
+      text[textlen] = 15 + crand(3);     # variable
+    }
+    textlen = textlen + 1;
+    return;
+  }
+  if (shape == 1 || shape == 4) {
+    gen_expr(depth - 1);
+    text[textlen] = 10 + crand(3);       # + - *
+    textlen = textlen + 1;
+    gen_expr(depth - 1);
+    return;
+  }
+  text[textlen] = 13;
+  textlen = textlen + 1;
+  gen_expr(depth - 1);
+  text[textlen] = 14;
+  textlen = textlen + 1;
+}
+
+# --- lexer ----------------------------------------------------------------
+# token kinds: 0 num, 1 '+', 2 '-', 3 '*', 4 '(', 5 ')', 6 var, 7 eof
+arr tok_kind : int[8192];
+arr tok_val : int[8192];
+var ntoks : int = 0;
+
+fun lex() {
+  var i : int = 0;
+  var c : int;
+  ntoks = 0;
+  while (i < textlen) {
+    c = text[i];
+    if (c < 10) {
+      tok_kind[ntoks] = 0; tok_val[ntoks] = c;
+    } else {
+      if (c == 10) { tok_kind[ntoks] = 1; }
+      if (c == 11) { tok_kind[ntoks] = 2; }
+      if (c == 12) { tok_kind[ntoks] = 3; }
+      if (c == 13) { tok_kind[ntoks] = 4; }
+      if (c == 14) { tok_kind[ntoks] = 5; }
+      if (c >= 15) { tok_kind[ntoks] = 6; tok_val[ntoks] = c - 15; }
+    }
+    ntoks = ntoks + 1;
+    i = i + 1;
+  }
+  tok_kind[ntoks] = 7;
+  ntoks = ntoks + 1;
+}
+
+# --- parser: array-allocated AST -------------------------------------------
+# node: op (0 num, 1 add, 2 sub, 3 mul, 4 var), lhs, rhs, val
+arr nd_op : int[8192];
+arr nd_lhs : int[8192];
+arr nd_rhs : int[8192];
+arr nd_val : int[8192];
+var nnodes : int = 0;
+var ppos : int = 0;
+
+fun new_node(op: int, lhs: int, rhs: int, v: int) : int {
+  nd_op[nnodes] = op;
+  nd_lhs[nnodes] = lhs;
+  nd_rhs[nnodes] = rhs;
+  nd_val[nnodes] = v;
+  nnodes = nnodes + 1;
+  return nnodes - 1;
+}
+
+fun parse_primary() : int {
+  var k : int;
+  var e : int;
+  k = tok_kind[ppos];
+  if (k == 0) {
+    ppos = ppos + 1;
+    return new_node(0, -1, -1, tok_val[ppos - 1]);
+  }
+  if (k == 6) {
+    ppos = ppos + 1;
+    return new_node(4, -1, -1, tok_val[ppos - 1]);
+  }
+  if (k == 4) {
+    ppos = ppos + 1;
+    e = parse_sum();
+    ppos = ppos + 1;     # ')'
+    return e;
+  }
+  return new_node(0, -1, -1, 0);
+}
+
+fun parse_product() : int {
+  var lhs : int;
+  var rhs : int;
+  lhs = parse_primary();
+  while (tok_kind[ppos] == 3) {
+    ppos = ppos + 1;
+    rhs = parse_primary();
+    lhs = new_node(3, lhs, rhs, 0);
+  }
+  return lhs;
+}
+
+fun parse_sum() : int {
+  var lhs : int;
+  var rhs : int;
+  var k : int;
+  lhs = parse_product();
+  k = tok_kind[ppos];
+  while (k == 1 || k == 2) {
+    ppos = ppos + 1;
+    rhs = parse_product();
+    if (k == 1) { lhs = new_node(1, lhs, rhs, 0); }
+    else { lhs = new_node(2, lhs, rhs, 0); }
+    k = tok_kind[ppos];
+  }
+  return lhs;
+}
+
+# --- constant folding (tree walk) ------------------------------------------
+fun fold(nd: int) : int {
+  var l : int;
+  var r : int;
+  var op : int;
+  op = nd_op[nd];
+  if (op == 0 || op == 4) { return nd; }
+  l = fold(nd_lhs[nd]);
+  r = fold(nd_rhs[nd]);
+  nd_lhs[nd] = l;
+  nd_rhs[nd] = r;
+  if (nd_op[l] == 0 && nd_op[r] == 0) {
+    if (op == 1) { nd_val[nd] = nd_val[l] + nd_val[r]; }
+    if (op == 2) { nd_val[nd] = nd_val[l] - nd_val[r]; }
+    if (op == 3) { nd_val[nd] = nd_val[l] * nd_val[r]; }
+    nd_op[nd] = 0;
+    nd_lhs[nd] = -1;
+    nd_rhs[nd] = -1;
+  }
+  return nd;
+}
+
+# --- code emission: stack machine ------------------------------------------
+# ops: 0 push-const, 1 push-var, 2 add, 3 sub, 4 mul
+arr code_op : int[16384];
+arr code_arg : int[16384];
+var ncode : int = 0;
+
+fun emit(op: int, arg: int) {
+  code_op[ncode] = op;
+  code_arg[ncode] = arg;
+  ncode = ncode + 1;
+}
+
+fun gen(nd: int) {
+  var op : int;
+  op = nd_op[nd];
+  if (op == 0) { emit(0, nd_val[nd]); return; }
+  if (op == 4) { emit(1, nd_val[nd]); return; }
+  gen(nd_lhs[nd]);
+  gen(nd_rhs[nd]);
+  if (op == 1) { emit(2, 0); }
+  if (op == 2) { emit(3, 0); }
+  if (op == 3) { emit(4, 0); }
+}
+
+# --- "assembler": run the emitted code on a little stack VM ----------------
+arr vmstack : int[256];
+
+fun execute(envx: int, envy: int, envz: int) : int {
+  var pc : int = 0;
+  var sp : int = 0;
+  var op : int;
+  var a : int;
+  var b2 : int;
+  while (pc < ncode) {
+    op = code_op[pc];
+    if (op == 0) { vmstack[sp] = code_arg[pc]; sp = sp + 1; }
+    if (op == 1) {
+      a = code_arg[pc];
+      if (a == 0) { vmstack[sp] = envx; }
+      if (a == 1) { vmstack[sp] = envy; }
+      if (a == 2) { vmstack[sp] = envz; }
+      sp = sp + 1;
+    }
+    if (op >= 2) {
+      b2 = vmstack[sp - 1];
+      a = vmstack[sp - 2];
+      sp = sp - 2;
+      if (op == 2) { vmstack[sp] = a + b2; }
+      if (op == 3) { vmstack[sp] = a - b2; }
+      if (op == 4) { vmstack[sp] = a * b2; }
+      sp = sp + 1;
+    }
+    pc = pc + 1;
+  }
+  return vmstack[0];
+}
+
+fun main() {
+  var round : int;
+  var root : int;
+  var v : int;
+  var chk : int = 0;
+  for (round = 0; round < 24; round = round + 1) {
+    textlen = 0;
+    gen_expr(6);
+    text[textlen] = 18;
+    textlen = textlen + 1;
+    lex();
+    nnodes = 0;
+    ppos = 0;
+    root = parse_sum();
+    root = fold(root);
+    ncode = 0;
+    gen(root);
+    v = execute(2, 3, 5);
+    chk = (chk + v + ncode + nnodes) % 1048576;
+  }
+  sink(chk);
+}
+|}
+
+let workload =
+  Workload.make "ccom" ~expected_sink:(Some (Workload.Exp_int 12132))
+    ~description:
+      "miniature compiler: lex, recursive-descent parse, constant fold, \
+       stack-code emission and execution over synthesised sources"
+    source

@@ -1,0 +1,152 @@
+(* Grr: a printed-circuit-board router in the spirit of DEC WRL's grr —
+   Lee's breadth-first wavefront algorithm on a grid with obstacles.
+   Each net floods outward from its source until the target is reached,
+   then backtraces the path and marks it as an obstacle for later nets.
+   Queue management, grid indexing and data-dependent branches dominate,
+   like the original router. *)
+
+let source =
+  {|
+# 48 x 48 routing grid.
+# cell values: 0 free, -1 obstacle, k>0 wavefront distance k
+var w : int = 48;
+arr grid : int[2304];
+arr queue_x : int[4096];
+arr queue_y : int[4096];
+var qhead : int = 0;
+var qtail : int = 0;
+var rseed : int = 4242;
+
+fun rrand(n: int) : int {
+  rseed = (rseed * 1103515245 + 12345) % 1073741824;
+  return (rseed / 1024) % n;
+}
+
+fun reset_wave() {
+  var i : int;
+  for (i = 0; i < 2304; i = i + 1) {
+    if (grid[i] > 0) { grid[i] = 0; }
+  }
+}
+
+fun enqueue(x: int, y: int) {
+  queue_x[qtail] = x;
+  queue_y[qtail] = y;
+  qtail = (qtail + 1) % 4096;
+}
+
+# flood from (sx,sy); returns the distance to (tx,ty), or -1
+fun flood(sx: int, sy: int, tx: int, ty: int) : int {
+  var x : int;
+  var y : int;
+  var d : int;
+  var found : int = -1;
+  qhead = 0;
+  qtail = 0;
+  grid[sy * w + sx] = 1;
+  enqueue(sx, sy);
+  while (qhead != qtail && found < 0) {
+    x = queue_x[qhead];
+    y = queue_y[qhead];
+    qhead = (qhead + 1) % 4096;
+    d = grid[y * w + x];
+    if (x == tx && y == ty) {
+      found = d;
+    } else {
+      if (x > 0 && grid[y * w + x - 1] == 0) {
+        grid[y * w + x - 1] = d + 1;
+        enqueue(x - 1, y);
+      }
+      if (x < w - 1 && grid[y * w + x + 1] == 0) {
+        grid[y * w + x + 1] = d + 1;
+        enqueue(x + 1, y);
+      }
+      if (y > 0 && grid[(y - 1) * w + x] == 0) {
+        grid[(y - 1) * w + x] = d + 1;
+        enqueue(x, y - 1);
+      }
+      if (y < w - 1 && grid[(y + 1) * w + x] == 0) {
+        grid[(y + 1) * w + x] = d + 1;
+        enqueue(x, y + 1);
+      }
+    }
+  }
+  return found;
+}
+
+# walk back from the target along decreasing distances, marking the path
+fun backtrace(tx: int, ty: int) : int {
+  var x : int = tx;
+  var y : int = ty;
+  var d : int;
+  var len : int = 0;
+  var moved : int;
+  d = grid[y * w + x];
+  while (d > 1) {
+    grid[y * w + x] = -1;       # path becomes an obstacle
+    len = len + 1;
+    moved = 0;
+    if (moved == 0 && x > 0 && grid[y * w + x - 1] == d - 1) {
+      x = x - 1; moved = 1;
+    }
+    if (moved == 0 && x < w - 1 && grid[y * w + x + 1] == d - 1) {
+      x = x + 1; moved = 1;
+    }
+    if (moved == 0 && y > 0 && grid[(y - 1) * w + x] == d - 1) {
+      y = y - 1; moved = 1;
+    }
+    if (moved == 0 && y < w - 1 && grid[(y + 1) * w + x] == d - 1) {
+      y = y + 1; moved = 1;
+    }
+    if (moved == 0) { return -len; }
+    d = d - 1;
+  }
+  grid[y * w + x] = -1;
+  return len + 1;
+}
+
+fun place_obstacles() {
+  var i : int;
+  var x : int;
+  var y : int;
+  for (i = 0; i < 160; i = i + 1) {
+    x = rrand(w);
+    y = rrand(w);
+    grid[y * w + x] = -1;
+  }
+}
+
+fun main() {
+  var net : int;
+  var sx : int;
+  var sy : int;
+  var tx : int;
+  var ty : int;
+  var d : int;
+  var routed : int = 0;
+  var total_len : int = 0;
+  var i : int;
+  for (i = 0; i < 2304; i = i + 1) { grid[i] = 0; }
+  place_obstacles();
+  for (net = 0; net < 12; net = net + 1) {
+    sx = rrand(w); sy = rrand(w);
+    tx = rrand(w); ty = rrand(w);
+    if (grid[sy * w + sx] == 0 && grid[ty * w + tx] == 0) {
+      d = flood(sx, sy, tx, ty);
+      if (d > 0) {
+        total_len = total_len + backtrace(tx, ty);
+        routed = routed + 1;
+      }
+    }
+    reset_wave();
+  }
+  sink(routed * 100000 + total_len);
+}
+|}
+
+let workload =
+  Workload.make "grr" ~expected_sink:(Some (Workload.Exp_int 500244))
+    ~description:
+      "PC board router: Lee breadth-first wavefront expansion with \
+       backtrace over a 48x48 grid"
+    source

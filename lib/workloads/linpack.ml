@@ -1,0 +1,167 @@
+(* Linpack: LU factorisation with partial pivoting and back substitution,
+   double precision, dominated by the daxpy inner loop exactly as the
+   original.  The official Linpack ships with daxpy unrolled four times;
+   here the loop is written cleanly and the AST-level unroller reproduces
+   the official form (default_unroll = 4), so Figure 4-6 can sweep the
+   unrolling factor mechanically. *)
+
+let n = 32
+
+let source =
+  Printf.sprintf
+    {|
+# Linpack kernel: solve A x = b by LU factorisation (dgefa + dgesl).
+var n : int = %d;
+arr a : real[%d];     # n x n, row major: a[i*n + j]
+arr b : real[%d];
+arr x : real[%d];
+var rs : int = 99;
+
+fun fake_rand() : real {
+  rs = (rs * 1103515245 + 12345) %% 1073741824;
+  return real(rs) / 1073741824.0 - 0.5;
+}
+
+fun matgen() {
+  var i : int;
+  var j : int;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      a[i * n + j] = fake_rand();
+    }
+  }
+  # diagonally dominant so pivoting stays tame
+  for (i = 0; i < n; i = i + 1) {
+    a[i * n + i] = a[i * n + i] + 4.0;
+    b[i] = 1.0;
+  }
+}
+
+# y[yoff..yoff+m-1] += da * x[xoff..xoff+m-1]  -- the daxpy inner loop
+fun daxpy(m: int, da: real, xoff: int, yoff: int) {
+  var k : int;
+  if (da == 0.0) { return; }
+  for (k = 0; k < m; k = k + 1) {
+    a[yoff + k] = a[yoff + k] + da * a[xoff + k];
+  }
+}
+
+fun idamax(m: int, off: int, stride: int) : int {
+  var best : int = 0;
+  var k : int;
+  var v : real;
+  var bv : real = a[off];
+  if (bv < 0.0) { bv = -bv; }
+  for (k = 1; k < m; k = k + 1) {
+    v = a[off + k * stride];
+    if (v < 0.0) { v = -v; }
+    if (v > bv) { bv = v; best = k; }
+  }
+  return best;
+}
+
+fun dgefa() {
+  var k : int;
+  var i : int;
+  var p : int;
+  var t : real;
+  var pivot : real;
+  for (k = 0; k < n - 1; k = k + 1) {
+    p = k + idamax(n - k, k * n + k, n);
+    # swap rows k and p from column k on
+    if (p != k) {
+      for (i = k; i < n; i = i + 1) {
+        t = a[k * n + i];
+        a[k * n + i] = a[p * n + i];
+        a[p * n + i] = t;
+      }
+      t = b[k]; b[k] = b[p]; b[p] = t;
+    }
+    pivot = a[k * n + k];
+    for (i = k + 1; i < n; i = i + 1) {
+      t = -(a[i * n + k] / pivot);
+      a[i * n + k] = t;
+      daxpy(n - k - 1, t, k * n + k + 1, i * n + k + 1);
+    }
+  }
+}
+
+fun dgesl() {
+  var k : int;
+  var i : int;
+  var s : real;
+  # forward elimination of b using stored multipliers
+  for (k = 0; k < n - 1; k = k + 1) {
+    for (i = k + 1; i < n; i = i + 1) {
+      b[i] = b[i] + a[i * n + k] * b[k];
+    }
+  }
+  # back substitution
+  for (k = n - 1; k >= 0; k = k - 1) {
+    s = b[k];
+    for (i = k + 1; i < n; i = i + 1) {
+      s = s - a[k * n + i] * x[i];
+    }
+    x[k] = s / a[k * n + k];
+  }
+}
+
+fun main() {
+  var i : int;
+  var chk : real = 0.0;
+  matgen();
+  dgefa();
+  dgesl();
+  # residual-style checksum over the solution
+  for (i = 0; i < n; i = i + 1) {
+    chk = chk + x[i];
+  }
+  sink(chk);
+}
+|}
+    n (n * n) n n
+
+
+(* The careful variant: identical computation, but daxpy and the forward
+   elimination access their source and destination rows through declared
+   [view]s, encoding the interprocedural alias fact (source row <> 
+   destination row) that the paper established by hand for its careful
+   unrolling. *)
+let careful_source =
+  let plain = source in
+  let views = "view adst of a;\nview asrc of a;\nview bdst of b;\nview bsrc of b;\n" in
+  let daxpy_old =
+    "  for (k = 0; k < m; k = k + 1) {\n    a[yoff + k] = a[yoff + k] + da * a[xoff + k];\n  }"
+  in
+  let daxpy_new =
+    "  for (k = 0; k < m; k = k + 1) {\n    adst[yoff + k] = adst[yoff + k] + da * asrc[xoff + k];\n  }"
+  in
+  let fwd_old =
+    "    for (i = k + 1; i < n; i = i + 1) {\n      b[i] = b[i] + a[i * n + k] * b[k];\n    }"
+  in
+  let fwd_new =
+    "    for (i = k + 1; i < n; i = i + 1) {\n      bdst[i] = bdst[i] + a[i * n + k] * bsrc[k];\n    }"
+  in
+  let replace sub by str =
+    match String.index_opt str sub.[0] with
+    | _ ->
+        let slen = String.length sub in
+        let rec go i =
+          if i + slen > String.length str then str
+          else if String.sub str i slen = sub then
+            String.sub str 0 i ^ by
+            ^ String.sub str (i + slen) (String.length str - i - slen)
+          else go (i + 1)
+        in
+        go 0
+  in
+  let plain = replace daxpy_old daxpy_new plain in
+  let plain = replace fwd_old fwd_new plain in
+  views ^ plain
+
+let workload =
+  Workload.make "linpack" ~expected_sink:(Some (Workload.Exp_float 8.5542581900912769))
+    ~description:
+      "LU factorisation + solve (dgefa/dgesl), daxpy-dominated, double \
+       precision, official form unrolled 4x"
+    ~careful_source ~default_unroll:4 ~numeric:true source

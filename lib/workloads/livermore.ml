@@ -1,0 +1,234 @@
+(* The first 14 Livermore loops, double precision, not unrolled (the
+   paper's default).  Each kernel keeps the dependence structure of the
+   original: kernels 5, 6 and 11 are the linear recurrences the paper
+   singles out as benefiting little from unrolling. *)
+
+let source =
+  {|
+# Livermore loops 1..14 over shared arrays, sized to keep the run short.
+var n : int = 64;
+arr xx : real[1001];
+arr y  : real[1001];
+arr z  : real[1001];
+arr u  : real[1001];
+arr v  : real[1001];
+arr w  : real[1001];
+arr px : real[375];    # 15 x 25 planes for kernel 7/13 style access
+arr cx : real[375];
+arr b  : real[400];    # kernel 4/5/6 band matrices
+arr p  : real[512];    # kernel 13/14 particles
+arr h  : real[512];
+var q : real = 0.001;
+var r : real = 4.86;
+var t : real = 276.0;
+
+fun init() {
+  var k : int;
+  for (k = 0; k < 1001; k = k + 1) {
+    xx[k] = 0.001 * real(k % 31);
+    y[k]  = 0.0013 * real(k % 29);
+    z[k]  = 0.0017 * real(k % 37);
+    u[k]  = 0.0019 * real(k % 41);
+    v[k]  = 0.0007 * real(k % 23);
+    w[k]  = 0.0011 * real(k % 43);
+  }
+  for (k = 0; k < 375; k = k + 1) {
+    px[k] = 0.0002 * real(k % 19);
+    cx[k] = 0.0003 * real(k % 17);
+  }
+  for (k = 0; k < 400; k = k + 1) { b[k] = 0.0004 * real(k % 13); }
+  for (k = 0; k < 512; k = k + 1) {
+    p[k] = 0.001 * real(k % 11);
+    h[k] = 0.002 * real(k % 7);
+  }
+}
+
+# kernel 1: hydro fragment
+fun k1() {
+  var k : int;
+  for (k = 0; k < 400; k = k + 1) {
+    xx[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+  }
+}
+
+# kernel 2: incomplete Cholesky conjugate gradient excerpt
+fun k2() {
+  var k : int;
+  var ipntp : int = 0;
+  var ipnt : int;
+  var ii : int = 256;
+  var i : int;
+  while (ii > 0) {
+    ipnt = ipntp;
+    ipntp = ipntp + ii;
+    ii = ii / 2;
+    i = ipntp;
+    for (k = ipnt + 1; k < ipntp; k = k + 2) {
+      i = i + 1;
+      xx[i] = xx[k] - v[k] * xx[k - 1] - v[k + 1] * xx[k + 1];
+    }
+  }
+}
+
+# kernel 3: inner product
+fun k3() : real {
+  var k : int;
+  var qq : real = 0.0;
+  for (k = 0; k < 400; k = k + 1) {
+    qq = qq + z[k] * xx[k];
+  }
+  return qq;
+}
+
+# kernel 4: banded linear equations
+fun k4() {
+  var k : int;
+  var l : int;
+  var lw : int;
+  var temp : real;
+  for (l = 6; l < 400; l = l + 6) {
+    lw = l - 6;
+    temp = xx[l - 1];
+    for (k = 0; k < 3; k = k + 1) {
+      temp = temp - xx[lw + k * 4] * y[k];
+    }
+    xx[l - 1] = y[4] * temp;
+  }
+}
+
+# kernel 5: tridiagonal elimination, below diagonal (recurrence)
+fun k5() {
+  var k : int;
+  for (k = 1; k < 400; k = k + 1) {
+    xx[k] = z[k] * (y[k] - xx[k - 1]);
+  }
+}
+
+# kernel 6: general linear recurrence equations
+fun k6() {
+  var k : int;
+  var j : int;
+  var s : real;
+  for (k = 1; k < 20; k = k + 1) {
+    s = 0.0;
+    for (j = 0; j < k; j = j + 1) {
+      s = s + b[k * 20 + j] * w[k - j - 1];
+    }
+    w[k] = w[k] + s;
+  }
+}
+
+# kernel 7: equation of state fragment
+fun k7() {
+  var k : int;
+  for (k = 0; k < 300; k = k + 1) {
+    xx[k] = u[k] + r * (z[k] + r * y[k])
+          + t * (u[k + 3] + r * (u[k + 2] + r * u[k + 1])
+          + t * (u[k + 6] + q * (u[k + 5] + q * u[k + 4])));
+  }
+}
+
+# kernel 8: ADI integration (simplified two-plane sweep)
+fun k8() {
+  var k : int;
+  var n1 : int = 0;
+  var n2 : int = 120;
+  for (k = 1; k < 100; k = k + 1) {
+    px[n1 + k] = px[n2 + k] - q * (cx[n1 + k + 1] - cx[n1 + k - 1])
+               + r * (cx[n2 + k + 1] - cx[n2 + k - 1]);
+    px[n2 + k] = px[n1 + k] + t * cx[n2 + k];
+  }
+}
+
+# kernel 9: numerical integration predictors
+fun k9() {
+  var k : int;
+  for (k = 0; k < 100; k = k + 1) {
+    px[k] = q + y[0] * (r * cx[k + 4] + t * cx[k + 5])
+          + y[1] * (cx[k + 6] + cx[k + 7])
+          + y[2] * (cx[k + 8] + cx[k + 9]);
+  }
+}
+
+# kernel 10: numerical differentiation predictors
+fun k10() {
+  var k : int;
+  var ar : real;
+  var br : real;
+  var cr : real;
+  for (k = 0; k < 100; k = k + 1) {
+    ar = cx[k + 4];
+    br = ar - px[k + 4];
+    px[k + 4] = ar;
+    cr = br - px[k + 5];
+    px[k + 5] = br;
+    px[k + 6] = cr - px[k + 6];
+  }
+}
+
+# kernel 11: first sum (prefix-sum recurrence)
+fun k11() {
+  var k : int;
+  xx[0] = y[0];
+  for (k = 1; k < 400; k = k + 1) {
+    xx[k] = xx[k - 1] + y[k];
+  }
+}
+
+# kernel 12: first difference
+fun k12() {
+  var k : int;
+  for (k = 0; k < 400; k = k + 1) {
+    xx[k] = y[k + 1] - y[k];
+  }
+}
+
+# kernel 13: 2-D particle in cell (simplified integer/real mix)
+fun k13() {
+  var ip : int;
+  var i1 : int;
+  var j1 : int;
+  for (ip = 0; ip < 128; ip = ip + 1) {
+    i1 = int(p[ip] * 64.0) % 64;
+    j1 = int(h[ip] * 64.0) % 64;
+    if (i1 < 0) { i1 = -i1; }
+    if (j1 < 0) { j1 = -j1; }
+    p[ip] = p[ip] + 0.125 * (y[i1] + z[j1]);
+    h[ip] = h[ip] + q * p[ip];
+  }
+}
+
+# kernel 14: 1-D particle in cell (gather, compute, scatter)
+fun k14() {
+  var k : int;
+  var ix : int;
+  for (k = 0; k < 128; k = k + 1) {
+    ix = int(h[k] * 32.0) % 32;
+    if (ix < 0) { ix = -ix; }
+    v[ix] = v[ix] + 1.0;
+    p[k] = p[k] + v[ix] * q;
+  }
+}
+
+fun main() {
+  var iter : int;
+  var chk : real = 0.0;
+  var k : int;
+  init();
+  for (iter = 0; iter < 3; iter = iter + 1) {
+    k1(); k2();
+    chk = chk + k3();
+    k4(); k5(); k6(); k7(); k8(); k9(); k10(); k11(); k12(); k13(); k14();
+  }
+  for (k = 0; k < 400; k = k + 1) { chk = chk + xx[k]; }
+  for (k = 0; k < 375; k = k + 1) { chk = chk + px[k]; }
+  sink(chk);
+}
+|}
+
+let workload =
+  Workload.make "livermore" ~expected_sink:(Some (Workload.Exp_float 204.56597325743354))
+    ~description:
+      "first 14 Livermore loops, double precision, not unrolled (kernels \
+       5/6/11 are the recurrences of Section 4.4)"
+    ~numeric:true source

@@ -1,0 +1,125 @@
+(* Met: a board-level timing verifier in the spirit of Metronome.
+   A synthesised gate-level netlist (a layered DAG) is traversed in
+   topological order computing earliest/latest arrival times per gate,
+   then required times propagate backward and slacks identify the
+   critical path.  Index-chasing through netlist arrays with min/max
+   logic — the fix-point/propagation character of a timing verifier. *)
+
+let source =
+  {|
+# Netlist: layered DAG, 20 layers x 60 gates.
+var layers : int = 20;
+var per_layer : int = 60;
+var ngates : int = 1200;
+arr gtype : int[1200];        # 0 buf, 1 and, 2 or (affects delay)
+arr fan0 : int[1200];         # first input gate index (-1 primary input)
+arr fan1 : int[1200];         # second input (-1 none)
+arr gdelay : int[1200];
+arr arrive : int[1200];
+arr late : int[1200];
+arr required : int[1200];
+arr slack : int[1200];
+var mseed : int = 777;
+
+fun mrand(n: int) : int {
+  mseed = (mseed * 1103515245 + 12345) % 1073741824;
+  return (mseed / 1024) % n;
+}
+
+fun build() {
+  var g : int;
+  var layer : int;
+  var prev_base : int;
+  for (g = 0; g < ngates; g = g + 1) {
+    layer = g / per_layer;
+    gtype[g] = mrand(3);
+    gdelay[g] = 1 + gtype[g] + mrand(4);
+    if (layer == 0) {
+      fan0[g] = -1;
+      fan1[g] = -1;
+    } else {
+      prev_base = (layer - 1) * per_layer;
+      fan0[g] = prev_base + mrand(per_layer);
+      if (mrand(4) != 0) {
+        fan1[g] = prev_base + mrand(per_layer);
+      } else {
+        fan1[g] = -1;
+      }
+    }
+  }
+}
+
+# forward propagation: earliest and latest arrival per gate
+fun propagate() {
+  var g : int;
+  var a0 : int;
+  var a1 : int;
+  var l0 : int;
+  var l1 : int;
+  for (g = 0; g < ngates; g = g + 1) {
+    a0 = 0; l0 = 0;
+    a1 = 0; l1 = 0;
+    if (fan0[g] >= 0) { a0 = arrive[fan0[g]]; l0 = late[fan0[g]]; }
+    if (fan1[g] >= 0) { a1 = arrive[fan1[g]]; l1 = late[fan1[g]]; }
+    if (a1 > a0) { a0 = a1; }        # max for earliest-possible output
+    if (l1 > l0) { l0 = l1; }
+    arrive[g] = a0 + gdelay[g];
+    late[g] = l0 + gdelay[g] + gtype[g];
+  }
+}
+
+# backward propagation of required times from the last layer
+fun required_times(clock: int) {
+  var g : int;
+  var r : int;
+  for (g = 0; g < ngates; g = g + 1) { required[g] = clock; }
+  for (g = ngates - 1; g >= 0; g = g - 1) {
+    r = required[g] - gdelay[g];
+    if (fan0[g] >= 0 && r < required[fan0[g]]) { required[fan0[g]] = r; }
+    if (fan1[g] >= 0 && r < required[fan1[g]]) { required[fan1[g]] = r; }
+  }
+}
+
+fun slacks() : int {
+  var g : int;
+  var worst : int = 1000000;
+  for (g = 0; g < ngates; g = g + 1) {
+    slack[g] = required[g] - arrive[g];
+    if (slack[g] < worst) { worst = slack[g]; }
+  }
+  return worst;
+}
+
+fun critical_count(threshold: int) : int {
+  var g : int;
+  var cnt : int = 0;
+  for (g = 0; g < ngates; g = g + 1) {
+    if (slack[g] <= threshold) { cnt = cnt + 1; }
+  }
+  return cnt;
+}
+
+fun main() {
+  var round : int;
+  var worst : int;
+  var chk : int = 0;
+  build();
+  for (round = 0; round < 6; round = round + 1) {
+    propagate();
+    required_times(200 + round * 7);
+    worst = slacks();
+    chk = chk + worst + critical_count(worst + 3);
+    # perturb a few delays, as after an engineering change
+    gdelay[mrand(ngates)] = 1 + mrand(6);
+    gdelay[mrand(ngates)] = 1 + mrand(6);
+  }
+  sink(chk);
+}
+|}
+
+let workload =
+  Workload.make "met" ~expected_sink:(Some (Workload.Exp_int 1583))
+    ~description:
+      "timing verifier: arrival/required-time propagation and slack \
+       analysis over a synthesised 1200-gate netlist"
+    source

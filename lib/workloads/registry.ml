@@ -1,0 +1,20 @@
+(* The benchmark suite of Section 4: eight programs, run on every machine
+   configuration of the study. *)
+
+let all : Workload.t list =
+  [ Ccom.workload;
+    Grr.workload;
+    Linpack.workload;
+    Livermore.workload;
+    Met.workload;
+    Stanford.workload;
+    Whet.workload;
+    Yacc.workload ]
+
+let names = List.map (fun w -> w.Workload.name) all
+
+let find name =
+  List.find_opt (fun w -> String.equal w.Workload.name name) all
+
+let numeric = List.filter (fun w -> w.Workload.numeric) all
+let non_numeric = List.filter (fun w -> not w.Workload.numeric) all

@@ -1,0 +1,13 @@
+(** The benchmark suite of Section 4: the paper's eight programs. *)
+
+val all : Workload.t list
+(** ccom, grr, linpack, livermore, met, stanford, whet, yacc — in that
+    order. *)
+
+val names : string list
+val find : string -> Workload.t option
+
+val numeric : Workload.t list
+(** linpack, livermore, whet — the paper's "numeric benchmarks". *)
+
+val non_numeric : Workload.t list

@@ -1,0 +1,278 @@
+(* The Stanford (Hennessy) collection: Perm, Towers, Queens, Intmm, Mm,
+   Puzzle (trit-packing flavour), Quick, Bubble, Tree (array-encoded
+   binary tree).  Slightly-parallel integer code with heavy call and
+   branch content, matching the paper's "stan" benchmark. *)
+
+let source =
+  {|
+# Stanford collection.
+var chk : int = 0;
+
+# ---- Perm --------------------------------------------------------------
+arr permarray : int[12];
+var pctr : int = 0;
+
+fun swap_perm(i: int, j: int) {
+  var tv : int;
+  tv = permarray[i];
+  permarray[i] = permarray[j];
+  permarray[j] = tv;
+}
+
+fun permute(n: int) {
+  var k : int;
+  pctr = pctr + 1;
+  if (n != 1) {
+    permute(n - 1);
+    for (k = n - 1; k >= 1; k = k - 1) {
+      swap_perm(n - 1, k - 1);
+      permute(n - 1);
+      swap_perm(n - 1, k - 1);
+    }
+  }
+}
+
+fun perm() {
+  var i : int;
+  for (i = 0; i < 6; i = i + 1) { permarray[i] = i; }
+  permute(6);
+  chk = chk + pctr;
+}
+
+# ---- Towers ------------------------------------------------------------
+var moves : int = 0;
+
+fun hanoi(n: int, from_: int, to_: int, via: int) {
+  if (n == 1) {
+    moves = moves + 1;
+    return;
+  }
+  hanoi(n - 1, from_, via, to_);
+  moves = moves + 1;
+  hanoi(n - 1, via, to_, from_);
+}
+
+fun towers() {
+  hanoi(10, 1, 3, 2);
+  chk = chk + moves;
+}
+
+# ---- Queens ------------------------------------------------------------
+arr qrow : int[8];
+arr qa : int[16];
+arr qb : int[16];
+var solutions : int = 0;
+
+fun tryq(c: int) {
+  var r : int;
+  if (c == 8) {
+    solutions = solutions + 1;
+    return;
+  }
+  for (r = 0; r < 8; r = r + 1) {
+    if (qrow[r] == 0 && qa[r + c] == 0 && qb[r - c + 7] == 0) {
+      qrow[r] = 1; qa[r + c] = 1; qb[r - c + 7] = 1;
+      tryq(c + 1);
+      qrow[r] = 0; qa[r + c] = 0; qb[r - c + 7] = 0;
+    }
+  }
+}
+
+fun queens() {
+  var i : int;
+  for (i = 0; i < 8; i = i + 1) { qrow[i] = 0; }
+  for (i = 0; i < 16; i = i + 1) { qa[i] = 0; qb[i] = 0; }
+  tryq(0);
+  chk = chk + solutions;
+}
+
+# ---- Intmm -------------------------------------------------------------
+arr ima : int[256];
+arr imb : int[256];
+arr imc : int[256];
+
+fun intmm() {
+  var i : int;
+  var j : int;
+  var k : int;
+  var s : int;
+  for (i = 0; i < 16; i = i + 1) {
+    for (j = 0; j < 16; j = j + 1) {
+      ima[i * 16 + j] = (i + j) % 7 - 3;
+      imb[i * 16 + j] = (i * j) % 5 - 2;
+    }
+  }
+  for (i = 0; i < 16; i = i + 1) {
+    for (j = 0; j < 16; j = j + 1) {
+      s = 0;
+      for (k = 0; k < 16; k = k + 1) {
+        s = s + ima[i * 16 + k] * imb[k * 16 + j];
+      }
+      imc[i * 16 + j] = s;
+    }
+  }
+  chk = chk + imc[5 * 16 + 7] + imc[0] + imc[255];
+}
+
+# ---- Mm (real matrix multiply) ------------------------------------------
+arr rma : real[256];
+arr rmb : real[256];
+arr rmc : real[256];
+
+fun realmm() {
+  var i : int;
+  var j : int;
+  var k : int;
+  var s : real;
+  for (i = 0; i < 16; i = i + 1) {
+    for (j = 0; j < 16; j = j + 1) {
+      rma[i * 16 + j] = real((i + j) % 9) / 8.0 - 0.5;
+      rmb[i * 16 + j] = real((i * j) % 11) / 10.0 - 0.5;
+    }
+  }
+  for (i = 0; i < 16; i = i + 1) {
+    for (j = 0; j < 16; j = j + 1) {
+      s = 0.0;
+      for (k = 0; k < 16; k = k + 1) {
+        s = s + rma[i * 16 + k] * rmb[k * 16 + j];
+      }
+      rmc[i * 16 + j] = s;
+    }
+  }
+  chk = chk + int(rmc[5 * 16 + 7] * 1000.0) + int(rmc[255] * 1000.0);
+}
+
+# ---- Quick -------------------------------------------------------------
+arr sortlist : int[512];
+var qseed : int = 74755;
+
+fun qrand() : int {
+  qseed = (qseed * 1309 + 13849) % 65536;
+  return qseed;
+}
+
+fun quicksort(lo: int, hi: int) {
+  var i : int;
+  var j : int;
+  var pivot : int;
+  var tv : int;
+  i = lo; j = hi;
+  pivot = sortlist[(lo + hi) / 2];
+  while (i <= j) {
+    while (sortlist[i] < pivot) { i = i + 1; }
+    while (pivot < sortlist[j]) { j = j - 1; }
+    if (i <= j) {
+      tv = sortlist[i]; sortlist[i] = sortlist[j]; sortlist[j] = tv;
+      i = i + 1; j = j - 1;
+    }
+  }
+  if (lo < j) { quicksort(lo, j); }
+  if (i < hi) { quicksort(i, hi); }
+}
+
+fun quick() {
+  var i : int;
+  for (i = 0; i < 512; i = i + 1) { sortlist[i] = qrand(); }
+  quicksort(0, 511);
+  chk = chk + sortlist[0] + sortlist[255] + sortlist[511];
+}
+
+# ---- Bubble ------------------------------------------------------------
+arr bubblelist : int[128];
+
+fun bubble() {
+  var i : int;
+  var j : int;
+  var tv : int;
+  for (i = 0; i < 128; i = i + 1) { bubblelist[i] = qrand(); }
+  for (i = 127; i >= 1; i = i - 1) {
+    for (j = 0; j < i; j = j + 1) {
+      if (bubblelist[j] > bubblelist[j + 1]) {
+        tv = bubblelist[j];
+        bubblelist[j] = bubblelist[j + 1];
+        bubblelist[j + 1] = tv;
+      }
+    }
+  }
+  chk = chk + bubblelist[0] + bubblelist[64] + bubblelist[127];
+}
+
+# ---- Tree (array-encoded binary search tree) ----------------------------
+arr tval : int[600];
+arr tleft : int[600];
+arr tright : int[600];
+var tnodes : int = 0;
+
+fun tree_insert(root: int, v: int) : int {
+  if (root == -1) {
+    tval[tnodes] = v;
+    tleft[tnodes] = -1;
+    tright[tnodes] = -1;
+    tnodes = tnodes + 1;
+    return tnodes - 1;
+  }
+  if (v < tval[root]) {
+    tleft[root] = tree_insert(tleft[root], v);
+  } else {
+    tright[root] = tree_insert(tright[root], v);
+  }
+  return root;
+}
+
+fun tree_depth_sum(root: int, d: int) : int {
+  if (root == -1) { return 0; }
+  return d + tree_depth_sum(tleft[root], d + 1)
+           + tree_depth_sum(tright[root], d + 1);
+}
+
+fun trees() {
+  var i : int;
+  var root : int = -1;
+  tnodes = 0;
+  for (i = 0; i < 500; i = i + 1) {
+    root = tree_insert(root, qrand());
+  }
+  chk = chk + tree_depth_sum(root, 0);
+}
+
+# ---- Puzzle (bit-vector flavour) ----------------------------------------
+arr pz : int[512];
+
+fun puzzle() {
+  var i : int;
+  var k : int;
+  var count : int = 0;
+  for (i = 0; i < 512; i = i + 1) { pz[i] = (i * 7919) % 512; }
+  for (k = 0; k < 20; k = k + 1) {
+    for (i = 0; i < 511; i = i + 1) {
+      if (pz[i] > pz[i + 1]) {
+        pz[i] = pz[i] & pz[i + 1];
+      } else {
+        pz[i] = pz[i] | (pz[i + 1] >> 1);
+      }
+      if ((pz[i] & 1) == 1) { count = count + 1; }
+    }
+  }
+  chk = chk + count;
+}
+
+fun main() {
+  perm();
+  towers();
+  queens();
+  intmm();
+  realmm();
+  quick();
+  bubble();
+  trees();
+  puzzle();
+  sink(chk);
+}
+|}
+
+let workload =
+  Workload.make "stanford" ~expected_sink:(Some (Workload.Exp_int 208635))
+    ~description:
+      "Hennessy Stanford collection: perm, towers, queens, intmm, mm, \
+       quick, bubble, tree, puzzle"
+    source

@@ -1,0 +1,201 @@
+(* Whetstone.  The original depends on transcendental functions from the
+   Fortran runtime; since the simulated machine has no math library, the
+   benchmark carries its own (sin/cos by Taylor series, exp/log by
+   series/Newton, sqrt by Newton), which is both faithful to the era and
+   keeps the FP-heavy, call-heavy character of Whetstone. *)
+
+let source =
+  {|
+# Whetstone with a software math library.
+arr e1 : real[4];
+var t : real = 0.499975;
+var t1 : real = 0.50025;
+var t2 : real = 2.0;
+
+var pi : real = 3.14159265358979;
+
+fun mysqrt(a: real) : real {
+  var g : real;
+  var i : int;
+  if (a <= 0.0) { return 0.0; }
+  g = a;
+  if (g > 1.0) { g = a / 2.0; }
+  for (i = 0; i < 12; i = i + 1) {
+    g = 0.5 * (g + a / g);
+  }
+  return g;
+}
+
+fun mysin(x: real) : real {
+  var term : real;
+  var sum : real;
+  var k : int;
+  var x2 : real;
+  # range reduce into [-pi, pi]
+  while (x > pi) { x = x - 2.0 * pi; }
+  while (x < -pi) { x = x + 2.0 * pi; }
+  term = x;
+  sum = x;
+  x2 = x * x;
+  for (k = 1; k < 8; k = k + 1) {
+    term = -term * x2 / real((2 * k) * (2 * k + 1));
+    sum = sum + term;
+  }
+  return sum;
+}
+
+fun mycos(x: real) : real {
+  return mysin(x + pi / 2.0);
+}
+
+fun myatan(x: real) : real {
+  var sum : real;
+  var term : real;
+  var x2 : real;
+  var k : int;
+  var flip : int = 0;
+  var big : int = 0;
+  if (x < 0.0) { x = -x; flip = 1; }
+  if (x > 1.0) { x = 1.0 / x; big = 1; }
+  term = x;
+  sum = x;
+  x2 = x * x;
+  for (k = 1; k < 12; k = k + 1) {
+    term = -term * x2;
+    sum = sum + term / real(2 * k + 1);
+  }
+  if (big == 1) { sum = pi / 2.0 - sum; }
+  if (flip == 1) { sum = -sum; }
+  return sum;
+}
+
+fun myexp(x: real) : real {
+  var sum : real = 1.0;
+  var term : real = 1.0;
+  var k : int;
+  var neg : int = 0;
+  if (x < 0.0) { x = -x; neg = 1; }
+  for (k = 1; k < 16; k = k + 1) {
+    term = term * x / real(k);
+    sum = sum + term;
+  }
+  if (neg == 1) { sum = 1.0 / sum; }
+  return sum;
+}
+
+fun mylog(a: real) : real {
+  # Newton iterations on exp(y) = a
+  var yv : real = 0.0;
+  var i : int;
+  var e : real;
+  if (a <= 0.0) { return 0.0; }
+  for (i = 0; i < 10; i = i + 1) {
+    e = myexp(yv);
+    yv = yv + (a - e) / e;
+  }
+  return yv;
+}
+
+# module 3: array elements
+fun p0(n: int) {
+  var i : int;
+  for (i = 0; i < n; i = i + 1) {
+    e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t;
+    e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t;
+    e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t;
+    e1[3] = (-e1[0] + e1[1] + e1[2] + e1[3]) * t;
+  }
+}
+
+# module 7: trig functions
+fun p3(x: real, yy: real) : real {
+  var xa : real;
+  var xb : real;
+  xa = t * myatan(t2 * mysin(x) * mycos(x) / (mycos(x + yy) + mycos(x - yy) - 1.0));
+  xb = t * myatan(t2 * mysin(yy) * mycos(yy) / (mycos(x + yy) + mycos(x - yy) - 1.0));
+  return xa + xb;
+}
+
+# module 8: procedure calls
+var p8x : real;
+var p8y : real;
+var p8z : real;
+
+fun p8(x: real, yy: real) {
+  p8x = t * (x + yy);
+  p8y = t * (p8x + yy);
+  p8z = (p8x + p8y) / t2;
+}
+
+# module 11: standard functions
+fun p11(n: int) : real {
+  var i : int;
+  var x : real = 0.75;
+  for (i = 0; i < n; i = i + 1) {
+    x = mysqrt(myexp(mylog(x) / t1));
+  }
+  return x;
+}
+
+fun main() {
+  var chk : real = 0.0;
+  var i : int;
+  var x : real;
+  var yy : real;
+
+  e1[0] = 1.0; e1[1] = -1.0; e1[2] = -1.0; e1[3] = -1.0;
+  p0(40);
+  chk = chk + e1[0] + e1[1] + e1[2] + e1[3];
+
+  # module 4: conditional jumps
+  var j : int = 1;
+  for (i = 0; i < 100; i = i + 1) {
+    if (j == 1) { j = 2; } else { j = 3; }
+    if (j > 2)  { j = 0; } else { j = 1; }
+    if (j < 1)  { j = 1; } else { j = 0; }
+  }
+  chk = chk + real(j);
+
+  # module 6: integer arithmetic
+  var ik : int = 1;
+  var il : int = 2;
+  var im : int = 3;
+  for (i = 0; i < 120; i = i + 1) {
+    ik = ik * (il - ik) * (im - il);
+    il = im * il - (im - ik) * il;
+    im = (im + il) * ik;
+    ik = ik % 97; il = il % 89; im = im % 83;
+    if (ik < 0) { ik = -ik; }
+    if (il < 0) { il = -il; }
+    if (im < 0) { im = -im; }
+  }
+  chk = chk + real(ik + il + im);
+
+  # module 7
+  x = 0.5;
+  yy = 0.5;
+  for (i = 0; i < 8; i = i + 1) {
+    x = p3(x, yy);
+  }
+  chk = chk + x;
+
+  # module 8
+  p8x = 1.0; p8y = 1.0; p8z = 1.0;
+  for (i = 0; i < 60; i = i + 1) {
+    p8(p8z, p8y);
+  }
+  chk = chk + p8z;
+
+  # module 11
+  chk = chk + p11(12);
+
+  sink(chk);
+}
+|}
+
+let workload =
+  Workload.make "whet" ~expected_sink:(Some (Workload.Exp_float 0.10384052853857961))
+    ~description:
+      "Whetstone with a software math library (Taylor sin/atan/exp, Newton \
+       sqrt/log); FP and call heavy"
+    ~numeric:true source

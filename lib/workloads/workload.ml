@@ -1,0 +1,52 @@
+(* A benchmark: MiniMod source plus metadata.
+
+   [expected_sink] is the checksum the program must leave in the sink
+   cell; the test suite verifies it at every optimization level and on
+   every machine configuration, which exercises the whole compiler for
+   semantic preservation.  [default_unroll] reproduces the paper's
+   "official" source forms (Linpack ships with its inner loops unrolled
+   four times). *)
+
+type expected = Exp_int of int | Exp_float of float  (** tolerance 1e-6 rel *)
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  careful_source : string option;
+      (** variant annotated with the by-hand alias knowledge ([view]
+          declarations) used for careful unrolling, as the paper's
+          careful versions were separate hand-prepared sources *)
+  expected_sink : expected option;
+  default_unroll : int;  (** 1 = no unrolling *)
+  numeric : bool;  (** floating-point dominated, as in Section 4.4 *)
+}
+
+let make ?(expected_sink = None) ?(default_unroll = 1) ?(numeric = false)
+    ?careful_source ~description name source =
+  { name; description; source; careful_source; expected_sink; default_unroll;
+    numeric }
+
+(* The source to compile when unrolling carefully. *)
+let source_for_mode t mode =
+  match mode with
+  | `Careful -> Option.value t.careful_source ~default:t.source
+  | `Naive -> t.source
+
+(* MiniMod library snippets shared by several benchmarks. *)
+
+(* Deterministic 30-bit linear congruential generator. *)
+let lcg_snippet =
+  {|
+var seed : int = 12345;
+
+fun next_rand() : int {
+  seed = (seed * 1103515 + 12345) % 1073741824;
+  if (seed < 0) { seed = -seed; }
+  return seed;
+}
+
+fun rand_range(n: int) : int {
+  return next_rand() % n;
+}
+|}

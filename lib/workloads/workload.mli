@@ -1,0 +1,38 @@
+(** A benchmark: MiniMod source plus metadata.
+
+    [expected_sink] is the checksum the program must leave in the sink
+    cell; the test suite verifies it at every optimization level and on
+    every machine configuration.  [careful_source] is the hand-prepared
+    variant with [view] alias annotations used for careful unrolling —
+    as the paper's careful versions were separate hand-prepared
+    sources.  [default_unroll] reproduces the "official" form (Linpack
+    ships with its inner loops unrolled four times). *)
+
+type expected = Exp_int of int | Exp_float of float
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  careful_source : string option;
+  expected_sink : expected option;
+  default_unroll : int;  (** 1 = no unrolling *)
+  numeric : bool;  (** floating-point dominated, as in Section 4.4 *)
+}
+
+val make :
+  ?expected_sink:expected option ->
+  ?default_unroll:int ->
+  ?numeric:bool ->
+  ?careful_source:string ->
+  description:string ->
+  string ->
+  string ->
+  t
+
+val source_for_mode : t -> [ `Careful | `Naive ] -> string
+(** The careful variant when one exists, otherwise the plain source. *)
+
+val lcg_snippet : string
+(** A deterministic random-number generator in MiniMod, shared by
+    benchmark authors. *)

@@ -1,0 +1,156 @@
+(* Yacc: a table-driven LR(0)-style shift/reduce parser, the classic
+   yacc-generated driver loop — indexed table lookups, a parser stack,
+   and data-dependent branches.  The grammar is the usual expression
+   grammar
+
+       E -> E + T | T        T -> T * F | F        F -> ( E ) | id
+
+   with its canonical 12-state SLR table encoded in arrays exactly as
+   yacc would emit it.  The token stream is synthesised deterministically
+   and re-parsed many times.  This is the paper's least-parallel
+   benchmark (ILP around 1.6). *)
+
+let source =
+  {|
+# SLR(1) parse tables for the expression grammar, yacc-style.
+# tokens: 0=id 1=+ 2=* 3=( 4=) 5=$
+# actions encoded: 0 = error, 100+s = shift to state s,
+#                  200+r = reduce by production r, 999 = accept
+arr action : int[72];     # 12 states x 6 terminals
+arr goto_t : int[36];     # 12 states x 3 nonterminals (E T F)
+arr prod_len : int[7];
+arr prod_lhs : int[7];
+arr stack : int[128];
+arr tokens : int[4096];
+var ntokens : int = 0;
+var chk : int = 0;
+
+fun set_action(s: int, t: int, v: int) { action[s * 6 + t] = v; }
+fun set_goto(s: int, nt: int, v: int) { goto_t[s * 3 + nt] = v; }
+
+fun init_tables() {
+  var i : int;
+  for (i = 0; i < 72; i = i + 1) { action[i] = 0; }
+  for (i = 0; i < 36; i = i + 1) { goto_t[i] = 0; }
+  # productions: 1: E->E+T (3)  2: E->T (1)  3: T->T*F (3)
+  #              4: T->F (1)    5: F->(E) (3)  6: F->id (1)
+  prod_len[1] = 3; prod_lhs[1] = 0;
+  prod_len[2] = 1; prod_lhs[2] = 0;
+  prod_len[3] = 3; prod_lhs[3] = 1;
+  prod_len[4] = 1; prod_lhs[4] = 1;
+  prod_len[5] = 3; prod_lhs[5] = 2;
+  prod_len[6] = 1; prod_lhs[6] = 2;
+  # canonical SLR table (Aho-Sethi-Ullman, Fig 4.31)
+  set_action(0, 0, 105); set_action(0, 3, 104);
+  set_action(1, 1, 106); set_action(1, 5, 999);
+  set_action(2, 1, 202); set_action(2, 2, 107); set_action(2, 4, 202);
+  set_action(2, 5, 202);
+  set_action(3, 1, 204); set_action(3, 2, 204); set_action(3, 4, 204);
+  set_action(3, 5, 204);
+  set_action(4, 0, 105); set_action(4, 3, 104);
+  set_action(5, 1, 206); set_action(5, 2, 206); set_action(5, 4, 206);
+  set_action(5, 5, 206);
+  set_action(6, 0, 105); set_action(6, 3, 104);
+  set_action(7, 0, 105); set_action(7, 3, 104);
+  set_action(8, 1, 106); set_action(8, 4, 111);
+  set_action(9, 1, 201); set_action(9, 2, 107); set_action(9, 4, 201);
+  set_action(9, 5, 201);
+  set_action(10, 1, 203); set_action(10, 2, 203); set_action(10, 4, 203);
+  set_action(10, 5, 203);
+  set_action(11, 1, 205); set_action(11, 2, 205); set_action(11, 4, 205);
+  set_action(11, 5, 205);
+  set_goto(0, 0, 1); set_goto(0, 1, 2); set_goto(0, 2, 3);
+  set_goto(4, 0, 8); set_goto(4, 1, 2); set_goto(4, 2, 3);
+  set_goto(6, 1, 9); set_goto(6, 2, 3);
+  set_goto(7, 2, 10);
+}
+
+var gseed : int = 313;
+
+fun grand(n: int) : int {
+  gseed = (gseed * 1103515245 + 12345) % 1073741824;
+  return (gseed / 1024) % n;
+}
+
+# emit a random expression of bounded depth as a token stream
+fun emit_expr(depth: int) {
+  var shape : int;
+  shape = grand(4);
+  if (depth <= 0 || shape == 0) {
+    tokens[ntokens] = 0;    # id
+    ntokens = ntokens + 1;
+    return;
+  }
+  if (shape == 1) {
+    emit_expr(depth - 1);
+    tokens[ntokens] = 1;    # +
+    ntokens = ntokens + 1;
+    emit_expr(depth - 1);
+    return;
+  }
+  if (shape == 2) {
+    emit_expr(depth - 1);
+    tokens[ntokens] = 2;    # *
+    ntokens = ntokens + 1;
+    emit_expr(depth - 1);
+    return;
+  }
+  tokens[ntokens] = 3;      # (
+  ntokens = ntokens + 1;
+  emit_expr(depth - 1);
+  tokens[ntokens] = 4;      # )
+  ntokens = ntokens + 1;
+}
+
+# the yacc driver loop
+fun parse(start: int, stop: int) : int {
+  var sp : int = 0;
+  var pos : int = start;
+  var tok : int;
+  var act : int;
+  var state : int;
+  var reductions : int = 0;
+  var prod : int;
+  stack[0] = 0;
+  while (1 == 1) {
+    state = stack[sp];
+    if (pos < stop) { tok = tokens[pos]; } else { tok = 5; }
+    act = action[state * 6 + tok];
+    if (act == 999) { return reductions; }
+    if (act == 0) { return -1000000; }
+    if (act >= 200) {
+      prod = act - 200;
+      sp = sp - prod_len[prod];
+      state = stack[sp];
+      sp = sp + 1;
+      stack[sp] = goto_t[state * 3 + prod_lhs[prod]];
+      reductions = reductions + 1;
+    } else {
+      sp = sp + 1;
+      stack[sp] = act - 100;
+      pos = pos + 1;
+    }
+  }
+  return -1;
+}
+
+fun main() {
+  var round : int;
+  var r : int;
+  init_tables();
+  for (round = 0; round < 40; round = round + 1) {
+    ntokens = 0;
+    emit_expr(5);
+    r = parse(0, ntokens);
+    chk = chk + r + ntokens;
+  }
+  sink(chk);
+}
+|}
+
+let workload =
+  Workload.make "yacc" ~expected_sink:(Some (Workload.Exp_int 1210))
+    ~description:
+      "yacc-style table-driven SLR parser loop over synthesised expression \
+       token streams"
+    source

@@ -1,0 +1,52 @@
+(* Shared helpers for the test suite. *)
+
+open Ilp_machine
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* relative-tolerance float check for accumulated FP results *)
+let check_float_rel ?(tol = 1e-6) msg expected actual =
+  let denom = max (abs_float expected) 1.0 in
+  if abs_float (expected -. actual) /. denom > tol then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let value_testable =
+  Alcotest.testable Ilp_sim.Value.pp Ilp_sim.Value.equal
+
+(* Compile a MiniMod source and execute it on [config] (default: base),
+   returning the outcome. *)
+let run_source ?(config = Presets.base) ?(level = Ilp_core.Ilp.O4) ?unroll src
+    =
+  let program = Ilp_core.Ilp.compile ?unroll ~level config src in
+  Ilp_sim.Exec.run program
+
+let sink_of ?config ?level ?unroll src =
+  (run_source ?config ?level ?unroll src).Ilp_sim.Exec.sink
+
+(* Sink value must be identical (or within FP tolerance) at every
+   optimization level; a very strong whole-compiler test. *)
+let check_all_levels ?(tol = 0.0) name src =
+  let sinks =
+    List.map (fun level -> sink_of ~level src) Ilp_core.Ilp.all_levels
+  in
+  match sinks with
+  | [] -> ()
+  | first :: rest ->
+      List.iteri
+        (fun i s ->
+          match (first, s) with
+          | Ilp_sim.Value.Int a, Ilp_sim.Value.Int b ->
+              if a <> b then
+                Alcotest.failf "%s: level %d sink %d <> O0 sink %d" name
+                  (i + 1) b a
+          | Ilp_sim.Value.Float a, Ilp_sim.Value.Float b ->
+              let denom = max (abs_float a) 1.0 in
+              if abs_float (a -. b) /. denom > tol then
+                Alcotest.failf "%s: level %d sink %g <> O0 sink %g" name
+                  (i + 1) b a
+          | _ -> Alcotest.failf "%s: sink type changed across levels" name)
+        rest
+
+let measure ?(config = Presets.base) ?(level = Ilp_core.Ilp.O4) ?unroll src =
+  let program = Ilp_core.Ilp.compile ?unroll ~level config src in
+  Ilp_sim.Metrics.measure config program

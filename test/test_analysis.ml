@@ -1,0 +1,196 @@
+(* Direct tests for the CFG analyses: construction, dominators, natural
+   loops, and liveness — on hand-built control-flow shapes. *)
+
+open Ilp_ir
+open Ilp_opt
+
+let r = Reg.phys
+let l = Label.of_string
+
+(* a diamond:  entry -> (left | right) -> join *)
+let diamond () =
+  Func.make ~name:"main" ~frame_size:0 ~n_params:0
+    [ Block.make (l "entry")
+        [ Builder.li (r 4) 1; Builder.beq (r 4) (r 4) (l "right") ];
+      Block.make (l "left") [ Builder.li (r 5) 2; Builder.jmp (l "join") ];
+      Block.make (l "right") [ Builder.li (r 5) 3 ];
+      Block.make (l "join") [ Builder.halt () ] ]
+
+(* a loop:  entry -> header -> body -> header; header -> exit *)
+let loop_shape () =
+  Func.make ~name:"main" ~frame_size:0 ~n_params:0
+    [ Block.make (l "entry") [ Builder.li (r 4) 0 ];
+      Block.make (l "header")
+        [ Builder.li (r 5) 10; Builder.bge (r 4) (r 5) (l "exit") ];
+      Block.make (l "body")
+        [ Builder.addi (r 4) (r 4) 1; Builder.jmp (l "header") ];
+      Block.make (l "exit") [ Builder.halt () ] ]
+
+let test_cfg_diamond () =
+  let cfg = Cfg_info.build (diamond ()) in
+  Alcotest.(check int) "four blocks" 4 (Cfg_info.n_blocks cfg);
+  (* entry: fallthrough to left, branch to right *)
+  Alcotest.(check (list int)) "entry succs" [ 1; 2 ] cfg.Cfg_info.succs.(0);
+  Alcotest.(check (list int)) "left succs" [ 3 ] cfg.Cfg_info.succs.(1);
+  Alcotest.(check (list int)) "right succs" [ 3 ] cfg.Cfg_info.succs.(2);
+  Alcotest.(check (list int)) "join succs" [] cfg.Cfg_info.succs.(3);
+  Alcotest.(check int) "join preds" 2 (List.length cfg.Cfg_info.preds.(3));
+  Alcotest.(check bool) "all reachable" true
+    (List.for_all (Cfg_info.reachable cfg) [ 0; 1; 2; 3 ])
+
+let test_cfg_rpo () =
+  let cfg = Cfg_info.build (diamond ()) in
+  (* reverse postorder visits entry first and join last *)
+  Alcotest.(check int) "entry first" 0 cfg.Cfg_info.rpo.(0);
+  Alcotest.(check int) "join last" 3
+    cfg.Cfg_info.rpo.(Array.length cfg.Cfg_info.rpo - 1)
+
+let test_dominators_diamond () =
+  let cfg = Cfg_info.build (diamond ()) in
+  let dom = Dominators.compute cfg in
+  Alcotest.(check int) "entry self-dominated" 0 dom.Dominators.idom.(0);
+  Alcotest.(check int) "left idom entry" 0 dom.Dominators.idom.(1);
+  Alcotest.(check int) "right idom entry" 0 dom.Dominators.idom.(2);
+  Alcotest.(check int) "join idom entry (not a branch arm)" 0
+    dom.Dominators.idom.(3);
+  Alcotest.(check bool) "entry dominates all" true
+    (List.for_all (Dominators.dominates dom 0) [ 0; 1; 2; 3 ]);
+  Alcotest.(check bool) "left does not dominate join" false
+    (Dominators.dominates dom 1 3);
+  Alcotest.(check bool) "dominance is reflexive" true
+    (Dominators.dominates dom 2 2)
+
+let test_dominators_chain () =
+  let f =
+    Func.make ~name:"main" ~frame_size:0 ~n_params:0
+      [ Block.make (l "a") [ Builder.li (r 4) 1 ];
+        Block.make (l "b") [ Builder.li (r 5) 2 ];
+        Block.make (l "c") [ Builder.halt () ] ]
+  in
+  let dom = Dominators.compute (Cfg_info.build f) in
+  Alcotest.(check int) "b idom a" 0 dom.Dominators.idom.(1);
+  Alcotest.(check int) "c idom b" 1 dom.Dominators.idom.(2);
+  let kids = Dominators.children dom in
+  Alcotest.(check (list int)) "a's dom children" [ 1 ] kids.(0);
+  Alcotest.(check (list int)) "b's dom children" [ 2 ] kids.(1)
+
+let test_loops_detects_natural_loop () =
+  let cfg = Cfg_info.build (loop_shape ()) in
+  let loops = Loops.compute cfg in
+  Alcotest.(check int) "one loop" 1 (List.length loops.Loops.loops);
+  (match loops.Loops.loops with
+  | [ lp ] ->
+      Alcotest.(check int) "header is block 1" 1 lp.Loops.header;
+      Alcotest.(check (list int)) "body is header+body" [ 1; 2 ]
+        (List.sort compare lp.Loops.body)
+  | _ -> Alcotest.fail "expected one loop");
+  Alcotest.(check int) "entry depth 0" 0 (Loops.depth loops 0);
+  Alcotest.(check int) "header depth 1" 1 (Loops.depth loops 1);
+  Alcotest.(check int) "body depth 1" 1 (Loops.depth loops 2);
+  Alcotest.(check int) "exit depth 0" 0 (Loops.depth loops 3)
+
+let test_loops_nested () =
+  (* entry -> h1 -> h2 -> b2 -> h2 ; h2 -> l1latch -> h1 ; h1 -> exit *)
+  let f =
+    Func.make ~name:"main" ~frame_size:0 ~n_params:0
+      [ Block.make (l "entry") [ Builder.li (r 4) 0 ];
+        Block.make (l "h1")
+          [ Builder.li (r 5) 3; Builder.bge (r 4) (r 5) (l "exit") ];
+        Block.make (l "h2")
+          [ Builder.li (r 6) 3; Builder.bge (r 4) (r 6) (l "l1latch") ];
+        Block.make (l "b2")
+          [ Builder.addi (r 4) (r 4) 1; Builder.jmp (l "h2") ];
+        Block.make (l "l1latch")
+          [ Builder.addi (r 4) (r 4) 1; Builder.jmp (l "h1") ];
+        Block.make (l "exit") [ Builder.halt () ] ]
+  in
+  let loops = Loops.compute (Cfg_info.build f) in
+  Alcotest.(check int) "two loops" 2 (List.length loops.Loops.loops);
+  (* h2 and b2 are in both loops *)
+  Alcotest.(check int) "inner blocks depth 2" 2 (Loops.depth loops 2);
+  Alcotest.(check int) "outer-only blocks depth 1" 1 (Loops.depth loops 4);
+  (* innermost first puts the smaller loop first *)
+  match Loops.innermost_first loops with
+  | inner :: _ ->
+      Alcotest.(check int) "inner header is h2" 2 inner.Loops.header
+  | [] -> Alcotest.fail "no loops"
+
+let test_liveness_straightline () =
+  let v1 = Reg.virt () and v2 = Reg.virt () in
+  let f =
+    Func.make ~name:"main" ~frame_size:0 ~n_params:0
+      [ Block.make (l "a")
+          [ Instr.make Opcode.Li ~dst:v1 ~srcs:[ Instr.Oimm 1 ] ];
+        Block.make (l "b")
+          [ Instr.make Opcode.Add ~dst:v2
+              ~srcs:[ Instr.Oreg v1; Instr.Oimm 2 ];
+            Builder.halt () ] ]
+  in
+  let cfg = Cfg_info.build f in
+  let live = Liveness.compute cfg in
+  Alcotest.(check bool) "v1 live out of a" true
+    (Reg.Set.mem v1 live.Liveness.live_out.(0));
+  Alcotest.(check bool) "v1 live into b" true
+    (Reg.Set.mem v1 live.Liveness.live_in.(1));
+  Alcotest.(check bool) "v2 not live into b" false
+    (Reg.Set.mem v2 live.Liveness.live_in.(1));
+  Alcotest.(check bool) "nothing live into entry" true
+    (Reg.Set.is_empty live.Liveness.live_in.(0))
+
+let test_liveness_around_loop () =
+  (* a value defined before a loop and used inside stays live around the
+     back edge *)
+  let v = Reg.virt () in
+  let f =
+    Func.make ~name:"main" ~frame_size:0 ~n_params:0
+      [ Block.make (l "entry")
+          [ Instr.make Opcode.Li ~dst:v ~srcs:[ Instr.Oimm 7 ];
+            Builder.li (r 4) 0 ];
+        Block.make (l "header")
+          [ Builder.li (r 5) 9; Builder.bge (r 4) (r 5) (l "exit") ];
+        Block.make (l "body")
+          [ Instr.make Opcode.Add ~dst:(r 6)
+              ~srcs:[ Instr.Oreg v; Instr.Oreg (r 4) ];
+            Builder.addi (r 4) (r 4) 1;
+            Builder.jmp (l "header") ];
+        Block.make (l "exit") [ Builder.halt () ] ]
+  in
+  let live = Liveness.compute (Cfg_info.build f) in
+  Alcotest.(check bool) "live into header" true
+    (Reg.Set.mem v live.Liveness.live_in.(1));
+  Alcotest.(check bool) "live out of body (back edge)" true
+    (Reg.Set.mem v live.Liveness.live_out.(2));
+  Alcotest.(check bool) "dead at exit" false
+    (Reg.Set.mem v live.Liveness.live_in.(3))
+
+let test_locality () =
+  let v_local = Reg.virt () and v_cross = Reg.virt () in
+  let f =
+    Func.make ~name:"main" ~frame_size:0 ~n_params:0
+      [ Block.make (l "a")
+          [ Instr.make Opcode.Li ~dst:v_local ~srcs:[ Instr.Oimm 1 ];
+            Instr.make Opcode.Add ~dst:v_cross
+              ~srcs:[ Instr.Oreg v_local; Instr.Oimm 1 ] ];
+        Block.make (l "b")
+          [ Instr.make Opcode.Add ~dst:(r 5)
+              ~srcs:[ Instr.Oreg v_cross; Instr.Oimm 1 ];
+            Builder.halt () ] ]
+  in
+  let deletable = Locality.block_local_vregs f in
+  Alcotest.(check bool) "block-local vreg deletable" true (deletable v_local);
+  Alcotest.(check bool) "cross-block vreg not deletable" false
+    (deletable v_cross);
+  Alcotest.(check bool) "physical never deletable" false (deletable (r 5))
+
+let tests =
+  [ Alcotest.test_case "cfg diamond" `Quick test_cfg_diamond;
+    Alcotest.test_case "cfg reverse postorder" `Quick test_cfg_rpo;
+    Alcotest.test_case "dominators diamond" `Quick test_dominators_diamond;
+    Alcotest.test_case "dominators chain" `Quick test_dominators_chain;
+    Alcotest.test_case "natural loop detection" `Quick
+      test_loops_detects_natural_loop;
+    Alcotest.test_case "nested loops" `Quick test_loops_nested;
+    Alcotest.test_case "liveness straight line" `Quick
+      test_liveness_straightline;
+    Alcotest.test_case "liveness around loop" `Quick test_liveness_around_loop;
+    Alcotest.test_case "locality" `Quick test_locality ]

@@ -1,0 +1,235 @@
+(* Executor semantics: every opcode, control flow, calls, memory, and
+   fault behaviour, using hand-built IR and small MiniMod programs. *)
+
+open Ilp_ir
+
+let sink_addr = Program.globals_base
+
+let run_main instrs =
+  let p =
+    Program.make
+      ~globals:[ { Program.gname = "__sink"; words = 1; init = Program.Zero } ]
+      ~functions:[ Builder.single_block_main instrs ]
+  in
+  Ilp_sim.Exec.run p
+
+(* evaluate a sequence that leaves its result in r9, then store to sink *)
+let eval instrs =
+  let r = Reg.phys in
+  let all =
+    instrs @ [ Builder.st ~value:(r 9) ~base:(r 8) ~offset:0 () ]
+  in
+  let with_base = Builder.li (Reg.phys 8) sink_addr :: all in
+  (run_main with_base).Ilp_sim.Exec.sink
+
+let check_int name expected instrs =
+  Alcotest.check Helpers.value_testable name (Ilp_sim.Value.Int expected)
+    (eval instrs)
+
+let check_flt name expected instrs =
+  match eval instrs with
+  | Ilp_sim.Value.Float f -> Helpers.check_float name expected f
+  | Ilp_sim.Value.Int _ -> Alcotest.failf "%s: expected float" name
+
+let r = Reg.phys
+
+let test_int_arith () =
+  check_int "add" 7 [ Builder.li (r 1) 3; Builder.li (r 2) 4; Builder.add (r 9) (r 1) (r 2) ];
+  check_int "sub" (-1) [ Builder.li (r 1) 3; Builder.li (r 2) 4; Builder.sub (r 9) (r 1) (r 2) ];
+  check_int "mul" 12 [ Builder.li (r 1) 3; Builder.li (r 2) 4; Builder.mul (r 9) (r 1) (r 2) ];
+  check_int "div" 3 [ Builder.li (r 1) 13; Builder.li (r 2) 4; Builder.div (r 9) (r 1) (r 2) ];
+  check_int "rem" 1
+    [ Builder.li (r 1) 13; Builder.li (r 2) 4;
+      Instr.make Opcode.Rem ~dst:(r 9) ~srcs:[ Instr.Oreg (r 1); Instr.Oreg (r 2) ] ];
+  check_int "neg" (-5)
+    [ Builder.li (r 1) 5; Instr.make Opcode.Neg ~dst:(r 9) ~srcs:[ Instr.Oreg (r 1) ] ]
+
+let test_int_logic_shift () =
+  check_int "and" 0b100 [ Builder.li (r 1) 0b110; Builder.li (r 2) 0b101; Builder.and_ (r 9) (r 1) (r 2) ];
+  check_int "or" 0b111 [ Builder.li (r 1) 0b110; Builder.li (r 2) 0b101; Builder.or_ (r 9) (r 1) (r 2) ];
+  check_int "xor" 0b011 [ Builder.li (r 1) 0b110; Builder.li (r 2) 0b101; Builder.xor (r 9) (r 1) (r 2) ];
+  check_int "shl" 40 [ Builder.li (r 1) 5; Builder.shl (r 9) (r 1) 3 ];
+  check_int "sra" (-2)
+    [ Builder.li (r 1) (-8);
+      Instr.make Opcode.Sra ~dst:(r 9) ~srcs:[ Instr.Oreg (r 1); Instr.Oimm 2 ] ];
+  check_int "not" (-1)
+    [ Builder.li (r 1) 0; Instr.make Opcode.Not ~dst:(r 9) ~srcs:[ Instr.Oreg (r 1) ] ]
+
+let test_comparisons () =
+  check_int "slt true" 1 [ Builder.li (r 1) 2; Builder.li (r 2) 3; Builder.slt (r 9) (r 1) (r 2) ];
+  check_int "slt false" 0 [ Builder.li (r 1) 3; Builder.li (r 2) 3; Builder.slt (r 9) (r 1) (r 2) ];
+  check_int "seq" 1
+    [ Builder.li (r 1) 3;
+      Instr.make Opcode.Seq ~dst:(r 9) ~srcs:[ Instr.Oreg (r 1); Instr.Oimm 3 ] ];
+  check_int "sne" 1
+    [ Builder.li (r 1) 3;
+      Instr.make Opcode.Sne ~dst:(r 9) ~srcs:[ Instr.Oreg (r 1); Instr.Oimm 4 ] ]
+
+let test_float_ops () =
+  check_flt "fadd" 3.5 [ Builder.fli (r 1) 1.25; Builder.fli (r 2) 2.25; Builder.fadd (r 9) (r 1) (r 2) ];
+  check_flt "fsub" (-1.0) [ Builder.fli (r 1) 1.25; Builder.fli (r 2) 2.25; Builder.fsub (r 9) (r 1) (r 2) ];
+  check_flt "fmul" 2.5 [ Builder.fli (r 1) 1.25; Builder.fli (r 2) 2.0; Builder.fmul (r 9) (r 1) (r 2) ];
+  check_flt "fdiv" 0.625 [ Builder.fli (r 1) 1.25; Builder.fli (r 2) 2.0; Builder.fdiv (r 9) (r 1) (r 2) ];
+  check_flt "itof" 7.0 [ Builder.li (r 1) 7; Builder.itof (r 9) (r 1) ];
+  check_int "ftoi" 7
+    [ Builder.fli (r 1) 7.9; Instr.make Opcode.Ftoi ~dst:(r 9) ~srcs:[ Instr.Oreg (r 1) ] ];
+  check_int "flt" 1
+    [ Builder.fli (r 1) 1.0; Builder.fli (r 2) 2.0;
+      Instr.make Opcode.Flt ~dst:(r 9) ~srcs:[ Instr.Oreg (r 1); Instr.Oreg (r 2) ] ]
+
+let test_memory_roundtrip () =
+  check_int "store/load" 42
+    [ Builder.li (r 1) 42;
+      Builder.li (r 2) 2000;
+      Builder.st ~value:(r 1) ~base:(r 2) ~offset:5 ();
+      Builder.ld (r 9) ~base:(r 2) ~offset:5 ]
+
+let test_absolute_addressing () =
+  check_int "absolute base" 9
+    [ Builder.li (r 1) 9;
+      Instr.make Opcode.St ~srcs:[ Instr.Oreg (r 1); Instr.Oimm 3000 ];
+      Instr.make Opcode.Ld ~dst:(r 9) ~srcs:[ Instr.Oimm 3000 ] ]
+
+let test_branches () =
+  let skip = Label.of_string "skip" in
+  let p =
+    Program.make
+      ~globals:[ { Program.gname = "__sink"; words = 1; init = Program.Zero } ]
+      ~functions:
+        [ Func.make ~name:"main" ~frame_size:0 ~n_params:0
+            [ Block.make (Label.of_string "main")
+                [ Builder.li (r 1) 1;
+                  Builder.li (r 2) 2;
+                  Builder.li (r 9) 111;
+                  Builder.blt (r 1) (r 2) skip;
+                  Builder.li (r 9) 222 (* skipped *) ];
+              Block.make skip
+                [ Builder.li (r 8) sink_addr;
+                  Builder.st ~value:(r 9) ~base:(r 8) ~offset:0 ();
+                  Builder.halt () ] ]
+        ]
+  in
+  Alcotest.check Helpers.value_testable "taken branch skips"
+    (Ilp_sim.Value.Int 111) (Ilp_sim.Exec.run p).Ilp_sim.Exec.sink
+
+let test_call_stack () =
+  (* call a function that sets r1, main sinks it; ret addr is off-memory *)
+  let f_label = Label.of_string "f" in
+  let p =
+    Program.make
+      ~globals:[ { Program.gname = "__sink"; words = 1; init = Program.Zero } ]
+      ~functions:
+        [ Func.make ~name:"main" ~frame_size:0 ~n_params:0
+            [ Block.make (Label.of_string "main")
+                [ Builder.call f_label;
+                  Builder.li (r 8) sink_addr;
+                  Builder.st ~value:Instr.ret_reg ~base:(r 8) ~offset:0 ();
+                  Builder.halt () ] ];
+          Func.make ~name:"f" ~frame_size:0 ~n_params:0
+            [ Block.make f_label
+                [ Builder.li Instr.ret_reg 77; Builder.ret () ] ]
+        ]
+  in
+  Alcotest.check Helpers.value_testable "call/ret" (Ilp_sim.Value.Int 77)
+    (Ilp_sim.Exec.run p).Ilp_sim.Exec.sink
+
+let expect_fault name instrs =
+  match run_main instrs with
+  | exception Ilp_sim.Exec.Fault _ -> ()
+  | _ -> Alcotest.failf "%s: expected a fault" name
+
+let test_faults () =
+  expect_fault "div by zero"
+    [ Builder.li (r 1) 1; Builder.li (r 2) 0; Builder.div (r 9) (r 1) (r 2) ];
+  expect_fault "oob load"
+    [ Builder.li (r 1) (-5); Builder.ld (r 9) ~base:(r 1) ~offset:0 ];
+  expect_fault "jump to unknown label"
+    [ Builder.jmp (Label.of_string "nowhere") ];
+  (* FP instruction on integer words is a dynamic type error *)
+  match
+    run_main [ Builder.li (r 1) 1; Builder.fadd (r 9) (r 1) (r 1) ]
+  with
+  | exception Ilp_sim.Value.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected a type error"
+
+(* max_steps guard *)
+let test_step_guard () =
+  let back = Label.of_string "main" in
+  let p =
+    Program.make ~globals:[]
+      ~functions:
+        [ Func.make ~name:"main" ~frame_size:0 ~n_params:0
+            [ Block.make back [ Builder.jmp back ] ] ]
+  in
+  let options = { Ilp_sim.Exec.default_options with Ilp_sim.Exec.max_steps = 1000 } in
+  match Ilp_sim.Exec.run ~options p with
+  | exception Ilp_sim.Exec.Fault _ -> ()
+  | _ -> Alcotest.fail "expected step-limit fault"
+
+let test_class_counts () =
+  let outcome =
+    run_main
+      [ Builder.li (r 1) 1;
+        Builder.add (r 2) (r 1) (r 1);
+        Builder.add (r 3) (r 2) (r 1);
+        Builder.fli (r 4) 1.0;
+        Builder.fadd (r 5) (r 4) (r 4) ]
+  in
+  let count cls = outcome.Ilp_sim.Exec.class_counts.(Iclass.to_index cls) in
+  Alcotest.(check int) "two moves (li)" 2 (count Iclass.Move);
+  Alcotest.(check int) "two adds" 2 (count Iclass.Add_sub);
+  Alcotest.(check int) "one fp add" 1 (count Iclass.Fp_add);
+  Alcotest.(check int) "one jump (halt)" 1 (count Iclass.Jump);
+  Alcotest.(check int) "dyn instrs" 6 outcome.Ilp_sim.Exec.dyn_instrs
+
+let test_global_init () =
+  let p =
+    Program.make
+      ~globals:
+        [ { Program.gname = "__sink"; words = 1; init = Program.Zero };
+          { Program.gname = "g"; words = 1; init = Program.Ints [ 123 ] };
+          { Program.gname = "fs"; words = 2; init = Program.Floats [ 1.5; 2.5 ] } ]
+      ~functions:
+        [ Builder.single_block_main
+            [ Instr.make Opcode.Ld ~dst:(r 9) ~srcs:[ Instr.Oimm (sink_addr + 1) ];
+              Builder.li (r 8) sink_addr;
+              Builder.st ~value:(r 9) ~base:(r 8) ~offset:0 () ] ]
+  in
+  Alcotest.check Helpers.value_testable "initialized global"
+    (Ilp_sim.Value.Int 123) (Ilp_sim.Exec.run p).Ilp_sim.Exec.sink
+
+let test_empty_block_skipped () =
+  (* jumping to an empty block falls through to the next *)
+  let empty = Label.of_string "empty" in
+  let after = Label.of_string "after" in
+  let p =
+    Program.make
+      ~globals:[ { Program.gname = "__sink"; words = 1; init = Program.Zero } ]
+      ~functions:
+        [ Func.make ~name:"main" ~frame_size:0 ~n_params:0
+            [ Block.make (Label.of_string "main") [ Builder.jmp empty ];
+              Block.make empty [];
+              Block.make after
+                [ Builder.li (r 9) 5;
+                  Builder.li (r 8) sink_addr;
+                  Builder.st ~value:(r 9) ~base:(r 8) ~offset:0 ();
+                  Builder.halt () ] ]
+        ]
+  in
+  Alcotest.check Helpers.value_testable "empty block fallthrough"
+    (Ilp_sim.Value.Int 5) (Ilp_sim.Exec.run p).Ilp_sim.Exec.sink
+
+let tests =
+  [ Alcotest.test_case "integer arithmetic" `Quick test_int_arith;
+    Alcotest.test_case "logic and shifts" `Quick test_int_logic_shift;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "floating point" `Quick test_float_ops;
+    Alcotest.test_case "memory roundtrip" `Quick test_memory_roundtrip;
+    Alcotest.test_case "absolute addressing" `Quick test_absolute_addressing;
+    Alcotest.test_case "branches" `Quick test_branches;
+    Alcotest.test_case "call stack" `Quick test_call_stack;
+    Alcotest.test_case "faults" `Quick test_faults;
+    Alcotest.test_case "step guard" `Quick test_step_guard;
+    Alcotest.test_case "class counts" `Quick test_class_counts;
+    Alcotest.test_case "global initialization" `Quick test_global_init;
+    Alcotest.test_case "empty blocks skipped" `Quick test_empty_block_skipped ]

@@ -1,0 +1,211 @@
+(* Unit tests for the IR substrate: registers, instruction classes,
+   opcodes, instructions, memory annotations, blocks and functions. *)
+
+open Ilp_ir
+
+let test_reg_basics () =
+  Alcotest.(check bool) "sp is physical" true (Reg.is_physical Reg.sp);
+  Alcotest.(check int) "sp index" 0 (Reg.index Reg.sp);
+  let v1 = Reg.virt () and v2 = Reg.virt () in
+  Alcotest.(check bool) "virtuals distinct" false (Reg.equal v1 v2);
+  Alcotest.(check bool) "virtual is virtual" true (Reg.is_virtual v1);
+  Alcotest.(check bool) "phys is not virtual" false (Reg.is_virtual (Reg.phys 7));
+  Alcotest.(check bool) "roundtrip" true
+    (Reg.equal v1 (Reg.of_index (Reg.index v1)))
+
+let test_reg_invalid () =
+  Alcotest.check_raises "negative phys" (Invalid_argument "Reg.phys: negative index")
+    (fun () -> ignore (Reg.phys (-1)))
+
+let test_reg_pp () =
+  Alcotest.(check string) "sp prints" "sp" (Reg.to_string Reg.sp);
+  Alcotest.(check string) "phys prints" "r5" (Reg.to_string (Reg.phys 5))
+
+let test_iclass_roundtrip () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Iclass.name c ^ " roundtrip")
+        true
+        (Iclass.equal c (Iclass.of_index (Iclass.to_index c))))
+    Iclass.all;
+  Alcotest.(check int) "fourteen classes" 14 Iclass.count
+
+let test_iclass_predicates () =
+  Alcotest.(check bool) "branch is control" true (Iclass.is_control Iclass.Branch);
+  Alcotest.(check bool) "load is memory" true (Iclass.is_memory Iclass.Load);
+  Alcotest.(check bool) "fpdiv not simple" false (Iclass.is_simple Iclass.Fp_div);
+  Alcotest.(check bool) "intdiv not simple" false (Iclass.is_simple Iclass.Int_div);
+  Alcotest.(check bool) "add is simple" true (Iclass.is_simple Iclass.Add_sub);
+  Alcotest.(check bool) "fpadd is fp" true (Iclass.is_floating_point Iclass.Fp_add)
+
+let test_opcode_classes () =
+  Alcotest.(check bool) "add class" true
+    (Iclass.equal (Opcode.iclass Opcode.Add) Iclass.Add_sub);
+  Alcotest.(check bool) "ld class" true
+    (Iclass.equal (Opcode.iclass Opcode.Ld) Iclass.Load);
+  Alcotest.(check bool) "beq class" true
+    (Iclass.equal (Opcode.iclass Opcode.Beq) Iclass.Branch);
+  Alcotest.(check bool) "call class" true
+    (Iclass.equal (Opcode.iclass Opcode.Call) Iclass.Jump);
+  Alcotest.(check bool) "fmul class" true
+    (Iclass.equal (Opcode.iclass Opcode.Fmul) Iclass.Fp_mul)
+
+let test_opcode_predicates () =
+  Alcotest.(check bool) "add pure" true (Opcode.is_pure Opcode.Add);
+  Alcotest.(check bool) "ld impure" false (Opcode.is_pure Opcode.Ld);
+  Alcotest.(check bool) "st impure" false (Opcode.is_pure Opcode.St);
+  Alcotest.(check bool) "call impure" false (Opcode.is_pure Opcode.Call);
+  Alcotest.(check bool) "beq terminator" true (Opcode.is_terminator Opcode.Beq);
+  Alcotest.(check bool) "call not terminator" false (Opcode.is_terminator Opcode.Call);
+  Alcotest.(check bool) "fadd assoc-comm" true (Opcode.is_assoc_commutative Opcode.Fadd);
+  Alcotest.(check bool) "sub not assoc-comm" false (Opcode.is_assoc_commutative Opcode.Sub)
+
+let test_instr_defs_uses () =
+  let r = Reg.phys in
+  let add = Builder.add (r 5) (r 6) (r 7) in
+  Alcotest.(check (list int)) "add defs" [ 5 ] (List.map Reg.index (Instr.defs add));
+  Alcotest.(check (list int)) "add uses" [ 6; 7 ] (List.map Reg.index (Instr.uses add));
+  let st = Builder.st ~value:(r 3) ~base:(r 4) ~offset:2 () in
+  Alcotest.(check (list int)) "st defs" [] (List.map Reg.index (Instr.defs st));
+  Alcotest.(check (list int)) "st uses" [ 3; 4 ] (List.map Reg.index (Instr.uses st));
+  let call = Builder.call (Label.of_string "f") in
+  Alcotest.(check (list int)) "call defs ret" [ Reg.index Instr.ret_reg ]
+    (List.map Reg.index (Instr.defs call));
+  let ret = Builder.ret () in
+  Alcotest.(check (list int)) "ret uses ret_reg" [ Reg.index Instr.ret_reg ]
+    (List.map Reg.index (Instr.uses ret));
+  let li = Builder.li (r 2) 42 in
+  Alcotest.(check (list int)) "li uses nothing" [] (List.map Reg.index (Instr.uses li))
+
+let test_instr_ids_unique () =
+  let r = Reg.phys in
+  let a = Builder.add (r 1) (r 2) (r 3) in
+  let b = Builder.add (r 1) (r 2) (r 3) in
+  Alcotest.(check bool) "fresh ids" false (a.Instr.id = b.Instr.id);
+  let c = Instr.copy a in
+  Alcotest.(check bool) "copy has fresh id" false (a.Instr.id = c.Instr.id)
+
+let test_instr_map_src () =
+  let r = Reg.phys in
+  let add = Builder.add (r 5) (r 6) (r 7) in
+  let mapped = Instr.map_src_regs (fun _ -> r 9) add in
+  Alcotest.(check (list int)) "srcs mapped" [ 9; 9 ]
+    (List.map Reg.index (Instr.uses mapped));
+  Alcotest.(check (list int)) "dst unchanged" [ 5 ]
+    (List.map Reg.index (Instr.defs mapped))
+
+let test_mem_region_disjoint () =
+  let open Mem_info in
+  let check msg expected r1 r2 =
+    Alcotest.(check bool) msg expected (regions_disjoint r1 r2)
+  in
+  check "different globals" true (Global "a") (Global "b");
+  check "same global" false (Global "a") (Global "a");
+  check "different arrays" true (Global_array "a") (Global_array "b");
+  check "scalar vs array" true (Global "a") (Global_array "a");
+  check "unknown aliases all" false Unknown (Global "a");
+  check "stack slots same fn" true (Stack_slot ("f", 0)) (Stack_slot ("f", 1));
+  check "stack slot same" false (Stack_slot ("f", 0)) (Stack_slot ("f", 0));
+  check "stack slots different fns" true (Stack_slot ("f", 0)) (Stack_slot ("g", 0));
+  (* arg slots of different callees can overlap in memory *)
+  check "arg slots different callees" false (Arg_slot ("f", 0)) (Arg_slot ("g", 0));
+  check "arg slots same callee" true (Arg_slot ("f", 0)) (Arg_slot ("f", 1));
+  (* declared-disjoint views *)
+  check "two views of one array" true
+    (Global_array_view ("a", "src")) (Global_array_view ("a", "dst"));
+  check "same view" false
+    (Global_array_view ("a", "src")) (Global_array_view ("a", "src"));
+  check "view vs bare array" false (Global_array_view ("a", "src")) (Global_array "a");
+  check "view vs other array" true (Global_array_view ("a", "src")) (Global_array "b")
+
+let test_mem_offset_disjoint () =
+  let open Mem_info in
+  let v = Reg.virt () in
+  let w = Reg.virt () in
+  Alcotest.(check bool) "const offsets differ" true
+    (offsets_disjoint (Const 1) (Const 2));
+  Alcotest.(check bool) "const offsets equal" false
+    (offsets_disjoint (Const 1) (Const 1));
+  Alcotest.(check bool) "same sym, different const" true
+    (offsets_disjoint (Sym (v, 0)) (Sym (v, 1)));
+  Alcotest.(check bool) "same sym, same const" false
+    (offsets_disjoint (Sym (v, 2)) (Sym (v, 2)));
+  Alcotest.(check bool) "different syms" false
+    (offsets_disjoint (Sym (v, 0)) (Sym (w, 1)));
+  Alcotest.(check bool) "top matches anything" false
+    (offsets_disjoint Top (Const 0))
+
+let test_mem_full_disjoint () =
+  let open Mem_info in
+  let v = Reg.virt () in
+  let a0 = make (Global_array "a") (Sym (v, 0)) in
+  let a1 = make (Global_array "a") (Sym (v, 1)) in
+  let b0 = make (Global_array "b") (Sym (v, 0)) in
+  Alcotest.(check bool) "a[v] vs a[v+1]" true (disjoint a0 a1);
+  Alcotest.(check bool) "a[v] vs a[v]" false (disjoint a0 a0);
+  Alcotest.(check bool) "a[v] vs b[v]" true (disjoint a0 b0)
+
+let test_block_structure () =
+  let r = Reg.phys in
+  let l = Label.of_string "target" in
+  let b =
+    Block.make (Label.of_string "b")
+      [ Builder.add (r 1) (r 2) (r 3); Builder.beq (r 1) (r 2) l ]
+  in
+  Alcotest.(check bool) "has terminator" true (Block.terminator b <> None);
+  Alcotest.(check bool) "cond branch falls through" true (Block.falls_through b);
+  Alcotest.(check (list string)) "branch targets" [ "target" ]
+    (List.map Label.to_string (Block.branch_targets b));
+  let b2 = Block.make (Label.of_string "b2") [ Builder.jmp l ] in
+  Alcotest.(check bool) "jmp does not fall through" false (Block.falls_through b2);
+  let b3 = Block.make (Label.of_string "b3") [ Builder.add (r 1) (r 2) (r 3) ] in
+  Alcotest.(check bool) "no terminator falls through" true (Block.falls_through b3);
+  Alcotest.(check int) "size" 2 (Block.size b)
+
+let test_func_successors () =
+  let r = Reg.phys in
+  let l1 = Label.of_string "one" and l2 = Label.of_string "two" in
+  let f =
+    Func.make ~name:"f" ~frame_size:0 ~n_params:0
+      [ Block.make l1 [ Builder.beq (r 1) (r 2) l1 ];
+        Block.make l2 [ Builder.ret () ] ]
+  in
+  let succs = Func.successors f in
+  Alcotest.(check (list string)) "block one: taken + fallthrough"
+    [ "one"; "two" ]
+    (List.map Label.to_string (List.assoc l1 succs));
+  Alcotest.(check (list string)) "block two: none" []
+    (List.map Label.to_string (List.assoc l2 succs));
+  Alcotest.(check int) "instr count" 2 (Func.instr_count f)
+
+let test_program_layout () =
+  let p =
+    Program.make
+      ~globals:
+        [ { Program.gname = "a"; words = 1; init = Program.Zero };
+          { Program.gname = "b"; words = 10; init = Program.Zero };
+          { Program.gname = "c"; words = 2; init = Program.Zero } ]
+      ~functions:[ Builder.single_block_main [ Builder.halt () ] ]
+  in
+  Alcotest.(check int) "a at base" Program.globals_base (Program.global_address p "a");
+  Alcotest.(check int) "b after a" (Program.globals_base + 1) (Program.global_address p "b");
+  Alcotest.(check int) "c after b" (Program.globals_base + 11) (Program.global_address p "c")
+
+let tests =
+  [ Alcotest.test_case "reg basics" `Quick test_reg_basics;
+    Alcotest.test_case "reg invalid" `Quick test_reg_invalid;
+    Alcotest.test_case "reg printing" `Quick test_reg_pp;
+    Alcotest.test_case "iclass roundtrip" `Quick test_iclass_roundtrip;
+    Alcotest.test_case "iclass predicates" `Quick test_iclass_predicates;
+    Alcotest.test_case "opcode classes" `Quick test_opcode_classes;
+    Alcotest.test_case "opcode predicates" `Quick test_opcode_predicates;
+    Alcotest.test_case "instr defs/uses" `Quick test_instr_defs_uses;
+    Alcotest.test_case "instr ids unique" `Quick test_instr_ids_unique;
+    Alcotest.test_case "instr map srcs" `Quick test_instr_map_src;
+    Alcotest.test_case "mem region disjointness" `Quick test_mem_region_disjoint;
+    Alcotest.test_case "mem offset disjointness" `Quick test_mem_offset_disjoint;
+    Alcotest.test_case "mem full disjointness" `Quick test_mem_full_disjoint;
+    Alcotest.test_case "block structure" `Quick test_block_structure;
+    Alcotest.test_case "func successors" `Quick test_func_successors;
+    Alcotest.test_case "program layout" `Quick test_program_layout ]

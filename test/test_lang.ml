@@ -1,0 +1,205 @@
+(* Frontend tests: lexer, parser, and semantic analysis. *)
+
+open Ilp_lang
+
+let parse src = Parser.parse_program src
+let check src = Semant.compile_source src
+
+let expect_semant_error name src =
+  match check src with
+  | exception Semant.Error _ -> ()
+  | exception Parser.Error _ -> ()
+  | _ -> Alcotest.failf "%s: expected an error" name
+
+let expect_parse_error name src =
+  match parse src with
+  | exception Parser.Error _ -> ()
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.failf "%s: expected a parse error" name
+
+(* --- lexer --- *)
+
+let test_lexer_tokens () =
+  let lx = Lexer.make "var x == <= >> && 3 4.5 # comment\n foo" in
+  let toks = ref [] in
+  let rec drain () =
+    let t, _ = Lexer.next lx in
+    if t <> Lexer.EOF then begin
+      toks := t :: !toks;
+      drain ()
+    end
+  in
+  drain ();
+  Alcotest.(check (list string)) "token stream"
+    [ "var"; "identifier x"; "=="; "<="; ">>"; "&&"; "3"; "4.5"; "identifier foo" ]
+    (List.rev !toks |> List.map Lexer.token_name)
+
+let test_lexer_comments () =
+  let count_tokens src =
+    let lx = Lexer.make src in
+    let rec go n =
+      let t, _ = Lexer.next lx in
+      if t = Lexer.EOF then n else go (n + 1)
+    in
+    go 0
+  in
+  Alcotest.(check int) "hash comment" 1 (count_tokens "x # y z w");
+  Alcotest.(check int) "slash comment" 1 (count_tokens "x // y z w");
+  Alcotest.(check int) "comment then token" 2 (count_tokens "x # c\n y")
+
+let test_lexer_positions () =
+  let lx = Lexer.make "a\n  b" in
+  let _, p1 = Lexer.next lx in
+  let _, p2 = Lexer.next lx in
+  Alcotest.(check int) "first line" 1 p1.Ast.line;
+  Alcotest.(check int) "second line" 2 p2.Ast.line;
+  Alcotest.(check int) "second col" 3 p2.Ast.col
+
+let test_lexer_bad_char () =
+  Alcotest.(check bool) "bad char raises" true
+    (match Lexer.next (Lexer.make "$") with
+    | exception Lexer.Error _ -> true
+    | _ -> false)
+
+(* --- parser --- *)
+
+let test_parser_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3) *)
+  let prog = parse "fun main() { sink(1 + 2 * 3); }" in
+  match prog with
+  | [ Ast.Dfun { Ast.fbody = [ { Ast.snode = Ast.Ssink e; _ } ]; _ } ] -> (
+      match e.Ast.enode with
+      | Ast.Ebinary (Ast.Badd, _, { Ast.enode = Ast.Ebinary (Ast.Bmul, _, _); _ })
+        ->
+          ()
+      | _ -> Alcotest.fail "wrong precedence shape")
+  | _ -> Alcotest.fail "unexpected program shape"
+
+let test_parser_left_assoc () =
+  (* a - b - c parses as (a - b) - c *)
+  let prog = parse "fun main() { sink(7 - 2 - 1); }" in
+  match prog with
+  | [ Ast.Dfun { Ast.fbody = [ { Ast.snode = Ast.Ssink e; _ } ]; _ } ] -> (
+      match e.Ast.enode with
+      | Ast.Ebinary (Ast.Bsub, { Ast.enode = Ast.Ebinary (Ast.Bsub, _, _); _ }, _)
+        ->
+          ()
+      | _ -> Alcotest.fail "subtraction must be left associative")
+  | _ -> Alcotest.fail "unexpected program shape"
+
+let test_parser_comparison_vs_shift () =
+  (* a << b < c parses as (a << b) < c *)
+  let prog = parse "fun main() { sink((1 << 2) < 3); }" in
+  Alcotest.(check int) "parsed one decl" 1 (List.length prog)
+
+let test_parser_for_forms () =
+  let ok = parse "fun main() { var i : int; for (i = 0; i < 9; i = i + 2) { } }" in
+  Alcotest.(check int) "upward loop" 1 (List.length ok);
+  let down = parse "fun main() { var i : int; for (i = 9; i >= 0; i = i - 1) { } }" in
+  Alcotest.(check int) "downward loop" 1 (List.length down);
+  expect_parse_error "wrong loop var"
+    "fun main() { var i : int; var j : int; for (i = 0; j < 9; i = i + 1) { } }"
+
+let test_parser_dangling_else () =
+  let prog =
+    parse
+      "fun main() { var x : int = 1; if (x > 0) { x = 1; } else if (x < 0) { x = 2; } else { x = 3; } }"
+  in
+  Alcotest.(check int) "chained else-if parses" 1 (List.length prog)
+
+let test_parser_view_decl () =
+  let prog = parse "arr a : real[4];\nview av of a;\nfun main() { }" in
+  Alcotest.(check int) "three decls" 3 (List.length prog)
+
+let test_parser_errors () =
+  expect_parse_error "missing semi" "fun main() { var x : int = 1 }";
+  expect_parse_error "missing paren" "fun main() { sink(1; }";
+  expect_parse_error "bad top decl" "int x;";
+  expect_parse_error "unterminated block" "fun main() { var x : int;"
+
+(* --- semantic analysis --- *)
+
+let test_semant_types () =
+  let p = check "fun main() { var x : real = 1.5; var y : real = x + 1.0; sink(y); }" in
+  Alcotest.(check int) "one function" 1 (List.length p.Tast.tfuncs)
+
+let test_semant_promotion () =
+  (* int promotes to real implicitly *)
+  let p = check "fun main() { var x : real = 1; sink(x + 2); }" in
+  ignore p;
+  (* real to int requires a cast *)
+  expect_semant_error "real to int" "fun main() { var x : int = 1.5; }";
+  ignore (check "fun main() { var x : int = int(1.5); sink(x); }")
+
+let test_semant_undeclared () =
+  expect_semant_error "undeclared var" "fun main() { sink(zz); }";
+  expect_semant_error "undeclared fn" "fun main() { sink(f(1)); }";
+  expect_semant_error "undeclared array" "fun main() { sink(a[0]); }"
+
+let test_semant_duplicates () =
+  expect_semant_error "dup local" "fun main() { var x : int; var x : int; }";
+  expect_semant_error "dup global" "var g : int;\nvar g : int;\nfun main() { }";
+  expect_semant_error "dup fn" "fun f() { }\nfun f() { }\nfun main() { }"
+
+let test_semant_arrays () =
+  expect_semant_error "array as scalar" "arr a : int[4];\nfun main() { sink(a); }";
+  expect_semant_error "scalar as array" "var x : int;\nfun main() { sink(x[0]); }";
+  expect_semant_error "real index" "arr a : int[4];\nfun main() { sink(a[1.5]); }";
+  expect_semant_error "zero-size array" "arr a : int[0];\nfun main() { }"
+
+let test_semant_calls () =
+  expect_semant_error "arity" "fun f(x: int) : int { return x; }\nfun main() { sink(f(1, 2)); }";
+  expect_semant_error "arg type" "fun f(x: int) : int { return x; }\nfun main() { sink(f(1.5)); }";
+  expect_semant_error "void in expr" "fun f() { }\nfun main() { sink(f()); }";
+  (* statement call of a void function is fine *)
+  ignore (check "fun f() { }\nfun main() { f(); }")
+
+let test_semant_returns () =
+  expect_semant_error "missing value" "fun f() : int { return; }\nfun main() { }";
+  expect_semant_error "unexpected value" "fun f() { return 1; }\nfun main() { }";
+  expect_semant_error "wrong type" "fun f() : int { return 1.5; }\nfun main() { }"
+
+let test_semant_conditions () =
+  expect_semant_error "real condition" "fun main() { if (1.5) { } }";
+  expect_semant_error "logical on reals" "fun main() { sink(1.0 && 2.0); }";
+  ignore (check "fun main() { if (1.0 < 2.0) { } }")
+
+let test_semant_no_main () =
+  expect_semant_error "no main" "fun f() { }"
+
+let test_semant_for_var () =
+  expect_semant_error "real loop var"
+    "fun main() { var x : real; for (x = 0; x < 5; x = x + 1) { } }";
+  expect_semant_error "undeclared loop var"
+    "fun main() { for (i = 0; i < 5; i = i + 1) { } }"
+
+let test_semant_views () =
+  ignore (check "arr a : real[4];\nview av of a;\nfun main() { av[0] = 1.0; sink(av[0]); }");
+  expect_semant_error "view of scalar" "var x : int;\nview xv of x;\nfun main() { }";
+  expect_semant_error "view of nothing" "view av of a;\nfun main() { }";
+  expect_semant_error "duplicate view name"
+    "arr a : real[4];\nvar av : int;\nview av of a;\nfun main() { }"
+
+let tests =
+  [ Alcotest.test_case "lexer tokens" `Quick test_lexer_tokens;
+    Alcotest.test_case "lexer comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer positions" `Quick test_lexer_positions;
+    Alcotest.test_case "lexer bad char" `Quick test_lexer_bad_char;
+    Alcotest.test_case "parser precedence" `Quick test_parser_precedence;
+    Alcotest.test_case "parser left assoc" `Quick test_parser_left_assoc;
+    Alcotest.test_case "parser shift vs compare" `Quick test_parser_comparison_vs_shift;
+    Alcotest.test_case "parser for forms" `Quick test_parser_for_forms;
+    Alcotest.test_case "parser dangling else" `Quick test_parser_dangling_else;
+    Alcotest.test_case "parser view decl" `Quick test_parser_view_decl;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "semant types" `Quick test_semant_types;
+    Alcotest.test_case "semant promotion" `Quick test_semant_promotion;
+    Alcotest.test_case "semant undeclared" `Quick test_semant_undeclared;
+    Alcotest.test_case "semant duplicates" `Quick test_semant_duplicates;
+    Alcotest.test_case "semant arrays" `Quick test_semant_arrays;
+    Alcotest.test_case "semant calls" `Quick test_semant_calls;
+    Alcotest.test_case "semant returns" `Quick test_semant_returns;
+    Alcotest.test_case "semant conditions" `Quick test_semant_conditions;
+    Alcotest.test_case "semant no main" `Quick test_semant_no_main;
+    Alcotest.test_case "semant for var" `Quick test_semant_for_var;
+    Alcotest.test_case "semant views" `Quick test_semant_views ]

@@ -1,0 +1,377 @@
+(* Optimization-pass unit tests: each pass must preserve semantics and
+   have its intended static effect on instruction counts. *)
+
+open Ilp_ir
+
+let compile_raw src = Ilp_lang.Codegen.gen_program (Ilp_lang.Semant.compile_source src)
+
+let static_count = Program.instr_count
+
+let finish config p = Ilp_regalloc.Temp_alloc.run config p
+
+let run_program p =
+  (Ilp_sim.Exec.run (finish Ilp_machine.Presets.base p)).Ilp_sim.Exec.sink
+
+let check_preserves name pass src =
+  let p = compile_raw src in
+  let before = run_program p in
+  let after = run_program (pass p) in
+  Alcotest.check Helpers.value_testable name before after
+
+let simple_src =
+  {|
+var g : int = 3;
+arr a : int[16];
+fun f(x: int) : int { return x * 2 + g; }
+fun main() {
+  var i : int;
+  var s : int = 0;
+  for (i = 0; i < 16; i = i + 1) { a[i] = f(i) + f(i); }
+  for (i = 0; i < 16; i = i + 1) { s = s + a[i]; }
+  if (s > 100) { s = s - 100; } else { s = s + 7; }
+  sink(s);
+}
+|}
+
+(* --- constant folding --- *)
+
+let test_const_fold_folds () =
+  let src = "fun main() { sink(2 + 3 * 4); }" in
+  let p = compile_raw src in
+  let folded = Ilp_opt.Const_fold.run p |> Ilp_opt.Dce.run in
+  Alcotest.(check bool) "fewer instructions" true
+    (static_count folded < static_count p);
+  Alcotest.check Helpers.value_testable "value" (Ilp_sim.Value.Int 14)
+    (run_program folded)
+
+let test_const_fold_strength_reduction () =
+  let src = "fun main() { var x : int = 7; sink(x * 8); }" in
+  let p = Ilp_opt.Const_fold.run (compile_raw src) in
+  let has_shl =
+    List.exists
+      (fun f ->
+        List.exists
+          (fun b ->
+            List.exists (fun i -> i.Instr.op = Opcode.Shl) b.Block.instrs)
+          f.Func.blocks)
+      p.Program.functions
+  in
+  Alcotest.(check bool) "mul by 8 became shift" true has_shl;
+  Alcotest.check Helpers.value_testable "value" (Ilp_sim.Value.Int 56)
+    (run_program p)
+
+let test_const_fold_division_guard () =
+  (* folding must not hide division by zero *)
+  let src = "fun main() { var z : int = 0; if (z > 0) { sink(1 / z); } sink(9); }" in
+  Alcotest.check Helpers.value_testable "guarded division fine"
+    (Ilp_sim.Value.Int 9)
+    (run_program (Ilp_opt.Const_fold.run (compile_raw src)))
+
+let test_const_fold_preserves () =
+  check_preserves "const fold preserves" Ilp_opt.Const_fold.run simple_src
+
+let test_const_fold_float () =
+  let src = "fun main() { sink(1.5 * 2.0 + 0.25); }" in
+  let v = run_program (Ilp_opt.Const_fold.run (compile_raw src)) in
+  match v with
+  | Ilp_sim.Value.Float f -> Helpers.check_float "folded float" 3.25 f
+  | _ -> Alcotest.fail "expected float"
+
+(* --- local CSE --- *)
+
+let test_cse_removes_redundant_loads () =
+  let src =
+    {|
+var g : int = 5;
+fun main() { sink(g + g + g); }
+|}
+  in
+  let p = compile_raw src in
+  let optimized = Ilp_opt.Local_cse.run p |> Ilp_opt.Dce.run in
+  Alcotest.(check bool) "loads deduplicated" true
+    (static_count optimized < static_count p);
+  Alcotest.check Helpers.value_testable "value" (Ilp_sim.Value.Int 15)
+    (run_program optimized)
+
+let test_cse_respects_stores () =
+  (* a store between two loads of the same cell kills availability *)
+  let src =
+    {|
+var g : int = 5;
+fun main() {
+  var a : int = g;
+  g = 7;
+  sink(a + g);
+}
+|}
+  in
+  Alcotest.check Helpers.value_testable "store kills CSE"
+    (Ilp_sim.Value.Int 12)
+    (run_program (Ilp_opt.Local_cse.run (compile_raw src)))
+
+let test_cse_store_forwarding () =
+  let src =
+    {|
+arr a : int[8];
+fun main() {
+  a[3] = 41;
+  sink(a[3] + 1);
+}
+|}
+  in
+  Alcotest.check Helpers.value_testable "store-to-load forward"
+    (Ilp_sim.Value.Int 42)
+    (run_program (Ilp_opt.Local_cse.run (compile_raw src)))
+
+let test_cse_call_clobbers () =
+  let src =
+    {|
+var g : int = 1;
+fun bump() { g = g + 10; }
+fun main() {
+  var a : int = g;
+  bump();
+  sink(a + g);
+}
+|}
+  in
+  check_preserves "call clobbers memory" Ilp_opt.Local_cse.run src
+
+let test_cse_preserves () =
+  check_preserves "local cse preserves" Ilp_opt.Local_cse.run simple_src
+
+(* --- DCE --- *)
+
+let test_dce_removes_dead () =
+  let src =
+    {|
+fun main() {
+  var dead1 : int = 1 + 2;
+  var dead2 : int = dead1 * 3;
+  sink(5);
+}
+|}
+  in
+  let p = compile_raw src in
+  (* dead stores to locals stay (stores are not pure), but their pure
+     feeding computations go once CSE/copyprop expose them; here we
+     check DCE on a pure chain via cse first *)
+  let cleaned = Ilp_opt.Local_cse.run p |> Ilp_opt.Dce.run in
+  Alcotest.(check bool) "some code removed" true
+    (static_count cleaned <= static_count p);
+  Alcotest.check Helpers.value_testable "value" (Ilp_sim.Value.Int 5)
+    (run_program cleaned)
+
+let test_dce_keeps_stores_and_calls () =
+  let src =
+    {|
+var g : int = 0;
+fun effect() : int { g = g + 1; return 0; }
+fun main() {
+  var unused : int;
+  unused = effect();
+  unused = effect();
+  sink(g);
+}
+|}
+  in
+  Alcotest.check Helpers.value_testable "calls kept"
+    (Ilp_sim.Value.Int 2)
+    (run_program (Ilp_opt.Dce.run (compile_raw src)))
+
+let test_dce_preserves () =
+  check_preserves "dce preserves" Ilp_opt.Dce.run simple_src
+
+(* --- LICM --- *)
+
+let licm_src =
+  {|
+var g : int = 10;
+arr a : int[64];
+fun main() {
+  var i : int;
+  var s : int = 0;
+  for (i = 0; i < 64; i = i + 1) {
+    a[i] = g * 3 + i;        # g*3 is invariant
+  }
+  for (i = 0; i < 64; i = i + 1) { s = s + a[i]; }
+  sink(s);
+}
+|}
+
+let test_licm_hoists () =
+  let p = compile_raw licm_src |> Ilp_opt.Local_cse.run |> Ilp_opt.Dce.run in
+  let before = static_count p in
+  let hoisted = Ilp_opt.Licm.run p in
+  (* static count grows slightly (preheader), dynamic count must shrink *)
+  ignore before;
+  let dyn prog =
+    (Ilp_sim.Exec.run (finish Ilp_machine.Presets.base prog)).Ilp_sim.Exec
+      .dyn_instrs
+  in
+  Alcotest.(check bool) "dynamic count shrinks" true (dyn hoisted < dyn p);
+  Alcotest.check Helpers.value_testable "semantics" (run_program p)
+    (run_program hoisted)
+
+let test_licm_zero_trip () =
+  (* a loop that never runs: hoisted scalar loads must not fault *)
+  let src =
+    {|
+var g : int = 2;
+fun main() {
+  var i : int;
+  var s : int = 0;
+  var n : int = 0;
+  for (i = 0; i < n; i = i + 1) { s = s + g; }
+  sink(s);
+}
+|}
+  in
+  check_preserves "zero-trip loop" Ilp_opt.Licm.run src
+
+let test_licm_respects_aliasing_stores () =
+  (* the loop stores into a; loads of a must not be hoisted *)
+  let src =
+    {|
+arr a : int[8];
+fun main() {
+  var i : int;
+  a[0] = 1;
+  for (i = 1; i < 8; i = i + 1) {
+    a[i] = a[0] + i;
+    a[0] = a[0] + 1;
+  }
+  sink(a[7] + a[0]);
+}
+|}
+  in
+  check_preserves "aliasing stores respected" Ilp_opt.Licm.run src
+
+let test_licm_call_in_loop () =
+  let src =
+    {|
+var g : int = 3;
+fun bump() { g = g + 1; }
+fun main() {
+  var i : int;
+  var s : int = 0;
+  for (i = 0; i < 5; i = i + 1) {
+    s = s + g * 2;   # g*2 not invariant: bump() changes g
+    bump();
+  }
+  sink(s);
+}
+|}
+  in
+  check_preserves "call blocks hoisting" Ilp_opt.Licm.run src
+
+(* --- global CSE --- *)
+
+let test_gcse_across_blocks () =
+  let src =
+    {|
+fun main() {
+  var x : int = 6;
+  var a : int = x * 7;
+  var b : int = 0;
+  if (a > 10) { b = x * 7; } else { b = 1; }
+  sink(a + b);
+}
+|}
+  in
+  check_preserves "gcse preserves" Ilp_opt.Global_cse.run src
+
+let test_gcse_dominator_scoping () =
+  (* an expression computed in one arm must not be reused in the other *)
+  let src =
+    {|
+fun main() {
+  var x : int = 6;
+  var b : int = 0;
+  if (x > 0) { b = x * 7; } else { b = x * 7 + 1; }
+  sink(b);
+}
+|}
+  in
+  check_preserves "sibling scoping" Ilp_opt.Global_cse.run src
+
+(* --- whole pipeline on a battery of small programs --- *)
+
+let battery =
+  [ ("arith", "fun main() { sink((1 + 2) * (3 + 4) - 5 % 3); }", 19);
+    ("logic", "fun main() { sink((12 & 10) | (1 << 4) ^ 3); }", 27);
+    ("shortcircuit",
+     {|
+var calls : int = 0;
+fun t() : int { calls = calls + 1; return 1; }
+fun main() {
+  var x : int = 0;
+  if (x != 0 && t() == 1) { x = 99; }
+  if (x == 0 || t() == 2) { x = x + 1; }
+  sink(x * 100 + calls);
+}
+|},
+     100);
+    ("nested-calls",
+     {|
+fun add3(a: int, b: int, c: int) : int { return a + b + c; }
+fun main() { sink(add3(add3(1,2,3), add3(4,5,6), 7)); }
+|},
+     28);
+    ("recursion",
+     {|
+fun ack(m: int, n: int) : int {
+  if (m == 0) { return n + 1; }
+  if (n == 0) { return ack(m - 1, 1); }
+  return ack(m - 1, ack(m, n - 1));
+}
+fun main() { sink(ack(2, 3)); }
+|},
+     9);
+    ("while-break-style",
+     {|
+fun main() {
+  var n : int = 27;
+  var steps : int = 0;
+  while (n != 1) {
+    if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+    steps = steps + 1;
+  }
+  sink(steps);
+}
+|},
+     111) ]
+
+let test_battery_all_levels () =
+  List.iter
+    (fun (name, src, expected) ->
+      List.iter
+        (fun level ->
+          let v = Helpers.sink_of ~level src in
+          Alcotest.check Helpers.value_testable
+            (Printf.sprintf "%s @ %s" name (Ilp_core.Ilp.opt_level_name level))
+            (Ilp_sim.Value.Int expected) v)
+        Ilp_core.Ilp.all_levels)
+    battery
+
+let tests =
+  [ Alcotest.test_case "const fold folds" `Quick test_const_fold_folds;
+    Alcotest.test_case "strength reduction" `Quick test_const_fold_strength_reduction;
+    Alcotest.test_case "division guard" `Quick test_const_fold_division_guard;
+    Alcotest.test_case "const fold preserves" `Quick test_const_fold_preserves;
+    Alcotest.test_case "const fold float" `Quick test_const_fold_float;
+    Alcotest.test_case "cse removes loads" `Quick test_cse_removes_redundant_loads;
+    Alcotest.test_case "cse respects stores" `Quick test_cse_respects_stores;
+    Alcotest.test_case "store forwarding" `Quick test_cse_store_forwarding;
+    Alcotest.test_case "cse call clobbers" `Quick test_cse_call_clobbers;
+    Alcotest.test_case "cse preserves" `Quick test_cse_preserves;
+    Alcotest.test_case "dce removes dead" `Quick test_dce_removes_dead;
+    Alcotest.test_case "dce keeps effects" `Quick test_dce_keeps_stores_and_calls;
+    Alcotest.test_case "dce preserves" `Quick test_dce_preserves;
+    Alcotest.test_case "licm hoists" `Quick test_licm_hoists;
+    Alcotest.test_case "licm zero-trip" `Quick test_licm_zero_trip;
+    Alcotest.test_case "licm aliasing" `Quick test_licm_respects_aliasing_stores;
+    Alcotest.test_case "licm call in loop" `Quick test_licm_call_in_loop;
+    Alcotest.test_case "gcse across blocks" `Quick test_gcse_across_blocks;
+    Alcotest.test_case "gcse scoping" `Quick test_gcse_dominator_scoping;
+    Alcotest.test_case "battery all levels" `Quick test_battery_all_levels ]

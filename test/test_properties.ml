@@ -1,0 +1,219 @@
+(* Property-based tests (QCheck).
+
+   The headline property is differential compiler testing: random
+   well-formed MiniMod programs must compute the same checksum at every
+   optimization level, on every machine, and under unrolling.  Smaller
+   properties cover the data structures and the scheduler. *)
+
+open Ilp_ir
+open Ilp_machine
+
+let count = 60 (* random programs per differential property *)
+
+let value_key = function
+  | Ilp_sim.Value.Int n -> Printf.sprintf "i%d" n
+  | Ilp_sim.Value.Float f -> Printf.sprintf "f%.17g" f
+
+let safe_sink ?config ?level ?unroll src =
+  try value_key (Helpers.sink_of ?config ?level ?unroll src)
+  with e -> Printf.sprintf "EXN:%s" (Printexc.to_string e)
+
+let prop_levels_agree =
+  QCheck2.Test.make ~count ~name:"random programs: all opt levels agree"
+    ~print:(fun s -> s)
+    Gen_minimod.program
+    (fun src ->
+      let reference = safe_sink ~level:Ilp_core.Ilp.O0 src in
+      List.for_all
+        (fun level -> String.equal (safe_sink ~level src) reference)
+        Ilp_core.Ilp.all_levels)
+
+let prop_machines_agree =
+  QCheck2.Test.make ~count ~name:"random programs: machines agree"
+    ~print:(fun s -> s)
+    Gen_minimod.program
+    (fun src ->
+      let reference = safe_sink ~config:Presets.base src in
+      List.for_all
+        (fun config -> String.equal (safe_sink ~config src) reference)
+        [ Presets.superscalar 4; Presets.superpipelined 3; Presets.multititan;
+          Presets.cray1 (); Presets.superscalar_with_class_conflicts 3 ])
+
+let prop_unrolling_agrees =
+  QCheck2.Test.make ~count ~name:"random programs: unrolling agrees"
+    ~print:(fun s -> s)
+    Gen_minimod.program
+    (fun src ->
+      let reference = safe_sink src in
+      List.for_all
+        (fun factor ->
+          List.for_all
+            (fun mode ->
+              String.equal
+                (safe_sink ~unroll:{ Ilp_core.Ilp.mode; factor } src)
+                reference)
+            [ Ilp_lang.Unroll.Naive; Ilp_lang.Unroll.Careful ])
+        [ 2; 3; 4 ])
+
+let prop_tiny_temp_pools_agree =
+  QCheck2.Test.make ~count:30 ~name:"random programs: tiny temp pools agree"
+    ~print:(fun s -> s)
+    Gen_minimod.program
+    (fun src ->
+      let reference = safe_sink src in
+      List.for_all
+        (fun temps ->
+          let config = Config.make "tiny" ~temp_regs:temps in
+          String.equal (safe_sink ~config src) reference)
+        [ 3; 5 ])
+
+(* --- scheduler properties over random straight-line blocks --------------- *)
+
+let gen_block : Instr.t list QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let reg = map (fun i -> Reg.phys (4 + i)) (int_range 0 11) in
+  let gen_instr =
+    let* shape = int_range 0 5 in
+    match shape with
+    | 0 ->
+        let* d = reg and* n = int_range 0 99 in
+        return (Builder.li d n)
+    | 1 | 2 ->
+        let* d = reg and* a = reg and* b = reg in
+        let* op = oneofl [ Opcode.Add; Opcode.Sub; Opcode.Mul; Opcode.And; Opcode.Xor ] in
+        return (Instr.make op ~dst:d ~srcs:[ Instr.Oreg a; Instr.Oreg b ])
+    | 3 ->
+        let* d = reg and* a = reg and* n = int_range 0 7 in
+        return (Instr.make Opcode.Add ~dst:d ~srcs:[ Instr.Oreg a; Instr.Oimm n ])
+    | 4 ->
+        let* d = reg and* off = int_range (-16) (-1) in
+        return
+          (Builder.ld d ~base:Reg.sp ~offset:off
+             |> fun i ->
+             Instr.with_mem i
+               (Mem_info.make (Mem_info.Stack_slot ("main", off))
+                  (Mem_info.Const off)))
+    | _ ->
+        let* v = reg and* off = int_range (-16) (-1) in
+        return
+          (Builder.st ~value:v ~base:Reg.sp ~offset:off ()
+             |> fun i ->
+             Instr.with_mem i
+               (Mem_info.make (Mem_info.Stack_slot ("main", off))
+                  (Mem_info.Const off)))
+  in
+  let* n = int_range 1 25 in
+  list_repeat n gen_instr
+
+let exec_block instrs =
+  let r = Reg.phys in
+  (* initialize the registers the block may read, then run and hash the
+     register file and touched memory *)
+  let inits = List.init 12 (fun k -> Builder.li (r (4 + k)) (k * 7 + 1)) in
+  let p = Builder.program_of_instrs (inits @ instrs) in
+  let outcome = Ilp_sim.Exec.run p in
+  let regs =
+    Array.to_list (Array.sub outcome.Ilp_sim.Exec.regs 0 32)
+    |> List.map Ilp_sim.Value.to_string
+  in
+  let mem_top = 1 lsl 20 in
+  let touched =
+    List.init 16 (fun k ->
+        Ilp_sim.Value.to_string outcome.Ilp_sim.Exec.memory.(mem_top - 8 + k - 16))
+  in
+  String.concat "," (regs @ touched)
+
+let prop_scheduling_preserves_semantics =
+  QCheck2.Test.make ~count:200
+    ~name:"list scheduling preserves straight-line semantics"
+    ~print:(fun instrs ->
+      String.concat "\n" (List.map Instr.to_string instrs))
+    gen_block
+    (fun instrs ->
+      let config = Presets.superscalar 4 in
+      let b = Block.make (Label.of_string "b") instrs in
+      let scheduled = Ilp_sched.List_sched.schedule_block config b in
+      String.equal (exec_block instrs)
+        (exec_block scheduled.Block.instrs))
+
+let prop_scheduling_is_permutation =
+  QCheck2.Test.make ~count:200 ~name:"list scheduling emits a permutation"
+    gen_block
+    (fun instrs ->
+      let b = Block.make (Label.of_string "b") instrs in
+      let scheduled =
+        Ilp_sched.List_sched.schedule_block (Presets.cray1 ()) b
+      in
+      let ids l = List.sort compare (List.map (fun i -> i.Instr.id) l) in
+      ids instrs = ids scheduled.Block.instrs)
+
+let prop_available_parallelism_bounds =
+  QCheck2.Test.make ~count:200 ~name:"available parallelism within bounds"
+    gen_block
+    (fun instrs ->
+      let p = Ilp_sched.Ddg.available_parallelism instrs in
+      let n = float_of_int (List.length instrs) in
+      p >= 1.0 /. n && p <= n +. 1e-9)
+
+(* --- structure properties ------------------------------------------------- *)
+
+let gen_region : Mem_info.region QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* shape = int_range 0 6 in
+  let* name = oneofl [ "a"; "b" ] in
+  let* k = int_range 0 3 in
+  match shape with
+  | 0 -> return (Mem_info.Global name)
+  | 1 -> return (Mem_info.Global_array name)
+  | 2 -> return (Mem_info.Global_array_view (name, if k < 2 then "v1" else "v2"))
+  | 3 -> return (Mem_info.Stack_slot (name, k))
+  | 4 -> return (Mem_info.Stack_array (name, k))
+  | 5 -> return (Mem_info.Arg_slot (name, k))
+  | _ -> return Mem_info.Unknown
+
+let prop_region_disjoint_symmetric =
+  QCheck2.Test.make ~count:500 ~name:"region disjointness is symmetric"
+    QCheck2.Gen.(pair gen_region gen_region)
+    (fun (r1, r2) ->
+      Mem_info.regions_disjoint r1 r2 = Mem_info.regions_disjoint r2 r1)
+
+let prop_region_not_self_disjoint =
+  QCheck2.Test.make ~count:200 ~name:"no region is disjoint from itself"
+    gen_region
+    (fun r -> not (Mem_info.regions_disjoint r r))
+
+let prop_means =
+  QCheck2.Test.make ~count:300
+    ~name:"harmonic <= geometric <= arithmetic mean"
+    QCheck2.Gen.(list_size (int_range 1 10) (float_range 0.1 10.0))
+    (fun xs ->
+      let h = Ilp_sim.Metrics.harmonic_mean xs in
+      let g = Ilp_sim.Metrics.geometric_mean xs in
+      let a = Ilp_sim.Metrics.arithmetic_mean xs in
+      h <= g +. 1e-9 && g <= a +. 1e-9)
+
+let prop_cache_miss_rate_bounds =
+  QCheck2.Test.make ~count:200 ~name:"cache miss rate in [0,1]"
+    QCheck2.Gen.(list_size (int_range 1 100) (int_range 0 4096))
+    (fun addrs ->
+      let cache = Ilp_sim.Cache.create ~lines:16 ~line_words:4 ~penalty:5 () in
+      List.iter (fun a -> ignore (Ilp_sim.Cache.access cache a)) addrs;
+      let r = Ilp_sim.Cache.miss_rate cache in
+      r >= 0.0 && r <= 1.0
+      && Ilp_sim.Cache.accesses cache = List.length addrs)
+
+let prop_repeated_access_hits =
+  QCheck2.Test.make ~count:200 ~name:"immediate re-access always hits"
+    QCheck2.Gen.(int_range 0 100000)
+    (fun addr ->
+      let cache = Ilp_sim.Cache.create ~lines:16 ~line_words:4 ~penalty:5 () in
+      ignore (Ilp_sim.Cache.access cache addr);
+      Ilp_sim.Cache.access cache addr)
+
+let tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_levels_agree; prop_machines_agree; prop_unrolling_agrees;
+      prop_tiny_temp_pools_agree; prop_scheduling_preserves_semantics;
+      prop_scheduling_is_permutation; prop_available_parallelism_bounds;
+      prop_region_disjoint_symmetric; prop_region_not_self_disjoint;
+      prop_means; prop_cache_miss_rate_bounds; prop_repeated_access_hits ]

@@ -1,0 +1,243 @@
+(* Register-allocation tests: the function-wide temp allocator (including
+   spilling and call-crossing values) and home promotion. *)
+
+open Ilp_ir
+open Ilp_machine
+
+let compile_raw src = Ilp_lang.Codegen.gen_program (Ilp_lang.Semant.compile_source src)
+
+let no_virtuals (p : Program.t) =
+  List.for_all
+    (fun f ->
+      List.for_all
+        (fun b ->
+          List.for_all
+            (fun i ->
+              List.for_all Reg.is_physical (Instr.defs i)
+              && List.for_all Reg.is_physical (Instr.uses i))
+            b.Block.instrs)
+        f.Func.blocks)
+    p.Program.functions
+
+let test_temp_alloc_eliminates_virtuals () =
+  let w = Option.get (Ilp_workloads.Registry.find "stanford") in
+  let p = compile_raw w.Ilp_workloads.Workload.source in
+  let allocated = Ilp_regalloc.Temp_alloc.run Presets.base p in
+  Alcotest.(check bool) "no virtual registers remain" true (no_virtuals allocated)
+
+let test_temp_alloc_respects_pool () =
+  let config = Config.make "tiny" ~temp_regs:3 in
+  let src =
+    {|
+fun main() {
+  # expression wide enough to exceed three temps
+  sink((1 + 2) * (3 + 4) + (5 + 6) * (7 + 8) + (9 + 10) * (11 + 12));
+}
+|}
+  in
+  let p = Ilp_regalloc.Temp_alloc.run config (compile_raw src) in
+  Alcotest.(check bool) "no virtuals" true (no_virtuals p);
+  let in_range =
+    let temp_hi = Ilp_regalloc.Regfile.home_base config in
+    List.for_all
+      (fun (f : Func.t) ->
+        List.for_all
+          (fun (b : Block.t) ->
+            List.for_all
+              (fun i ->
+                List.for_all
+                  (fun reg -> Reg.index reg < temp_hi)
+                  (Instr.defs i @ Instr.uses i))
+              b.Block.instrs)
+          f.Func.blocks)
+      p.Program.functions
+  in
+  Alcotest.(check bool) "all registers within temp partition" true in_range;
+  Alcotest.check Helpers.value_testable "spilled expression still right"
+    (Ilp_sim.Value.Int 623)
+    (Ilp_sim.Exec.run p).Ilp_sim.Exec.sink
+
+let test_temp_alloc_call_crossing () =
+  (* a value needed on both sides of a call must be spilled (no
+     callee-saved temps) *)
+  let src =
+    {|
+fun id(x: int) : int { return x; }
+fun main() {
+  sink(id(3) + id(4) + id(5));
+}
+|}
+  in
+  let p = Ilp_regalloc.Temp_alloc.run Presets.base (compile_raw src) in
+  Alcotest.(check bool) "no virtuals" true (no_virtuals p);
+  Alcotest.check Helpers.value_testable "call-crossing values survive"
+    (Ilp_sim.Value.Int 12)
+    (Ilp_sim.Exec.run p).Ilp_sim.Exec.sink
+
+let test_temp_alloc_recursion_with_spills () =
+  let src =
+    {|
+fun fib(n: int) : int {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+fun main() { sink(fib(12)); }
+|}
+  in
+  List.iter
+    (fun temps ->
+      let config = Config.make "t" ~temp_regs:temps in
+      let p = Ilp_regalloc.Temp_alloc.run config (compile_raw src) in
+      Alcotest.check Helpers.value_testable
+        (Printf.sprintf "fib with %d temps" temps)
+        (Ilp_sim.Value.Int 144)
+        (Ilp_sim.Exec.run p).Ilp_sim.Exec.sink)
+    [ 2; 4; 16 ]
+
+let test_temp_alloc_empty_pool_rejected () =
+  let config = Config.make "none" ~temp_regs:0 in
+  let p = compile_raw "fun main() { sink(1); }" in
+  Alcotest.(check bool) "raises" true
+    (match Ilp_regalloc.Temp_alloc.run config p with
+    | exception Ilp_regalloc.Temp_alloc.Error _ -> true
+    | _ -> false)
+
+(* --- global allocation (home promotion) --- *)
+
+let count_loads (p : Program.t) =
+  List.fold_left
+    (fun acc (f : Func.t) ->
+      List.fold_left
+        (fun acc (b : Block.t) ->
+          acc + List.length (List.filter Instr.is_load b.Block.instrs))
+        acc f.Func.blocks)
+    0 p.Program.functions
+
+let galloc_src =
+  {|
+var hot : int = 5;
+fun main() {
+  var i : int;
+  var s : int = 0;
+  for (i = 0; i < 50; i = i + 1) {
+    s = s + hot;
+    hot = hot + 1;
+  }
+  sink(s);
+}
+|}
+
+let test_galloc_removes_loads () =
+  let p = compile_raw galloc_src in
+  let promoted = Ilp_regalloc.Global_alloc.run Presets.base p in
+  Alcotest.(check bool) "static loads reduced" true
+    (count_loads promoted < count_loads p);
+  let v prog =
+    (Ilp_sim.Exec.run (Ilp_regalloc.Temp_alloc.run Presets.base prog))
+      .Ilp_sim.Exec.sink
+  in
+  Alcotest.check Helpers.value_testable "semantics preserved" (v p) (v promoted)
+
+let test_galloc_initial_values () =
+  (* a promoted initialized global must see its initial value *)
+  let src =
+    {|
+var init7 : int = 7;
+fun main() {
+  var i : int;
+  var s : int = 0;
+  for (i = 0; i < 10; i = i + 1) { s = s + init7; }
+  sink(s);
+}
+|}
+  in
+  Alcotest.check Helpers.value_testable "initial value loaded"
+    (Ilp_sim.Value.Int 70)
+    (Helpers.sink_of ~level:Ilp_core.Ilp.O4 src)
+
+let test_galloc_recursive_locals_excluded () =
+  (* locals of recursive functions must not be promoted *)
+  let src =
+    {|
+fun sum_to(n: int) : int {
+  var local_acc : int;
+  if (n == 0) { return 0; }
+  local_acc = sum_to(n - 1);
+  return local_acc + n;
+}
+fun main() {
+  var i : int;
+  var s : int = 0;
+  for (i = 0; i < 20; i = i + 1) { s = s + sum_to(10); }
+  sink(s);
+}
+|}
+  in
+  Helpers.check_all_levels "recursive locals" src
+
+let test_galloc_mutual_recursion () =
+  let src =
+    {|
+fun is_even(n: int) : int {
+  var t : int = n;
+  if (t == 0) { return 1; }
+  return is_odd(t - 1);
+}
+fun is_odd(n: int) : int {
+  var t : int = n;
+  if (t == 0) { return 0; }
+  return is_even(t - 1);
+}
+fun main() { sink(is_even(10) * 10 + is_odd(7)); }
+|}
+  in
+  Helpers.check_all_levels "mutual recursion" src
+
+let test_galloc_sink_not_promoted () =
+  (* the checksum cell must keep its stores *)
+  let src = "fun main() { var i : int; for (i = 0; i < 30; i = i + 1) { sink(i); } }" in
+  Alcotest.check Helpers.value_testable "last sink visible"
+    (Ilp_sim.Value.Int 29)
+    (Helpers.sink_of ~level:Ilp_core.Ilp.O4 src)
+
+let test_galloc_respects_home_count () =
+  let config = Config.make "few-homes" ~home_regs:2 in
+  let p = Ilp_regalloc.Global_alloc.run config (compile_raw galloc_src) in
+  let p = Ilp_regalloc.Temp_alloc.run config p in
+  Alcotest.check Helpers.value_testable "two homes still correct"
+    (Ilp_sim.Value.Int 1475)
+    (Ilp_sim.Exec.run p).Ilp_sim.Exec.sink
+
+let test_galloc_home_flush_on_redefinition () =
+  (* regression: read of a promoted variable used after the variable is
+     reassigned must see the old value *)
+  let src =
+    {|
+fun main() {
+  var a : int = 10;
+  var b : int;
+  var old : int;
+  old = a;          # read
+  a = a + 5;        # redefine
+  b = old + a;      # old must still be 10
+  sink(b);
+}
+|}
+  in
+  Alcotest.check Helpers.value_testable "old value kept"
+    (Ilp_sim.Value.Int 25)
+    (Helpers.sink_of ~level:Ilp_core.Ilp.O4 src)
+
+let tests =
+  [ Alcotest.test_case "temp alloc removes virtuals" `Quick test_temp_alloc_eliminates_virtuals;
+    Alcotest.test_case "temp pool respected" `Quick test_temp_alloc_respects_pool;
+    Alcotest.test_case "call-crossing spills" `Quick test_temp_alloc_call_crossing;
+    Alcotest.test_case "recursion with tiny pools" `Quick test_temp_alloc_recursion_with_spills;
+    Alcotest.test_case "empty pool rejected" `Quick test_temp_alloc_empty_pool_rejected;
+    Alcotest.test_case "home promotion removes loads" `Quick test_galloc_removes_loads;
+    Alcotest.test_case "promoted initial values" `Quick test_galloc_initial_values;
+    Alcotest.test_case "recursive locals excluded" `Quick test_galloc_recursive_locals_excluded;
+    Alcotest.test_case "mutual recursion" `Quick test_galloc_mutual_recursion;
+    Alcotest.test_case "sink never promoted" `Quick test_galloc_sink_not_promoted;
+    Alcotest.test_case "home count respected" `Quick test_galloc_respects_home_count;
+    Alcotest.test_case "home flush on redefinition" `Quick test_galloc_home_flush_on_redefinition ]

@@ -1,0 +1,182 @@
+(* Dependence-graph and list-scheduler tests. *)
+
+open Ilp_ir
+open Ilp_machine
+
+let r = Reg.phys
+
+let edge_exists ddg src dst =
+  List.exists (fun (d, _) -> d = dst) ddg.Ilp_sched.Ddg.succs.(src)
+
+let test_raw_edges () =
+  let instrs =
+    [ Builder.li (r 1) 1;               (* 0 *)
+      Builder.add (r 2) (r 1) (r 1);    (* 1: RAW on 0 *)
+      Builder.add (r 3) (r 2) (r 1) ]   (* 2: RAW on 0 and 1 *)
+  in
+  let ddg = Ilp_sched.Ddg.build Presets.base instrs in
+  Alcotest.(check bool) "0 -> 1" true (edge_exists ddg 0 1);
+  Alcotest.(check bool) "1 -> 2" true (edge_exists ddg 1 2);
+  Alcotest.(check bool) "0 -> 2" true (edge_exists ddg 0 2);
+  Alcotest.(check bool) "no back edge" false (edge_exists ddg 2 0)
+
+let test_war_waw_edges () =
+  let instrs =
+    [ Builder.add (r 2) (r 1) (r 1);    (* 0 reads r1 *)
+      Builder.li (r 1) 5;               (* 1: WAR with 0 *)
+      Builder.li (r 1) 6 ]              (* 2: WAW with 1 *)
+  in
+  let ddg = Ilp_sched.Ddg.build Presets.base instrs in
+  Alcotest.(check bool) "WAR 0 -> 1" true (edge_exists ddg 0 1);
+  Alcotest.(check bool) "WAW 1 -> 2" true (edge_exists ddg 1 2)
+
+let test_memory_edges () =
+  let mem_a off = Mem_info.make (Mem_info.Global_array "a") (Mem_info.Const off) in
+  let mem_b off = Mem_info.make (Mem_info.Global_array "b") (Mem_info.Const off) in
+  let st m = Builder.st ~mem:m ~value:(r 1) ~base:(r 2) ~offset:0 () in
+  let ld m = Builder.ld ~mem:m (r 3) ~base:(r 2) ~offset:0 in
+  (* aliasing store -> load is ordered *)
+  let ddg = Ilp_sched.Ddg.build Presets.base [ st (mem_a 0); ld (mem_a 0) ] in
+  Alcotest.(check bool) "st a -> ld a" true (edge_exists ddg 0 1);
+  (* provably disjoint: no edge *)
+  let ddg2 = Ilp_sched.Ddg.build Presets.base [ st (mem_a 0); ld (mem_a 1) ] in
+  Alcotest.(check bool) "st a[0] vs ld a[1] free" false (edge_exists ddg2 0 1);
+  let ddg3 = Ilp_sched.Ddg.build Presets.base [ st (mem_a 0); ld (mem_b 0) ] in
+  Alcotest.(check bool) "different arrays free" false (edge_exists ddg3 0 1);
+  (* loads never depend on loads (distinct destinations, same cell) *)
+  let ld2 m dst = Builder.ld ~mem:m dst ~base:(r 2) ~offset:0 in
+  let ddg4 =
+    Ilp_sched.Ddg.build Presets.base [ ld2 (mem_a 0) (r 5); ld2 (mem_a 0) (r 6) ]
+  in
+  Alcotest.(check bool) "ld ld free" false (edge_exists ddg4 0 1);
+  (* stores to the same place are ordered *)
+  let ddg5 = Ilp_sched.Ddg.build Presets.base [ st (mem_a 0); st (mem_a 0) ] in
+  Alcotest.(check bool) "st st ordered" true (edge_exists ddg5 0 1);
+  (* unannotated memory operations are fully conservative *)
+  let bare_st = Builder.st ~value:(r 1) ~base:(r 2) ~offset:0 () in
+  let bare_ld = Builder.ld (r 3) ~base:(r 4) ~offset:9 in
+  let ddg6 = Ilp_sched.Ddg.build Presets.base [ bare_st; bare_ld ] in
+  Alcotest.(check bool) "bare st -> ld ordered" true (edge_exists ddg6 0 1)
+
+let test_call_barrier () =
+  let instrs =
+    [ Builder.li (r 4) 1;
+      Builder.call (Label.of_string "f");
+      Builder.li (r 5) 2 ]
+  in
+  let ddg = Ilp_sched.Ddg.build Presets.base instrs in
+  Alcotest.(check bool) "before -> call" true (edge_exists ddg 0 1);
+  Alcotest.(check bool) "call -> after" true (edge_exists ddg 1 2)
+
+let test_terminator_last () =
+  let instrs =
+    [ Builder.li (r 4) 1;
+      Builder.li (r 5) 2;
+      Builder.beq (r 4) (r 5) (Label.of_string "x") ]
+  in
+  let ddg = Ilp_sched.Ddg.build Presets.base instrs in
+  Alcotest.(check bool) "0 -> branch" true (edge_exists ddg 0 2);
+  Alcotest.(check bool) "1 -> branch" true (edge_exists ddg 1 2)
+
+let test_available_parallelism () =
+  (* Figure 1-1 *)
+  let parallel =
+    [ Builder.ld (r 11) ~base:(r 2) ~offset:23;
+      Builder.addi (r 3) (r 3) 1;
+      Builder.fadd (r 14) (r 14) (r 13) ]
+  in
+  Helpers.check_float "three independent" 3.0
+    (Ilp_sched.Ddg.available_parallelism parallel);
+  let serial =
+    [ Builder.addi (r 3) (r 3) 1;
+      Builder.add (r 4) (r 3) (r 2);
+      Builder.st ~value:(r 10) ~base:(r 4) ~offset:0 () ]
+  in
+  Helpers.check_float "serial chain" 1.0
+    (Ilp_sched.Ddg.available_parallelism serial);
+  Helpers.check_float "empty block" 1.0
+    (Ilp_sched.Ddg.available_parallelism [])
+
+let schedule_order config instrs =
+  let b = Block.make (Label.of_string "b") instrs in
+  let b' = Ilp_sched.List_sched.schedule_block config b in
+  List.map (fun i -> i.Instr.id) b'.Block.instrs
+
+let test_schedule_preserves_instrs () =
+  let instrs =
+    [ Builder.li (r 1) 1;
+      Builder.li (r 2) 2;
+      Builder.add (r 3) (r 1) (r 2);
+      Builder.li (r 4) 4;
+      Builder.add (r 5) (r 3) (r 4) ]
+  in
+  let before = List.sort compare (List.map (fun i -> i.Instr.id) instrs) in
+  let after = List.sort compare (schedule_order Presets.base instrs) in
+  Alcotest.(check (list int)) "same multiset" before after
+
+let test_schedule_respects_deps () =
+  (* long-latency producer: scheduler hoists independent work between
+     producer and consumer *)
+  let config =
+    Config.make "lat3"
+      ~latencies:(Config.latency_table [ (Iclass.Load, 3) ])
+  in
+  let producer = Builder.ld (r 1) ~base:(Reg.sp) ~offset:0 in
+  let consumer = Builder.add (r 2) (r 1) (r 1) in
+  let indep1 = Builder.li (r 3) 1 in
+  let indep2 = Builder.li (r 4) 2 in
+  let order = schedule_order config [ producer; consumer; indep1; indep2 ] in
+  let pos id = ref 0 |> fun p -> List.iteri (fun i x -> if x = id then p := i) order; !p in
+  Alcotest.(check bool) "consumer after producer" true
+    (pos consumer.Instr.id > pos producer.Instr.id);
+  Alcotest.(check bool) "independents fill the latency" true
+    (pos indep1.Instr.id < pos consumer.Instr.id
+    && pos indep2.Instr.id < pos consumer.Instr.id)
+
+let test_schedule_keeps_terminator_last () =
+  let instrs =
+    [ Builder.li (r 1) 1;
+      Builder.beq (r 1) (r 1) (Label.of_string "x") ]
+  in
+  let order = schedule_order (Presets.superscalar 4) instrs in
+  Alcotest.(check int) "branch last"
+    (List.nth instrs 1).Instr.id
+    (List.nth order 1)
+
+(* End-to-end: scheduling must never change results, and should not
+   make any machine slower on scheduled code vs original order. *)
+let test_schedule_semantics_and_cycles () =
+  let src =
+    {|
+arr a : real[64];
+fun main() {
+  var i : int;
+  var s : real = 0.0;
+  for (i = 0; i < 64; i = i + 1) { a[i] = real(i) * 0.5; }
+  for (i = 0; i < 60; i = i + 1) {
+    s = s + a[i] * a[i + 1] - a[i + 2] / (a[i + 3] + 2.0);
+  }
+  sink(s);
+}
+|}
+  in
+  let config = Presets.multititan in
+  let unsched = Helpers.measure ~config ~level:Ilp_core.Ilp.O0 src in
+  let sched = Helpers.measure ~config ~level:Ilp_core.Ilp.O1 src in
+  Alcotest.check Helpers.value_testable "same result"
+    unsched.Ilp_sim.Metrics.sink sched.Ilp_sim.Metrics.sink;
+  Alcotest.(check bool) "scheduling does not hurt" true
+    (sched.Ilp_sim.Metrics.base_cycles
+    <= unsched.Ilp_sim.Metrics.base_cycles +. 1.0)
+
+let tests =
+  [ Alcotest.test_case "RAW edges" `Quick test_raw_edges;
+    Alcotest.test_case "WAR/WAW edges" `Quick test_war_waw_edges;
+    Alcotest.test_case "memory edges" `Quick test_memory_edges;
+    Alcotest.test_case "call barrier" `Quick test_call_barrier;
+    Alcotest.test_case "terminator ordered last" `Quick test_terminator_last;
+    Alcotest.test_case "available parallelism" `Quick test_available_parallelism;
+    Alcotest.test_case "schedule preserves instrs" `Quick test_schedule_preserves_instrs;
+    Alcotest.test_case "schedule respects deps" `Quick test_schedule_respects_deps;
+    Alcotest.test_case "terminator stays last" `Quick test_schedule_keeps_terminator_last;
+    Alcotest.test_case "scheduling end to end" `Quick test_schedule_semantics_and_cycles ]

@@ -1,0 +1,172 @@
+(* Timing-model tests: issue width, operation latencies, WAW ordering,
+   functional-unit conflicts, superpipelined accounting, and the cache. *)
+
+open Ilp_ir
+open Ilp_machine
+module Timing = Ilp_sim.Timing
+
+let r = Reg.phys
+
+let cycles_of config instrs =
+  let t = Timing.create config in
+  List.iter (fun i -> Timing.issue t i (-1)) instrs;
+  Timing.minor_cycles t
+
+let issue_cycles config instrs =
+  (* minor cycle at which each instruction issues *)
+  let t = Timing.create config in
+  List.map
+    (fun i ->
+      Timing.issue t i (-1);
+      t.Timing.now)
+    instrs
+
+let independent n = Ilp_sim.Diagram.independent_instrs n
+let chain n = Ilp_sim.Diagram.dependent_instrs n
+
+let test_base_throughput () =
+  (* base machine: one instruction per cycle, chains cost the same *)
+  Alcotest.(check int) "6 independent" 6 (cycles_of Presets.base (independent 6));
+  Alcotest.(check int) "6 chained" 6 (cycles_of Presets.base (chain 6))
+
+let test_superscalar_width () =
+  let c = Presets.superscalar 3 in
+  Alcotest.(check (list int)) "3 per cycle"
+    [ 0; 0; 0; 1; 1; 1 ]
+    (issue_cycles c (independent 6));
+  (* a chain cannot use the width *)
+  Alcotest.(check (list int)) "chain serializes"
+    [ 0; 1; 2; 3 ]
+    (issue_cycles c (chain 4))
+
+let test_superpipelined_latency () =
+  let c = Presets.superpipelined 3 in
+  (* issue one per minor cycle, but results take 3 minor cycles *)
+  Alcotest.(check (list int)) "independent flow"
+    [ 0; 1; 2; 3 ]
+    (issue_cycles c (independent 4));
+  Alcotest.(check (list int)) "chain stalls for latency"
+    [ 0; 3; 6; 9 ]
+    (issue_cycles c (chain 4));
+  (* reported in base cycles: last issue at minor 5, drain to minor 8 *)
+  let t = Timing.create c in
+  List.iter (fun i -> Timing.issue t i (-1)) (independent 6);
+  Helpers.check_float "base cycles = minor / m" (8.0 /. 3.0)
+    (Timing.base_cycles t)
+
+let test_waw_orders_completions () =
+  (* two writes to the same register: the second must not complete
+     before the first (long-latency first write) *)
+  let c =
+    Config.make "waw"
+      ~latencies:(Config.latency_table [ (Iclass.Fp_mul, 5) ])
+  in
+  let i1 = Instr.make Opcode.Fmul ~dst:(r 9) ~srcs:[ Instr.Oreg (r 1); Instr.Oreg (r 2) ] in
+  let i2 = Instr.make Opcode.Mov ~dst:(r 9) ~srcs:[ Instr.Oreg (r 3) ] in
+  Alcotest.(check (list int)) "mov stalls for WAW"
+    [ 0; 4 ]
+    (issue_cycles c [ i1; i2 ])
+
+let test_unit_conflicts () =
+  (* underpipelined: the single memory unit accepts one op per 2 cycles *)
+  let c = Presets.underpipelined in
+  let loads =
+    List.init 3 (fun k ->
+        Instr.make Opcode.Ld ~dst:(r (10 + k)) ~srcs:[ Instr.Oreg Reg.sp ] ~offset:k)
+  in
+  Alcotest.(check (list int)) "loads every other cycle"
+    [ 0; 2; 4 ]
+    (issue_cycles c loads)
+
+let test_multiplicity () =
+  let c =
+    Config.make "two-units" ~issue_width:4
+      ~units:
+        [ { Config.unit_name = "mem";
+            classes = [ Iclass.Load ];
+            issue_latency = 2;
+            multiplicity = 2;
+          } ]
+  in
+  let loads =
+    List.init 4 (fun k ->
+        Instr.make Opcode.Ld ~dst:(r (10 + k)) ~srcs:[ Instr.Oreg Reg.sp ] ~offset:k)
+  in
+  (* two units: two loads issue at cycle 0, two more at cycle 2 *)
+  Alcotest.(check (list int)) "pairs of loads"
+    [ 0; 0; 2; 2 ]
+    (issue_cycles c loads)
+
+let test_in_order_stall_blocks_younger () =
+  (* an independent instruction behind a stalled one also waits
+     (in-order issue) *)
+  let c = Presets.superscalar 2 in
+  let producer = Instr.make Opcode.Ld ~dst:(r 10) ~srcs:[ Instr.Oreg Reg.sp ] in
+  let consumer = Instr.make Opcode.Add ~dst:(r 11) ~srcs:[ Instr.Oreg (r 10); Instr.Oimm 1 ] in
+  let independent_one = Instr.make Opcode.Add ~dst:(r 12) ~srcs:[ Instr.Oreg (r 4); Instr.Oimm 1 ] in
+  Alcotest.(check (list int)) "younger waits behind stalled"
+    [ 0; 1; 1 ]
+    (issue_cycles c [ producer; consumer; independent_one ])
+
+let test_branches_free () =
+  (* control is free under perfect prediction: branches only occupy
+     issue slots *)
+  let c = Presets.base in
+  let b = Builder.beq (r 1) (r 2) (Label.of_string "x") in
+  Alcotest.(check (list int)) "branch issues like any op"
+    [ 0; 1; 2 ]
+    (issue_cycles c [ b; Instr.copy b; Instr.copy b ])
+
+let test_speedup_metric () =
+  let t = Timing.create (Presets.superscalar 4) in
+  List.iter (fun i -> Timing.issue t i (-1)) (independent 8);
+  Helpers.check_float "8 instrs in 2 cycles" 4.0 (Timing.speedup t)
+
+let test_cache_behavior () =
+  let cache = Ilp_sim.Cache.create ~lines:4 ~line_words:4 ~penalty:10 () in
+  Alcotest.(check bool) "first access misses" false (Ilp_sim.Cache.access cache 0);
+  Alcotest.(check bool) "same line hits" true (Ilp_sim.Cache.access cache 3);
+  Alcotest.(check bool) "next line misses" false (Ilp_sim.Cache.access cache 4);
+  (* 4 lines x 4 words: address 64 maps to the same index as 0 *)
+  Alcotest.(check bool) "conflict evicts" false (Ilp_sim.Cache.access cache 64);
+  Alcotest.(check bool) "original now misses" false (Ilp_sim.Cache.access cache 0);
+  Alcotest.(check int) "accesses counted" 5 (Ilp_sim.Cache.accesses cache);
+  Alcotest.(check int) "misses counted" 4 (Ilp_sim.Cache.misses cache);
+  Helpers.check_float "miss rate" 0.8 (Ilp_sim.Cache.miss_rate cache)
+
+let test_cache_invalid () =
+  Alcotest.(check bool) "non-power-of-two rejected" true
+    (match Ilp_sim.Cache.create ~lines:3 ~penalty:1 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_cache_stalls_pipeline () =
+  let config = Presets.base in
+  let with_cache penalty =
+    let cache = Ilp_sim.Cache.create ~lines:4 ~line_words:1 ~penalty () in
+    let t = Timing.create ~cache config in
+    let loads =
+      List.init 8 (fun k ->
+          Instr.make Opcode.Ld ~dst:(r (10 + k)) ~srcs:[ Instr.Oreg Reg.sp ]
+            ~offset:k)
+    in
+    (* distinct addresses: every access misses *)
+    List.iteri (fun k i -> Timing.issue t i (k * 17)) loads;
+    Timing.minor_cycles t
+  in
+  Alcotest.(check bool) "bigger penalty costs more" true
+    (with_cache 20 > with_cache 2)
+
+let tests =
+  [ Alcotest.test_case "base throughput" `Quick test_base_throughput;
+    Alcotest.test_case "superscalar width" `Quick test_superscalar_width;
+    Alcotest.test_case "superpipelined latency" `Quick test_superpipelined_latency;
+    Alcotest.test_case "WAW ordering" `Quick test_waw_orders_completions;
+    Alcotest.test_case "unit conflicts" `Quick test_unit_conflicts;
+    Alcotest.test_case "unit multiplicity" `Quick test_multiplicity;
+    Alcotest.test_case "in-order stall" `Quick test_in_order_stall_blocks_younger;
+    Alcotest.test_case "branches are free" `Quick test_branches_free;
+    Alcotest.test_case "speedup metric" `Quick test_speedup_metric;
+    Alcotest.test_case "cache behaviour" `Quick test_cache_behavior;
+    Alcotest.test_case "cache validation" `Quick test_cache_invalid;
+    Alcotest.test_case "cache stalls pipeline" `Quick test_cache_stalls_pipeline ]

@@ -1,0 +1,245 @@
+(* Loop-unrolling tests: semantics preservation for every factor and
+   mode, remainder-loop handling, accumulator reassociation, and the
+   parallelism effects of Figure 4-6. *)
+
+open Ilp_core
+
+let unroll mode factor = Some { Ilp.mode; factor }
+
+let check_factors ?(tol = 0.0) name src expected =
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun factor ->
+          let v =
+            Helpers.sink_of ?unroll:(unroll mode factor)
+              ~level:Ilp_core.Ilp.O4 src
+          in
+          let label =
+            Printf.sprintf "%s %s x%d" name
+              (match mode with Ilp_lang.Unroll.Naive -> "naive" | _ -> "careful")
+              factor
+          in
+          match (expected, v) with
+          | Ilp_sim.Value.Int a, Ilp_sim.Value.Int b ->
+              if a <> b then Alcotest.failf "%s: %d <> %d" label b a
+          | Ilp_sim.Value.Float a, Ilp_sim.Value.Float b ->
+              Helpers.check_float_rel ~tol:(max tol 1e-12) label a b
+          | _ -> Alcotest.failf "%s: type mismatch" label)
+        [ 1; 2; 3; 4; 5; 7; 10 ])
+    [ Ilp_lang.Unroll.Naive; Ilp_lang.Unroll.Careful ]
+
+let test_unroll_exact_multiple () =
+  (* trip count 12, factors dividing and not dividing it *)
+  let src =
+    {|
+arr a : int[12];
+fun main() {
+  var i : int;
+  var s : int = 0;
+  for (i = 0; i < 12; i = i + 1) { a[i] = i * i; }
+  for (i = 0; i < 12; i = i + 1) { s = s + a[i]; }
+  sink(s);
+}
+|}
+  in
+  check_factors "exact" src (Ilp_sim.Value.Int 506)
+
+let test_unroll_remainder () =
+  (* trip count 13: remainder loop must run for non-dividing factors *)
+  let src =
+    {|
+fun main() {
+  var i : int;
+  var s : int = 0;
+  for (i = 0; i < 13; i = i + 1) { s = s + i; }
+  sink(s);
+}
+|}
+  in
+  check_factors "remainder" src (Ilp_sim.Value.Int 78)
+
+let test_unroll_zero_trip () =
+  let src =
+    {|
+fun main() {
+  var i : int;
+  var s : int = 100;
+  for (i = 5; i < 5; i = i + 1) { s = s + 1; }
+  for (i = 9; i < 5; i = i + 1) { s = s + 1; }
+  sink(s);
+}
+|}
+  in
+  check_factors "zero trip" src (Ilp_sim.Value.Int 100)
+
+let test_unroll_downward () =
+  let src =
+    {|
+fun main() {
+  var i : int;
+  var s : int = 0;
+  for (i = 20; i >= 3; i = i - 1) { s = s + i; }
+  sink(s);
+}
+|}
+  in
+  (* 3 + 4 + ... + 20 = 207 *)
+  check_factors "downward" src (Ilp_sim.Value.Int 207)
+
+let test_unroll_step2 () =
+  let src =
+    {|
+fun main() {
+  var i : int;
+  var s : int = 0;
+  for (i = 0; i < 21; i = i + 2) { s = s + i; }
+  sink(s);
+}
+|}
+  in
+  (* 0+2+...+20 = 110 *)
+  check_factors "step 2" src (Ilp_sim.Value.Int 110)
+
+let test_unroll_loop_var_after () =
+  (* the loop variable's final value is observable *)
+  let src =
+    {|
+fun main() {
+  var i : int;
+  for (i = 0; i < 10; i = i + 3) { }
+  sink(i);
+}
+|}
+  in
+  check_factors "final loop var" src (Ilp_sim.Value.Int 12)
+
+let test_unroll_int_accumulator () =
+  (* careful mode reassociates integer sums exactly *)
+  let src =
+    {|
+arr a : int[40];
+fun main() {
+  var i : int;
+  var s : int = 0;
+  var p : int = 1;
+  for (i = 0; i < 40; i = i + 1) { a[i] = i % 7 + 1; }
+  for (i = 0; i < 40; i = i + 1) { s = s + a[i]; }
+  for (i = 0; i < 10; i = i + 1) { p = p * a[i]; }
+  sink(s * 1000 + p % 1000);
+}
+|}
+  in
+  let expected = Helpers.sink_of ~level:Ilp_core.Ilp.O0 src in
+  check_factors "int accumulators" src expected
+
+let test_unroll_float_accumulator_reassociates () =
+  (* reassociation perturbs FP rounding: allow a relative tolerance *)
+  let src =
+    {|
+arr a : real[64];
+fun main() {
+  var i : int;
+  var s : real = 0.0;
+  for (i = 0; i < 64; i = i + 1) { a[i] = 1.0 / real(i + 1); }
+  for (i = 0; i < 64; i = i + 1) { s = s + a[i]; }
+  sink(s);
+}
+|}
+  in
+  check_factors ~tol:1e-9 "float accumulator" src
+    (Helpers.sink_of ~level:Ilp_core.Ilp.O0 src)
+
+let test_unroll_store_load_cross_iteration () =
+  (* recurrences must stay correct when unrolled *)
+  let src =
+    {|
+arr a : real[50];
+fun main() {
+  var i : int;
+  a[0] = 1.0;
+  for (i = 1; i < 50; i = i + 1) { a[i] = a[i - 1] * 0.9 + 0.1; }
+  sink(a[49]);
+}
+|}
+  in
+  check_factors "recurrence" src (Helpers.sink_of ~level:Ilp_core.Ilp.O0 src)
+
+let test_unroll_skips_outer_loops () =
+  (* only innermost loops unroll; nest must stay correct *)
+  let src =
+    {|
+arr m : int[36];
+fun main() {
+  var i : int;
+  var j : int;
+  var s : int = 0;
+  for (i = 0; i < 6; i = i + 1) {
+    for (j = 0; j < 6; j = j + 1) { m[i * 6 + j] = i * j; }
+  }
+  for (i = 0; i < 36; i = i + 1) { s = s + m[i]; }
+  sink(s);
+}
+|}
+  in
+  check_factors "nest" src (Ilp_sim.Value.Int 225)
+
+let test_unroll_increases_parallelism () =
+  (* the Figure 4-6 effect, in miniature: careful unrolling of a
+     reduction increases measured parallelism *)
+  let src =
+    {|
+arr x : real[200];
+arr y : real[200];
+fun main() {
+  var i : int;
+  var s : real = 0.0;
+  for (i = 0; i < 200; i = i + 1) { x[i] = real(i); y[i] = real(200 - i); }
+  for (i = 0; i < 200; i = i + 1) { s = s + x[i] * y[i]; }
+  sink(s);
+}
+|}
+  in
+  let config = Ilp_machine.Config.make "wide" ~issue_width:16 ~temp_regs:40 in
+  let ilp u =
+    (Helpers.measure ~config ?unroll:u src).Ilp_sim.Metrics.speedup
+  in
+  let base = ilp None in
+  let careful = ilp (unroll Ilp_lang.Unroll.Careful 4) in
+  Alcotest.(check bool)
+    (Printf.sprintf "careful 4x (%.2f) beats rolled (%.2f)" careful base)
+    true (careful > base *. 1.2)
+
+let test_unroll_loops_with_return_untouched () =
+  let src =
+    {|
+arr a : int[20];
+fun find(v: int) : int {
+  var i : int;
+  for (i = 0; i < 20; i = i + 1) {
+    if (a[i] == v) { return i; }
+  }
+  return -1;
+}
+fun main() {
+  var i : int;
+  for (i = 0; i < 20; i = i + 1) { a[i] = i * 3; }
+  sink(find(27) * 100 + find(5));
+}
+|}
+  in
+  check_factors "loop with return" src (Ilp_sim.Value.Int 899)
+
+let tests =
+  [ Alcotest.test_case "exact multiple" `Quick test_unroll_exact_multiple;
+    Alcotest.test_case "remainder loop" `Quick test_unroll_remainder;
+    Alcotest.test_case "zero trip" `Quick test_unroll_zero_trip;
+    Alcotest.test_case "downward loop" `Quick test_unroll_downward;
+    Alcotest.test_case "step 2" `Quick test_unroll_step2;
+    Alcotest.test_case "final loop variable" `Quick test_unroll_loop_var_after;
+    Alcotest.test_case "int accumulators" `Quick test_unroll_int_accumulator;
+    Alcotest.test_case "float accumulator" `Quick test_unroll_float_accumulator_reassociates;
+    Alcotest.test_case "cross-iteration recurrence" `Quick test_unroll_store_load_cross_iteration;
+    Alcotest.test_case "nested loops" `Quick test_unroll_skips_outer_loops;
+    Alcotest.test_case "parallelism increases" `Quick test_unroll_increases_parallelism;
+    Alcotest.test_case "loops with return untouched" `Quick test_unroll_loops_with_return_untouched ]

@@ -1,0 +1,144 @@
+(* Validator tests, plus pipeline-stage validation of the whole
+   benchmark suite: every stage of the compiler must emit well-formed
+   IR. *)
+
+open Ilp_ir
+open Ilp_machine
+
+let r = Reg.phys
+
+let test_accepts_good_program () =
+  let p =
+    Builder.program_of_instrs
+      [ Builder.li (r 4) 1; Builder.add (r 5) (r 4) (r 4) ]
+  in
+  Alcotest.(check int) "no issues" 0 (List.length (Validate.check p))
+
+let expect_issue name p =
+  match Validate.check p with
+  | [] -> Alcotest.failf "%s: expected an issue" name
+  | _ -> ()
+
+let test_rejects_malformed_operands () =
+  (* binary op with one source *)
+  let bad = Instr.make Opcode.Add ~dst:(r 5) ~srcs:[ Instr.Oreg (r 4) ] in
+  expect_issue "malformed add" (Builder.program_of_instrs [ bad ]);
+  (* store with a destination *)
+  let bad_st =
+    Instr.make Opcode.St ~dst:(r 5)
+      ~srcs:[ Instr.Oreg (r 4); Instr.Oreg (r 6) ]
+  in
+  expect_issue "store with dst" (Builder.program_of_instrs [ bad_st ]);
+  (* branch without target *)
+  let bad_b = Instr.make Opcode.Beq ~srcs:[ Instr.Oreg (r 4); Instr.Oreg (r 5) ] in
+  expect_issue "branch without target" (Builder.program_of_instrs [ bad_b ])
+
+let test_rejects_unknown_targets () =
+  let p =
+    Program.make ~globals:[]
+      ~functions:
+        [ Func.make ~name:"main" ~frame_size:0 ~n_params:0
+            [ Block.make (Label.of_string "main")
+                [ Builder.jmp (Label.of_string "nowhere") ] ]
+        ]
+  in
+  expect_issue "unknown label" p;
+  let p2 =
+    Program.make ~globals:[]
+      ~functions:
+        [ Func.make ~name:"main" ~frame_size:0 ~n_params:0
+            [ Block.make (Label.of_string "main")
+                [ Builder.call (Label.of_string "ghost"); Builder.halt () ] ]
+        ]
+  in
+  expect_issue "unknown function" p2
+
+let test_rejects_mid_block_terminator () =
+  let p =
+    Program.make ~globals:[]
+      ~functions:
+        [ Func.make ~name:"main" ~frame_size:0 ~n_params:0
+            [ Block.make (Label.of_string "main")
+                [ Builder.halt (); Builder.li (r 4) 1; Builder.halt () ] ]
+        ]
+  in
+  expect_issue "terminator mid block" p
+
+let test_rejects_no_main () =
+  let p =
+    Program.make ~globals:[]
+      ~functions:
+        [ Func.make ~name:"f" ~frame_size:0 ~n_params:0
+            [ Block.make (Label.of_string "f") [ Builder.ret () ] ] ]
+  in
+  expect_issue "no main" p
+
+let test_virtuals_flagged_after_allocation () =
+  let v = Reg.virt () in
+  let p =
+    Builder.program_of_instrs [ Instr.make Opcode.Li ~dst:v ~srcs:[ Instr.Oimm 1 ] ]
+  in
+  Alcotest.(check int) "fine at virtual stage" 0
+    (List.length (Validate.check ~stage:`Virtual p));
+  match Validate.check ~stage:`Allocated p with
+  | [] -> Alcotest.fail "expected virtual-register issue"
+  | _ -> ()
+
+let test_check_exn () =
+  let good = Builder.program_of_instrs [ Builder.li (r 4) 1 ] in
+  Validate.check_exn good;
+  let bad = Instr.make Opcode.Add ~dst:(r 5) ~srcs:[] in
+  Alcotest.(check bool) "raises" true
+    (match Validate.check_exn (Builder.program_of_instrs [ bad ]) with
+    | exception Validate.Invalid _ -> true
+    | _ -> false)
+
+(* Every stage of the pipeline, on every benchmark, must produce
+   well-formed IR. *)
+let stage_tests =
+  let config = Presets.multititan in
+  List.map
+    (fun w ->
+      Alcotest.test_case ("pipeline stages: " ^ w.Ilp_workloads.Workload.name)
+        `Slow
+        (fun () ->
+          let tast = Ilp_core.Ilp.frontend w.Ilp_workloads.Workload.source in
+          let stage name check_stage p =
+            match Validate.check ~stage:check_stage p with
+            | [] -> ()
+            | iss :: _ ->
+                Alcotest.failf "%s: %s" name (Fmt.str "%a" Validate.pp_issue iss)
+          in
+          let p0 = Ilp_lang.Codegen.gen_program tast in
+          stage "codegen" `Virtual p0;
+          let p2 = Ilp_core.Ilp.local_cleanup p0 in
+          stage "local cleanup" `Virtual p2;
+          let p3 =
+            p2 |> Ilp_opt.Licm.run |> Ilp_opt.Global_cse.run
+            |> Ilp_core.Ilp.local_cleanup
+          in
+          stage "global opts" `Virtual p3;
+          let p4 =
+            Ilp_regalloc.Global_alloc.run config p3
+            |> Ilp_core.Ilp.local_cleanup |> Ilp_opt.Coalesce.run
+          in
+          stage "global alloc" `Virtual p4;
+          let p5 = Ilp_regalloc.Temp_alloc.run config p4 in
+          stage "temp alloc" `Allocated p5;
+          let p6 = Ilp_sched.List_sched.run config p5 in
+          stage "scheduled" `Allocated p6))
+    Ilp_workloads.Registry.all
+
+let tests =
+  [ Alcotest.test_case "accepts good program" `Quick test_accepts_good_program;
+    Alcotest.test_case "rejects malformed operands" `Quick
+      test_rejects_malformed_operands;
+    Alcotest.test_case "rejects unknown targets" `Quick
+      test_rejects_unknown_targets;
+    Alcotest.test_case "rejects mid-block terminator" `Quick
+      test_rejects_mid_block_terminator;
+    Alcotest.test_case "rejects missing main" `Quick test_rejects_no_main;
+    Alcotest.test_case "virtuals flagged after allocation" `Quick
+      test_virtuals_flagged_after_allocation;
+    Alcotest.test_case "check_exn" `Quick test_check_exn ]
+  @ stage_tests

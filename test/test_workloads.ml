@@ -1,0 +1,88 @@
+(* Benchmark-suite tests: every workload compiles, runs, and leaves its
+   golden checksum at every optimization level and on representative
+   machine configurations — a whole-compiler semantic regression net. *)
+
+open Ilp_machine
+module W = Ilp_workloads.Workload
+
+let check_expected name (expected : W.expected option) (v : Ilp_sim.Value.t) =
+  match (expected, v) with
+  | Some (W.Exp_int e), Ilp_sim.Value.Int g ->
+      if e <> g then Alcotest.failf "%s: checksum %d, expected %d" name g e
+  | Some (W.Exp_float e), Ilp_sim.Value.Float g ->
+      Helpers.check_float_rel ~tol:1e-9 name e g
+  | Some _, _ -> Alcotest.failf "%s: checksum type mismatch" name
+  | None, _ -> ()
+
+let test_registry () =
+  Alcotest.(check int) "eight benchmarks" 8
+    (List.length Ilp_workloads.Registry.all);
+  Alcotest.(check (list string)) "paper's names"
+    [ "ccom"; "grr"; "linpack"; "livermore"; "met"; "stanford"; "whet"; "yacc" ]
+    Ilp_workloads.Registry.names;
+  Alcotest.(check int) "three numeric" 3
+    (List.length Ilp_workloads.Registry.numeric);
+  Alcotest.(check bool) "find works" true
+    (Ilp_workloads.Registry.find "yacc" <> None);
+  Alcotest.(check bool) "find rejects" true
+    (Ilp_workloads.Registry.find "doom" = None)
+
+let golden_tests =
+  List.concat_map
+    (fun w ->
+      List.map
+        (fun level ->
+          Alcotest.test_case
+            (Printf.sprintf "%s @ %s" w.W.name (Ilp_core.Ilp.opt_level_name level))
+            `Slow
+            (fun () ->
+              let v = Helpers.sink_of ~level w.W.source in
+              check_expected w.W.name w.W.expected_sink v))
+        Ilp_core.Ilp.all_levels)
+    Ilp_workloads.Registry.all
+
+(* Checksums must also survive machine-specific scheduling. *)
+let machine_tests =
+  let machines =
+    [ Presets.superscalar 4; Presets.superpipelined 4; Presets.multititan;
+      Presets.cray1 (); Presets.superscalar_with_class_conflicts 2 ]
+  in
+  List.concat_map
+    (fun w ->
+      List.map
+        (fun config ->
+          Alcotest.test_case
+            (Printf.sprintf "%s on %s" w.W.name config.Config.name)
+            `Slow
+            (fun () ->
+              let v = Helpers.sink_of ~config w.W.source in
+              check_expected w.W.name w.W.expected_sink v))
+        machines)
+    Ilp_workloads.Registry.all
+
+(* The careful linpack variant must compute exactly the same answer. *)
+let test_linpack_careful_variant () =
+  let w = Option.get (Ilp_workloads.Registry.find "linpack") in
+  let careful = W.source_for_mode w `Careful in
+  Alcotest.(check bool) "careful source differs" true
+    (careful <> w.W.source);
+  let v = Helpers.sink_of careful in
+  check_expected "linpack careful" w.W.expected_sink v
+
+let test_unrolled_workloads () =
+  List.iter
+    (fun name ->
+      let w = Option.get (Ilp_workloads.Registry.find name) in
+      let v =
+        Helpers.sink_of
+          ~unroll:{ Ilp_core.Ilp.mode = Ilp_lang.Unroll.Naive; factor = 4 }
+          w.W.source
+      in
+      check_expected (name ^ " naive 4x") w.W.expected_sink v)
+    [ "linpack"; "stanford"; "yacc" ]
+
+let tests =
+  [ Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "linpack careful variant" `Slow test_linpack_careful_variant;
+    Alcotest.test_case "unrolled workloads" `Slow test_unrolled_workloads ]
+  @ golden_tests @ machine_tests
