@@ -27,7 +27,46 @@ let regenerate () =
     Ilp_core.Experiments.all
 
 (* ------------------------------------------------------------------ *)
-(* 2. Bechamel suite                                                    *)
+(* 2. direct vs replay wall clock on fig4_1                             *)
+
+(* fig4_1 sweeps 16 machine configurations over the whole suite; the
+   trace-replay engine captures each workload once and replays it per
+   configuration.  Time both engines and record the ratio. *)
+let time_engines () =
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let direct_s, direct =
+    wall (fun () -> Ilp_core.Experiments.fig4_1 ~engine:`Direct ())
+  in
+  let replay_s, replay =
+    wall (fun () -> Ilp_core.Experiments.fig4_1 ~engine:`Replay ())
+  in
+  if direct <> replay then
+    failwith "BUG: replay fig4_1 differs from direct fig4_1";
+  let ratio = direct_s /. replay_s in
+  Printf.printf
+    "---- fig4_1 engine comparison ----\n\
+     direct (16 executions):  %.2f s\n\
+     replay (8 captures):     %.2f s\n\
+     speedup:                 %.2fx\n\n%!"
+    direct_s replay_s ratio;
+  let oc = open_out "BENCH_replay.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"fig4_1\",\n\
+    \  \"direct_seconds\": %.3f,\n\
+    \  \"replay_seconds\": %.3f,\n\
+    \  \"speedup\": %.2f\n\
+     }\n"
+    direct_s replay_s ratio;
+  close_out oc;
+  Printf.printf "wrote BENCH_replay.json\n\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* 3. Bechamel suite                                                    *)
 
 let experiment_tests =
   List.map
@@ -113,6 +152,11 @@ let print_results results =
 
 let () =
   regenerate ();
+  print_string
+    "================================================================\n\
+     Trace-replay engine: direct vs replay wall clock\n\
+     ================================================================\n\n";
+  time_engines ();
   print_string
     "================================================================\n\
      Bechamel timings (one test per table/figure + components)\n\

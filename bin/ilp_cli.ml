@@ -103,15 +103,33 @@ let source_for w careful =
 (* --- run ---------------------------------------------------------------- *)
 
 let run_cmd =
-  let action bench machine level factor careful =
+  let replay_arg =
+    let doc =
+      "Time the benchmark by capturing its trace once and replaying it \
+       through the machine's timing model, instead of observing a direct \
+       interpretation.  Results are identical; this exercises the \
+       capture-once/replay-many engine the experiment sweeps use."
+    in
+    Arg.(value & flag & info [ "replay" ] ~doc)
+  in
+  let action bench machine level factor careful replay =
     let w = find_bench bench in
     let unroll = unroll_spec factor careful in
+    let source = source_for w careful in
     let r =
-      Ilp_core.Ilp.measure ?unroll ~level machine (source_for w careful)
+      if replay then (
+        let pre =
+          Ilp_core.Ilp.compile_unscheduled ?unroll ~level machine source
+        in
+        let trace = Ilp_sim.Trace_buffer.capture pre in
+        let binary = Ilp_core.Ilp.schedule ~level machine pre in
+        Ilp_sim.Metrics.measure_replay machine trace binary)
+      else Ilp_core.Ilp.measure ?unroll ~level machine source
     in
     Fmt.pr "benchmark      %s@." bench;
     Fmt.pr "machine        %s@." machine.Ilp_machine.Config.name;
     Fmt.pr "optimization   %s@." (Ilp_core.Ilp.opt_level_name level);
+    Fmt.pr "engine         %s@." (if replay then "trace replay" else "direct");
     Fmt.pr "instructions   %d@." r.Ilp_sim.Metrics.dyn_instrs;
     Fmt.pr "base cycles    %.1f@." r.Ilp_sim.Metrics.base_cycles;
     Fmt.pr "speedup (ILP)  %.3f@." r.Ilp_sim.Metrics.speedup;
@@ -120,7 +138,7 @@ let run_cmd =
   let term =
     Term.(
       const action $ bench_arg $ machine_arg $ level_arg $ unroll_arg
-      $ careful_arg)
+      $ careful_arg $ replay_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and simulate one benchmark") term
 
@@ -247,6 +265,7 @@ let profile_cmd =
     let outcome =
       Ilp_sim.Exec.run ~observer:(Ilp_sim.Timing.observer timing) p
     in
+    Ilp_sim.Timing.finish timing;
     let total = float_of_int outcome.Ilp_sim.Exec.dyn_instrs in
     Fmt.pr "per-function dynamic instruction counts:@.";
     List.iter

@@ -11,9 +11,9 @@ module Metrics = Ilp_sim.Metrics
 (* ------------------------------------------------------------------ *)
 (* shared measurement helpers                                          *)
 
-(* Measure one workload on one machine configuration, compiled at [level]
-   with the workload's default unrolling (Linpack ships unrolled 4x). *)
-let measure_workload ?(level = Ilp.O4) ?unroll (w : W.t) (config : Config.t) =
+(* Resolve a workload's effective unrolling (Linpack ships unrolled 4x)
+   and the matching source text. *)
+let workload_source ?unroll (w : W.t) =
   let unroll =
     match unroll with
     | Some u -> u
@@ -28,7 +28,40 @@ let measure_workload ?(level = Ilp.O4) ?unroll (w : W.t) (config : Config.t) =
         W.source_for_mode w `Careful
     | Some _ | None -> w.W.source
   in
+  (unroll, source)
+
+(* Measure one workload on one machine configuration, compiled at [level]
+   with the workload's default unrolling. *)
+let measure_workload ?(level = Ilp.O4) ?unroll (w : W.t) (config : Config.t) =
+  let unroll, source = workload_source ?unroll w in
   Ilp.measure ?unroll ~level config source
+
+(* Measure one workload on many machine configurations by capturing its
+   dynamic trace once and replaying it against each configuration's
+   schedule.  Configurations that agree on the register split share one
+   pre-scheduled program and one trace (compile_unscheduled depends on
+   the machine only through temp_regs/home_regs); every preset sweep in
+   this file is one such group, so each sweep pays for exactly one
+   functional execution per workload. *)
+let measure_workload_many ?(level = Ilp.O4) ?unroll (w : W.t)
+    (configs : Config.t list) =
+  let unroll, source = workload_source ?unroll w in
+  let shared = Hashtbl.create 4 in
+  List.map
+    (fun (config : Config.t) ->
+      let key = (config.Config.temp_regs, config.Config.home_regs) in
+      let pre, trace =
+        match Hashtbl.find_opt shared key with
+        | Some pair -> pair
+        | None ->
+            let pre = Ilp.compile_unscheduled ?unroll ~level config source in
+            let trace = Ilp_sim.Trace_buffer.capture pre in
+            Hashtbl.add shared key (pre, trace);
+            (pre, trace)
+      in
+      let binary = Ilp.schedule ~level config pre in
+      Metrics.measure_replay config trace binary)
+    configs
 
 let suite_speedups ?level config =
   List.map
@@ -37,6 +70,18 @@ let suite_speedups ?level config =
 
 let harmonic_suite ?level config =
   Metrics.harmonic_mean (suite_speedups ?level config)
+
+(* Harmonic-mean suite speedup of each configuration, via trace replay:
+   one capture per workload serves every configuration in the sweep. *)
+let harmonic_suite_many ?level (configs : Config.t list) =
+  let per_workload =
+    List.map (fun w -> measure_workload_many ?level w configs) Registry.all
+  in
+  List.mapi
+    (fun k _ ->
+      Metrics.harmonic_mean
+        (List.map (fun runs -> (List.nth runs k).Metrics.speedup) per_workload))
+    configs
 
 let degrees = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
 
@@ -154,14 +199,30 @@ type fig4_1 = {
   superpipelined : float;
 }
 
-let fig4_1 () =
-  List.map
-    (fun d ->
-      { degree = d;
-        superscalar = harmonic_suite (Presets.superscalar d);
-        superpipelined = harmonic_suite (Presets.superpipelined d);
-      })
-    degrees
+(* [`Replay] captures each workload once and replays it against all 16
+   machine configurations; [`Direct] re-executes per configuration (kept
+   for the bench harness's direct-vs-replay wall-clock comparison). *)
+let fig4_1 ?(engine = `Replay) () =
+  match engine with
+  | `Direct ->
+      List.map
+        (fun d ->
+          { degree = d;
+            superscalar = harmonic_suite (Presets.superscalar d);
+            superpipelined = harmonic_suite (Presets.superpipelined d);
+          })
+        degrees
+  | `Replay ->
+      let ss = List.map Presets.superscalar degrees in
+      let sp = List.map Presets.superpipelined degrees in
+      let means = harmonic_suite_many (ss @ sp) in
+      List.mapi
+        (fun k d ->
+          { degree = d;
+            superscalar = List.nth means k;
+            superpipelined = List.nth means (List.length degrees + k);
+          })
+        degrees
 
 let render_fig4_1 () =
   let rows = fig4_1 () in
@@ -233,12 +294,14 @@ let render_fig4_3 () =
 type fig4_4 = { multiplicity : int; unit_latency : float; real_latency : float }
 
 let fig4_4 () =
-  List.map
-    (fun n ->
+  let unit = List.map (fun n -> Presets.cray1_unit_latencies ~issue_width:n ()) degrees in
+  let real = List.map (fun n -> Presets.cray1 ~issue_width:n ()) degrees in
+  let means = harmonic_suite_many (unit @ real) in
+  List.mapi
+    (fun k n ->
       { multiplicity = n;
-        unit_latency =
-          harmonic_suite (Presets.cray1_unit_latencies ~issue_width:n ());
-        real_latency = harmonic_suite (Presets.cray1 ~issue_width:n ());
+        unit_latency = List.nth means k;
+        real_latency = List.nth means (List.length degrees + k);
       })
     degrees
 
@@ -284,14 +347,13 @@ let render_fig4_4 () =
 type fig4_5 = { bench : string; by_degree : (int * float) list }
 
 let fig4_5 () =
+  let configs = List.map Presets.superscalar degrees in
   List.map
     (fun w ->
+      let runs = measure_workload_many w configs in
       { bench = w.W.name;
         by_degree =
-          List.map
-            (fun d ->
-              (d, (measure_workload w (Presets.superscalar d)).Metrics.speedup))
-            degrees;
+          List.map2 (fun d run -> (d, run.Metrics.speedup)) degrees runs;
       })
     Registry.all
 
@@ -632,13 +694,17 @@ let render_ablation_temps () =
 type ablation_conflicts_row = { degree : int; ideal : float; conflicts : float }
 
 let ablation_class_conflicts () =
-  List.map
-    (fun d ->
+  let ds = [ 1; 2; 4; 8 ] in
+  let ideal = List.map Presets.superscalar ds in
+  let conflicted = List.map Presets.superscalar_with_class_conflicts ds in
+  let means = harmonic_suite_many (ideal @ conflicted) in
+  List.mapi
+    (fun k d ->
       { degree = d;
-        ideal = harmonic_suite (Presets.superscalar d);
-        conflicts = harmonic_suite (Presets.superscalar_with_class_conflicts d);
+        ideal = List.nth means k;
+        conflicts = List.nth means (List.length ds + k);
       })
-    [ 1; 2; 4; 8 ]
+    ds
 
 let render_ablation_class_conflicts () =
   let rows = ablation_class_conflicts () in
@@ -752,6 +818,7 @@ let issue_histogram ?(width = 4) () =
       let _ =
         Ilp_sim.Exec.run ~observer:(Ilp_sim.Timing.observer timing) program
       in
+      Ilp_sim.Timing.finish timing;
       let total =
         float_of_int
           (Array.fold_left ( + ) 0 timing.Ilp_sim.Timing.issue_histogram)
@@ -790,19 +857,24 @@ type ablation_branch_row = {
 }
 
 let ablation_branch () =
-  List.map
-    (fun d ->
-      let free = Presets.superscalar d in
-      let limited =
+  let ds = [ 1; 2; 4; 8 ] in
+  let free = List.map Presets.superscalar ds in
+  let limited =
+    List.map
+      (fun d ->
         Config.make
           (Printf.sprintf "superscalar-%d-bep" d)
-          ~issue_width:d ~branch_ends_packet:true
-      in
+          ~issue_width:d ~branch_ends_packet:true)
+      ds
+  in
+  let means = harmonic_suite_many (free @ limited) in
+  List.mapi
+    (fun k d ->
       { degree = d;
-        issue_past_branches = harmonic_suite free;
-        branch_ends_packet = harmonic_suite limited;
+        issue_past_branches = List.nth means k;
+        branch_ends_packet = List.nth means (List.length ds + k);
       })
-    [ 1; 2; 4; 8 ]
+    ds
 
 let render_ablation_branch () =
   let rows = ablation_branch () in

@@ -43,8 +43,13 @@ let frontend source = Semant.compile_source source
 let local_cleanup p =
   p |> Ilp_opt.Const_fold.run |> Ilp_opt.Local_cse.run |> Ilp_opt.Dce.run
 
-(* Compile [source] for [config] at [level]. *)
-let compile ?unroll ~level (config : Config.t) source =
+(* Compile [source] for [config] at [level], stopping just short of the
+   machine-specific scheduling pass.  The result depends on [config]
+   only through the register split (temp_regs/home_regs), so configs
+   that agree on those share one pre-scheduled program — and, because
+   the instructions keep their identities across [schedule], one
+   captured trace (see Trace_buffer). *)
+let compile_unscheduled ?unroll ~level (config : Config.t) source =
   let tast = frontend source in
   let tast =
     match unroll with
@@ -64,9 +69,15 @@ let compile ?unroll ~level (config : Config.t) source =
       |> local_cleanup |> Ilp_opt.Coalesce.run
     else p
   in
-  let p = Ilp_regalloc.Temp_alloc.run config p in
-  let p = if at_least level O1 then Ilp_sched.List_sched.run config p else p in
-  p
+  Ilp_regalloc.Temp_alloc.run config p
+
+(* The final machine-specific pass: per-block list scheduling (from O1). *)
+let schedule ~level (config : Config.t) p =
+  if at_least level O1 then Ilp_sched.List_sched.run config p else p
+
+(* Compile [source] for [config] at [level]. *)
+let compile ?unroll ~level (config : Config.t) source =
+  schedule ~level config (compile_unscheduled ?unroll ~level config source)
 
 (* Compile and measure in one step. *)
 let measure ?unroll ?(level = O4) ?cache ?options (config : Config.t) source =

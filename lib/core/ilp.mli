@@ -36,6 +36,23 @@ val local_cleanup : Ilp_ir.Program.t -> Ilp_ir.Program.t
 (** Constant folding, local CSE, DCE — the O2 pass group, also used to
     clean up after the global passes. *)
 
+val compile_unscheduled :
+  ?unroll:unroll_spec ->
+  level:opt_level ->
+  Config.t ->
+  string ->
+  Ilp_ir.Program.t
+(** Everything {!compile} does short of the machine-specific scheduling
+    pass: fully register-allocated, unscheduled.  Depends on [config]
+    only through [temp_regs]/[home_regs], so configurations agreeing on
+    those share one pre-scheduled program — the sharing contract
+    [Ilp_sim.Trace_buffer] relies on. *)
+
+val schedule : level:opt_level -> Config.t -> Ilp_ir.Program.t -> Ilp_ir.Program.t
+(** The final per-block list-scheduling pass (identity below O1).
+    Preserves instruction identities, so any two schedules of the same
+    {!compile_unscheduled} result are replay-compatible. *)
+
 val compile :
   ?unroll:unroll_spec ->
   level:opt_level ->
@@ -43,7 +60,8 @@ val compile :
   string ->
   Ilp_ir.Program.t
 (** Compile MiniMod source for [config] at [level]; the result is fully
-    register-allocated and (from O1) scheduled for [config]. *)
+    register-allocated and (from O1) scheduled for [config].  Equal to
+    {!schedule} of {!compile_unscheduled}. *)
 
 val measure :
   ?unroll:unroll_spec ->

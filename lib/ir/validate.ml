@@ -7,7 +7,11 @@
      function; every call target resolves to a function;
    - terminators appear only at block ends;
    - the last block of a function cannot fall off the end;
-   - a program has a main function.
+   - a program has a main function;
+   - block labels are unique across the program, and no function name
+     doubles as a basic-block label other than that function's own entry
+     block (the executor aliases every function name to its entry, so a
+     colliding label would silently redirect branches).
 
    Stage-specific invariants:
    - [`Virtual]: code straight out of the code generator or the
@@ -123,12 +127,55 @@ let check_func ~stage ~function_names (f : Func.t) =
     f.Func.blocks;
   List.rev !issues
 
+(* Program-level label checks: the executor resolves labels through one
+   global table and aliases every function name to its entry block, so
+   a duplicated block label — or a function name reused as a label
+   elsewhere — silently redirects control.  Codegen labels each
+   function's entry block with the function's own name; that self-alias
+   is the one benign collision. *)
+let check_program_labels (p : Program.t) =
+  let issues = ref [] in
+  let owner : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Func.t) ->
+      List.iter
+        (fun (b : Block.t) ->
+          let l = Label.to_string b.Block.label in
+          (match Hashtbl.find_opt owner l with
+          | Some other ->
+              issues :=
+                issue "program" "duplicate block label %s (in %s and %s)" l
+                  other f.Func.name
+                :: !issues
+          | None -> ());
+          Hashtbl.replace owner l f.Func.name)
+        f.Func.blocks)
+    p.Program.functions;
+  List.iter
+    (fun (f : Func.t) ->
+      let entry_label =
+        match f.Func.blocks with
+        | b :: _ -> Some (Label.to_string b.Block.label)
+        | [] -> None
+      in
+      match Hashtbl.find_opt owner f.Func.name with
+      | Some _ when entry_label <> Some f.Func.name ->
+          issues :=
+            issue "program"
+              "function name %s collides with a basic-block label"
+              f.Func.name
+            :: !issues
+      | _ -> ())
+    p.Program.functions;
+  List.rev !issues
+
 let check ?(stage = `Virtual) (p : Program.t) : issue list =
   let function_names =
     List.map (fun f -> f.Func.name) p.Program.functions
   in
   let issues =
     List.concat_map (check_func ~stage ~function_names) p.Program.functions
+    @ check_program_labels p
   in
   let issues =
     if List.exists (fun f -> f.Func.name = "main") p.Program.functions then

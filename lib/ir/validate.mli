@@ -3,7 +3,10 @@
 
     Checks operand shapes per opcode, label/function resolution,
     terminator placement, that the last block cannot fall off the end,
-    and (at stage [`Allocated]) that no virtual registers remain. *)
+    program-wide label uniqueness (including function names reused as
+    block labels, which would silently redirect control in the
+    executor), and (at stage [`Allocated]) that no virtual registers
+    remain. *)
 
 type stage = [ `Virtual | `Allocated ]
 

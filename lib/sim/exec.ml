@@ -65,15 +65,27 @@ let resolve (p : Program.t) =
           blocks)
       functions
   in
-  (* the entry block of every function is also reachable by function name *)
+  (* the entry block of every function is also reachable by function
+     name.  A basic block elsewhere carrying the same label would be
+     silently shadowed here, redirecting branches to the function entry
+     (or calls into the block): refuse to run such a program.  The
+     benign case is a function whose entry block is labelled with its
+     own name, which codegen always emits. *)
   Array.iteri
     (fun fn f ->
       match f.Func.blocks with
       | [] -> ()
-      | b :: _ ->
+      | _ :: _ ->
+          (match Hashtbl.find_opt block_of_label f.Func.name with
+          | Some pos when pos.fn <> fn || pos.blk <> 0 ->
+              raise
+                (Fault
+                   (Printf.sprintf
+                      "function name %s collides with a basic-block label"
+                      f.Func.name))
+          | Some _ | None -> ());
           Hashtbl.replace block_of_label f.Func.name
-            { fn; blk = 0; ins = 0 };
-          ignore b)
+            { fn; blk = 0; ins = 0 })
     functions;
   let entry =
     match Hashtbl.find_opt block_of_label "main" with
@@ -99,8 +111,16 @@ let init_memory (p : Program.t) mem_words =
 
 let nothing_observer : observer = fun _ _ -> ()
 
-let run ?(options = default_options) ?(observer = nothing_observer)
+let run ?(options = default_options) ?observer ?(observers = []) ?on_branch
     (p : Program.t) : outcome =
+  (* fan every executed instruction out to all observers in this one
+     functional pass *)
+  let observer =
+    match (Option.to_list observer @ observers : observer list) with
+    | [] -> nothing_observer
+    | [ f ] -> f
+    | fs -> fun i addr -> List.iter (fun f -> f i addr) fs
+  in
   let r = resolve p in
   let memory, globals_end = init_memory p options.mem_words in
   let regs = Array.make options.registers Value.zero in
@@ -260,6 +280,7 @@ let run ?(options = default_options) ?(observer = nothing_observer)
           | Opcode.Bge -> c >= 0
           | _ -> assert false
         in
+        (match on_branch with Some f -> f i taken | None -> ());
         if taken then
           match i.Instr.target with
           | Some l -> pos := find_label l

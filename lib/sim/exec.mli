@@ -42,6 +42,19 @@ type outcome = {
 
 val nothing_observer : observer
 
-val run : ?options:options -> ?observer:observer -> Program.t -> outcome
+val run :
+  ?options:options ->
+  ?observer:observer ->
+  ?observers:observer list ->
+  ?on_branch:(Instr.t -> bool -> unit) ->
+  Program.t ->
+  outcome
 (** Execute from ["main"] until [halt] (or a return with an empty call
-    stack). *)
+    stack).  All of [observer] and [observers] are driven by the same
+    functional pass; [on_branch] additionally reports the outcome of
+    every executed conditional branch (trace capture records these to
+    replay control flow without re-interpreting).
+
+    Raises {!Fault} if a function name collides with a basic-block label
+    elsewhere in the program (the alias that makes function entries
+    reachable by name would silently redirect those branches). *)

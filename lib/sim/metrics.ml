@@ -14,11 +14,16 @@ type run = {
   sink : Value.t;
 }
 
+let registers_of = function
+  | Some o -> o.Exec.registers
+  | None -> Exec.default_options.Exec.registers
+
 (* Execute [program] once, timed against [config].  The program must be
    fully register-allocated and scheduled for [config] beforehand. *)
 let measure ?cache ?options (config : Config.t) program =
-  let timing = Timing.create ?cache config in
+  let timing = Timing.create ?cache ~registers:(registers_of options) config in
   let outcome = Exec.run ?options ~observer:(Timing.observer timing) program in
+  Timing.finish timing;
   { machine = config.Config.name;
     dyn_instrs = outcome.Exec.dyn_instrs;
     minor_cycles = Timing.minor_cycles timing;
@@ -27,6 +32,23 @@ let measure ?cache ?options (config : Config.t) program =
     stall_cycles = timing.Timing.stall_cycles;
     class_counts = outcome.Exec.class_counts;
     sink = outcome.Exec.sink;
+  }
+
+(* Time [program] against [config] by replaying a captured trace instead
+   of re-interpreting; bit-identical to [measure] of the same program
+   (see Trace_buffer). *)
+let measure_replay ?cache ?options (config : Config.t) trace program =
+  let timing = Timing.create ?cache ~registers:(registers_of options) config in
+  Trace_buffer.replay trace program timing;
+  Timing.finish timing;
+  { machine = config.Config.name;
+    dyn_instrs = Trace_buffer.dyn_instrs trace;
+    minor_cycles = Timing.minor_cycles timing;
+    base_cycles = Timing.base_cycles timing;
+    speedup = Timing.speedup timing;
+    stall_cycles = timing.Timing.stall_cycles;
+    class_counts = Trace_buffer.class_counts trace;
+    sink = Trace_buffer.sink trace;
   }
 
 (* Dynamic instruction-class frequencies of a run, as fractions. *)

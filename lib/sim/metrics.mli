@@ -26,6 +26,19 @@ val measure :
     fully register-allocated (and normally scheduled for [config])
     beforehand. *)
 
+val measure_replay :
+  ?cache:Cache.t ->
+  ?options:Exec.options ->
+  Config.t ->
+  Trace_buffer.t ->
+  Ilp_ir.Program.t ->
+  run
+(** Time [program] against [config] by replaying a captured trace
+    instead of re-interpreting.  Bit-identical to {!measure} of the same
+    program when the trace was captured from a schedule-sibling of
+    [program] (raises {!Trace_buffer.Divergence} otherwise);
+    [options] only contributes the register-file size. *)
+
 val class_frequencies : run -> Superpipelining.frequencies
 (** The run's dynamic instruction-class mix, as fractions. *)
 

@@ -42,9 +42,11 @@ type t = {
       (** [issue_histogram.(k)]: cycles that issued exactly [k]
           instructions, recorded as cycles close *)
   mutable force_cycle_end : bool;
+  mutable finished : bool;
 }
 
-let create ?cache (config : Config.t) =
+let create ?cache ?(registers = Exec.default_options.Exec.registers)
+    (config : Config.t) =
   let pools =
     List.map
       (fun spec ->
@@ -57,7 +59,7 @@ let create ?cache (config : Config.t) =
         List.filter (fun p -> List.mem c p.spec.Config.classes) pools)
   in
   { config;
-    reg_ready = Array.make 512 0;
+    reg_ready = Array.make registers 0;
     pools_by_class;
     now = 0;
     issued_this_cycle = 0;
@@ -67,6 +69,7 @@ let create ?cache (config : Config.t) =
     cache_stall_until = 0;
     issue_histogram = Array.make (config.Config.issue_width + 1) 0;
     force_cycle_end = false;
+    finished = false;
   }
 
 let next_cycle t =
@@ -97,27 +100,29 @@ let find_unit t cls =
       in
       search pools
 
-let sources_ready t (i : Instr.t) =
-  List.for_all
-    (fun r -> t.reg_ready.(Reg.index r) <= t.now)
-    (Instr.uses i)
+(* registers ready at or before [t.now]?  [regs] holds register
+   indices; plain loops, no allocation — this is the replay hot path. *)
+let regs_ready t (regs : int array) bound =
+  let ok = ref true in
+  for k = 0 to Array.length regs - 1 do
+    if t.reg_ready.(regs.(k)) > bound then ok := false
+  done;
+  !ok
 
-let waw_clear t (i : Instr.t) latency =
-  List.for_all
-    (fun d -> t.reg_ready.(Reg.index d) <= t.now + latency)
-    (Instr.defs i)
-
-(* Account one dynamic instruction; [addr] is the effective address of a
-   memory operation or -1. *)
-let issue t (i : Instr.t) addr =
-  let cls = Instr.iclass i in
+(* Account one dynamic instruction given its pre-decoded fields: class,
+   load-ness, def/use register indices, and the effective address of a
+   memory operation or -1.  [issue] decodes an [Instr.t] down to exactly
+   this, so direct observation and trace replay share one code path and
+   produce identical timing. *)
+let issue_decoded t ~cls ~is_load ~(defs : int array) ~(uses : int array)
+    addr =
   let latency = ref (Config.latency t.config cls) in
   (* a cache miss on a load lengthens its latency; on a store it only
      blocks the pipeline (write-allocate, blocking cache) *)
   (match t.cache with
   | Some cache when addr >= 0 ->
       if not (Cache.access cache addr) then begin
-        if Instr.is_load i then latency := !latency + Cache.miss_penalty cache
+        if is_load then latency := !latency + Cache.miss_penalty cache
         else
           t.cache_stall_until <-
             max t.cache_stall_until (t.now + Cache.miss_penalty cache)
@@ -125,9 +130,13 @@ let issue t (i : Instr.t) addr =
   | Some _ | None -> ());
   let rec try_issue () =
     if t.now < t.cache_stall_until then begin
+      (* blocking-cache stall: charge the skipped cycles as stalls and
+         close each of them normally, so the interrupted cycle and every
+         stalled cycle still land in the issue histogram *)
       t.stall_cycles <- t.stall_cycles + (t.cache_stall_until - t.now);
-      t.now <- t.cache_stall_until;
-      t.issued_this_cycle <- 0
+      while t.now < t.cache_stall_until do
+        next_cycle t
+      done
     end;
     if
       t.issued_this_cycle >= t.config.Config.issue_width
@@ -136,7 +145,9 @@ let issue t (i : Instr.t) addr =
       next_cycle t;
       try_issue ()
     end
-    else if not (sources_ready t i && waw_clear t i !latency) then begin
+    else if
+      not (regs_ready t uses t.now && regs_ready t defs (t.now + !latency))
+    then begin
       t.stall_cycles <- t.stall_cycles + 1;
       next_cycle t;
       try_issue ()
@@ -148,18 +159,14 @@ let issue t (i : Instr.t) addr =
           next_cycle t;
           try_issue ()
       | `Unconstrained ->
-          List.iter
-            (fun d -> t.reg_ready.(Reg.index d) <- t.now + !latency)
-            (Instr.defs i);
+          Array.iter (fun d -> t.reg_ready.(d) <- t.now + !latency) defs;
           t.issued_this_cycle <- t.issued_this_cycle + 1;
           t.instrs <- t.instrs + 1;
           if t.config.Config.branch_ends_packet && Iclass.is_control cls then
             t.force_cycle_end <- true
       | `Free (pool, idx) ->
           pool.free_at.(idx) <- t.now + pool.spec.Config.issue_latency;
-          List.iter
-            (fun d -> t.reg_ready.(Reg.index d) <- t.now + !latency)
-            (Instr.defs i);
+          Array.iter (fun d -> t.reg_ready.(d) <- t.now + !latency) defs;
           t.issued_this_cycle <- t.issued_this_cycle + 1;
           t.instrs <- t.instrs + 1;
           if t.config.Config.branch_ends_packet && Iclass.is_control cls then
@@ -167,13 +174,40 @@ let issue t (i : Instr.t) addr =
   in
   try_issue ()
 
+let reg_indices regs = Array.of_list (List.map Reg.index regs)
+
+(* Account one dynamic instruction; [addr] is the effective address of a
+   memory operation or -1. *)
+let issue t (i : Instr.t) addr =
+  issue_decoded t ~cls:(Instr.iclass i) ~is_load:(Instr.is_load i)
+    ~defs:(reg_indices (Instr.defs i))
+    ~uses:(reg_indices (Instr.uses i))
+    addr
+
 let observer t : Exec.observer = fun i addr -> issue t i addr
 
 (* Total time: the cycle of the last issue plus the drain of the deepest
-   outstanding result. *)
+   outstanding result.  Once [finish] has closed the books, [t.now]
+   already includes the drain. *)
 let minor_cycles t =
-  let drain = Array.fold_left max 0 t.reg_ready in
-  max (t.now + 1) drain
+  if t.finished then t.now
+  else
+    let drain = Array.fold_left max 0 t.reg_ready in
+    max (t.now + 1) drain
+
+(* Close the open issue cycle and charge the drain cycles, so the issue
+   histogram accounts for every minor cycle of the run:
+   [sum issue_histogram = minor_cycles].  Idempotent; no further issues
+   are expected afterwards. *)
+let finish t =
+  if not t.finished then begin
+    let total = minor_cycles t in
+    next_cycle t;
+    while t.now < total do
+      next_cycle t
+    done;
+    t.finished <- true
+  end
 
 let base_cycles t =
   float_of_int (minor_cycles t) /. float_of_int t.config.Config.pipe_degree

@@ -38,20 +38,42 @@ type t = {
       (** [issue_histogram.(k)]: completed cycles that issued exactly
           [k] instructions *)
   mutable force_cycle_end : bool;
+  mutable finished : bool;  (** set by {!finish} *)
 }
 
-val create : ?cache:Cache.t -> Config.t -> t
+val create : ?cache:Cache.t -> ?registers:int -> Config.t -> t
+(** [registers] sizes the scoreboard to the simulated register file;
+    defaults to [Exec.default_options.registers]. *)
 
 val issue : t -> Ilp_ir.Instr.t -> int -> unit
 (** Account one dynamic instruction; the second argument is the
     effective address of a memory operation or [-1].  After the call,
     [t.now] is the minor cycle the instruction issued in. *)
 
+val issue_decoded :
+  t ->
+  cls:Ilp_ir.Iclass.t ->
+  is_load:bool ->
+  defs:int array ->
+  uses:int array ->
+  int ->
+  unit
+(** Like {!issue}, but from pre-decoded fields: instruction class,
+    whether it is a load, and def/use register {e indices}.  {!issue} is
+    exactly this after decoding, so a trace replay that feeds the same
+    decoded stream produces bit-identical timing. *)
+
 val observer : t -> Exec.observer
 
 val minor_cycles : t -> int
 (** Total time: the last issue cycle plus the drain of the deepest
     outstanding result. *)
+
+val finish : t -> unit
+(** Close the open issue cycle and charge the result-drain cycles as
+    zero-issue cycles, establishing the invariant
+    [Array.fold_left (+) 0 t.issue_histogram = minor_cycles t].
+    Idempotent; call once the dynamic stream is exhausted. *)
 
 val base_cycles : t -> float
 val instrs : t -> int

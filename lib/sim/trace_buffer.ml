@@ -1,0 +1,339 @@
+(* Capture-once/replay-many dynamic traces.
+
+   A sweep like Figure 4-1 measures the same workload on many machine
+   configurations.  The dynamic instruction stream is almost entirely
+   shared between those measurements: compilation depends on the
+   configuration only through the register split (regalloc) and the
+   final per-block scheduling pass, and the scheduler permutes
+   instructions *within* basic blocks only, never across calls or past
+   the terminator (see Ddg).  So the branch decisions, the per-static-
+   instruction effective-address sequences, and each instruction's
+   dynamic execution count are invariant across every schedule of one
+   pre-scheduled program.
+
+   [capture] runs the functional interpreter once over a pre-scheduled
+   program and records, per static instruction (keyed by [Instr.id]):
+
+   - for loads and stores, the sequence of effective addresses, packed
+     into growable int arrays;
+   - for conditional branches, the sequence of taken bits, packed 62
+     per word;
+
+   plus the run summary (dynamic count, checksum, class mix).  Unlike
+   [Trace.capture]'s list of records, this representation holds 10^7+
+   entries in a few megabytes.
+
+   [replay] then drives a [Timing.t] from the buffer over *any* sibling
+   schedule of the captured program — the binary is walked as flattened
+   threaded code, each instruction pre-decoded for [Timing.issue_decoded],
+   with control transfers resolved from the recorded taken bits instead
+   of re-interpreting the program.  Any mismatch between the buffer and
+   the binary raises [Divergence] rather than producing wrong timings. *)
+
+open Ilp_ir
+
+exception Divergence of string
+
+let divergence fmt = Printf.ksprintf (fun s -> raise (Divergence s)) fmt
+
+(* growable packed int vector *)
+module Ivec = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create () = { data = Array.make 8 0; len = 0 }
+
+  let push v x =
+    if v.len = Array.length v.data then begin
+      let d = Array.make (2 * v.len) 0 in
+      Array.blit v.data 0 d 0 v.len;
+      v.data <- d
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+end
+
+(* growable bit vector: 62 taken-bits per word *)
+module Bitvec = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let bits_per_word = 62
+
+  let create () = { data = Array.make 4 0; len = 0 }
+
+  let push v b =
+    let w = v.len / bits_per_word and k = v.len mod bits_per_word in
+    if w = Array.length v.data then begin
+      let d = Array.make (2 * w) 0 in
+      Array.blit v.data 0 d 0 w;
+      v.data <- d
+    end;
+    if b then v.data.(w) <- v.data.(w) lor (1 lsl k);
+    v.len <- v.len + 1
+
+  let get v i =
+    (v.data.(i / bits_per_word) lsr (i mod bits_per_word)) land 1 = 1
+end
+
+type t = {
+  dyn_instrs : int;
+  sink : Value.t;
+  class_counts : int array;
+  addrs : (int, Ivec.t) Hashtbl.t;
+      (** [Instr.id] -> effective addresses, in execution order *)
+  branches : (int, Bitvec.t) Hashtbl.t;
+      (** [Instr.id] -> taken bits, in execution order *)
+}
+
+let dyn_instrs t = t.dyn_instrs
+let sink t = t.sink
+let class_counts t = t.class_counts
+
+(* Approximate buffer size: one word per stored address, 1/62 word per
+   branch outcome, plus per-stream bookkeeping. *)
+let footprint_words t =
+  let stream _ (v : Ivec.t) acc = acc + Array.length v.data + 2 in
+  let bits _ (v : Bitvec.t) acc = acc + Array.length v.data + 2 in
+  Hashtbl.fold stream t.addrs 0 + Hashtbl.fold bits t.branches 0
+
+let capture ?options ?(observers = []) (p : Program.t) =
+  let addrs = Hashtbl.create 1024 in
+  let branches = Hashtbl.create 256 in
+  let record (i : Instr.t) addr =
+    if addr >= 0 then
+      let v =
+        match Hashtbl.find_opt addrs i.Instr.id with
+        | Some v -> v
+        | None ->
+            let v = Ivec.create () in
+            Hashtbl.add addrs i.Instr.id v;
+            v
+      in
+      Ivec.push v addr
+  in
+  let on_branch (i : Instr.t) taken =
+    let v =
+      match Hashtbl.find_opt branches i.Instr.id with
+      | Some v -> v
+      | None ->
+          let v = Bitvec.create () in
+          Hashtbl.add branches i.Instr.id v;
+          v
+    in
+    Bitvec.push v taken
+  in
+  let outcome =
+    Exec.run ?options ~observers:(record :: observers) ~on_branch p
+  in
+  { dyn_instrs = outcome.Exec.dyn_instrs;
+    sink = outcome.Exec.sink;
+    class_counts = Array.copy outcome.Exec.class_counts;
+    addrs;
+    branches;
+  }
+
+(* instruction kinds in the flattened binary *)
+let k_fall = 0
+
+let k_branch = 1
+
+let k_jump = 2
+
+let k_call = 3
+
+let k_ret = 4
+
+let k_halt = 5
+
+let replay t (p : Program.t) (timing : Timing.t) =
+  let functions = Array.of_list p.Program.functions in
+  let code =
+    Array.map
+      (fun (f : Func.t) ->
+        Array.of_list
+          (List.map (fun b -> Array.of_list b.Block.instrs) f.Func.blocks))
+      functions
+  in
+  (* flat numbering of every instruction *)
+  let base = Array.map (fun blocks -> Array.make (Array.length blocks) 0) code in
+  let n = ref 0 in
+  Array.iteri
+    (fun fn blocks ->
+      Array.iteri
+        (fun blk instrs ->
+          base.(fn).(blk) <- !n;
+          n := !n + Array.length instrs)
+        blocks)
+    code;
+  let n = !n in
+  (* normalized start of block [blk]: Exec falls through empty blocks;
+     -1 when that runs off the end of the function *)
+  let rec norm fn blk =
+    if blk >= Array.length code.(fn) then -1
+    else if Array.length code.(fn).(blk) > 0 then base.(fn).(blk)
+    else norm fn (blk + 1)
+  in
+  (* label resolution, mirroring Exec.resolve: blocks first, then every
+     function name aliased to its entry block *)
+  let label_pos : (string, int * int) Hashtbl.t = Hashtbl.create 256 in
+  Array.iteri
+    (fun fn (f : Func.t) ->
+      List.iteri
+        (fun blk (b : Block.t) ->
+          Hashtbl.replace label_pos (Label.to_string b.Block.label) (fn, blk))
+        f.Func.blocks)
+    functions;
+  Array.iteri
+    (fun fn (f : Func.t) ->
+      if f.Func.blocks <> [] then begin
+        (match Hashtbl.find_opt label_pos f.Func.name with
+        | Some (fn', blk') when fn' <> fn || blk' <> 0 ->
+            divergence "function name %s collides with a basic-block label"
+              f.Func.name
+        | Some _ | None -> ());
+        Hashtbl.replace label_pos f.Func.name (fn, 0)
+      end)
+    functions;
+  let entry =
+    match Hashtbl.find_opt label_pos "main" with
+    | Some (fn, blk) -> norm fn blk
+    | None -> divergence "program has no main function"
+  in
+  (* pre-decode every static instruction *)
+  let cls = Array.make n Iclass.Move in
+  let is_load = Array.make n false in
+  let defs = Array.make n [||] in
+  let uses = Array.make n [||] in
+  let kind = Array.make n k_fall in
+  let next = Array.make n (-1) in
+  let target = Array.make n (-1) in
+  let addr_stream = Array.make n None in
+  let bit_stream = Array.make n None in
+  let matched_addrs = ref 0 and matched_bits = ref 0 in
+  let reg_indices regs = Array.of_list (List.map Reg.index regs) in
+  (* a target that does not resolve stays -1; that is only an error if
+     control actually reaches it (Exec faults lazily the same way) *)
+  let resolve_target (i : Instr.t) =
+    match i.Instr.target with
+    | None -> -1
+    | Some l -> (
+        match Hashtbl.find_opt label_pos (Label.to_string l) with
+        | Some (fn, blk) -> norm fn blk
+        | None -> -1)
+  in
+  Array.iteri
+    (fun fn blocks ->
+      Array.iteri
+        (fun blk instrs ->
+          Array.iteri
+            (fun ins (i : Instr.t) ->
+              let k = base.(fn).(blk) + ins in
+              cls.(k) <- Instr.iclass i;
+              is_load.(k) <- Instr.is_load i;
+              defs.(k) <- reg_indices (Instr.defs i);
+              uses.(k) <- reg_indices (Instr.uses i);
+              next.(k) <-
+                (if ins + 1 < Array.length instrs then k + 1
+                 else norm fn (blk + 1));
+              (match Hashtbl.find_opt t.addrs i.Instr.id with
+              | Some v ->
+                  addr_stream.(k) <- Some v;
+                  incr matched_addrs
+              | None -> ());
+              (match Hashtbl.find_opt t.branches i.Instr.id with
+              | Some v ->
+                  bit_stream.(k) <- Some v;
+                  incr matched_bits
+              | None -> ());
+              match i.Instr.op with
+              | Opcode.Beq | Opcode.Bne | Opcode.Blt | Opcode.Ble
+              | Opcode.Bgt | Opcode.Bge ->
+                  kind.(k) <- k_branch;
+                  target.(k) <- resolve_target i
+              | Opcode.Jmp ->
+                  kind.(k) <- k_jump;
+                  target.(k) <- resolve_target i
+              | Opcode.Call ->
+                  kind.(k) <- k_call;
+                  target.(k) <- resolve_target i
+              | Opcode.Ret -> kind.(k) <- k_ret
+              | Opcode.Halt -> kind.(k) <- k_halt
+              | _ -> kind.(k) <- k_fall)
+            instrs)
+        blocks)
+    code;
+  if !matched_addrs <> Hashtbl.length t.addrs then
+    divergence
+      "the replayed binary does not contain every traced memory \
+       instruction (%d of %d streams bound)"
+      !matched_addrs (Hashtbl.length t.addrs);
+  if !matched_bits <> Hashtbl.length t.branches then
+    divergence
+      "the replayed binary does not contain every traced branch (%d of %d \
+       streams bound)"
+      !matched_bits
+      (Hashtbl.length t.branches);
+  (* walk the threaded code, consuming the recorded streams *)
+  let acur = Array.make n 0 in
+  let bcur = Array.make n 0 in
+  let stack = ref [] in
+  let ip = ref entry in
+  let steps = ref 0 in
+  let running = ref (n > 0 && t.dyn_instrs > 0) in
+  while !running do
+    let k = !ip in
+    if k < 0 then divergence "replay fell off the end of a function";
+    incr steps;
+    if !steps > t.dyn_instrs then
+      divergence "replay exceeds the captured trace (%d instructions)"
+        t.dyn_instrs;
+    let addr =
+      match addr_stream.(k) with
+      | None -> -1
+      | Some v ->
+          let c = acur.(k) in
+          if c >= v.Ivec.len then
+            divergence "address stream exhausted after %d accesses" c;
+          acur.(k) <- c + 1;
+          v.Ivec.data.(c)
+    in
+    Timing.issue_decoded timing ~cls:cls.(k) ~is_load:is_load.(k)
+      ~defs:defs.(k) ~uses:uses.(k) addr;
+    match kind.(k) with
+    | 0 (* fall *) -> ip := next.(k)
+    | 1 (* branch *) -> (
+        match bit_stream.(k) with
+        | None -> divergence "conditional branch has no recorded outcomes"
+        | Some v ->
+            let c = bcur.(k) in
+            if c >= v.Bitvec.len then
+              divergence "branch history exhausted after %d outcomes" c;
+            bcur.(k) <- c + 1;
+            ip := (if Bitvec.get v c then target.(k) else next.(k)))
+    | 2 (* jump *) -> ip := target.(k)
+    | 3 (* call *) ->
+        stack := next.(k) :: !stack;
+        ip := target.(k)
+    | 4 (* ret *) -> (
+        match !stack with
+        | ra :: rest ->
+            stack := rest;
+            ip := ra
+        | [] -> running := false)
+    | _ (* halt *) -> running := false
+  done;
+  if !steps <> t.dyn_instrs then
+    divergence "replayed %d instructions of a %d-instruction trace" !steps
+      t.dyn_instrs;
+  (* every recorded stream must be consumed exactly *)
+  for k = 0 to n - 1 do
+    (match addr_stream.(k) with
+    | Some v when acur.(k) <> v.Ivec.len ->
+        divergence "address stream consumed partially (%d of %d)" acur.(k)
+          v.Ivec.len
+    | _ -> ());
+    match bit_stream.(k) with
+    | Some v when bcur.(k) <> v.Bitvec.len ->
+        divergence "branch history consumed partially (%d of %d)" bcur.(k)
+          v.Bitvec.len
+    | _ -> ()
+  done

@@ -1,0 +1,54 @@
+(** Capture-once/replay-many dynamic traces.
+
+    {!capture} runs the functional interpreter once over a program and
+    records the dynamic instruction stream compactly, per static
+    instruction: effective-address sequences for loads and stores
+    (packed int arrays) and taken-bit sequences for conditional branches
+    (62 bits per word), plus the run summary.  The buffer costs roughly
+    one word per dynamic memory access — a few megabytes for the
+    heaviest benchmark — where the list-of-records {!Trace} capture
+    could not hold the full stream.
+
+    {!replay} then drives any {!Timing.t} from the buffer, walking a
+    binary as flattened threaded code without re-interpreting it.  The
+    binary must share instruction identities with the captured program:
+    either the captured program itself, or any per-block reschedule of
+    it (e.g. [List_sched.run] for a different machine).  That is safe
+    because scheduling permutes instructions only within basic blocks
+    and never across calls or the terminator, so branch outcomes and
+    per-instruction address sequences are schedule-invariant.  Replay
+    feeds {!Timing.issue_decoded} exactly the stream a direct
+    {!Timing.observer} would see, so the resulting timing — cycles,
+    stalls, histogram, cache behaviour — is bit-identical to a direct
+    measurement of the same binary. *)
+
+open Ilp_ir
+
+exception Divergence of string
+(** The buffer and the replayed binary disagree: an instruction stream
+    ran short or was not fully consumed, a traced instruction is missing
+    from the binary, or the replayed length differs from the capture. *)
+
+type t
+
+val capture :
+  ?options:Exec.options -> ?observers:Exec.observer list -> Program.t -> t
+(** Execute [p] once and record its dynamic trace.  Additional
+    [observers] ride along on the same functional pass. *)
+
+val dyn_instrs : t -> int
+(** Dynamically executed instructions of the captured run. *)
+
+val sink : t -> Value.t
+(** Final checksum of the captured run. *)
+
+val class_counts : t -> int array
+(** Dynamic instruction-class counts of the captured run. *)
+
+val footprint_words : t -> int
+(** Approximate buffer size in words, for reporting. *)
+
+val replay : t -> Program.t -> Timing.t -> unit
+(** [replay t binary timing] drives [timing] with the captured stream
+    laid over [binary].  Raises {!Divergence} if [binary] is not a
+    schedule-sibling of the captured program. *)

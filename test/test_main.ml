@@ -15,5 +15,6 @@ let () =
       ("core", Test_core.tests);
       ("extensions", Test_extensions.tests);
       ("validate", Test_validate.tests);
+      ("replay", Test_replay.tests);
       ("analysis", Test_analysis.tests);
       ("properties", Test_properties.tests) ]

@@ -67,6 +67,46 @@ let prop_tiny_temp_pools_agree =
           String.equal (safe_sink ~config src) reference)
         [ 3; 5 ])
 
+let replay_fingerprint (r : Ilp_sim.Metrics.run) =
+  Printf.sprintf "%d/%d/%d/%.12g" r.Ilp_sim.Metrics.dyn_instrs
+    r.Ilp_sim.Metrics.minor_cycles r.Ilp_sim.Metrics.stall_cycles
+    r.Ilp_sim.Metrics.speedup
+
+let prop_replay_matches_direct =
+  QCheck2.Test.make ~count:40
+    ~name:"random programs: trace replay = direct timing"
+    ~print:(fun s -> s)
+    Gen_minimod.program
+    (fun src ->
+      let agree ?cache_penalty config =
+        try
+          let level = Ilp_core.Ilp.O4 in
+          let pre = Ilp_core.Ilp.compile_unscheduled ~level config src in
+          let trace = Ilp_sim.Trace_buffer.capture pre in
+          let binary = Ilp_core.Ilp.schedule ~level config pre in
+          let cache () =
+            Option.map
+              (fun penalty ->
+                Ilp_sim.Cache.create ~lines:16 ~line_words:4 ~penalty ())
+              cache_penalty
+          in
+          let direct =
+            Ilp_sim.Metrics.measure ?cache:(cache ()) config binary
+          in
+          let replayed =
+            Ilp_sim.Metrics.measure_replay ?cache:(cache ()) config trace
+              binary
+          in
+          String.equal (replay_fingerprint direct)
+            (replay_fingerprint replayed)
+        with Ilp_sim.Exec.Fault _ -> true
+      in
+      agree Presets.base
+      && agree (Presets.superscalar 4)
+      && agree (Presets.superpipelined 3)
+      && agree (Presets.superscalar_with_class_conflicts 3)
+      && agree ~cache_penalty:8 (Presets.cray1 ()))
+
 (* --- scheduler properties over random straight-line blocks --------------- *)
 
 let gen_block : Instr.t list QCheck2.Gen.t =
@@ -213,7 +253,8 @@ let prop_repeated_access_hits =
 let tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_levels_agree; prop_machines_agree; prop_unrolling_agrees;
-      prop_tiny_temp_pools_agree; prop_scheduling_preserves_semantics;
+      prop_tiny_temp_pools_agree; prop_replay_matches_direct;
+      prop_scheduling_preserves_semantics;
       prop_scheduling_is_permutation; prop_available_parallelism_bounds;
       prop_region_disjoint_symmetric; prop_region_not_self_disjoint;
       prop_means; prop_cache_miss_rate_bounds; prop_repeated_access_hits ]

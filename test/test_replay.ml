@@ -1,0 +1,161 @@
+(* Trace-buffer tests: replayed timing must reproduce direct-observer
+   timing bit for bit — cycles, stalls, speedup, issue histogram, and
+   cache behaviour — for every workload on every machine preset, and
+   replay must refuse (rather than misreport) a binary that is not a
+   schedule-sibling of the captured program. *)
+
+open Ilp_machine
+module Timing = Ilp_sim.Timing
+module Trace_buffer = Ilp_sim.Trace_buffer
+module Metrics = Ilp_sim.Metrics
+module W = Ilp_workloads.Workload
+
+let level = Ilp_core.Ilp.O4
+
+(* every preset family of the paper's evaluation *)
+let presets =
+  [ Presets.base;
+    Presets.multititan;
+    Presets.cray1 ();
+    Presets.cray1_unit_latencies ();
+    Presets.underpipelined;
+    Presets.superscalar 2;
+    Presets.superscalar 4;
+    Presets.superscalar 8;
+    Presets.superpipelined 2;
+    Presets.superpipelined 4;
+    Presets.superpipelined 8;
+    Presets.superpipelined_superscalar ~n:2 ~m:2;
+    Presets.superscalar_with_class_conflicts 4 ]
+
+let fingerprint (t : Timing.t) =
+  ( Timing.instrs t,
+    Timing.minor_cycles t,
+    t.Timing.stall_cycles,
+    Timing.speedup t,
+    Array.to_list t.Timing.issue_histogram )
+
+let direct_timing ?cache config binary =
+  let t = Timing.create ?cache config in
+  ignore (Ilp_sim.Exec.run ~observer:(Timing.observer t) binary);
+  Timing.finish t;
+  t
+
+let replay_timing ?cache config trace binary =
+  let t = Timing.create ?cache config in
+  Trace_buffer.replay trace binary t;
+  Timing.finish t;
+  t
+
+let check_equal name d r =
+  if fingerprint d <> fingerprint r then
+    Alcotest.failf "%s: replayed timing differs from direct timing" name;
+  Alcotest.(check int)
+    (name ^ ": histogram sums to minor cycles")
+    (Timing.minor_cycles r)
+    (Array.fold_left ( + ) 0 r.Timing.issue_histogram)
+
+(* One capture per workload serves every preset. *)
+let workload_tests =
+  List.map
+    (fun w ->
+      Alcotest.test_case ("replay = direct: " ^ w.W.name) `Slow (fun () ->
+          let source = w.W.source in
+          let pre =
+            Ilp_core.Ilp.compile_unscheduled ~level Presets.base source
+          in
+          let trace = Trace_buffer.capture pre in
+          List.iter
+            (fun config ->
+              let binary = Ilp_core.Ilp.schedule ~level config pre in
+              let name = w.W.name ^ "/" ^ config.Config.name in
+              check_equal name
+                (direct_timing config binary)
+                (replay_timing config trace binary))
+            presets))
+    Ilp_workloads.Registry.all
+
+let fresh_cache () =
+  Ilp_sim.Cache.create ~lines:64 ~line_words:4 ~penalty:12 ()
+
+let test_replay_with_cache () =
+  let w =
+    match Ilp_workloads.Registry.find "whet" with
+    | Some w -> w
+    | None -> Alcotest.fail "no whet workload"
+  in
+  let pre = Ilp_core.Ilp.compile_unscheduled ~level Presets.base w.W.source in
+  let trace = Trace_buffer.capture pre in
+  List.iter
+    (fun config ->
+      let binary = Ilp_core.Ilp.schedule ~level config pre in
+      let name = "whet+cache/" ^ config.Config.name in
+      check_equal name
+        (direct_timing ~cache:(fresh_cache ()) config binary)
+        (replay_timing ~cache:(fresh_cache ()) config trace binary))
+    [ Presets.base; Presets.superscalar 4; Presets.multititan ]
+
+let test_measure_replay_equals_measure () =
+  let w =
+    match Ilp_workloads.Registry.find "yacc" with
+    | Some w -> w
+    | None -> Alcotest.fail "no yacc workload"
+  in
+  let config = Presets.superscalar 4 in
+  let pre = Ilp_core.Ilp.compile_unscheduled ~level config w.W.source in
+  let trace = Trace_buffer.capture pre in
+  let binary = Ilp_core.Ilp.schedule ~level config pre in
+  let d = Metrics.measure config binary in
+  let r = Metrics.measure_replay config trace binary in
+  Alcotest.(check int) "dyn_instrs" d.Metrics.dyn_instrs r.Metrics.dyn_instrs;
+  Alcotest.(check int) "minor_cycles" d.Metrics.minor_cycles r.Metrics.minor_cycles;
+  Alcotest.(check int) "stall_cycles" d.Metrics.stall_cycles r.Metrics.stall_cycles;
+  Helpers.check_float "speedup" d.Metrics.speedup r.Metrics.speedup;
+  Alcotest.check Helpers.value_testable "sink" d.Metrics.sink r.Metrics.sink;
+  Alcotest.(check (array int)) "class_counts" d.Metrics.class_counts
+    r.Metrics.class_counts
+
+let test_divergence_on_foreign_binary () =
+  let find name =
+    match Ilp_workloads.Registry.find name with
+    | Some w -> w
+    | None -> Alcotest.fail ("no workload " ^ name)
+  in
+  let config = Presets.base in
+  let whet = find "whet" and yacc = find "yacc" in
+  let pre_whet =
+    Ilp_core.Ilp.compile_unscheduled ~level config whet.W.source
+  in
+  let trace = Trace_buffer.capture pre_whet in
+  let foreign =
+    Ilp_core.Ilp.compile ~level config yacc.W.source
+  in
+  Alcotest.(check bool) "foreign binary raises Divergence" true
+    (match
+       Trace_buffer.replay trace foreign (Timing.create config)
+     with
+    | exception Trace_buffer.Divergence _ -> true
+    | () -> false)
+
+let test_footprint_reported () =
+  let w =
+    match Ilp_workloads.Registry.find "whet" with
+    | Some w -> w
+    | None -> Alcotest.fail "no whet workload"
+  in
+  let pre = Ilp_core.Ilp.compile_unscheduled ~level Presets.base w.W.source in
+  let trace = Trace_buffer.capture pre in
+  Alcotest.(check bool) "non-trivial footprint" true
+    (Trace_buffer.footprint_words trace > 0);
+  Alcotest.(check bool) "bounded by dynamic memory accesses" true
+    (Trace_buffer.footprint_words trace < Trace_buffer.dyn_instrs trace * 4)
+
+let tests =
+  [ Alcotest.test_case "replay = direct with cache" `Slow
+      test_replay_with_cache;
+    Alcotest.test_case "measure_replay = measure" `Slow
+      test_measure_replay_equals_measure;
+    Alcotest.test_case "foreign binary diverges" `Quick
+      test_divergence_on_foreign_binary;
+    Alcotest.test_case "trace footprint" `Quick test_footprint_reported ]
+  @ workload_tests

@@ -157,8 +157,56 @@ let test_cache_stalls_pipeline () =
   Alcotest.(check bool) "bigger penalty costs more" true
     (with_cache 20 > with_cache 2)
 
+let test_scoreboard_size () =
+  (* the scoreboard follows the executor's register-file size *)
+  let hi = Instr.make Opcode.Li ~dst:(r 400) ~srcs:[ Instr.Oimm 1 ] in
+  let t = Timing.create ~registers:512 Presets.base in
+  Timing.issue t hi (-1);
+  Alcotest.(check int) "register 400 fits with ~registers:512" 1
+    (Timing.instrs t);
+  Alcotest.(check bool) "default size matches Exec.default_options" true
+    (Ilp_sim.Exec.default_options.Ilp_sim.Exec.registers = 256
+    &&
+    match Timing.issue (Timing.create Presets.base) hi (-1) with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let histogram_total t = Array.fold_left ( + ) 0 t.Timing.issue_histogram
+
+let test_histogram_accounts_cache_stalls () =
+  (* stores that miss raise cache_stall_until; the skipped cycles must
+     still appear in the issue histogram as zero-issue cycles *)
+  let cache = Ilp_sim.Cache.create ~lines:4 ~line_words:1 ~penalty:10 () in
+  let t = Timing.create ~cache Presets.base in
+  let stores =
+    List.init 6 (fun k ->
+        Instr.make Opcode.St
+          ~srcs:[ Instr.Oreg (r 4); Instr.Oreg Reg.sp ]
+          ~offset:k)
+  in
+  List.iteri (fun k i -> Timing.issue t i (k * 33)) stores;
+  Timing.finish t;
+  Alcotest.(check bool) "write misses stalled the pipe" true
+    (t.Timing.stall_cycles > 0);
+  Alcotest.(check int) "histogram covers every minor cycle"
+    (Timing.minor_cycles t) (histogram_total t)
+
+let test_histogram_accounts_drain () =
+  (* without a cache: finish pads the histogram through the drain *)
+  let c = Presets.superpipelined 3 in
+  let t = Timing.create c in
+  List.iter (fun i -> Timing.issue t i (-1)) (chain 4);
+  Timing.finish t;
+  Alcotest.(check int) "histogram covers every minor cycle"
+    (Timing.minor_cycles t) (histogram_total t)
+
 let tests =
   [ Alcotest.test_case "base throughput" `Quick test_base_throughput;
+    Alcotest.test_case "scoreboard size" `Quick test_scoreboard_size;
+    Alcotest.test_case "histogram vs cache stalls" `Quick
+      test_histogram_accounts_cache_stalls;
+    Alcotest.test_case "histogram vs drain" `Quick
+      test_histogram_accounts_drain;
     Alcotest.test_case "superscalar width" `Quick test_superscalar_width;
     Alcotest.test_case "superpipelined latency" `Quick test_superpipelined_latency;
     Alcotest.test_case "WAW ordering" `Quick test_waw_orders_completions;

@@ -84,6 +84,58 @@ let test_virtuals_flagged_after_allocation () =
   | [] -> Alcotest.fail "expected virtual-register issue"
   | _ -> ()
 
+(* The executor aliases function names to their entry blocks through one
+   global label table, so label collisions silently redirect control
+   unless caught. *)
+let collision_program () =
+  Program.make ~globals:[]
+    ~functions:
+      [ Func.make ~name:"main" ~frame_size:0 ~n_params:0
+          [ Block.make (Label.of_string "main")
+              [ Builder.jmp (Label.of_string "f") ];
+            Block.make (Label.of_string "f") [ Builder.halt () ] ];
+        Func.make ~name:"f" ~frame_size:0 ~n_params:0
+          [ Block.make (Label.of_string "fstart") [ Builder.ret () ] ]
+      ]
+
+let test_rejects_label_collisions () =
+  (* a function name reused as a block label elsewhere *)
+  expect_issue "function name shadows block label" (collision_program ());
+  (* the same block label in two functions *)
+  let dup =
+    Program.make ~globals:[]
+      ~functions:
+        [ Func.make ~name:"main" ~frame_size:0 ~n_params:0
+            [ Block.make (Label.of_string "main")
+                [ Builder.call (Label.of_string "g"); Builder.halt () ];
+              Block.make (Label.of_string "shared") [ Builder.halt () ] ];
+          Func.make ~name:"g" ~frame_size:0 ~n_params:0
+            [ Block.make (Label.of_string "g") [ Builder.ret () ];
+              Block.make (Label.of_string "shared") [ Builder.ret () ] ]
+        ]
+  in
+  expect_issue "duplicate block label" dup;
+  (* the benign self-alias: each entry block labelled with its own
+     function's name *)
+  let fine =
+    Program.make ~globals:[]
+      ~functions:
+        [ Func.make ~name:"main" ~frame_size:0 ~n_params:0
+            [ Block.make (Label.of_string "main")
+                [ Builder.call (Label.of_string "g"); Builder.halt () ] ];
+          Func.make ~name:"g" ~frame_size:0 ~n_params:0
+            [ Block.make (Label.of_string "g") [ Builder.ret () ] ]
+        ]
+  in
+  Alcotest.(check int) "self-alias accepted" 0
+    (List.length (Validate.check fine))
+
+let test_exec_faults_on_collision () =
+  Alcotest.(check bool) "executor refuses the shadowing program" true
+    (match Ilp_sim.Exec.run (collision_program ()) with
+    | exception Ilp_sim.Exec.Fault _ -> true
+    | _ -> false)
+
 let test_check_exn () =
   let good = Builder.program_of_instrs [ Builder.li (r 4) 1 ] in
   Validate.check_exn good;
@@ -140,5 +192,9 @@ let tests =
     Alcotest.test_case "rejects missing main" `Quick test_rejects_no_main;
     Alcotest.test_case "virtuals flagged after allocation" `Quick
       test_virtuals_flagged_after_allocation;
+    Alcotest.test_case "rejects label collisions" `Quick
+      test_rejects_label_collisions;
+    Alcotest.test_case "executor faults on collision" `Quick
+      test_exec_faults_on_collision;
     Alcotest.test_case "check_exn" `Quick test_check_exn ]
   @ stage_tests
