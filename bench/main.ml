@@ -11,6 +11,17 @@
 open Bechamel
 open Toolkit
 
+(* --jobs N / -j N: domain count for the parallel sweep engine used by
+   the regeneration phase (the wall-clock comparisons pin their own job
+   counts).  Defaults to the runtime's recommendation for this host. *)
+let jobs =
+  let rec scan = function
+    | ("--jobs" | "-j") :: n :: _ -> int_of_string n
+    | _ :: rest -> scan rest
+    | [] -> Domain.recommended_domain_count ()
+  in
+  scan (Array.to_list Sys.argv)
+
 (* ------------------------------------------------------------------ *)
 (* 1. regenerate every table and figure                                 *)
 
@@ -66,7 +77,53 @@ let time_engines () =
   Printf.printf "wrote BENCH_replay.json\n\n%!"
 
 (* ------------------------------------------------------------------ *)
-(* 3. Bechamel suite                                                    *)
+(* 3. serial vs parallel wall clock on fig4_1                           *)
+
+(* The same replay-engine fig4_1 sweep, fanned out over a domain pool of
+   1 vs 4.  Results must be bit-identical whatever the job count; the
+   speedup depends on how many cores the host actually has (recorded in
+   the JSON as [cores]). *)
+let time_parallel () =
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let with_jobs = Ilp_core.Experiments.with_jobs in
+  let serial = Ilp_core.Experiments.fig4_1 () in
+  let j1_s, j1 =
+    wall (fun () -> with_jobs 1 (fun () -> Ilp_core.Experiments.fig4_1 ()))
+  in
+  let j4_s, j4 =
+    wall (fun () -> with_jobs 4 (fun () -> Ilp_core.Experiments.fig4_1 ()))
+  in
+  if j1 <> serial then failwith "BUG: fig4_1 with jobs=1 differs from serial";
+  if j4 <> serial then failwith "BUG: fig4_1 with jobs=4 differs from serial";
+  let cores = Domain.recommended_domain_count () in
+  let ratio = j1_s /. j4_s in
+  Printf.printf
+    "---- fig4_1 parallel engine comparison (host has %d core%s) ----\n\
+     jobs=1:   %.2f s\n\
+     jobs=4:   %.2f s\n\
+     speedup:  %.2fx\n\n%!"
+    cores
+    (if cores = 1 then "" else "s")
+    j1_s j4_s ratio;
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"fig4_1\",\n\
+    \  \"cores\": %d,\n\
+    \  \"jobs_1_seconds\": %.3f,\n\
+    \  \"jobs_4_seconds\": %.3f,\n\
+    \  \"speedup\": %.2f\n\
+     }\n"
+    cores j1_s j4_s ratio;
+  close_out oc;
+  Printf.printf "wrote BENCH_parallel.json\n\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* 4. Bechamel suite                                                    *)
 
 let experiment_tests =
   List.map
@@ -107,6 +164,34 @@ let component_tests =
            ignore
              (Ilp_sim.Metrics.measure (Ilp_machine.Presets.superscalar 4)
                 compiled_yacc)));
+    (* decode-memo pair: the production path memoizes per-static-instruction
+       decode; the "fresh decode" observer re-derives the class and register
+       index arrays for every dynamic instruction, the pre-memo behavior *)
+    Test.make ~name:"timing: yacc issue (memoized decode)"
+      (Staged.stage (fun () ->
+           let timing =
+             Ilp_sim.Timing.create (Ilp_machine.Presets.superscalar 4)
+           in
+           ignore
+             (Ilp_sim.Exec.run ~observer:(Ilp_sim.Timing.observer timing)
+                compiled_yacc);
+           Ilp_sim.Timing.finish timing));
+    Test.make ~name:"timing: yacc issue (fresh decode per instr)"
+      (Staged.stage (fun () ->
+           let timing =
+             Ilp_sim.Timing.create (Ilp_machine.Presets.superscalar 4)
+           in
+           let module I = Ilp_ir.Instr in
+           let indices regs =
+             Array.of_list (List.map Ilp_ir.Reg.index regs)
+           in
+           let observer i addr =
+             Ilp_sim.Timing.issue_decoded timing ~cls:(I.iclass i)
+               ~is_load:(I.is_load i) ~defs:(indices (I.defs i))
+               ~uses:(indices (I.uses i)) addr
+           in
+           ignore (Ilp_sim.Exec.run ~observer compiled_yacc);
+           Ilp_sim.Timing.finish timing));
     Test.make ~name:"schedule: yacc for CRAY-1"
       (Staged.stage (fun () ->
            ignore (Ilp_sched.List_sched.run (Ilp_machine.Presets.cray1 ()) compiled_yacc)))
@@ -151,12 +236,18 @@ let print_results results =
         (List.sort compare rows)
 
 let () =
-  regenerate ();
+  Printf.printf "parallel sweep engine: %d job(s)\n\n%!" jobs;
+  Ilp_core.Experiments.with_jobs jobs regenerate;
   print_string
     "================================================================\n\
      Trace-replay engine: direct vs replay wall clock\n\
      ================================================================\n\n";
   time_engines ();
+  print_string
+    "================================================================\n\
+     Parallel sweep engine: jobs=1 vs jobs=4 wall clock\n\
+     ================================================================\n\n";
+  time_parallel ();
   print_string
     "================================================================\n\
      Bechamel timings (one test per table/figure + components)\n\

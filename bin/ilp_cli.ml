@@ -79,6 +79,22 @@ let careful_arg =
   let doc = "Use careful (reassociating, alias-annotated) unrolling." in
   Arg.(value & flag & info [ "careful" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of domains for the parallel sweep engine: capture and replay \
+     jobs fan out over $(docv) cores with bit-identical results.  \
+     Defaults to the runtime's recommended domain count; 0 forces the \
+     serial engine."
+  in
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* Route sweeps through a [jobs]-domain pool for the duration of one
+   subcommand. *)
+let with_jobs jobs f = Ilp_core.Experiments.with_jobs jobs f
+
 let find_bench name =
   match Ilp_workloads.Registry.find name with
   | Some w -> w
@@ -112,19 +128,20 @@ let run_cmd =
     in
     Arg.(value & flag & info [ "replay" ] ~doc)
   in
-  let action bench machine level factor careful replay =
+  let action bench machine level factor careful replay jobs =
     let w = find_bench bench in
     let unroll = unroll_spec factor careful in
     let source = source_for w careful in
     let r =
-      if replay then (
-        let pre =
-          Ilp_core.Ilp.compile_unscheduled ?unroll ~level machine source
-        in
-        let trace = Ilp_sim.Trace_buffer.capture pre in
-        let binary = Ilp_core.Ilp.schedule ~level machine pre in
-        Ilp_sim.Metrics.measure_replay machine trace binary)
-      else Ilp_core.Ilp.measure ?unroll ~level machine source
+      with_jobs jobs (fun () ->
+          if replay then (
+            let pre =
+              Ilp_core.Ilp.compile_unscheduled ?unroll ~level machine source
+            in
+            let trace = Ilp_sim.Trace_buffer.capture pre in
+            let binary = Ilp_core.Ilp.schedule ~level machine pre in
+            Ilp_sim.Metrics.measure_replay machine trace binary)
+          else Ilp_core.Ilp.measure ?unroll ~level machine source)
     in
     Fmt.pr "benchmark      %s@." bench;
     Fmt.pr "machine        %s@." machine.Ilp_machine.Config.name;
@@ -138,7 +155,7 @@ let run_cmd =
   let term =
     Term.(
       const action $ bench_arg $ machine_arg $ level_arg $ unroll_arg
-      $ careful_arg $ replay_arg)
+      $ careful_arg $ replay_arg $ jobs_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and simulate one benchmark") term
 
@@ -172,24 +189,25 @@ let experiment_cmd =
   let name_arg =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
   in
-  let action all name =
-    if all then print_string (Ilp_core.Experiments.run_all ())
-    else
-      match name with
-      | None ->
-          Fmt.epr "specify an experiment or --all (see `ilp list')@.";
-          exit 1
-      | Some name -> (
-          match Ilp_core.Experiments.find name with
-          | Some render -> print_string (render ())
+  let action all name jobs =
+    with_jobs jobs (fun () ->
+        if all then print_string (Ilp_core.Experiments.run_all ())
+        else
+          match name with
           | None ->
-              Fmt.epr "unknown experiment %s@." name;
-              exit 1)
+              Fmt.epr "specify an experiment or --all (see `ilp list')@.";
+              exit 1
+          | Some name -> (
+              match Ilp_core.Experiments.find name with
+              | Some render -> print_string (render ())
+              | None ->
+                  Fmt.epr "unknown experiment %s@." name;
+                  exit 1))
   in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate a table or figure from the paper's evaluation")
-    Term.(const action $ all_flag $ name_arg)
+    Term.(const action $ all_flag $ name_arg $ jobs_arg)
 
 (* --- disasm ------------------------------------------------------------- *)
 

@@ -7,6 +7,37 @@ open Ilp_machine
 module W = Ilp_workloads.Workload
 module Registry = Ilp_workloads.Registry
 module Metrics = Ilp_sim.Metrics
+module Pool = Ilp_par.Pool
+
+(* ------------------------------------------------------------------ *)
+(* engine selection: serial, or a domain pool shared by every sweep    *)
+
+(* [None]: the plain serial engine (capture and replay jobs run in the
+   calling domain, in plan order).  [Some pool]: the same two-phase plan
+   with both phases fanned out over the pool; a pool of 1 runs the jobs
+   in the calling domain in the same order as the serial engine.  Either
+   way every number is bit-identical (see test_par's determinism
+   suite). *)
+let engine : Pool.t option ref = ref None
+
+let engine_jobs () = match !engine with None -> 1 | Some p -> Pool.jobs p
+
+(* Run [f] with sweeps fanned out over a fresh [jobs]-domain pool
+   ([jobs = 0] forces the serial engine), restoring the previous engine
+   afterwards. *)
+let with_jobs jobs f =
+  let previous = !engine in
+  let finish pool () =
+    engine := previous;
+    Option.iter Pool.shutdown pool
+  in
+  let pool = if jobs <= 0 then None else Some (Pool.create ~jobs) in
+  Fun.protect ~finally:(finish pool) (fun () ->
+      engine := pool;
+      f ())
+
+let par_map f xs =
+  match !engine with None -> Array.map f xs | Some pool -> Pool.map pool f xs
 
 (* ------------------------------------------------------------------ *)
 (* shared measurement helpers                                          *)
@@ -36,32 +67,83 @@ let measure_workload ?(level = Ilp.O4) ?unroll (w : W.t) (config : Config.t) =
   let unroll, source = workload_source ?unroll w in
   Ilp.measure ?unroll ~level config source
 
-(* Measure one workload on many machine configurations by capturing its
-   dynamic trace once and replaying it against each configuration's
-   schedule.  Configurations that agree on the register split share one
-   pre-scheduled program and one trace (compile_unscheduled depends on
-   the machine only through temp_regs/home_regs); every preset sweep in
-   this file is one such group, so each sweep pays for exactly one
-   functional execution per workload. *)
-let measure_workload_many ?(level = Ilp.O4) ?unroll (w : W.t)
-    (configs : Config.t list) =
+(* ------------------------------------------------------------------ *)
+(* the two-phase sweep plan                                            *)
+
+(* One cell of a sweep: measure [rq_workload], compiled at [rq_level]
+   with [rq_unroll] (already resolved against the workload's default),
+   on [rq_config]. *)
+type request = {
+  rq_workload : W.t;
+  rq_source : string;
+  rq_unroll : Ilp.unroll_spec option;
+  rq_level : Ilp.opt_level;
+  rq_config : Config.t;
+}
+
+let request ?(level = Ilp.O4) ?unroll (w : W.t) (config : Config.t) =
   let unroll, source = workload_source ?unroll w in
-  let shared = Hashtbl.create 4 in
-  List.map
-    (fun (config : Config.t) ->
-      let key = (config.Config.temp_regs, config.Config.home_regs) in
-      let pre, trace =
-        match Hashtbl.find_opt shared key with
-        | Some pair -> pair
-        | None ->
-            let pre = Ilp.compile_unscheduled ?unroll ~level config source in
-            let trace = Ilp_sim.Trace_buffer.capture pre in
-            Hashtbl.add shared key (pre, trace);
-            (pre, trace)
-      in
-      let binary = Ilp.schedule ~level config pre in
-      Metrics.measure_replay config trace binary)
-    configs
+  { rq_workload = w; rq_source = source; rq_unroll = unroll;
+    rq_level = level; rq_config = config }
+
+(* Cells that agree on everything the unscheduled compile depends on —
+   workload, unrolling, level, and the register split (the only part of
+   the configuration [Ilp.compile_unscheduled] reads) — share one
+   pre-scheduled program and one captured trace. *)
+let capture_key r =
+  ( r.rq_workload.W.name, r.rq_unroll, r.rq_level,
+    r.rq_config.Config.temp_regs, r.rq_config.Config.home_regs )
+
+(* Execute a sweep as an explicit two-phase plan:
+
+   - phase 1: one capture job per distinct [capture_key] — compile the
+     unscheduled program and run the functional interpreter once;
+   - phase 2: one replay job per request — schedule the shared program
+     for the request's configuration and replay the captured trace
+     through a fresh [Timing.t].
+
+   Both phases fan out over the engine's domain pool (serial without
+   one).  Jobs share only immutable data (the pre-scheduled program and
+   the trace buffer); every job builds its own simulator state, and each
+   result is written at its request's index, so the output is
+   bit-identical whatever the parallelism. *)
+let run_sweep (requests : request array) : Metrics.run array =
+  let group_of_key = Hashtbl.create 16 in
+  let representatives = ref [] in
+  let n_groups = ref 0 in
+  Array.iter
+    (fun r ->
+      let key = capture_key r in
+      if not (Hashtbl.mem group_of_key key) then begin
+        Hashtbl.add group_of_key key !n_groups;
+        representatives := r :: !representatives;
+        incr n_groups
+      end)
+    requests;
+  let captures =
+    par_map
+      (fun r ->
+        let pre =
+          Ilp.compile_unscheduled ?unroll:r.rq_unroll ~level:r.rq_level
+            r.rq_config r.rq_source
+        in
+        (pre, Ilp_sim.Trace_buffer.capture pre))
+      (Array.of_list (List.rev !representatives))
+  in
+  par_map
+    (fun r ->
+      let pre, trace = captures.(Hashtbl.find group_of_key (capture_key r)) in
+      let binary = Ilp.schedule ~level:r.rq_level r.rq_config pre in
+      Metrics.measure_replay r.rq_config trace binary)
+    requests
+
+(* Measure one workload on many machine configurations through the
+   plan: one capture per register-split group, one replay per
+   configuration. *)
+let measure_workload_many ?level ?unroll (w : W.t) (configs : Config.t list) =
+  Array.to_list
+    (run_sweep
+       (Array.of_list (List.map (request ?level ?unroll w) configs)))
 
 let suite_speedups ?level config =
   List.map
@@ -71,17 +153,24 @@ let suite_speedups ?level config =
 let harmonic_suite ?level config =
   Metrics.harmonic_mean (suite_speedups ?level config)
 
-(* Harmonic-mean suite speedup of each configuration, via trace replay:
-   one capture per workload serves every configuration in the sweep. *)
-let harmonic_suite_many ?level (configs : Config.t list) =
-  let per_workload =
-    List.map (fun w -> measure_workload_many ?level w configs) Registry.all
+(* Harmonic-mean suite speedup of each configuration: one flat sweep
+   over (workload x configuration), so phase 1 is one capture per
+   workload and phase 2 one replay per cell, all independent jobs.
+   Result indexed like [configs]. *)
+let harmonic_suite_many ?level (configs : Config.t list) : float array =
+  let configs = Array.of_list configs in
+  let nc = Array.length configs in
+  let workloads = Array.of_list Registry.all in
+  let requests =
+    Array.init
+      (Array.length workloads * nc)
+      (fun k -> request ?level workloads.(k / nc) configs.(k mod nc))
   in
-  List.mapi
-    (fun k _ ->
+  let runs = run_sweep requests in
+  Array.init nc (fun ic ->
       Metrics.harmonic_mean
-        (List.map (fun runs -> (List.nth runs k).Metrics.speedup) per_workload))
-    configs
+        (List.init (Array.length workloads) (fun iw ->
+             runs.((iw * nc) + ic).Metrics.speedup)))
 
 let degrees = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
 
@@ -148,16 +237,21 @@ type table2_1_row = {
   with_measured_mix : float;
 }
 
-(* The measured mix comes from executing the whole benchmark suite. *)
+(* The measured mix comes from executing the whole benchmark suite: one
+   capture job per workload, fanned out over the pool. *)
 let measured_frequencies () =
+  let runs =
+    run_sweep
+      (Array.of_list
+         (List.map (fun w -> request w Presets.base) Registry.all))
+  in
   let totals = Array.make Ilp_ir.Iclass.count 0 in
-  List.iter
-    (fun w ->
-      let run = measure_workload w Presets.base in
+  Array.iter
+    (fun (run : Metrics.run) ->
       Array.iteri
         (fun i c -> totals.(i) <- totals.(i) + c)
         run.Metrics.class_counts)
-    Registry.all;
+    runs;
   let sum = float_of_int (Array.fold_left ( + ) 0 totals) in
   Array.map (fun c -> float_of_int c /. sum) totals
 
@@ -219,8 +313,8 @@ let fig4_1 ?(engine = `Replay) () =
       List.mapi
         (fun k d ->
           { degree = d;
-            superscalar = List.nth means k;
-            superpipelined = List.nth means (List.length degrees + k);
+            superscalar = means.(k);
+            superpipelined = means.(List.length degrees + k);
           })
         degrees
 
@@ -300,8 +394,8 @@ let fig4_4 () =
   List.mapi
     (fun k n ->
       { multiplicity = n;
-        unit_latency = List.nth means k;
-        real_latency = List.nth means (List.length degrees + k);
+        unit_latency = means.(k);
+        real_latency = means.(List.length degrees + k);
       })
     degrees
 
@@ -347,15 +441,23 @@ let render_fig4_4 () =
 type fig4_5 = { bench : string; by_degree : (int * float) list }
 
 let fig4_5 () =
-  let configs = List.map Presets.superscalar degrees in
-  List.map
-    (fun w ->
-      let runs = measure_workload_many w configs in
+  let configs = Array.of_list (List.map Presets.superscalar degrees) in
+  let nc = Array.length configs in
+  let workloads = Array.of_list Registry.all in
+  let requests =
+    Array.init
+      (Array.length workloads * nc)
+      (fun k -> request workloads.(k / nc) configs.(k mod nc))
+  in
+  let runs = run_sweep requests in
+  List.mapi
+    (fun iw (w : W.t) ->
       { bench = w.W.name;
         by_degree =
-          List.map2 (fun d run -> (d, run.Metrics.speedup)) degrees runs;
+          List.mapi (fun ic d -> (d, runs.((iw * nc) + ic).Metrics.speedup))
+            degrees;
       })
-    Registry.all
+    (Array.to_list workloads)
 
 let render_fig4_5 () =
   let rows = fig4_5 () in
@@ -388,33 +490,46 @@ type fig4_6_series = {
 
 let unroll_factors = [ 1; 2; 4; 6; 8; 10 ]
 
+(* Every (benchmark, mode, factor) cell is its own capture (the
+   unrolling changes the compiled program), so the whole grid fans out
+   in phase 1 and phase 2 is one replay per capture. *)
 let fig4_6 () =
-  List.concat_map
-    (fun bench_name ->
-      let w =
-        match Registry.find bench_name with
-        | Some w -> w
-        | None -> invalid_arg ("fig4_6: unknown benchmark " ^ bench_name)
-      in
-      List.map
-        (fun mode ->
-          { bench = bench_name;
-            mode;
-            by_factor =
-              List.map
-                (fun factor ->
-                  let unroll =
-                    if factor = 1 then
-                      Some { Ilp.mode; factor = 1 }
-                    else Some { Ilp.mode; factor }
-                  in
-                  ( factor,
-                    (measure_workload ~unroll w unroll_config).Metrics.speedup
-                  ))
-                unroll_factors;
-          })
-        [ Ilp_lang.Unroll.Naive; Ilp_lang.Unroll.Careful ])
-    [ "linpack"; "livermore" ]
+  let series =
+    List.concat_map
+      (fun bench_name ->
+        let w =
+          match Registry.find bench_name with
+          | Some w -> w
+          | None -> invalid_arg ("fig4_6: unknown benchmark " ^ bench_name)
+        in
+        List.map
+          (fun mode -> (bench_name, w, mode))
+          [ Ilp_lang.Unroll.Naive; Ilp_lang.Unroll.Careful ])
+      [ "linpack"; "livermore" ]
+  in
+  let series_arr = Array.of_list series in
+  let factors = Array.of_list unroll_factors in
+  let nf = Array.length factors in
+  let requests =
+    Array.init
+      (Array.length series_arr * nf)
+      (fun k ->
+        let _, w, mode = series_arr.(k / nf) in
+        let unroll = Some { Ilp.mode; factor = factors.(k mod nf) } in
+        request ~unroll w unroll_config)
+  in
+  let runs = run_sweep requests in
+  List.mapi
+    (fun is (bench, _, mode) ->
+      { bench;
+        mode;
+        by_factor =
+          List.mapi
+            (fun ifc factor ->
+              (factor, runs.((is * nf) + ifc).Metrics.speedup))
+            unroll_factors;
+      })
+    series
 
 let render_fig4_6 () =
   let rows = fig4_6 () in
@@ -514,19 +629,29 @@ type fig4_8 = { bench : string; by_level : (Ilp.opt_level * float) list }
 
 let parallelism_config = Presets.superscalar 8
 
+(* Each (benchmark, level) cell compiles differently, so each is its own
+   capture job; the grid fans out across the pool. *)
 let fig4_8 () =
-  List.map
-    (fun w ->
+  let levels = Array.of_list Ilp.all_levels in
+  let nl = Array.length levels in
+  let workloads = Array.of_list Registry.all in
+  let requests =
+    Array.init
+      (Array.length workloads * nl)
+      (fun k ->
+        request ~level:levels.(k mod nl) workloads.(k / nl)
+          parallelism_config)
+  in
+  let runs = run_sweep requests in
+  List.mapi
+    (fun iw (w : W.t) ->
       { bench = w.W.name;
         by_level =
-          List.map
-            (fun level ->
-              ( level,
-                (measure_workload ~level w parallelism_config).Metrics.speedup
-              ))
+          List.mapi
+            (fun il level -> (level, runs.((iw * nl) + il).Metrics.speedup))
             Ilp.all_levels;
       })
-    Registry.all
+    (Array.to_list workloads)
 
 let render_fig4_8 () =
   let rows = fig4_8 () in
@@ -660,24 +785,33 @@ let render_sec5_1 () =
 (* Temp-pool sweep: the finite temp partition caps unrolled parallelism. *)
 type ablation_temps_row = { temps : int; parallelism : float }
 
+(* Every temp count is a different register split, hence its own capture
+   job; the sweep is one parallel phase of captures plus their
+   replays. *)
 let ablation_temps () =
   let w =
     match Registry.find "linpack" with
     | Some w -> w
     | None -> invalid_arg "ablation_temps"
   in
-  List.map
-    (fun temps ->
-      let config =
-        Config.make
-          (Printf.sprintf "ss16-%dtemps" temps)
-          ~issue_width:16 ~temp_regs:temps
-      in
-      let unroll = Some { Ilp.mode = Ilp_lang.Unroll.Careful; factor = 10 } in
-      { temps;
-        parallelism = (measure_workload ~unroll w config).Metrics.speedup;
-      })
-    [ 6; 8; 12; 16; 24; 32; 40; 56 ]
+  let temp_counts = [ 6; 8; 12; 16; 24; 32; 40; 56 ] in
+  let unroll = Some { Ilp.mode = Ilp_lang.Unroll.Careful; factor = 10 } in
+  let requests =
+    Array.of_list
+      (List.map
+         (fun temps ->
+           let config =
+             Config.make
+               (Printf.sprintf "ss16-%dtemps" temps)
+               ~issue_width:16 ~temp_regs:temps
+           in
+           request ~unroll w config)
+         temp_counts)
+  in
+  let runs = run_sweep requests in
+  List.mapi
+    (fun k temps -> { temps; parallelism = runs.(k).Metrics.speedup })
+    temp_counts
 
 let render_ablation_temps () =
   let rows = ablation_temps () in
@@ -701,8 +835,8 @@ let ablation_class_conflicts () =
   List.mapi
     (fun k d ->
       { degree = d;
-        ideal = List.nth means k;
-        conflicts = List.nth means (List.length ds + k);
+        ideal = means.(k);
+        conflicts = means.(List.length ds + k);
       })
     ds
 
@@ -810,10 +944,8 @@ let issue_histogram ?(width = 4) () =
   let config = Presets.superscalar width in
   List.map
     (fun w ->
-      let source =
-        if w.W.default_unroll > 1 then w.W.source else w.W.source
-      in
-      let program = Ilp.compile ~level:Ilp.O4 config source in
+      let unroll, source = workload_source w in
+      let program = Ilp.compile ?unroll ~level:Ilp.O4 config source in
       let timing = Ilp_sim.Timing.create config in
       let _ =
         Ilp_sim.Exec.run ~observer:(Ilp_sim.Timing.observer timing) program
@@ -871,8 +1003,8 @@ let ablation_branch () =
   List.mapi
     (fun k d ->
       { degree = d;
-        issue_past_branches = List.nth means k;
-        branch_ends_packet = List.nth means (List.length ds + k);
+        issue_past_branches = means.(k);
+        branch_ends_packet = means.(List.length ds + k);
       })
     ds
 

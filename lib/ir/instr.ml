@@ -33,11 +33,11 @@ type t = {
 (* Return-value register of the calling convention. *)
 let ret_reg = Reg.phys 1
 
+(* Atomic so that compilations running in parallel domains (the sweep
+   engine's capture phase) still get globally unique ids. *)
 let next_id =
-  let counter = ref 0 in
-  fun () ->
-    incr counter;
-    !counter
+  let counter = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add counter 1 + 1
 
 let make ?dst ?(srcs = []) ?target ?mem ?(offset = 0) op =
   { id = next_id (); op; dst; srcs; target; mem; offset }

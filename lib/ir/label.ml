@@ -6,11 +6,11 @@ type t = string [@@deriving eq, ord, show]
 let of_string s = s
 let to_string l = l
 
+(* Atomic so parallel compilations (sweep capture jobs) never mint the
+   same label twice. *)
 let fresh =
-  let counter = ref 0 in
-  fun prefix ->
-    incr counter;
-    Printf.sprintf "%s_%d" prefix !counter
+  let counter = Atomic.make 0 in
+  fun prefix -> Printf.sprintf "%s_%d" prefix (Atomic.fetch_and_add counter 1 + 1)
 
 let pp = Fmt.string
 

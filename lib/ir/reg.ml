@@ -14,11 +14,11 @@ let phys i =
   if i < 0 then invalid_arg "Reg.phys: negative index";
   i
 
+(* Atomic so parallel compilations (sweep capture jobs) draw disjoint
+   virtual registers. *)
 let virt =
-  let counter = ref 0 in
-  fun () ->
-    decr counter;
-    !counter
+  let counter = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add counter (-1) - 1
 
 let is_virtual r = r < 0
 let is_physical r = r >= 0

@@ -1,0 +1,135 @@
+(* Fixed-size domain pool with deterministic indexed batches.
+
+   One mutex guards the whole pool state.  A batch is published as a
+   closure [body] plus an index counter; workers (and the caller, which
+   participates) repeatedly claim the next index under the mutex and run
+   [body] outside it.  Results land in caller-owned slots indexed by the
+   item, so scheduling never affects output order.  Workers with nothing
+   to do block on [has_work]; the caller blocks on [all_done] until the
+   last in-flight item of its batch has finished. *)
+
+type t = {
+  size : int;  (* parallel width, including the calling domain *)
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  all_done : Condition.t;
+  mutable body : (int -> unit) option;  (* current batch, if any *)
+  mutable limit : int;  (* items in the current batch *)
+  mutable next : int;  (* next unclaimed index *)
+  mutable in_flight : int;  (* claimed but not yet finished *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.size
+
+(* Claim and run items of the current batch until none are left; must be
+   entered with the mutex held, returns with it held. *)
+let drain_batch t =
+  let continue = ref true in
+  while !continue do
+    match t.body with
+    | Some body when t.next < t.limit ->
+        let i = t.next in
+        t.next <- t.next + 1;
+        t.in_flight <- t.in_flight + 1;
+        Mutex.unlock t.mutex;
+        body i;
+        (* [body] is exception-free by construction: [map] wraps the
+           user function and records failures in its result slots. *)
+        Mutex.lock t.mutex;
+        t.in_flight <- t.in_flight - 1;
+        if t.next >= t.limit && t.in_flight = 0 then
+          Condition.broadcast t.all_done
+    | _ -> continue := false
+  done
+
+let worker_loop t =
+  Mutex.lock t.mutex;
+  while not t.stop do
+    drain_batch t;
+    if not t.stop then Condition.wait t.has_work t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let create ~jobs =
+  let size = max 1 jobs in
+  let t =
+    { size;
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      all_done = Condition.create ();
+      body = None;
+      limit = 0;
+      next = 0;
+      in_flight = 0;
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let workers = t.workers in
+  t.workers <- [];
+  t.stop <- true;
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join workers
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Run [body] on indices [0, n): publish the batch, wake the workers,
+   join in, and wait for the stragglers. *)
+let run_batch t n body =
+  if n > 0 then begin
+    Mutex.lock t.mutex;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool: used after shutdown"
+    end;
+    if t.body <> None then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool: nested batch on the same pool"
+    end;
+    t.body <- Some body;
+    t.limit <- n;
+    t.next <- 0;
+    Condition.broadcast t.has_work;
+    drain_batch t;
+    while t.in_flight > 0 do
+      Condition.wait t.all_done t.mutex
+    done;
+    t.body <- None;
+    Mutex.unlock t.mutex
+  end
+
+let map t f (xs : 'a array) : 'b array =
+  let n = Array.length xs in
+  let out = Array.make n None in
+  (* first-by-index failure wins, so error behaviour is deterministic *)
+  let failure : (int * exn * Printexc.raw_backtrace) option ref = ref None in
+  let fail_mutex = Mutex.create () in
+  run_batch t n (fun i ->
+      match f xs.(i) with
+      | y -> out.(i) <- Some y
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.lock fail_mutex;
+          (match !failure with
+          | Some (j, _, _) when j < i -> ()
+          | Some _ | None -> failure := Some (i, e, bt));
+          Mutex.unlock fail_mutex);
+  match !failure with
+  | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+  | None ->
+      Array.map (function Some y -> y | None -> assert false) out
+
+let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
+
+let map_reduce t ~map:f ~reduce ~init xs =
+  Array.fold_left reduce init (map t f xs)

@@ -1,0 +1,50 @@
+(** A small fixed-size domain pool with deterministic data-parallel
+    [map]/[map_reduce] over indexed work items.
+
+    The pool owns [jobs - 1] worker domains (the caller is the remaining
+    worker, so [jobs = 1] degenerates to plain sequential execution in
+    the calling domain).  A batch hands out item indices from a shared
+    counter under a mutex; each result is written into a pre-sized slot
+    of the output array at its item's index, so the output order never
+    depends on domain scheduling — [map pool f xs] returns exactly what
+    [Array.map f xs] returns, whatever the interleaving.
+
+    Hand-rolled over [Domain] + [Mutex]/[Condition] only: no extra
+    dependencies, no busy-waiting (idle workers block on a condition
+    variable).
+
+    Restrictions: batches must not nest — [f] must not itself call
+    {!map}/{!map_reduce} on the same pool — and a pool must not be used
+    after {!shutdown}. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn a pool of [jobs] workers ([jobs - 1] new domains plus the
+    caller).  [jobs] is clamped to at least 1. *)
+
+val jobs : t -> int
+(** Parallel width of the pool, including the calling domain. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f]: bracket [create]/[shutdown] around [f], also on
+    exceptions. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Deterministic parallel map: same result as [Array.map f xs].  If one
+    or more applications of [f] raise, the exception raised by the item
+    with the {e lowest index} is re-raised in the caller (with its
+    backtrace) once the batch has drained — so exception behaviour is
+    deterministic too. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over a list, preserving order. *)
+
+val map_reduce : t -> map:('a -> 'b) -> reduce:('b -> 'b -> 'b) -> init:'b -> 'a array -> 'b
+(** [map_reduce t ~map ~reduce ~init xs]: parallel {!map}, then a
+    sequential left fold of [reduce] over the results in index order —
+    [Array.fold_left reduce init (Array.map map xs)], deterministically,
+    whatever the scheduling. *)

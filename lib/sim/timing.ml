@@ -28,6 +28,24 @@ open Ilp_machine
 
 type unit_pool = { spec : Config.unit_spec; free_at : int array }
 
+(* Pre-decoded fields of one static instruction: what [issue_decoded]
+   consumes.  Decoding allocates (list maps plus [Array.of_list]), so
+   the direct path memoizes it per [Instr.id] instead of paying it for
+   every dynamic instruction. *)
+type decoded = {
+  d_cls : Iclass.t;
+  d_is_load : bool;
+  d_defs : int array;
+  d_uses : int array;
+}
+
+module Int_table = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
 type t = {
   config : Config.t;
   reg_ready : int array;
@@ -43,6 +61,9 @@ type t = {
           instructions, recorded as cycles close *)
   mutable force_cycle_end : bool;
   mutable finished : bool;
+  decoded : decoded Int_table.t;
+      (** per-static-instruction decode memo for the direct path, keyed
+          by [Instr.id]; replay pre-decodes its whole binary instead *)
 }
 
 let create ?cache ?(registers = Exec.default_options.Exec.registers)
@@ -70,6 +91,7 @@ let create ?cache ?(registers = Exec.default_options.Exec.registers)
     issue_histogram = Array.make (config.Config.issue_width + 1) 0;
     force_cycle_end = false;
     finished = false;
+    decoded = Int_table.create 512;
   }
 
 let next_cycle t =
@@ -176,13 +198,27 @@ let issue_decoded t ~cls ~is_load ~(defs : int array) ~(uses : int array)
 
 let reg_indices regs = Array.of_list (List.map Reg.index regs)
 
+let decode (i : Instr.t) =
+  { d_cls = Instr.iclass i;
+    d_is_load = Instr.is_load i;
+    d_defs = reg_indices (Instr.defs i);
+    d_uses = reg_indices (Instr.uses i);
+  }
+
 (* Account one dynamic instruction; [addr] is the effective address of a
-   memory operation or -1. *)
+   memory operation or -1.  The decode is memoized per static
+   instruction, so a hot loop pays it once, not once per iteration. *)
 let issue t (i : Instr.t) addr =
-  issue_decoded t ~cls:(Instr.iclass i) ~is_load:(Instr.is_load i)
-    ~defs:(reg_indices (Instr.defs i))
-    ~uses:(reg_indices (Instr.uses i))
-    addr
+  let d =
+    match Int_table.find_opt t.decoded i.Instr.id with
+    | Some d -> d
+    | None ->
+        let d = decode i in
+        Int_table.add t.decoded i.Instr.id d;
+        d
+  in
+  issue_decoded t ~cls:d.d_cls ~is_load:d.d_is_load ~defs:d.d_defs
+    ~uses:d.d_uses addr
 
 let observer t : Exec.observer = fun i addr -> issue t i addr
 

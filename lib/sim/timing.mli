@@ -24,6 +24,17 @@ open Ilp_machine
 
 type unit_pool = { spec : Config.unit_spec; free_at : int array }
 
+(** Pre-decoded fields of one static instruction (see {!issue_decoded});
+    the direct path memoizes these per [Instr.id]. *)
+type decoded = {
+  d_cls : Ilp_ir.Iclass.t;
+  d_is_load : bool;
+  d_defs : int array;
+  d_uses : int array;
+}
+
+module Int_table : Hashtbl.S with type key = int
+
 type t = {
   config : Config.t;
   reg_ready : int array;
@@ -39,6 +50,8 @@ type t = {
           [k] instructions *)
   mutable force_cycle_end : bool;
   mutable finished : bool;  (** set by {!finish} *)
+  decoded : decoded Int_table.t;
+      (** per-static-instruction decode memo used by {!issue} *)
 }
 
 val create : ?cache:Cache.t -> ?registers:int -> Config.t -> t

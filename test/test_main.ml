@@ -16,5 +16,6 @@ let () =
       ("extensions", Test_extensions.tests);
       ("validate", Test_validate.tests);
       ("replay", Test_replay.tests);
+      ("par", Test_par.tests);
       ("analysis", Test_analysis.tests);
       ("properties", Test_properties.tests) ]

@@ -1,0 +1,138 @@
+(* Domain-pool tests.
+
+   Two layers: QCheck properties of [Ilp_par.Pool] itself (a map over
+   the pool is indistinguishable from [Array.map], including which
+   exception escapes), and a determinism suite asserting that the
+   parallel sweep engine renders experiments byte-identically to the
+   serial engine at every job count. *)
+
+module Pool = Ilp_par.Pool
+module Experiments = Ilp_core.Experiments
+
+(* ------------------------------------------------------------------ *)
+(* Pool properties                                                     *)
+
+let prop_map_is_array_map =
+  QCheck2.Test.make ~count:100
+    ~name:"Pool.map = Array.map, order preserved (jobs 1-4)"
+    ~print:QCheck2.Print.(pair int (list int))
+    QCheck2.Gen.(pair (int_range 1 4) (list_size (int_bound 200) int))
+    (fun (jobs, xs) ->
+      let xs = Array.of_list xs in
+      let f x = (x * x) - (3 * x) in
+      let expected = Array.map f xs in
+      Pool.with_pool ~jobs (fun pool -> Pool.map pool f xs = expected))
+
+exception Boom of int
+
+let prop_lowest_index_exception =
+  QCheck2.Test.make ~count:100
+    ~name:"Pool.map raises the lowest-index worker exception"
+    ~print:QCheck2.Print.(triple int int (list bool))
+    QCheck2.Gen.(
+      triple (int_range 1 4) (int_range 1 100)
+        (list_size (int_range 1 100) bool))
+    (fun (jobs, n, fail_flags) ->
+      let fails = Array.of_list fail_flags in
+      let n = max n (Array.length fails) in
+      let first_failure = ref None in
+      Array.iteri
+        (fun i b -> if b && !first_failure = None then first_failure := Some i)
+        fails;
+      let f i =
+        if i < Array.length fails && fails.(i) then raise (Boom i) else i
+      in
+      let items = Array.init n (fun i -> i) in
+      let outcome =
+        Pool.with_pool ~jobs (fun pool ->
+            match Pool.map pool f items with
+            | _ -> None
+            | exception Boom i -> Some i)
+      in
+      outcome = !first_failure)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_map_is_array_map; prop_lowest_index_exception ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool unit tests                                                     *)
+
+let test_map_reduce () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let xs = Array.init 50 (fun i -> i + 1) in
+      Alcotest.(check int)
+        "sum of squares 1..50" 42_925
+        (Pool.map_reduce pool
+           ~map:(fun x -> x * x)
+           ~reduce:( + ) ~init:0 xs);
+      (* a non-commutative reduce exposes any ordering violation *)
+      Alcotest.(check string)
+        "left fold in index order" "abcde"
+        (Pool.map_reduce pool
+           ~map:(fun c -> String.make 1 c)
+           ~reduce:( ^ ) ~init:""
+           [| 'a'; 'b'; 'c'; 'd'; 'e' |]))
+
+let test_pool_reuse () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check int) "pool width" 4 (Pool.jobs pool);
+      for round = 1 to 5 do
+        let xs = Array.init (17 * round) (fun i -> i) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "batch %d" round)
+          (Array.map (fun x -> x + round) xs)
+          (Pool.map pool (fun x -> x + round) xs)
+      done;
+      Alcotest.(check (array int)) "empty batch" [||]
+        (Pool.map pool (fun x -> x) [||]))
+
+let test_map_list () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.(check (list string))
+        "map_list preserves order"
+        [ "1"; "2"; "3" ]
+        (Pool.map_list pool string_of_int [ 1; 2; 3 ]))
+
+let test_shutdown_rejects_use () =
+  let pool = Pool.create ~jobs:2 in
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.(check bool) "map after shutdown is an error" true
+    (match Pool.map pool (fun x -> x) [| 1 |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_jobs_clamped () =
+  Pool.with_pool ~jobs:0 (fun pool ->
+      Alcotest.(check int) "jobs clamped to 1" 1 (Pool.jobs pool))
+
+(* ------------------------------------------------------------------ *)
+(* engine determinism: parallel sweeps render byte-identically          *)
+
+let determinism_case (name, render) =
+  Alcotest.test_case ("serial = jobs 1/2/4: " ^ name) `Slow (fun () ->
+      let serial = Experiments.with_jobs 0 render in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s, jobs=%d" name jobs)
+            serial
+            (Experiments.with_jobs jobs render))
+        [ 1; 2; 4 ])
+
+let determinism_tests =
+  List.map determinism_case
+    [ ("fig4_1", Experiments.render_fig4_1);
+      ("fig4_5", Experiments.render_fig4_5);
+      ("ablation_class_conflicts", Experiments.render_ablation_class_conflicts)
+    ]
+
+let tests =
+  qcheck_tests
+  @ [ Alcotest.test_case "map_reduce" `Quick test_map_reduce;
+      Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse;
+      Alcotest.test_case "map_list" `Quick test_map_list;
+      Alcotest.test_case "shutdown" `Quick test_shutdown_rejects_use;
+      Alcotest.test_case "jobs clamped" `Quick test_jobs_clamped ]
+  @ determinism_tests
