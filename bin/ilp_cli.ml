@@ -95,6 +95,28 @@ let jobs_arg =
    subcommand. *)
 let with_jobs jobs f = Ilp_core.Experiments.with_jobs jobs f
 
+let check_arg =
+  let doc =
+    "Prove every compilation as it happens: validate the IR after every \
+     named pass, run the differential oracle at the stage boundaries \
+     (each snapshot executed and compared against the unoptimized \
+     reference), and verify each schedule is a dependence-respecting \
+     permutation.  Measured numbers are bit-identical with and without \
+     $(opt)."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+(* A Pass_failed or Mismatch out of a checked compilation is a compiler
+   bug report, not a usage error: print it and fail the command. *)
+let report_check_failure = function
+  | Ilp_core.Ilp.Pass_failed { pass; issue } ->
+      Fmt.epr "check failed: pass %s broke the IR: %s@." pass issue;
+      exit 1
+  | Ilp_core.Diffcheck.Mismatch { stage; what } ->
+      Fmt.epr "check failed: %s changed behaviour: %s@." stage what;
+      exit 1
+  | e -> raise e
+
 let find_bench name =
   match Ilp_workloads.Registry.find name with
   | Some w -> w
@@ -128,25 +150,38 @@ let run_cmd =
     in
     Arg.(value & flag & info [ "replay" ] ~doc)
   in
-  let action bench machine level factor careful replay jobs =
+  let action bench machine level factor careful replay check jobs =
     let w = find_bench bench in
     let unroll = unroll_spec factor careful in
     let source = source_for w careful in
     let r =
-      with_jobs jobs (fun () ->
-          if replay then (
-            let pre =
-              Ilp_core.Ilp.compile_unscheduled ?unroll ~level machine source
-            in
-            let trace = Ilp_sim.Trace_buffer.capture pre in
-            let binary = Ilp_core.Ilp.schedule ~level machine pre in
-            Ilp_sim.Metrics.measure_replay machine trace binary)
-          else Ilp_core.Ilp.measure ?unroll ~level machine source)
+      try
+        with_jobs jobs (fun () ->
+            if replay then (
+              let pre =
+                if check then
+                  Ilp_core.Diffcheck.check_unscheduled ?unroll ~level machine
+                    source
+                else
+                  Ilp_core.Ilp.compile_unscheduled ?unroll ~level machine
+                    source
+              in
+              let trace = Ilp_sim.Trace_buffer.capture pre in
+              let binary = Ilp_core.Ilp.schedule ~check ~level machine pre in
+              Ilp_sim.Metrics.measure_replay machine trace binary)
+            else if check then (
+              let binary =
+                Ilp_core.Diffcheck.check_compile ?unroll ~level machine source
+              in
+              Ilp_sim.Metrics.measure machine binary)
+            else Ilp_core.Ilp.measure ?unroll ~level machine source)
+      with e -> report_check_failure e
     in
     Fmt.pr "benchmark      %s@." bench;
     Fmt.pr "machine        %s@." machine.Ilp_machine.Config.name;
     Fmt.pr "optimization   %s@." (Ilp_core.Ilp.opt_level_name level);
     Fmt.pr "engine         %s@." (if replay then "trace replay" else "direct");
+    if check then Fmt.pr "checked        every pass (clean)@.";
     Fmt.pr "instructions   %d@." r.Ilp_sim.Metrics.dyn_instrs;
     Fmt.pr "base cycles    %.1f@." r.Ilp_sim.Metrics.base_cycles;
     Fmt.pr "speedup (ILP)  %.3f@." r.Ilp_sim.Metrics.speedup;
@@ -155,7 +190,7 @@ let run_cmd =
   let term =
     Term.(
       const action $ bench_arg $ machine_arg $ level_arg $ unroll_arg
-      $ careful_arg $ replay_arg $ jobs_arg)
+      $ careful_arg $ replay_arg $ check_arg $ jobs_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and simulate one benchmark") term
 
@@ -189,25 +224,69 @@ let experiment_cmd =
   let name_arg =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
   in
-  let action all name jobs =
-    with_jobs jobs (fun () ->
-        if all then print_string (Ilp_core.Experiments.run_all ())
-        else
-          match name with
-          | None ->
-              Fmt.epr "specify an experiment or --all (see `ilp list')@.";
-              exit 1
-          | Some name -> (
-              match Ilp_core.Experiments.find name with
-              | Some render -> print_string (render ())
-              | None ->
-                  Fmt.epr "unknown experiment %s@." name;
-                  exit 1))
+  let action all name check jobs =
+    try
+      Ilp_core.Experiments.with_checks check (fun () ->
+          with_jobs jobs (fun () ->
+              if all then print_string (Ilp_core.Experiments.run_all ())
+              else
+                match name with
+                | None ->
+                    Fmt.epr
+                      "specify an experiment or --all (see `ilp list')@.";
+                    exit 1
+                | Some name -> (
+                    match Ilp_core.Experiments.find name with
+                    | Some render -> print_string (render ())
+                    | None ->
+                        Fmt.epr "unknown experiment %s@." name;
+                        exit 1)))
+    with e -> report_check_failure e
   in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate a table or figure from the paper's evaluation")
-    Term.(const action $ all_flag $ name_arg $ jobs_arg)
+    Term.(const action $ all_flag $ name_arg $ check_arg $ jobs_arg)
+
+(* --- fuzz --------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let count_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "n"; "count" ] ~docv:"N" ~doc:"Random programs to check.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "s"; "seed" ] ~docv:"SEED"
+          ~doc:
+            "Base random seed.  A run is fully determined by (seed, \
+             count): the same counterexample is found and shrunk at any \
+             --jobs.")
+  in
+  let action count seed jobs =
+    let jobs = max 1 jobs in
+    match Ilp_core.Fuzz.run ~jobs ~count ~seed () with
+    | () ->
+        Fmt.pr
+          "fuzz: %d random programs x 5 levels x 3 machines: all checks \
+           passed (seed %d)@."
+          count seed
+    | exception Ilp_core.Fuzz.Failed f ->
+        Fmt.epr "fuzz: iteration %d (seed %d) FAILED on %s:@.  %s@." f.index
+          f.seed f.config_name f.error;
+        Fmt.epr "@.shrunk counterexample:@.%s@." f.source;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially test the compiler on random MiniMod programs: \
+          every pass validated, every stage executed and compared, every \
+          schedule legality-checked; failures are shrunk to a minimal \
+          program")
+    Term.(const action $ count_arg $ seed_arg $ jobs_arg)
 
 (* --- disasm ------------------------------------------------------------- *)
 
@@ -327,6 +406,7 @@ let main_cmd =
      Parallelism for Superscalar and Superpipelined Machines (ASPLOS 1989)"
   in
   Cmd.group (Cmd.info "ilp" ~doc)
-    [ run_cmd; list_cmd; experiment_cmd; disasm_cmd; trace_cmd; profile_cmd ]
+    [ run_cmd; list_cmd; experiment_cmd; fuzz_cmd; disasm_cmd; trace_cmd;
+      profile_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

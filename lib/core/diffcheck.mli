@@ -1,0 +1,99 @@
+(** Differential oracle over the compilation pipeline.
+
+    Executes a workload at stage boundaries and compares observable
+    behaviour against the unoptimized reference, proving dynamically
+    that every pass preserved semantics.
+
+    Two comparison strengths:
+
+    - {b cross-stage} ({!compare_semantics}): only the benchmark
+      checksum protocol is invariant across optimization — the final
+      value of the [__sink] global and the exact sequence of values
+      stored to it.  ([__sink] is excluded from home promotion, no pass
+      deletes or reorders stores, and same-address stores are totally
+      ordered by the DDG.)  Floats compare with a small relative
+      tolerance so legal FP reassociation — careful unrolling — is not
+      flagged.
+    - {b schedule-vs-input} ({!compare_exact}): list scheduling permutes
+      instructions but deletes nothing, so dynamic instruction counts,
+      per-class counts, the per-address store value sequences, final
+      memory and final registers must all match exactly. *)
+
+open Ilp_ir
+open Ilp_machine
+open Ilp_sim
+
+exception Mismatch of { stage : string; what : string }
+(** A stage's observable behaviour diverged from its reference;
+    [stage] is the pass or boundary name ("dce", "list_sched",
+    "unroll x4", ...). *)
+
+type observation = {
+  outcome : Exec.outcome;
+  sink_stream : Value.t list;  (** values stored to [__sink], in order *)
+  stores_by_addr : (int, Value.t list) Hashtbl.t;
+      (** per-address sequence of stored values, in store order *)
+}
+
+val observe : ?options:Exec.options -> Program.t -> observation
+(** Execute a (fully allocated) program, recording the dynamic store
+    streams alongside the usual outcome. *)
+
+val compare_semantics :
+  stage:string -> reference:observation -> observation -> unit
+
+val compare_exact :
+  stage:string -> reference:observation -> observation -> unit
+
+val executable : Config.t -> stage:Validate.stage -> Program.t -> Program.t
+(** Temp-allocate a [`Virtual] pass snapshot so it can execute;
+    identity on [`Allocated] programs. *)
+
+type granularity = [ `Boundaries | `Every_pass ]
+(** Where to execute: the paper's stage boundaries (post-codegen,
+    post-opt, post-regalloc, post-schedule — a handful of executions
+    per compile, the default) or after every single pass (best bug
+    localisation; the fuzzer uses this on its small programs). *)
+
+val check_unscheduled :
+  ?unroll:Ilp.unroll_spec ->
+  ?options:Exec.options ->
+  ?granularity:granularity ->
+  level:Ilp.opt_level ->
+  Config.t ->
+  string ->
+  Program.t
+(** The pre-scheduling part of {!check_compile}: compile with [~check],
+    execute the chosen snapshots against the post-codegen reference (and
+    when unrolling, the reference against the non-unrolled O0 program),
+    and return the checked unscheduled program — ready for
+    {!Ilp.schedule}.  The sweep engine's capture phase runs this so that
+    capture-once/replay-many sweeps pay the differential executions once
+    per capture, not once per machine configuration. *)
+
+val check_compile :
+  ?unroll:Ilp.unroll_spec ->
+  ?options:Exec.options ->
+  ?granularity:granularity ->
+  level:Ilp.opt_level ->
+  Config.t ->
+  string ->
+  Program.t
+(** Compile [source] at [level] with {!Ilp.compile}'s [~check] (static
+    IR validation after every pass, schedule legality after
+    scheduling), execute the chosen snapshots, and compare each against
+    the post-codegen reference of the same compilation; when unrolling,
+    additionally compare that reference against the non-unrolled O0
+    program.  Returns the final scheduled program.  Raises {!Mismatch}
+    on divergence, {!Ilp.Pass_failed} on a static check failure. *)
+
+val check_workload :
+  ?options:Exec.options ->
+  ?granularity:granularity ->
+  ?levels:Ilp.opt_level list ->
+  ?unroll_factors:int list ->
+  Config.t ->
+  string ->
+  unit
+(** {!check_compile} at each of [levels] (default all five) and — at O4
+    — each careful-unroll factor in [unroll_factors] (default none). *)

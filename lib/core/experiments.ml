@@ -39,6 +39,24 @@ let with_jobs jobs f =
 let par_map f xs =
   match !engine with None -> Array.map f xs | Some pool -> Pool.map pool f xs
 
+(* When set, every sweep proves its compilations: captures run the
+   differential oracle over the pre-scheduling pipeline (Diffcheck, at
+   stage-boundary granularity) and every replay's schedule is verified
+   as a DDG-respecting permutation (Check_sched) and re-validated.  The
+   differential executions happen once per capture — the capture/replay
+   split keeps checking cost independent of how many machine
+   configurations share a program.  The measured numbers are
+   bit-identical with and without checking. *)
+let checks : bool ref = ref false
+
+let with_checks enabled f =
+  let previous = !checks in
+  Fun.protect
+    ~finally:(fun () -> checks := previous)
+    (fun () ->
+      checks := enabled;
+      f ())
+
 (* ------------------------------------------------------------------ *)
 (* shared measurement helpers                                          *)
 
@@ -120,12 +138,17 @@ let run_sweep (requests : request array) : Metrics.run array =
         incr n_groups
       end)
     requests;
+  let check = !checks in
   let captures =
     par_map
       (fun r ->
         let pre =
-          Ilp.compile_unscheduled ?unroll:r.rq_unroll ~level:r.rq_level
-            r.rq_config r.rq_source
+          if check then
+            Diffcheck.check_unscheduled ?unroll:r.rq_unroll ~level:r.rq_level
+              r.rq_config r.rq_source
+          else
+            Ilp.compile_unscheduled ?unroll:r.rq_unroll ~level:r.rq_level
+              r.rq_config r.rq_source
         in
         (pre, Ilp_sim.Trace_buffer.capture pre))
       (Array.of_list (List.rev !representatives))
@@ -133,7 +156,7 @@ let run_sweep (requests : request array) : Metrics.run array =
   par_map
     (fun r ->
       let pre, trace = captures.(Hashtbl.find group_of_key (capture_key r)) in
-      let binary = Ilp.schedule ~level:r.rq_level r.rq_config pre in
+      let binary = Ilp.schedule ~check ~level:r.rq_level r.rq_config pre in
       Metrics.measure_replay r.rq_config trace binary)
     requests
 

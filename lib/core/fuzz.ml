@@ -1,0 +1,101 @@
+(* Random-program fuzzing of the whole compilation pipeline.
+
+   Each iteration generates a random well-typed MiniMod program
+   (Ilp_lang.Gen_prog) and runs the differential oracle over it at every
+   optimization level on several machine configurations chosen to
+   stress different parts of the compiler: the unconstrained base
+   machine, a superscalar with single-copy functional units (unit
+   booking in the scheduler), and a machine with a tiny temp pool
+   (spilling in temp allocation).  Random programs are all-integer, so
+   a careful-unroll pass is also exact and is checked at one factor.
+
+   Iterations are independent and fan out over a Pool: item [k] derives
+   its RNG deterministically from [(seed, k)], results land at their
+   item index, and the pool re-raises the lowest-index failure — so a
+   fuzz run is reproducible and reports the same counterexample at any
+   [--jobs].  A failing program is shrunk (in the worker, preserving
+   that determinism) to a local minimum that still fails before being
+   reported. *)
+
+open Ilp_machine
+module Gen_prog = Ilp_lang.Gen_prog
+
+type failure = {
+  index : int;  (** which iteration failed *)
+  seed : int;
+  config_name : string;
+  error : string;  (** what the oracle or a checker reported *)
+  source : string;  (** shrunk MiniMod source that still fails *)
+}
+
+exception Failed of failure
+
+let default_configs () =
+  [
+    Presets.base;
+    Presets.superscalar_with_class_conflicts 4;
+    Config.make "ss8-6temps" ~issue_width:8 ~temp_regs:6;
+  ]
+
+let default_levels = Ilp.all_levels
+let default_unroll_factors = [ 3 ]
+
+(* Random programs use a few dozen globals and tiny arrays; a small
+   simulated memory makes the oracle's full-memory comparison (and each
+   execution's allocation) cheap enough to run at every pass boundary. *)
+let exec_options =
+  { Ilp_sim.Exec.default_options with mem_words = 1 lsl 14 }
+
+(* Why did checking [source] fail, as [Some (config_name, message)] —
+   [None] when every check passes.  Any exception out of the pipeline
+   counts as a failure: oracle mismatches and named pass failures, but
+   also faults, validation errors or crashes a shrunk program might
+   shift into. *)
+let failure_of ~configs ~levels ~unroll_factors source =
+  let explain = function
+    | Diffcheck.Mismatch { stage; what } ->
+        Printf.sprintf "differential mismatch after %s: %s" stage what
+    | Ilp.Pass_failed { pass; issue } ->
+        Printf.sprintf "pass %s: %s" pass issue
+    | e -> Printexc.to_string e
+  in
+  List.find_map
+    (fun config ->
+      match
+        Diffcheck.check_workload ~options:exec_options
+          ~granularity:`Every_pass ~levels ~unroll_factors config source
+      with
+      | () -> None
+      | exception e -> Some (config.Config.name, explain e))
+    configs
+
+let check_one ~configs ~levels ~unroll_factors ~seed index =
+  let st = Random.State.make [| 0x1197; seed; index |] in
+  let prog = Gen_prog.generate st in
+  let fails p =
+    Option.is_some
+      (failure_of ~configs ~levels ~unroll_factors (Gen_prog.render p))
+  in
+  match failure_of ~configs ~levels ~unroll_factors (Gen_prog.render prog) with
+  | None -> ()
+  | Some _ ->
+      let shrunk = Gen_prog.shrink ~still_fails:fails prog in
+      let source = Gen_prog.render shrunk in
+      let config_name, error =
+        match failure_of ~configs ~levels ~unroll_factors source with
+        | Some f -> f
+        | None -> assert false (* [shrink] only returns failing programs *)
+      in
+      raise (Failed { index; seed; config_name; error; source })
+
+let run ?(jobs = 1) ?configs ?(levels = default_levels)
+    ?(unroll_factors = default_unroll_factors) ~count ~seed () =
+  let configs =
+    match configs with Some cs -> cs | None -> default_configs ()
+  in
+  let items = Array.init count (fun k -> k) in
+  let check = check_one ~configs ~levels ~unroll_factors ~seed in
+  if jobs <= 1 then Array.iter check items
+  else
+    Ilp_par.Pool.with_pool ~jobs (fun pool ->
+        ignore (Ilp_par.Pool.map pool check items))

@@ -1,0 +1,35 @@
+(** Random-program fuzzing of the whole compilation pipeline.
+
+    Generates random well-typed MiniMod programs
+    ({!Ilp_lang.Gen_prog}) and runs the differential oracle
+    ({!Diffcheck}, at every-pass granularity) over each at every
+    optimization level on a few stress configurations (unconstrained
+    base machine, single-copy functional units, tiny temp pool) plus one
+    careful-unroll factor.  Deterministic and reproducible at any job
+    count: iteration [k] seeds its RNG from [(seed, k)] and the domain
+    pool re-raises the lowest-index failure.  Failing programs are
+    shrunk to a local minimum before being reported. *)
+
+open Ilp_machine
+
+type failure = {
+  index : int;  (** which iteration failed *)
+  seed : int;
+  config_name : string;
+  error : string;  (** what the oracle or a checker reported *)
+  source : string;  (** shrunk MiniMod source that still fails *)
+}
+
+exception Failed of failure
+
+val run :
+  ?jobs:int ->
+  ?configs:Config.t list ->
+  ?levels:Ilp.opt_level list ->
+  ?unroll_factors:int list ->
+  count:int ->
+  seed:int ->
+  unit ->
+  unit
+(** Check [count] random programs; raises {!Failed} with the shrunk
+    counterexample of the lowest failing iteration, if any. *)

@@ -15,8 +15,17 @@
 
    Expression-temporary allocation always runs (the code could not
    execute otherwise); the temp-pool size comes from the machine
-   configuration, as in Section 3. *)
+   configuration, as in Section 3.
 
+   The level's pass sequence is materialised as an explicit list of
+   named passes ([pipeline]) so that callers can observe the program
+   after every stage ([?on_pass]) and so that [?check] can validate the
+   IR between passes and name the offending pass when one breaks a
+   well-formedness invariant.  The pass order is exactly the historical
+   one — refactoring the pipeline must not change a single emitted
+   instruction, or the figure reproductions would drift. *)
+
+open Ilp_ir
 open Ilp_lang
 open Ilp_machine
 
@@ -37,11 +46,74 @@ let at_least level threshold = level_rank level >= level_rank threshold
 
 type unroll_spec = { mode : Unroll.mode; factor : int }
 
+type pass = {
+  pass_name : string;
+  pass_stage : Validate.stage;
+  pass_run : Program.t -> Program.t;
+}
+
+exception Pass_failed of { pass : string; issue : string }
+
 (* Parse and type check MiniMod source. *)
 let frontend source = Semant.compile_source source
 
 let local_cleanup p =
   p |> Ilp_opt.Const_fold.run |> Ilp_opt.Local_cse.run |> Ilp_opt.Dce.run
+
+(* The O2 cleanup group as named passes; [prefix] distinguishes the
+   re-runs that mop up after the global passes. *)
+let cleanup_passes prefix =
+  let pass name run = { pass_name = prefix ^ name; pass_stage = `Virtual; pass_run = run } in
+  [
+    pass "const_fold" Ilp_opt.Const_fold.run;
+    pass "local_cse" Ilp_opt.Local_cse.run;
+    pass "dce" Ilp_opt.Dce.run;
+  ]
+
+(* The post-codegen pass sequence for [level], in execution order.  The
+   concatenation reproduces the historical pipeline exactly:
+   [local_cleanup] after codegen (O2+), LICM + global CSE + cleanup
+   (O3+), home promotion + cleanup + coalescing (O4), then mandatory
+   expression-temporary allocation. *)
+let pipeline ~level (config : Config.t) : pass list =
+  let vpass name run = { pass_name = name; pass_stage = `Virtual; pass_run = run } in
+  List.concat
+    [
+      (if at_least level O2 then cleanup_passes "" else []);
+      (if at_least level O3 then
+         [
+           vpass "licm" Ilp_opt.Licm.run;
+           vpass "global_cse" Ilp_opt.Global_cse.run;
+         ]
+         @ cleanup_passes "post_global."
+       else []);
+      (if at_least level O4 then
+         [ vpass "global_alloc" (Ilp_regalloc.Global_alloc.run config) ]
+         @ cleanup_passes "post_alloc."
+         @ [ vpass "coalesce" Ilp_opt.Coalesce.run ]
+       else []);
+      [
+        {
+          pass_name = "temp_alloc";
+          pass_stage = `Allocated;
+          pass_run = Ilp_regalloc.Temp_alloc.run config;
+        };
+      ];
+    ]
+
+let validate_after ~pass ~stage p =
+  match Validate.check ~stage p with
+  | [] -> ()
+  | issue :: _ ->
+      raise
+        (Pass_failed
+           { pass; issue = Fmt.str "%a" Validate.pp_issue issue })
+
+let run_pass ?(check = false) ?on_pass p { pass_name; pass_stage; pass_run } =
+  let p = pass_run p in
+  if check then validate_after ~pass:pass_name ~stage:pass_stage p;
+  (match on_pass with Some f -> f pass_name pass_stage p | None -> ());
+  p
 
 (* Compile [source] for [config] at [level], stopping just short of the
    machine-specific scheduling pass.  The result depends on [config]
@@ -49,7 +121,8 @@ let local_cleanup p =
    that agree on those share one pre-scheduled program — and, because
    the instructions keep their identities across [schedule], one
    captured trace (see Trace_buffer). *)
-let compile_unscheduled ?unroll ~level (config : Config.t) source =
+let compile_unscheduled ?unroll ?(check = false) ?on_pass ~level
+    (config : Config.t) source =
   let tast = frontend source in
   let tast =
     match unroll with
@@ -57,27 +130,33 @@ let compile_unscheduled ?unroll ~level (config : Config.t) source =
     | None -> tast
   in
   let p = Codegen.gen_program tast in
-  let p = if at_least level O2 then local_cleanup p else p in
-  let p =
-    if at_least level O3 then
-      p |> Ilp_opt.Licm.run |> Ilp_opt.Global_cse.run |> local_cleanup
-    else p
-  in
-  let p =
-    if at_least level O4 then
-      Ilp_regalloc.Global_alloc.run config p
-      |> local_cleanup |> Ilp_opt.Coalesce.run
-    else p
-  in
-  Ilp_regalloc.Temp_alloc.run config p
+  if check then validate_after ~pass:"codegen" ~stage:`Virtual p;
+  (match on_pass with Some f -> f "codegen" `Virtual p | None -> ());
+  List.fold_left (run_pass ~check ?on_pass) p (pipeline ~level config)
 
-(* The final machine-specific pass: per-block list scheduling (from O1). *)
-let schedule ~level (config : Config.t) p =
-  if at_least level O1 then Ilp_sched.List_sched.run config p else p
+(* The final machine-specific pass: per-block list scheduling (from O1).
+   Under [~check] the scheduled program must be a DDG-respecting
+   permutation of its input (Check_sched) and still well-formed. *)
+let schedule ?(check = false) ?on_pass ~level (config : Config.t) p =
+  if at_least level O1 then begin
+    let scheduled = Ilp_sched.List_sched.run config p in
+    if check then begin
+      (try Ilp_sched.Check_sched.check_program config ~original:p ~scheduled
+       with Ilp_sched.Check_sched.Illegal msg ->
+         raise (Pass_failed { pass = "list_sched"; issue = msg }));
+      validate_after ~pass:"list_sched" ~stage:`Allocated scheduled
+    end;
+    (match on_pass with
+    | Some f -> f "list_sched" `Allocated scheduled
+    | None -> ());
+    scheduled
+  end
+  else p
 
 (* Compile [source] for [config] at [level]. *)
-let compile ?unroll ~level (config : Config.t) source =
-  schedule ~level config (compile_unscheduled ?unroll ~level config source)
+let compile ?unroll ?check ?on_pass ~level (config : Config.t) source =
+  schedule ?check ?on_pass ~level config
+    (compile_unscheduled ?unroll ?check ?on_pass ~level config source)
 
 (* Compile and measure in one step. *)
 let measure ?unroll ?(level = O4) ?cache ?options (config : Config.t) source =

@@ -1,0 +1,411 @@
+(* Random well-typed MiniMod programs, with shrinking — the fuzz corpus
+   behind both the property test-suite and [ilp fuzz].
+
+   Programs are generated as a small structured AST rather than as
+   strings so that failing cases can shrink: every shrink step produces
+   a program that is still well-typed, terminating and fault-free by
+   the same construction rules the generator uses —
+
+   - array subscripts are masked (& (size-1)) with power-of-two sizes,
+     so they are always in range;
+   - divisors and modulus operands are (expr & 7) + positive-constant,
+     never zero;
+   - loops are bounded counted loops whose loop variable is readable
+     but never assignable in the body, so everything terminates;
+   - at most one straight-line helper function, so no recursion;
+   - declarations are never shrunk away, so dropping or simplifying
+     code can never create a dangling variable reference.
+
+   The generator draws from a caller-supplied [Random.State.t] (no
+   QCheck dependency here — the QCheck wrapper in the test suite and
+   the standalone fuzzer share this one definition of "random
+   program"). *)
+
+type expr =
+  | Const of int
+  | Var of string
+  | Neg of expr
+  | Binop of string * expr * expr  (** + - * & | ^ and comparisons *)
+  | Div_mod of string * expr * expr * int
+      (** [Div_mod (op, a, b, k)] renders [a op ((b & 7) + k)]:
+          divisor in [k, k+7], never zero *)
+  | Arr_read of string * expr * int  (** name, index, mask *)
+
+type stmt =
+  | Assign of string * expr
+  | Arr_write of string * expr * int * expr  (** name, index, mask, rhs *)
+  | If of expr * stmt list * stmt list
+  | For of string * int * stmt list  (** loop var, trip count, body *)
+
+type prog = {
+  globals : (string * int) list;  (** name, initial value *)
+  locals : (string * int) list;
+  arrays : (string * int) list;  (** name, power-of-two size *)
+  helper : expr option;  (** body of [helper(p, q)], over p and q *)
+  call_helper : bool;
+  stmts : stmt list;
+}
+
+let arr_words = 16
+
+(* --- rendering --------------------------------------------------------- *)
+
+let rec render_expr buf = function
+  | Const n -> Buffer.add_string buf (string_of_int n)
+  | Var v -> Buffer.add_string buf v
+  | Neg e ->
+      Buffer.add_string buf "(-";
+      render_expr buf e;
+      Buffer.add_char buf ')'
+  | Binop (op, a, b) ->
+      Buffer.add_char buf '(';
+      render_expr buf a;
+      Buffer.add_string buf (" " ^ op ^ " ");
+      render_expr buf b;
+      Buffer.add_char buf ')'
+  | Div_mod (op, a, b, k) ->
+      Buffer.add_char buf '(';
+      render_expr buf a;
+      Buffer.add_string buf (" " ^ op ^ " ((");
+      render_expr buf b;
+      Buffer.add_string buf (Printf.sprintf " & 7) + %d))" k)
+  | Arr_read (a, idx, mask) ->
+      Buffer.add_string buf (a ^ "[(");
+      render_expr buf idx;
+      Buffer.add_string buf (Printf.sprintf ") & %d]" mask)
+
+let rec render_stmt buf indent s =
+  let pad = String.make indent ' ' in
+  match s with
+  | Assign (v, e) ->
+      Buffer.add_string buf (pad ^ v ^ " = ");
+      render_expr buf e;
+      Buffer.add_string buf ";\n"
+  | Arr_write (a, idx, mask, e) ->
+      Buffer.add_string buf (pad ^ a ^ "[(");
+      render_expr buf idx;
+      Buffer.add_string buf (Printf.sprintf ") & %d] = " mask);
+      render_expr buf e;
+      Buffer.add_string buf ";\n"
+  | If (cond, then_, else_) ->
+      Buffer.add_string buf (pad ^ "if (");
+      render_expr buf cond;
+      Buffer.add_string buf ") {\n";
+      List.iter (render_stmt buf (indent + 2)) then_;
+      (match else_ with
+      | [] -> ()
+      | _ ->
+          Buffer.add_string buf (pad ^ "} else {\n");
+          List.iter (render_stmt buf (indent + 2)) else_);
+      Buffer.add_string buf (pad ^ "}\n")
+  | For (lv, trips, body) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%sfor (%s = 0; %s < %d; %s = %s + 1) {\n" pad lv lv
+           trips lv lv);
+      List.iter (render_stmt buf (indent + 2)) body;
+      Buffer.add_string buf (pad ^ "}\n")
+
+let render (p : prog) =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (g, init) ->
+      Buffer.add_string buf (Printf.sprintf "var %s : int = %d;\n" g init))
+    p.globals;
+  List.iter
+    (fun (a, size) ->
+      Buffer.add_string buf (Printf.sprintf "arr %s : int[%d];\n" a size))
+    p.arrays;
+  (match p.helper with
+  | None -> ()
+  | Some body ->
+      Buffer.add_string buf "fun helper(p: int, q: int) : int { return ";
+      render_expr buf body;
+      Buffer.add_string buf "; }\n");
+  Buffer.add_string buf "fun main() {\n";
+  List.iter
+    (fun (x, init) ->
+      Buffer.add_string buf (Printf.sprintf "  var %s : int = %d;\n" x init))
+    p.locals;
+  Buffer.add_string buf "  var i : int = 0;\n  var j : int = 0;\n";
+  List.iter (render_stmt buf 2) p.stmts;
+  (match p.helper with
+  | Some _ when p.call_helper ->
+      let vars = List.map fst (p.globals @ p.locals) in
+      let first = List.hd vars and last = List.nth vars (List.length vars - 1) in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s = helper(%s, %s);\n"
+           (fst (List.hd p.locals))
+           first last)
+  | _ -> ());
+  (* observable result: mix everything into the sink *)
+  let mix =
+    String.concat " + "
+      (List.map fst (p.globals @ p.locals)
+      @ List.concat_map
+          (fun (a, _) -> [ a ^ "[0]"; a ^ "[7]"; a ^ "[15]" ])
+          p.arrays
+      @ [ "i"; "j" ])
+  in
+  Buffer.add_string buf (Printf.sprintf "  sink(%s);\n}\n" mix);
+  Buffer.contents buf
+
+(* --- generation -------------------------------------------------------- *)
+
+let int st lo hi = lo + Random.State.int st (hi - lo + 1)
+let choose st l = List.nth l (Random.State.int st (List.length l))
+
+(* readable variables / assignables / arrays in scope at a program point *)
+type ctx = {
+  int_vars : string list;
+  writable : string list;
+  arrs : (string * int) list;
+}
+
+let rec gen_expr st ctx depth : expr =
+  if depth = 0 then gen_leaf st ctx
+  else
+    match int st 1 9 with
+    | 1 | 2 -> gen_leaf st ctx
+    | 3 | 4 | 5 ->
+        Binop
+          ( choose st [ "+"; "-"; "*"; "&"; "|"; "^" ],
+            gen_expr st ctx (depth - 1),
+            gen_expr st ctx (depth - 1) )
+    | 6 ->
+        Div_mod
+          ( choose st [ "/"; "%" ],
+            gen_expr st ctx (depth - 1),
+            gen_expr st ctx (depth - 1),
+            int st 1 9 )
+    | 7 -> Neg (gen_expr st ctx (depth - 1))
+    | 8 ->
+        Binop
+          ( choose st [ "=="; "!="; "<"; "<="; ">"; ">=" ],
+            gen_expr st ctx (depth - 1),
+            gen_expr st ctx (depth - 1) )
+    | _ -> (
+        match ctx.arrs with
+        | [] -> gen_leaf st ctx
+        | arrs ->
+            let a, size = choose st arrs in
+            Arr_read (a, gen_expr st ctx (depth - 1), size - 1))
+
+and gen_leaf st ctx =
+  match ctx.int_vars with
+  | [] -> Const (int st 0 64)
+  | vars -> if Random.State.bool st then Const (int st 0 64) else Var (choose st vars)
+
+let gen_condition st ctx : expr =
+  let a = gen_expr st ctx 1 and b = gen_expr st ctx 1 in
+  match int st 0 3 with
+  | 0 -> Binop ("<", a, b)
+  | 1 -> Binop ("==", a, b)
+  | 2 -> Binop ("&&", Binop ("<", a, b), Binop ("!=", gen_expr st ctx 1, Const 0))
+  | _ -> Binop ("||", Binop (">=", a, b), Binop (">", gen_expr st ctx 1, Const 3))
+
+let gen_assign st ctx =
+  match ctx.writable with
+  | [] -> Assign ("i", Const 0) (* unreachable: main always has writables *)
+  | vars -> Assign (choose st vars, gen_expr st ctx 2)
+
+let gen_arr_write st ctx =
+  match ctx.arrs with
+  | [] -> gen_assign st ctx
+  | arrs ->
+      let a, size = choose st arrs in
+      Arr_write (a, gen_expr st ctx 1, size - 1, gen_expr st ctx 2)
+
+let rec gen_stmt st ctx depth loop_vars : stmt =
+  if depth = 0 then
+    if Random.State.bool st then gen_assign st ctx else gen_arr_write st ctx
+  else
+    match int st 1 11 with
+    | 1 | 2 | 3 | 4 -> gen_assign st ctx
+    | 5 | 6 | 7 -> gen_arr_write st ctx
+    | 8 | 9 ->
+        let cond = gen_condition st ctx in
+        let then_ = gen_block st ctx depth loop_vars in
+        let else_ =
+          if Random.State.bool st then gen_block st ctx depth loop_vars else []
+        in
+        If (cond, then_, else_)
+    | _ -> (
+        match loop_vars with
+        | [] -> gen_assign st ctx
+        | lv :: rest ->
+            let trips = int st 1 12 in
+            (* the loop variable is readable in the body but never
+               assignable, so the loop always terminates *)
+            let ctx' = { ctx with int_vars = lv :: ctx.int_vars } in
+            For (lv, trips, gen_block st ctx' depth rest))
+
+and gen_block st ctx depth loop_vars =
+  List.init (int st 1 4) (fun _ -> gen_stmt st ctx (depth - 1) loop_vars)
+
+let generate (st : Random.State.t) : prog =
+  let n_globals = int st 1 3 in
+  let n_locals = int st 1 3 in
+  let n_arrays = int st 1 2 in
+  let globals =
+    List.init n_globals (fun i -> (Printf.sprintf "g%d" i, int st 0 20))
+  in
+  let locals =
+    List.init n_locals (fun i -> (Printf.sprintf "x%d" i, int st 0 20))
+  in
+  let arrays =
+    List.init n_arrays (fun i -> (Printf.sprintf "a%d" i, arr_words))
+  in
+  let ctx =
+    {
+      int_vars = List.map fst (globals @ locals);
+      writable = List.map fst (globals @ locals);
+      arrs = arrays;
+    }
+  in
+  let helper =
+    Some
+      (gen_expr st { int_vars = [ "p"; "q" ]; writable = []; arrs = [] } 2)
+  in
+  let stmts =
+    List.init (int st 2 6) (fun _ -> gen_stmt st ctx 2 [ "i"; "j" ])
+  in
+  {
+    globals;
+    locals;
+    arrays;
+    helper;
+    call_helper = Random.State.bool st;
+    stmts;
+  }
+
+(* --- shrinking --------------------------------------------------------- *)
+
+(* Candidate simplifications of an expression, simplest first.  Every
+   candidate only removes structure, so scoping and safety are
+   preserved. *)
+let rec shrink_expr (e : expr) : expr Seq.t =
+  match e with
+  | Const 0 -> Seq.empty
+  | Const _ -> Seq.return (Const 0)
+  | Var _ -> Seq.return (Const 0)
+  | Neg a -> Seq.cons (Const 0) (Seq.cons a (Seq.map (fun a -> Neg a) (shrink_expr a)))
+  | Binop (op, a, b) ->
+      List.to_seq [ Const 0; a; b ]
+      |> fun s ->
+      Seq.append s
+        (Seq.append
+           (Seq.map (fun a -> Binop (op, a, b)) (shrink_expr a))
+           (Seq.map (fun b -> Binop (op, a, b)) (shrink_expr b)))
+  | Div_mod (op, a, b, k) ->
+      List.to_seq [ Const 0; a ]
+      |> fun s ->
+      Seq.append s
+        (Seq.append
+           (Seq.map (fun a -> Div_mod (op, a, b, k)) (shrink_expr a))
+           (Seq.map (fun b -> Div_mod (op, a, b, k)) (shrink_expr b)))
+  | Arr_read (a, idx, mask) ->
+      Seq.cons (Const 0)
+        (Seq.map (fun idx -> Arr_read (a, idx, mask)) (shrink_expr idx))
+
+(* Replace element [k] of [l] by each of [f l_k], or drop it. *)
+let shrink_list (shrink_elt : 'a -> 'a Seq.t) (drop : bool) (l : 'a list) :
+    'a list Seq.t =
+  let n = List.length l in
+  let dropped =
+    if drop then
+      Seq.init n (fun k -> List.filteri (fun i _ -> i <> k) l)
+    else Seq.empty
+  in
+  let replaced =
+    Seq.concat
+      (Seq.init n (fun k ->
+           Seq.map
+             (fun e -> List.mapi (fun i x -> if i = k then e else x) l)
+             (shrink_elt (List.nth l k))))
+  in
+  Seq.append dropped replaced
+
+let rec shrink_stmt (s : stmt) : stmt Seq.t =
+  match s with
+  | Assign (v, e) -> Seq.map (fun e -> Assign (v, e)) (shrink_expr e)
+  | Arr_write (a, idx, mask, e) ->
+      Seq.append
+        (Seq.map (fun idx -> Arr_write (a, idx, mask, e)) (shrink_expr idx))
+        (Seq.map (fun e -> Arr_write (a, idx, mask, e)) (shrink_expr e))
+  | If (cond, then_, else_) ->
+      (* structural shrinks first: a branch alone (wrapped to keep it a
+         single statement), then branch deletion, then recursion *)
+      Seq.append
+        (List.to_seq
+           [ If (Const 1, then_, []); If (Const 1, else_, []) ]
+        |> Seq.filter (function If (_, [], []) -> false | s' -> s' <> s))
+        (Seq.append
+           (Seq.map (fun then_ -> If (cond, then_, else_))
+              (shrink_stmts then_))
+           (Seq.append
+              (Seq.map (fun else_ -> If (cond, then_, else_))
+                 (shrink_stmts else_))
+              (Seq.map (fun cond -> If (cond, then_, else_))
+                 (shrink_expr cond))))
+  | For (lv, trips, body) ->
+      Seq.append
+        (List.to_seq [ If (Const 1, body, []); For (lv, 1, body) ]
+        |> Seq.filter (fun s' -> s' <> s))
+      @@ Seq.map (fun body -> For (lv, trips, body)) (shrink_stmts body)
+
+and shrink_stmts (l : stmt list) : stmt list Seq.t =
+  shrink_list shrink_stmt true l
+
+(* One round of candidate simplifications of a whole program, shallowest
+   (biggest) first: drop a top-level statement, simplify a statement,
+   drop the helper call, drop the helper. *)
+let shrink_step (p : prog) : prog Seq.t =
+  let stmts = Seq.map (fun stmts -> { p with stmts }) (shrink_stmts p.stmts) in
+  let helper =
+    match (p.helper, p.call_helper) with
+    | Some _, true -> Seq.return { p with call_helper = false }
+    | Some _, false -> Seq.return { p with helper = None }
+    | None, _ -> Seq.empty
+  in
+  Seq.append stmts helper
+
+(* AST node count, the measure that guarantees shrinking terminates. *)
+let rec expr_size = function
+  | Const _ | Var _ -> 1
+  | Neg a -> 1 + expr_size a
+  | Binop (_, a, b) | Div_mod (_, a, b, _) -> 1 + expr_size a + expr_size b
+  | Arr_read (_, idx, _) -> 1 + expr_size idx
+
+let rec stmt_size = function
+  | Assign (_, e) -> 1 + expr_size e
+  | Arr_write (_, idx, _, e) -> 1 + expr_size idx + expr_size e
+  | If (cond, then_, else_) ->
+      1 + expr_size cond + stmts_size then_ + stmts_size else_
+  | For (_, _, body) -> 1 + stmts_size body
+
+and stmts_size l = List.fold_left (fun acc s -> acc + stmt_size s) 0 l
+
+let size (p : prog) =
+  stmts_size p.stmts
+  + (match p.helper with Some e -> 1 + expr_size e | None -> 0)
+  + (if p.call_helper then 1 else 0)
+
+(* Iteration-deepening greedy shrink: repeatedly take the first
+   candidate that still fails, restarting the candidate scan from the
+   shallowest simplifications after every success, until no candidate
+   fails.  [still_fails] must be true of [p] itself.
+
+   Only strictly smaller candidates are accepted — a few shrink_step
+   rewrites are size-neutral (e.g. replacing an if condition by a
+   constant), and without the strict decrease two failing size-neutral
+   rewrites could ping-pong forever. *)
+let shrink ~(still_fails : prog -> bool) (p : prog) : prog =
+  let rec fixpoint p =
+    let sz = size p in
+    match
+      Seq.find (fun c -> size c < sz && still_fails c) (shrink_step p)
+    with
+    | Some p' -> fixpoint p'
+    | None -> p
+  in
+  fixpoint p

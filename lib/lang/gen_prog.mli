@@ -1,0 +1,56 @@
+(** Random well-typed MiniMod programs, with shrinking.
+
+    The fuzz corpus behind both the property test-suite (via its QCheck
+    wrapper) and [ilp fuzz].  Programs are a small structured AST so
+    failing cases shrink; every generated or shrunk program is
+    well-typed, terminating and fault-free by construction (masked
+    subscripts, nonzero divisors, bounded counted loops with read-only
+    loop variables, no recursion, declarations never shrunk away). *)
+
+type expr =
+  | Const of int
+  | Var of string
+  | Neg of expr
+  | Binop of string * expr * expr
+  | Div_mod of string * expr * expr * int
+      (** [a op ((b & 7) + k)]: divisor in [\[k, k+7\]], never zero *)
+  | Arr_read of string * expr * int  (** name, index, mask *)
+
+type stmt =
+  | Assign of string * expr
+  | Arr_write of string * expr * int * expr
+  | If of expr * stmt list * stmt list
+  | For of string * int * stmt list  (** loop var, trip count, body *)
+
+type prog = {
+  globals : (string * int) list;  (** name, initial value *)
+  locals : (string * int) list;
+  arrays : (string * int) list;  (** name, power-of-two size *)
+  helper : expr option;
+  call_helper : bool;
+  stmts : stmt list;
+}
+
+val render : prog -> string
+(** MiniMod source text: declarations, helper, [main] ending in a
+    [sink(...)] mix of every variable and three cells of each array. *)
+
+val generate : Random.State.t -> prog
+
+val size : prog -> int
+(** AST node count — the strictly decreasing measure [shrink] minimises. *)
+
+val shrink_step : prog -> prog Seq.t
+(** One round of candidate simplifications, shallowest (biggest) first:
+    drop a top-level statement, hoist a branch or loop body, simplify
+    subexpressions, drop the helper.  Suitable directly as a QCheck2
+    [~shrink]. *)
+
+val shrink : still_fails:(prog -> bool) -> prog -> prog
+(** Greedy fixpoint over {!shrink_step}: repeatedly take the first
+    strictly smaller (by {!size}) candidate that still fails,
+    restarting from the shallowest candidates after each success, until
+    none does.  The strict decrease guarantees termination even when
+    size-neutral rewrites (e.g. replacing a condition by a constant)
+    would otherwise cycle.  [still_fails] should be true of the
+    input. *)

@@ -1,0 +1,94 @@
+(* Schedule legality checking.
+
+   A scheduled block is legal when it is a permutation of the input
+   block whose emitted order respects every edge of the input block's
+   dependence graph.  Edge weights do not matter here: the scheduler
+   emits an issue *order* and the in-order timing model re-derives all
+   stall cycles at simulation time, so a schedule that ignores a
+   latency is slow, not wrong — only an order violation (or a dropped,
+   duplicated or invented instruction) changes semantics.
+
+   The checker rebuilds the DDG of the *original* block, so it shares
+   no state with the scheduler beyond [Ddg.build] itself; a scheduler
+   bug that forgets an edge kind would still be caught as long as the
+   graph construction is right, and a graph-construction bug that
+   invents a cycle would surface here as an unsatisfiable order. *)
+
+open Ilp_ir
+open Ilp_machine
+
+exception Illegal of string
+
+let illegal fmt = Printf.ksprintf (fun s -> raise (Illegal s)) fmt
+
+let check_block (config : Config.t) ~(original : Block.t)
+    ~(scheduled : Block.t) =
+  let where = Label.to_string original.Block.label in
+  if not (Label.equal original.Block.label scheduled.Block.label) then
+    illegal "block %s: label changed to %s" where
+      (Label.to_string scheduled.Block.label);
+  let n = List.length original.Block.instrs in
+  if List.length scheduled.Block.instrs <> n then
+    illegal "block %s: %d instructions scheduled from %d" where
+      (List.length scheduled.Block.instrs)
+      n;
+  (* position of each instruction in the scheduled order, by identity *)
+  let position : (int, int) Hashtbl.t = Hashtbl.create (2 * n) in
+  List.iteri
+    (fun k (i : Instr.t) ->
+      if Hashtbl.mem position i.Instr.id then
+        illegal "block %s: instruction duplicated: %s" where
+          (Instr.to_string i);
+      Hashtbl.add position i.Instr.id k)
+    scheduled.Block.instrs;
+  List.iter
+    (fun (i : Instr.t) ->
+      if not (Hashtbl.mem position i.Instr.id) then
+        illegal "block %s: instruction dropped: %s" where
+          (Instr.to_string i))
+    original.Block.instrs;
+  (* distinct ids and equal counts make the order a permutation; now
+     every DDG edge of the original block must point forward in it *)
+  let ddg = Ddg.build config original.Block.instrs in
+  Array.iteri
+    (fun src succs ->
+      let src_i = ddg.Ddg.instrs.(src) in
+      let src_pos = Hashtbl.find position src_i.Instr.id in
+      List.iter
+        (fun (dst, _weight) ->
+          let dst_i = ddg.Ddg.instrs.(dst) in
+          if src_pos >= Hashtbl.find position dst_i.Instr.id then
+            illegal "block %s: dependence violated: [%s] scheduled after [%s]"
+              where (Instr.to_string src_i) (Instr.to_string dst_i))
+        succs)
+    ddg.Ddg.succs;
+  (* the executor additionally assumes a terminator, if any, stays last
+     (the DDG orders it after every node, so this is implied — assert it
+     anyway as a cheap independent invariant) *)
+  match Block.terminator original with
+  | Some t -> (
+      match List.rev scheduled.Block.instrs with
+      | last :: _ when last.Instr.id = t.Instr.id -> ()
+      | _ -> illegal "block %s: terminator not last after scheduling" where)
+  | None -> ()
+
+let check_func config ~(original : Func.t) ~(scheduled : Func.t) =
+  if not (String.equal original.Func.name scheduled.Func.name) then
+    illegal "function %s: name changed to %s" original.Func.name
+      scheduled.Func.name;
+  if List.length original.Func.blocks <> List.length scheduled.Func.blocks
+  then
+    illegal "function %s: block structure changed by scheduling"
+      original.Func.name;
+  List.iter2
+    (fun o s -> check_block config ~original:o ~scheduled:s)
+    original.Func.blocks scheduled.Func.blocks
+
+let check_program config ~(original : Program.t) ~(scheduled : Program.t) =
+  if
+    List.length original.Program.functions
+    <> List.length scheduled.Program.functions
+  then illegal "program: function count changed by scheduling";
+  List.iter2
+    (fun o s -> check_func config ~original:o ~scheduled:s)
+    original.Program.functions scheduled.Program.functions

@@ -1,0 +1,33 @@
+(** Schedule legality checking.
+
+    A scheduled block is legal when it is a permutation of the input
+    block whose order respects every edge of the input block's
+    dependence graph ({!Ddg.build}).  Edge weights are irrelevant to
+    legality: the scheduler emits an issue {e order} and the in-order
+    timing model re-derives every stall at simulation time, so ignoring
+    a latency costs cycles, never correctness.  For the same reason the
+    [branch_ends_packet] ablation needs no legality condition — it
+    narrows issue groups inside the timing model and the emitted order
+    is oblivious to issue-group boundaries.
+
+    Run by {!Ilp_core.Ilp.schedule} after list scheduling when checking
+    is enabled, and directly by the test suite's injected-defect
+    tests. *)
+
+open Ilp_ir
+open Ilp_machine
+
+exception Illegal of string
+(** The scheduled code is not a DDG-respecting permutation of the
+    input: an instruction was dropped, duplicated or invented, a
+    dependence edge points backwards in the emitted order, the
+    terminator is no longer last, or the block/function structure
+    changed. *)
+
+val check_block : Config.t -> original:Block.t -> scheduled:Block.t -> unit
+val check_func : Config.t -> original:Func.t -> scheduled:Func.t -> unit
+
+val check_program :
+  Config.t -> original:Program.t -> scheduled:Program.t -> unit
+(** Check every block of every function; functions and blocks must pair
+    up positionally (scheduling never changes program structure). *)

@@ -40,7 +40,8 @@ let build (config : Config.t) (instrs : Instr.t list) =
     if src <> dst then
       match Hashtbl.find_opt edge_set (src, dst) with
       | Some w when w >= weight -> ()
-      | Some _ | None ->
+      | Some _ -> Hashtbl.replace edge_set (src, dst) weight
+      | None ->
           Hashtbl.replace edge_set (src, dst) weight;
           incr n_edges
   in
@@ -119,28 +120,25 @@ let build (config : Config.t) (instrs : Instr.t list) =
   { instrs; succs; preds; n_edges = !n_edges }
 
 (* Critical-path height of each node: the longest weighted path to any
-   sink, plus the node's own latency.  Used as list-scheduling priority. *)
+   sink, plus the node's own latency.  Used as list-scheduling priority.
+
+   Every edge runs from an earlier instruction to a later one ([build]
+   only ever adds [j -> k] with [j < k]), so one reverse sweep sees each
+   node after all of its successors.  No recursion: a recursive
+   formulation follows successor chains and blows the stack on the long
+   straight-line blocks high unroll factors produce. *)
 let heights (config : Config.t) t =
   let n = Array.length t.instrs in
-  let height = Array.make n (-1) in
-  let rec compute k =
-    if height.(k) >= 0 then height.(k)
-    else begin
-      (* height = time from this node's issue until the whole dependent
-         subtree completes: at least its own latency, or a successor
-         path (edge weights already carry the producer latency) *)
-      let own = Config.latency config (Instr.iclass t.instrs.(k)) in
-      let best =
-        List.fold_left
-          (fun acc (s, w) -> max acc (w + compute s))
-          own t.succs.(k)
-      in
-      height.(k) <- best;
-      height.(k)
-    end
-  in
-  for k = 0 to n - 1 do
-    ignore (compute k)
+  let height = Array.make n 0 in
+  for k = n - 1 downto 0 do
+    (* height = time from this node's issue until the whole dependent
+       subtree completes: at least its own latency, or a successor
+       path (edge weights already carry the producer latency) *)
+    let own = Config.latency config (Instr.iclass t.instrs.(k)) in
+    height.(k) <-
+      List.fold_left
+        (fun acc (s, w) -> max acc (w + height.(s)))
+        own t.succs.(k)
   done;
   height
 

@@ -21,9 +21,13 @@ type t = {
   succs : (int * int) list array;  (** (successor, weight) *)
   preds : (int * int) list array;  (** (predecessor, weight) *)
   n_edges : int;
+      (** distinct (src, dst) pairs — a pair carrying several hazards
+          (say RAW and WAW) is one edge at the largest weight *)
 }
 
 val build : Config.t -> Instr.t list -> t
+(** Every edge runs forward: [succs.(k)] only contains indices greater
+    than [k]. *)
 
 val heights : Config.t -> t -> int array
 (** Critical-path height of each node: the time from the node's issue

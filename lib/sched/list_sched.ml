@@ -7,7 +7,15 @@
    elapsed; each simulated cycle issues up to [issue_width] ready nodes —
    respecting functional-unit issue latency and multiplicity — choosing
    by greatest critical-path height.  The emitted order is the issue
-   order; run-time timing is then re-derived by the simulator. *)
+   order; run-time timing is then re-derived by the simulator.
+
+   The [branch_ends_packet] ablation needs no special handling (and no
+   legality assertion, see Check_sched): it narrows issue groups inside
+   the timing model only.  The scheduler's internal cycle simulation may
+   pack instructions behind a branch that such a machine would split
+   into the next cycle, which can cost the emitted order some cycles
+   under that ablation but can never change what the code computes — the
+   simulator re-derives every issue-group boundary when it runs. *)
 
 open Ilp_ir
 open Ilp_machine
@@ -31,22 +39,29 @@ let schedule_block (config : Config.t) (b : Block.t) =
         (fun spec -> { spec; free_at = Array.make spec.Config.multiplicity 0 })
         config.Config.units
     in
+    (* pools serving each class, computed once per block (as
+       [Timing.create] does) instead of re-filtering the unit list for
+       every candidate of the O(n^2) best-node scan *)
+    let pools_by_class =
+      Array.init Iclass.count (fun idx ->
+          let c = Iclass.of_index idx in
+          List.filter (fun u -> List.mem c u.spec.Config.classes) units)
+    in
     let free_unit cls cycle =
-      match
-        List.filter (fun u -> List.mem cls u.spec.Config.classes) units
-      with
+      match pools_by_class.(Iclass.to_index cls) with
       | [] -> `Unconstrained
-      | pools -> (
-          let found = ref None in
-          List.iter
-            (fun u ->
-              if !found = None then
-                Array.iteri
-                  (fun idx t ->
-                    if !found = None && t <= cycle then found := Some (u, idx))
-                  u.free_at)
-            pools;
-          match !found with Some (u, idx) -> `Free (u, idx) | None -> `Busy)
+      | pools ->
+          let rec search = function
+            | [] -> `Busy
+            | u :: rest ->
+                let rec scan idx =
+                  if idx >= Array.length u.free_at then search rest
+                  else if u.free_at.(idx) <= cycle then `Free (u, idx)
+                  else scan (idx + 1)
+                in
+                scan 0
+          in
+          search pools
     in
     let order = ref [] in
     let emitted = ref 0 in

@@ -112,7 +112,7 @@ let init_memory (p : Program.t) mem_words =
 let nothing_observer : observer = fun _ _ -> ()
 
 let run ?(options = default_options) ?observer ?(observers = []) ?on_branch
-    (p : Program.t) : outcome =
+    ?on_store (p : Program.t) : outcome =
   (* fan every executed instruction out to all observers in this one
      functional pass *)
   let observer =
@@ -258,7 +258,9 @@ let run ?(options = default_options) ?observer ?(observers = []) ?on_branch
         | [ v; base ] ->
             let addr = effective_address i base in
             addr_for_observer := addr;
-            memory.(addr) <- operand_value v
+            let value = operand_value v in
+            memory.(addr) <- value;
+            (match on_store with Some f -> f i addr value | None -> ())
         | _ -> raise (Fault ("malformed store: " ^ Instr.to_string i)))
     | Opcode.Beq | Opcode.Bne | Opcode.Blt | Opcode.Ble | Opcode.Bgt
     | Opcode.Bge ->

@@ -47,13 +47,17 @@ val run :
   ?observer:observer ->
   ?observers:observer list ->
   ?on_branch:(Instr.t -> bool -> unit) ->
+  ?on_store:(Instr.t -> int -> Value.t -> unit) ->
   Program.t ->
   outcome
 (** Execute from ["main"] until [halt] (or a return with an empty call
     stack).  All of [observer] and [observers] are driven by the same
     functional pass; [on_branch] additionally reports the outcome of
     every executed conditional branch (trace capture records these to
-    replay control flow without re-interpreting).
+    replay control flow without re-interpreting), and
+    [on_store instr addr value] every executed store with its effective
+    address and stored value (the differential oracle compares these
+    dynamic store streams across compilation stages).
 
     Raises {!Fault} if a function name collides with a basic-block label
     elsewhere in the program (the alias that makes function entries

@@ -1,216 +1,15 @@
-(* A QCheck generator of random, well-typed, terminating, fault-free
-   MiniMod programs, used for differential testing: whatever the program
-   computes, every optimization level and machine configuration must
-   compute the same thing.
+(* QCheck wrapper around the shared random-MiniMod generator.
 
-   Safety by construction:
-   - array subscripts are masked (& (size-1)) with power-of-two sizes,
-     so they are always in range;
-   - divisors and modulus operands are (expr & mask) + positive-constant,
-     never zero;
-   - loops are bounded counted loops, never while, so everything
-     terminates;
-   - a bounded number of calls to at most two straight-line helper
-     functions, so there is no unbounded recursion. *)
+   The generator itself — AST, rendering, generation and shrinking —
+   lives in Ilp_lang.Gen_prog so that the standalone fuzzer ([ilp fuzz])
+   and the property tests draw from the same definition of "random
+   program".  Here it only gets adapted to QCheck2: generation from
+   QCheck's random state, shrinking via Gen_prog.shrink_step. *)
 
 open QCheck2
 
-type ctx = {
-  int_vars : string list;  (** readable scalars *)
-  writable : string list;  (** assignable scalars (excludes live loop vars) *)
-  arrays : (string * int) list;  (** name, power-of-two size *)
-}
+let prog : Ilp_lang.Gen_prog.prog Gen.t =
+  Gen.make_primitive ~gen:Ilp_lang.Gen_prog.generate
+    ~shrink:Ilp_lang.Gen_prog.shrink_step
 
-let arr_words = 16
-
-(* --- integer expressions ------------------------------------------------ *)
-
-let rec int_expr ctx depth : string Gen.t =
-  let open Gen in
-  if depth = 0 then int_leaf ctx
-  else
-    frequency
-      [ (2, int_leaf ctx);
-        (3, int_binop ctx depth);
-        (1, int_div_mod ctx depth);
-        (1, map (Printf.sprintf "(-%s)") (int_expr ctx (depth - 1)));
-        (1, int_comparison ctx depth);
-        (1, array_read ctx depth) ]
-
-and int_leaf ctx =
-  let open Gen in
-  let consts = map string_of_int (int_range 0 64) in
-  match ctx.int_vars with
-  | [] -> consts
-  | vars -> oneof [ consts; oneofl vars ]
-
-and int_binop ctx depth =
-  let open Gen in
-  let* op = oneofl [ "+"; "-"; "*"; "&"; "|"; "^" ] in
-  let* a = int_expr ctx (depth - 1) in
-  let* b = int_expr ctx (depth - 1) in
-  return (Printf.sprintf "(%s %s %s)" a op b)
-
-and int_div_mod ctx depth =
-  let open Gen in
-  let* op = oneofl [ "/"; "%" ] in
-  let* a = int_expr ctx (depth - 1) in
-  let* b = int_expr ctx (depth - 1) in
-  let* k = int_range 1 9 in
-  (* divisor = (b & 7) + k, always in [k, k+7] and nonzero *)
-  return (Printf.sprintf "(%s %s ((%s & 7) + %d))" a op b k)
-
-and int_comparison ctx depth =
-  let open Gen in
-  let* op = oneofl [ "=="; "!="; "<"; "<="; ">"; ">=" ] in
-  let* a = int_expr ctx (depth - 1) in
-  let* b = int_expr ctx (depth - 1) in
-  return (Printf.sprintf "(%s %s %s)" a op b)
-
-and array_read ctx depth =
-  let open Gen in
-  match ctx.arrays with
-  | [] -> int_leaf ctx
-  | arrays ->
-      let* name, size = oneofl arrays in
-      let* idx = int_expr ctx (depth - 1) in
-      return (Printf.sprintf "%s[(%s) & %d]" name idx (size - 1))
-
-(* --- conditions ---------------------------------------------------------- *)
-
-let condition ctx : string Gen.t =
-  let open Gen in
-  let* shape = int_range 0 3 in
-  let* a = int_expr ctx 1 in
-  let* b = int_expr ctx 1 in
-  match shape with
-  | 0 -> return (Printf.sprintf "(%s) < (%s)" a b)
-  | 1 -> return (Printf.sprintf "(%s) == (%s)" a b)
-  | 2 ->
-      let* c = int_expr ctx 1 in
-      return (Printf.sprintf "(%s) < (%s) && (%s) != 0" a b c)
-  | _ ->
-      let* c = int_expr ctx 1 in
-      return (Printf.sprintf "(%s) >= (%s) || (%s) > 3" a b c)
-
-(* --- statements ----------------------------------------------------------- *)
-
-let assign ctx : string Gen.t =
-  let open Gen in
-  match ctx.writable with
-  | [] -> return ""
-  | vars ->
-      let* v = oneofl vars in
-      let* e = int_expr ctx 2 in
-      return (Printf.sprintf "%s = %s;" v e)
-
-let array_write ctx : string Gen.t =
-  let open Gen in
-  match ctx.arrays with
-  | [] -> assign ctx
-  | arrays ->
-      let* name, size = oneofl arrays in
-      let* idx = int_expr ctx 1 in
-      let* e = int_expr ctx 2 in
-      return (Printf.sprintf "%s[(%s) & %d] = %s;" name idx (size - 1) e)
-
-let rec stmt ctx depth loop_vars : string Gen.t =
-  let open Gen in
-  if depth = 0 then oneof [ assign ctx; array_write ctx ]
-  else
-    frequency
-      [ (4, assign ctx);
-        (3, array_write ctx);
-        (2, if_stmt ctx depth loop_vars);
-        (2, for_stmt ctx depth loop_vars) ]
-
-and block ctx depth loop_vars : string Gen.t =
-  let open Gen in
-  let* n = int_range 1 4 in
-  let* stmts = list_repeat n (stmt ctx (depth - 1) loop_vars) in
-  return (String.concat "\n    " stmts)
-
-and if_stmt ctx depth loop_vars =
-  let open Gen in
-  let* cond = condition ctx in
-  let* then_ = block ctx depth loop_vars in
-  let* has_else = bool in
-  if has_else then
-    let* else_ = block ctx depth loop_vars in
-    return (Printf.sprintf "if (%s) {\n    %s\n  } else {\n    %s\n  }" cond then_ else_)
-  else return (Printf.sprintf "if (%s) {\n    %s\n  }" cond then_)
-
-and for_stmt ctx depth loop_vars =
-  let open Gen in
-  match loop_vars with
-  | [] -> assign ctx
-  | lv :: rest ->
-      let* trips = int_range 1 12 in
-      (* the loop variable is readable in the body but never assignable,
-         so the loop always terminates *)
-      let ctx' = { ctx with int_vars = lv :: ctx.int_vars } in
-      let* body = block ctx' depth rest in
-      return
-        (Printf.sprintf "for (%s = 0; %s < %d; %s = %s + 1) {\n    %s\n  }" lv
-           lv trips lv lv body)
-
-(* --- whole program --------------------------------------------------------- *)
-
-let program : string Gen.t =
-  let open Gen in
-  let* n_globals = int_range 1 3 in
-  let* n_locals = int_range 1 3 in
-  let* n_arrays = int_range 1 2 in
-  let globals = List.init n_globals (fun i -> Printf.sprintf "g%d" i) in
-  let locals = List.init n_locals (fun i -> Printf.sprintf "x%d" i) in
-  let arrays = List.init n_arrays (fun i -> (Printf.sprintf "a%d" i, arr_words)) in
-  let* g_inits = list_repeat n_globals (int_range 0 20) in
-  let* l_inits = list_repeat n_locals (int_range 0 20) in
-  let ctx = { int_vars = globals @ locals; writable = globals @ locals; arrays } in
-  let loop_vars = [ "i"; "j" ] in
-  (* helper function called from main *)
-  let* helper_body =
-    int_expr { int_vars = [ "p"; "q" ]; writable = []; arrays = [] } 2
-  in
-  let* n_stmts = int_range 2 6 in
-  let* stmts = list_repeat n_stmts (stmt ctx 2 loop_vars) in
-  let* call_helper = bool in
-  let buf = Buffer.create 512 in
-  List.iteri
-    (fun i g ->
-      Buffer.add_string buf
-        (Printf.sprintf "var %s : int = %d;\n" g (List.nth g_inits i)))
-    globals;
-  List.iter
-    (fun (a, size) ->
-      Buffer.add_string buf (Printf.sprintf "arr %s : int[%d];\n" a size))
-    arrays;
-  Buffer.add_string buf
-    (Printf.sprintf "fun helper(p: int, q: int) : int { return %s; }\n"
-       helper_body);
-  Buffer.add_string buf "fun main() {\n";
-  List.iteri
-    (fun i x ->
-      Buffer.add_string buf
-        (Printf.sprintf "  var %s : int = %d;\n" x (List.nth l_inits i)))
-    locals;
-  Buffer.add_string buf "  var i : int = 0;\n  var j : int = 0;\n";
-  List.iter
-    (fun s -> Buffer.add_string buf ("  " ^ s ^ "\n"))
-    stmts;
-  if call_helper then
-    Buffer.add_string buf
-      (Printf.sprintf "  %s = helper(%s, %s);\n" (List.hd locals)
-         (List.hd ctx.int_vars)
-         (List.nth ctx.int_vars (List.length ctx.int_vars - 1)));
-  (* observable result: mix everything into the sink *)
-  let mix =
-    String.concat " + "
-      (List.map (fun v -> v) (globals @ locals)
-      @ List.concat_map
-          (fun (a, _) -> [ a ^ "[0]"; a ^ "[7]"; a ^ "[15]" ])
-          arrays
-      @ [ "i"; "j" ])
-  in
-  Buffer.add_string buf (Printf.sprintf "  sink(%s);\n}\n" mix);
-  return (Buffer.contents buf)
+let program : string Gen.t = Gen.map Ilp_lang.Gen_prog.render prog

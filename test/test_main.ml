@@ -18,4 +18,5 @@ let () =
       ("replay", Test_replay.tests);
       ("par", Test_par.tests);
       ("analysis", Test_analysis.tests);
+      ("check", Test_check.tests);
       ("properties", Test_properties.tests) ]

@@ -97,6 +97,35 @@ let test_available_parallelism () =
   Helpers.check_float "empty block" 1.0
     (Ilp_sched.Ddg.available_parallelism [])
 
+(* [n_edges] counts distinct (src, dst) pairs: when two hazards hit the
+   same pair — here a WAR edge (weight 0) from the store's address
+   register to the load's destination, then an aliasing store→load
+   memory edge (weight 1) raising its weight — the pair is one edge. *)
+let test_edge_count_no_duplicates () =
+  let instrs =
+    [ Builder.st ~value:(r 6) ~base:(r 4) ~offset:0 ();  (* reads r6 *)
+      Builder.ld (r 6) ~base:(r 4) ~offset:0 ]           (* writes r6 *)
+  in
+  let ddg = Ilp_sched.Ddg.build Presets.base instrs in
+  let listed =
+    Array.fold_left (fun acc ss -> acc + List.length ss) 0 ddg.Ilp_sched.Ddg.succs
+  in
+  Alcotest.(check int) "one distinct edge" 1 ddg.Ilp_sched.Ddg.n_edges;
+  Alcotest.(check int) "n_edges = edges listed" listed ddg.Ilp_sched.Ddg.n_edges;
+  (* the merged edge keeps the larger (memory) weight *)
+  Alcotest.(check (list (pair int int))) "weight raised to 1" [ (1, 1) ]
+    ddg.Ilp_sched.Ddg.succs.(0)
+
+(* Critical-path heights over a dependence chain far deeper than the
+   OCaml stack: the reverse-sweep implementation must not overflow. *)
+let test_heights_deep_chain () =
+  let n = 100_000 in
+  let chain = List.init n (fun _ -> Builder.addi (r 5) (r 5) 1) in
+  let ddg = Ilp_sched.Ddg.build Presets.base chain in
+  let height = Ilp_sched.Ddg.heights Presets.base ddg in
+  Alcotest.(check int) "chain head height" n height.(0);
+  Alcotest.(check int) "chain tail height" 1 height.(n - 1)
+
 let schedule_order config instrs =
   let b = Block.make (Label.of_string "b") instrs in
   let b' = Ilp_sched.List_sched.schedule_block config b in
@@ -176,6 +205,9 @@ let tests =
     Alcotest.test_case "call barrier" `Quick test_call_barrier;
     Alcotest.test_case "terminator ordered last" `Quick test_terminator_last;
     Alcotest.test_case "available parallelism" `Quick test_available_parallelism;
+    Alcotest.test_case "edge count merges duplicate pairs" `Quick
+      test_edge_count_no_duplicates;
+    Alcotest.test_case "heights on a 100k chain" `Quick test_heights_deep_chain;
     Alcotest.test_case "schedule preserves instrs" `Quick test_schedule_preserves_instrs;
     Alcotest.test_case "schedule respects deps" `Quick test_schedule_respects_deps;
     Alcotest.test_case "terminator stays last" `Quick test_schedule_keeps_terminator_last;
