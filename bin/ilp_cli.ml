@@ -4,6 +4,7 @@
      ilp run -b linpack -m cray1 ...   compile + simulate one benchmark
      ilp experiment fig4_1 ...         regenerate a table/figure
      ilp experiment --all              the whole evaluation section
+     ilp lint -b linpack -O4           static checks, nothing executed
      ilp disasm -b yacc -O2            dump the compiled IR *)
 
 open Cmdliner
@@ -288,6 +289,187 @@ let fuzz_cmd =
           program")
     Term.(const action $ count_arg $ seed_arg $ jobs_arg)
 
+(* --- lint --------------------------------------------------------------- *)
+
+(* Static checking only — nothing is executed.  The program is compiled
+   with snapshots after codegen and after every pipeline pass; each
+   snapshot is validated (with register-file bounds once allocated) and
+   def-assign checked, the register allocators are verified at their
+   before/after seams, the schedule is checked as a dependence-respecting
+   permutation, and the last pre-allocation snapshot gets the full lint
+   suite (dead code, unreachable blocks, redundant expressions). *)
+let lint_compile ?unroll ~level config source =
+  let module D = Ilp_analysis.Diagnostics in
+  let snapshots = ref [] in
+  let on_pass name stage p = snapshots := (name, stage, p) :: !snapshots in
+  let unsched =
+    Ilp_core.Ilp.compile_unscheduled ?unroll ~on_pass ~level config source
+  in
+  ignore (Ilp_core.Ilp.schedule ~on_pass ~level config unsched);
+  let snapshots = List.rev !snapshots in
+  let max_reg = Ilp_regalloc.Regfile.file_size config in
+  let last_virtual =
+    List.fold_left
+      (fun acc (name, stage, p) ->
+        if stage = `Virtual then Some (name, p) else acc)
+      None snapshots
+  in
+  let diags = ref [] in
+  let add pass ds = diags := !diags @ List.map (fun d -> (pass, d)) ds in
+  let rec walk prev = function
+    | [] -> ()
+    | (name, stage, p) :: rest ->
+        add name
+          (List.map
+             (fun (i : Ilp_ir.Validate.issue) ->
+               D.make Error ~check:"validate" ~func:i.Ilp_ir.Validate.where
+                 i.Ilp_ir.Validate.what)
+             (Ilp_ir.Validate.check ~stage ~max_reg p));
+        if stage = `Virtual then add name (Ilp_analysis.Lint.errors_only p);
+        (match (name, prev) with
+        | "global_alloc", Some before ->
+            add name
+              (Ilp_regalloc.Regalloc_verify.check_global_alloc config ~before
+                 ~after:p)
+        | "temp_alloc", Some before ->
+            add name
+              (Ilp_regalloc.Regalloc_verify.check_temp_alloc_program config
+                 ~before ~after:p)
+        | "list_sched", Some before -> (
+            try
+              Ilp_sched.Check_sched.check_program config ~original:before
+                ~scheduled:p
+            with Ilp_sched.Check_sched.Illegal msg ->
+              add name [ D.make Error ~check:"sched" ~func:"program" msg ])
+        | _ -> ());
+        walk (Some p) rest
+  in
+  walk None snapshots;
+  (match last_virtual with
+  | Some (name, p) ->
+      add name
+        (List.filter
+           (fun d -> not (D.is_error d))
+           (Ilp_analysis.Lint.check p))
+  | None -> ());
+  !diags
+
+let severity_conv =
+  let parse = function
+    | "error" -> Ok Ilp_analysis.Diagnostics.Error
+    | "warning" -> Ok Ilp_analysis.Diagnostics.Warning
+    | "info" -> Ok Ilp_analysis.Diagnostics.Info
+    | s -> Error (`Msg (Printf.sprintf "unknown severity %s" s))
+  in
+  Arg.conv (parse, Ilp_analysis.Diagnostics.pp_severity)
+
+let lint_cmd =
+  let module D = Ilp_analysis.Diagnostics in
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Lint every benchmark at every optimization level and unroll \
+             factor; print error diagnostics only and a summary line per \
+             benchmark.")
+  in
+  let bench_opt_arg =
+    let doc = "Benchmark name (see `ilp list'); required without --all." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
+  in
+  let severity_arg =
+    let doc =
+      "Lowest severity to report: error, warning or info.  The exit code \
+       reflects error-severity findings only."
+    in
+    Arg.(
+      value
+      & opt severity_conv Ilp_analysis.Diagnostics.Warning
+      & info [ "severity" ] ~docv:"LEVEL" ~doc)
+  in
+  let rank = function D.Error -> 0 | D.Warning -> 1 | D.Info -> 2 in
+  let report ~threshold diags =
+    let shown =
+      List.filter (fun (_, d) -> rank d.D.severity <= rank threshold) diags
+    in
+    List.iter
+      (fun (pass, d) -> Fmt.pr "%s: %s@." pass (D.to_string d))
+      shown;
+    List.length shown
+  in
+  let action all bench machine level factor careful threshold =
+    if all then begin
+      let errors = ref 0 in
+      List.iter
+        (fun w ->
+          let source = w.Ilp_workloads.Workload.source in
+          let bench_errors = ref 0 in
+          List.iter
+            (fun level ->
+              List.iter
+                (fun factor ->
+                  let unroll = unroll_spec factor false in
+                  let diags = lint_compile ?unroll ~level machine source in
+                  let errs = List.filter (fun (_, d) -> D.is_error d) diags in
+                  bench_errors := !bench_errors + List.length errs;
+                  List.iter
+                    (fun (pass, d) ->
+                      Fmt.pr "%s -O%d -u%d %s: %s@."
+                        w.Ilp_workloads.Workload.name
+                        (Ilp_core.Ilp.level_rank level)
+                        factor pass (D.to_string d))
+                    errs)
+                [ 1; 2; 4 ])
+            Ilp_core.Ilp.all_levels;
+          errors := !errors + !bench_errors;
+          Fmt.pr "lint %-10s %s: %s@." w.Ilp_workloads.Workload.name
+            machine.Ilp_machine.Config.name
+            (if !bench_errors = 0 then
+               "clean at every level and unroll factor"
+             else Printf.sprintf "%d error(s)" !bench_errors))
+        Ilp_workloads.Registry.all;
+      if !errors > 0 then begin
+        Fmt.epr "lint: %d error(s)@." !errors;
+        exit 1
+      end
+    end
+    else
+      match bench with
+      | None ->
+          Fmt.epr "specify a benchmark with -b or use --all@.";
+          exit 1
+      | Some bench ->
+          let w = find_bench bench in
+          let unroll = unroll_spec factor careful in
+          let source = source_for w careful in
+          let diags = lint_compile ?unroll ~level machine source in
+          let shown = report ~threshold diags in
+          let errors = List.filter (fun (_, d) -> D.is_error d) diags in
+          if shown = 0 then
+            Fmt.pr "lint: %s at %s on %s: clean (nothing at or above %a)@."
+              bench
+              (Ilp_core.Ilp.opt_level_name level)
+              machine.Ilp_machine.Config.name D.pp_severity threshold;
+          if errors <> [] then exit 1
+  in
+  let term =
+    Term.(
+      const action $ all_flag $ bench_opt_arg $ machine_arg $ level_arg
+      $ unroll_arg $ careful_arg $ severity_arg)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically check a compilation without executing it: IR \
+          validation, dataflow lints (use-before-def, dead code, \
+          unreachable blocks, redundant expressions), independent \
+          register-allocation verification, and schedule legality")
+    term
+
 (* --- disasm ------------------------------------------------------------- *)
 
 let disasm_cmd =
@@ -406,7 +588,7 @@ let main_cmd =
      Parallelism for Superscalar and Superpipelined Machines (ASPLOS 1989)"
   in
   Cmd.group (Cmd.info "ilp" ~doc)
-    [ run_cmd; list_cmd; experiment_cmd; fuzz_cmd; disasm_cmd; trace_cmd;
-      profile_cmd ]
+    [ run_cmd; list_cmd; experiment_cmd; fuzz_cmd; lint_cmd; disasm_cmd;
+      trace_cmd; profile_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

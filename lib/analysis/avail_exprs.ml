@@ -1,0 +1,121 @@
+(* Available expressions: a pure computation (opcode, source operands,
+   offset) is available at a point when every path from the entry has
+   evaluated it and none of its source registers has been redefined
+   since.  A forward must-analysis over Must_set of syntactic
+   expression keys.
+
+   Moves are excluded (they are copies, not computations), as are pure
+   ops without register sources (constant loads — trivially available
+   and uninteresting).  A call additionally kills every expression with
+   a physical source other than the stack pointer: the callee writes
+   the return register and its own promoted homes. *)
+
+open Ilp_ir
+
+module Expr = struct
+  type t = { eop : Opcode.t; esrcs : Instr.operand list; eoffset : int }
+
+  let compare = Stdlib.compare
+
+  let pp ppf e =
+    Fmt.pf ppf "(%s %a%s)" (Opcode.mnemonic e.eop)
+      (Fmt.list ~sep:(Fmt.any ", ") Instr.pp_operand)
+      e.esrcs
+      (if e.eoffset = 0 then "" else Printf.sprintf " +%d" e.eoffset)
+
+  let src_regs e =
+    List.filter_map
+      (function Instr.Oreg r -> Some r | Instr.Oimm _ | Instr.Ofimm _ -> None)
+      e.esrcs
+
+  (* The expression an instruction computes, when it is a candidate. *)
+  let of_instr (i : Instr.t) =
+    match (i.Instr.op, i.Instr.dst) with
+    | Opcode.Mov, _ | _, None -> None
+    | op, Some _ when Opcode.is_pure op ->
+        let e = { eop = op; esrcs = i.Instr.srcs; eoffset = i.Instr.offset } in
+        if src_regs e = [] then None else Some e
+    | _ -> None
+end
+
+module Set = Stdlib.Set.Make (Expr)
+module M = Dataflow.Must_set (Set)
+
+let kill_reg r s =
+  Set.filter (fun e -> not (List.exists (Reg.equal r) (Expr.src_regs e))) s
+
+let step (i : Instr.t) s =
+  let s =
+    if Instr.is_call i then
+      Set.filter
+        (fun e ->
+          List.for_all
+            (fun r -> Reg.is_virtual r || Reg.equal r Reg.sp)
+            (Expr.src_regs e))
+        s
+    else s
+  in
+  let s = List.fold_left (fun s r -> kill_reg r s) s (Instr.defs i) in
+  match Expr.of_instr i with
+  | Some e
+    when not
+           (List.exists
+              (fun r -> Some r = i.Instr.dst)
+              (Expr.src_regs e)) ->
+      Set.add e s
+  | Some _ | None -> s
+
+module Transfer = struct
+  module L = struct
+    type t = M.t = Univ | Known of Set.t
+
+    let equal = M.equal
+    let join = M.join
+    let pp = M.pp Expr.pp
+  end
+
+  type ctx = Cfg_info.t
+
+  let prepare cfg = cfg
+  let init _ = L.Univ
+  let boundary _ = L.Known Set.empty
+
+  let transfer (cfg : ctx) b = function
+    | L.Univ -> L.Univ
+    | L.Known s ->
+        L.Known
+          (List.fold_left
+             (fun s i -> step i s)
+             s
+             cfg.Cfg_info.blocks.(b).Block.instrs)
+end
+
+module Solver = Dataflow.Forward (Transfer)
+
+type t = M.t Dataflow.solution
+
+let compute (cfg : Cfg_info.t) : t = Solver.solve cfg
+
+type redundancy = { block : int; instr : Instr.t; expr : Expr.t }
+
+(* Re-evaluations of expressions already available on every path —
+   missed CSE opportunities, reported as informational lint. *)
+let redundant (cfg : Cfg_info.t) =
+  let sol = compute cfg in
+  let hits = ref [] in
+  Array.iteri
+    (fun bi (b : Block.t) ->
+      match sol.Dataflow.inb.(bi) with
+      | M.Univ -> ()
+      | M.Known entry ->
+          let avail = ref entry in
+          List.iter
+            (fun (i : Instr.t) ->
+              (match Expr.of_instr i with
+              | Some e when Set.mem e !avail ->
+                  hits := { block = bi; instr = i; expr = e } :: !hits
+              | Some _ | None -> ());
+              avail := step i !avail)
+            b.Block.instrs)
+    cfg.Cfg_info.blocks;
+  List.rev !hits

@@ -1,0 +1,36 @@
+(** Available expressions — a forward must-instance of the {!Dataflow}
+    framework over syntactic (opcode, operands, offset) keys. *)
+
+open Ilp_ir
+
+module Expr : sig
+  type t = { eop : Opcode.t; esrcs : Instr.operand list; eoffset : int }
+
+  val compare : t -> t -> int
+  val pp : t Fmt.t
+  val src_regs : t -> Reg.t list
+
+  val of_instr : Instr.t -> t option
+  (** The expression a candidate instruction computes: pure, not a
+      move, has a destination and at least one register source. *)
+end
+
+module Set : Set.S with type elt = Expr.t
+
+module M : sig
+  type t = Univ | Known of Set.t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type t = M.t Dataflow.solution
+
+val compute : Cfg_info.t -> t
+(** [Univ] marks blocks unreachable from the entry. *)
+
+type redundancy = { block : int; instr : Instr.t; expr : Expr.t }
+
+val redundant : Cfg_info.t -> redundancy list
+(** Re-evaluations of expressions already available on every incoming
+    path — missed CSE opportunities. *)

@@ -1,0 +1,166 @@
+(* Generic iterative dataflow over a Cfg_info.
+
+   An analysis is a LATTICE (the per-block abstract value) plus a
+   TRANSFER (per-function precomputed context, boundary/initial values,
+   and the block transfer function).  The two solvers run the classic
+   worklist iteration to a fixpoint, sweeping the reverse postorder
+   (forward) or the postorder (backward) so that acyclic flow converges
+   in one pass and loops in a handful.
+
+   Conventions shared by every instance:
+
+   - [init] is the solver's starting value everywhere — the lattice
+     bottom for may-analyses (union join, e.g. liveness, reaching
+     definitions) and the "universe" top for must-analyses
+     (intersection join, e.g. definite assignment, available
+     expressions), where it doubles as the identity of [join];
+   - [boundary] enters at the entry block (forward) or at blocks
+     without successors (backward);
+   - blocks unreachable from the entry are never processed and keep
+     [init]; instances that report per-instruction facts must skip
+     them (execution cannot reach those blocks). *)
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val pp : t Fmt.t
+end
+
+module type TRANSFER = sig
+  module L : LATTICE
+
+  type ctx
+  (** Whatever the transfer function precomputes per function
+      (use/def sets, gen/kill sets, ...). *)
+
+  val prepare : Cfg_info.t -> ctx
+  val init : ctx -> L.t
+  val boundary : ctx -> L.t
+
+  val transfer : ctx -> int -> L.t -> L.t
+  (** [transfer ctx b v] pushes [v] through block [b] — input value to
+      output value (forward), output value to input value (backward). *)
+end
+
+type 'a solution = { inb : 'a array; outb : 'a array }
+
+(* One worklist iteration shared by both directions.  [order] is the
+   sweep order; [sources b] are the blocks whose solved values feed
+   [b]'s input side; [dependents b] must be re-examined when [b]'s
+   output side changes.  [at_boundary b] marks blocks that additionally
+   join the boundary value. *)
+let run_worklist (type a) (module L : LATTICE with type t = a) cfg ~order
+    ~sources ~dependents ~at_boundary ~(boundary : a) ~(init : a)
+    ~(transfer : int -> a -> a) =
+  let n = Cfg_info.n_blocks cfg in
+  let input = Array.make n init in
+  let output = Array.make n init in
+  let pending = Array.make n false in
+  Array.iter (fun b -> pending.(b) <- true) order;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if pending.(b) then begin
+          pending.(b) <- false;
+          let from_sources =
+            List.fold_left
+              (fun acc s -> L.join acc output.(s))
+              init (sources b)
+          in
+          let in_v =
+            if at_boundary b then L.join boundary from_sources
+            else from_sources
+          in
+          let out_v = transfer b in_v in
+          input.(b) <- in_v;
+          if not (L.equal out_v output.(b)) then begin
+            output.(b) <- out_v;
+            List.iter
+              (fun d -> pending.(d) <- true)
+              (dependents b);
+            changed := true
+          end
+        end)
+      order
+  done;
+  (input, output)
+
+module Forward (T : TRANSFER) = struct
+  let solve (cfg : Cfg_info.t) : T.L.t solution =
+    let ctx = T.prepare cfg in
+    let input, output =
+      run_worklist
+        (module T.L)
+        cfg ~order:cfg.Cfg_info.rpo
+        ~sources:(fun b -> cfg.Cfg_info.preds.(b))
+        ~dependents:(fun b -> cfg.Cfg_info.succs.(b))
+        ~at_boundary:(fun b -> b = 0)
+        ~boundary:(T.boundary ctx) ~init:(T.init ctx)
+        ~transfer:(T.transfer ctx)
+    in
+    { inb = input; outb = output }
+end
+
+module Backward (T : TRANSFER) = struct
+  let solve (cfg : Cfg_info.t) : T.L.t solution =
+    let ctx = T.prepare cfg in
+    let postorder =
+      let rpo = cfg.Cfg_info.rpo in
+      let n = Array.length rpo in
+      Array.init n (fun k -> rpo.(n - 1 - k))
+    in
+    (* the backward "input" is the block's live-out side *)
+    let output_side, input_side =
+      run_worklist
+        (module T.L)
+        cfg ~order:postorder
+        ~sources:(fun b -> cfg.Cfg_info.succs.(b))
+        ~dependents:(fun b -> cfg.Cfg_info.preds.(b))
+        ~at_boundary:(fun b -> cfg.Cfg_info.succs.(b) = [])
+        ~boundary:(T.boundary ctx) ~init:(T.init ctx)
+        ~transfer:(T.transfer ctx)
+    in
+    { inb = input_side; outb = output_side }
+end
+
+(* The two workhorse lattices. *)
+
+module Reg_set_lattice = struct
+  type t = Ilp_ir.Reg.Set.t
+
+  let equal = Ilp_ir.Reg.Set.equal
+  let join = Ilp_ir.Reg.Set.union
+
+  let pp ppf s =
+    Fmt.pf ppf "{%a}"
+      (Fmt.list ~sep:Fmt.comma Ilp_ir.Reg.pp)
+      (Ilp_ir.Reg.Set.elements s)
+end
+
+(* A set-with-top lattice for must-analyses: [Univ] is the value of
+   paths not yet seen (the identity of intersection), so the entry
+   boundary — typically [Known empty] — dominates as soon as it
+   arrives. *)
+module Must_set (S : Set.S) = struct
+  type t = Univ | Known of S.t
+
+  let equal a b =
+    match (a, b) with
+    | Univ, Univ -> true
+    | Known x, Known y -> S.equal x y
+    | Univ, Known _ | Known _, Univ -> false
+
+  let join a b =
+    match (a, b) with
+    | Univ, v | v, Univ -> v
+    | Known x, Known y -> Known (S.inter x y)
+
+  let pp pp_elt ppf = function
+    | Univ -> Fmt.string ppf "<univ>"
+    | Known s ->
+        Fmt.pf ppf "{%a}" (Fmt.list ~sep:Fmt.comma pp_elt) (S.elements s)
+end

@@ -1,0 +1,69 @@
+(** Generic iterative dataflow over a {!Cfg_info}.
+
+    An analysis is a {!LATTICE} (the per-block abstract value) plus a
+    {!TRANSFER} (per-function precomputed context, boundary/initial
+    values, and the block transfer function); {!Forward} and
+    {!Backward} are worklist solvers sweeping the reverse postorder
+    (respectively the postorder) to a fixpoint, yielding per-block
+    in/out arrays.
+
+    Conventions every instance follows:
+    - [init] is the solver's starting value everywhere: the lattice
+      bottom for may-analyses (union join) and the universe top for
+      must-analyses (intersection join), where it is also the identity
+      of [join];
+    - [boundary] enters at the entry block (forward) or at blocks
+      without successors (backward);
+    - blocks unreachable from the entry are never processed and keep
+      [init]; instances reporting per-instruction facts must skip
+      them. *)
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val pp : t Fmt.t
+end
+
+module type TRANSFER = sig
+  module L : LATTICE
+
+  type ctx
+  (** Per-function precomputed state (use/def sets, gen/kill, ...). *)
+
+  val prepare : Cfg_info.t -> ctx
+  val init : ctx -> L.t
+  val boundary : ctx -> L.t
+
+  val transfer : ctx -> int -> L.t -> L.t
+  (** [transfer ctx b v] pushes [v] through block [b] — input to output
+      value (forward), output to input value (backward). *)
+end
+
+type 'a solution = { inb : 'a array; outb : 'a array }
+(** Value at block entry ([inb]) and exit ([outb]), indexed like
+    [cfg.blocks]. *)
+
+module Forward (T : TRANSFER) : sig
+  val solve : Cfg_info.t -> T.L.t solution
+end
+
+module Backward (T : TRANSFER) : sig
+  val solve : Cfg_info.t -> T.L.t solution
+end
+
+(** Register sets under union — the may-analysis workhorse. *)
+module Reg_set_lattice : LATTICE with type t = Ilp_ir.Reg.Set.t
+
+(** Sets extended with a top element for must-analyses: [Univ] is the
+    value of paths not yet seen (the identity of intersection).
+    Instances supply the element printer to obtain a full
+    {!LATTICE}. *)
+module Must_set (S : Set.S) : sig
+  type t = Univ | Known of S.t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val pp : S.elt Fmt.t -> t Fmt.t
+end

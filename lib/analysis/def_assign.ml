@@ -1,0 +1,80 @@
+(* Definite assignment: a virtual register may only be read once every
+   path from the function entry has written it.  A forward must-analysis
+   over Must_set (Reg.Set): the entry boundary is [Known empty], paths
+   meet by intersection, and a block's transfer adds the virtual
+   registers it defines.
+
+   Virtual registers are function-local, so a use reached by an
+   unassigned path would read an arbitrary stale value; the allocator
+   guards against this dynamically (live-in at entry must be empty) —
+   this instance localizes the defect to the exact instruction. *)
+
+open Ilp_ir
+
+module M = Dataflow.Must_set (Reg.Set)
+
+module Transfer = struct
+  module L = struct
+    type t = M.t = Univ | Known of Reg.Set.t
+
+    let equal = M.equal
+    let join = M.join
+    let pp = M.pp Reg.pp
+  end
+
+  type ctx = Reg.Set.t array  (** virtual registers defined per block *)
+
+  let prepare (cfg : Cfg_info.t) =
+    Array.map
+      (fun (b : Block.t) ->
+        List.fold_left
+          (fun acc i ->
+            List.fold_left
+              (fun acc r ->
+                if Reg.is_virtual r then Reg.Set.add r acc else acc)
+              acc (Instr.defs i))
+          Reg.Set.empty b.Block.instrs)
+      cfg.Cfg_info.blocks
+
+  let init _ = L.Univ
+  let boundary _ = L.Known Reg.Set.empty
+
+  let transfer ctx b = function
+    | L.Univ -> L.Univ
+    | L.Known s -> L.Known (Reg.Set.union s ctx.(b))
+end
+
+module Solver = Dataflow.Forward (Transfer)
+
+type t = M.t Dataflow.solution
+
+let compute (cfg : Cfg_info.t) : t = Solver.solve cfg
+
+type error = { block : int; instr : Instr.t; reg : Reg.t }
+
+(* Walk each reachable block with the solved entry fact, flagging every
+   virtual use not definitely assigned at that point.  Unreachable
+   blocks keep [Univ] and are skipped: execution cannot observe them. *)
+let errors (cfg : Cfg_info.t) =
+  let sol = compute cfg in
+  let errs = ref [] in
+  Array.iteri
+    (fun bi (b : Block.t) ->
+      match sol.Dataflow.inb.(bi) with
+      | M.Univ -> ()
+      | M.Known entry ->
+          let assigned = ref entry in
+          List.iter
+            (fun (i : Instr.t) ->
+              List.iter
+                (fun r ->
+                  if Reg.is_virtual r && not (Reg.Set.mem r !assigned) then
+                    errs := { block = bi; instr = i; reg = r } :: !errs)
+                (Instr.uses i);
+              List.iter
+                (fun r ->
+                  if Reg.is_virtual r then assigned := Reg.Set.add r !assigned)
+                (Instr.defs i))
+            b.Block.instrs)
+    cfg.Cfg_info.blocks;
+  List.rev !errs

@@ -1,0 +1,23 @@
+(** Definite assignment of virtual registers — a forward must-instance
+    of the {!Dataflow} framework over {!Dataflow.Must_set}. *)
+
+open Ilp_ir
+
+module M : sig
+  type t = Univ | Known of Reg.Set.t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type t = M.t Dataflow.solution
+
+val compute : Cfg_info.t -> t
+(** [Univ] marks blocks unreachable from the entry. *)
+
+type error = { block : int; instr : Instr.t; reg : Reg.t }
+
+val errors : Cfg_info.t -> error list
+(** Every virtual-register use in a reachable block that some path from
+    the entry reaches without a prior assignment, in block then
+    instruction order. *)

@@ -1,0 +1,55 @@
+(* Shared currency of the static checkers: a severity, a stable
+   location (function / block label / rendered instruction — never
+   instruction ids, which depend on construction order), and a
+   one-line message.  Renderings are deterministic so CI can diff
+   them and tests can match on substrings. *)
+
+type severity = Error | Warning | Info
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let pp_severity ppf s =
+  Fmt.string ppf
+    (match s with Error -> "error" | Warning -> "warning" | Info -> "info")
+
+type t = {
+  severity : severity;
+  check : string;
+  func : string;
+  block : string option;
+  instr : string option;
+  message : string;
+}
+
+let make ?block ?instr severity ~check ~func message =
+  { severity; check; func; block; instr; message }
+
+let is_error d = d.severity = Error
+let errors ds = List.filter is_error ds
+
+let compare a b =
+  let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.func b.func in
+    if c <> 0 then c
+    else
+      let c = String.compare a.check b.check in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare a.block b.block in
+        if c <> 0 then c
+        else
+          let c = Stdlib.compare a.instr b.instr in
+          if c <> 0 then c else String.compare a.message b.message
+
+let pp ppf d =
+  Fmt.pf ppf "%a: [%s] %s" pp_severity d.severity d.check d.func;
+  (match d.block with Some b -> Fmt.pf ppf "/%s" b | None -> ());
+  (match d.instr with Some i -> Fmt.pf ppf ": `%s`" i | None -> ());
+  Fmt.pf ppf ": %s" d.message
+
+let to_string d = Fmt.str "%a" pp d
+
+let render ds =
+  List.sort compare ds |> List.map to_string |> String.concat "\n"

@@ -1,0 +1,42 @@
+(** Diagnostics emitted by the static checkers ({!Lint}, the
+    register-allocation verifier, validation): a severity, a stable
+    location naming function / block / instruction, and a message.
+
+    Locations use block labels and rendered instruction text rather
+    than instruction ids, so output is stable across runs and suitable
+    for CI diffing and substring assertions in tests. *)
+
+type severity = Error | Warning | Info
+
+val pp_severity : severity Fmt.t
+
+type t = {
+  severity : severity;
+  check : string;  (** the emitting checker, e.g. ["def-assign"] *)
+  func : string;
+  block : string option;  (** block label *)
+  instr : string option;  (** rendered instruction *)
+  message : string;
+}
+
+val make :
+  ?block:string ->
+  ?instr:string ->
+  severity ->
+  check:string ->
+  func:string ->
+  string ->
+  t
+
+val is_error : t -> bool
+val errors : t list -> t list
+
+val compare : t -> t -> int
+(** Severity first (errors before warnings before infos), then
+    function, check, block, instruction, message. *)
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+val render : t list -> string
+(** Sorted by {!compare}, one per line. *)

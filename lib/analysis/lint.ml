@@ -1,0 +1,94 @@
+(* The static lint suite over one program, built on the dataflow
+   instances:
+
+   - use of a virtual register some path reaches unassigned
+     (definite assignment)                                   -> error
+   - a block unreachable from the function entry             -> warning
+   - a pure computation whose result is never used
+     (instruction-level liveness)                            -> warning
+   - a pure computation available on every incoming path
+     (available expressions)                                 -> info
+
+   Errors mean the program can read arbitrary stale values; warnings
+   and infos are missed-optimization smells, expected at low
+   optimization levels.  [errors_only] runs just the error-severity
+   analyses, cheap enough for the per-pass checking pipeline. *)
+
+open Ilp_ir
+
+let label_of (cfg : Cfg_info.t) bi =
+  Label.to_string cfg.Cfg_info.blocks.(bi).Block.label
+
+let def_assign_errors cfg fname =
+  List.map
+    (fun (e : Def_assign.error) ->
+      Diagnostics.make Error ~check:"def-assign" ~func:fname
+        ~block:(label_of cfg e.Def_assign.block)
+        ~instr:(Instr.to_string e.Def_assign.instr)
+        (Fmt.str "use of %a before every path assigns it" Reg.pp
+           e.Def_assign.reg))
+    (Def_assign.errors cfg)
+
+let unreachable_warnings cfg fname =
+  let acc = ref [] in
+  for bi = Cfg_info.n_blocks cfg - 1 downto 0 do
+    if not (Cfg_info.reachable cfg bi) then
+      acc :=
+        Diagnostics.make Warning ~check:"unreachable" ~func:fname
+          ~block:(label_of cfg bi)
+          "block is unreachable from the function entry"
+        :: !acc
+  done;
+  !acc
+
+let dead_code_warnings cfg fname =
+  let live = Liveness.compute cfg in
+  let acc = ref [] in
+  Array.iteri
+    (fun bi (b : Block.t) ->
+      if Cfg_info.reachable cfg bi then begin
+        let live_after = Liveness.instr_live_out cfg live bi in
+        List.iteri
+          (fun k (i : Instr.t) ->
+            match i.Instr.dst with
+            | Some d
+              when Reg.is_virtual d
+                   && Opcode.is_pure i.Instr.op
+                   && not (Reg.Set.mem d live_after.(k)) ->
+                acc :=
+                  Diagnostics.make Warning ~check:"dead-code" ~func:fname
+                    ~block:(label_of cfg bi) ~instr:(Instr.to_string i)
+                    (Fmt.str "result %a is never used" Reg.pp d)
+                  :: !acc
+            | Some _ | None -> ())
+          b.Block.instrs
+      end)
+    cfg.Cfg_info.blocks;
+  List.rev !acc
+
+let redundant_expr_infos cfg fname =
+  List.map
+    (fun (r : Avail_exprs.redundancy) ->
+      Diagnostics.make Info ~check:"redundant-expr" ~func:fname
+        ~block:(label_of cfg r.Avail_exprs.block)
+        ~instr:(Instr.to_string r.Avail_exprs.instr)
+        (Fmt.str "%a is already available on every incoming path"
+           Avail_exprs.Expr.pp r.Avail_exprs.expr))
+    (Avail_exprs.redundant cfg)
+
+let check_func (f : Func.t) =
+  let cfg = Cfg_info.build f in
+  let fname = f.Func.name in
+  def_assign_errors cfg fname
+  @ unreachable_warnings cfg fname
+  @ dead_code_warnings cfg fname
+  @ redundant_expr_infos cfg fname
+
+let check (p : Program.t) =
+  List.concat_map check_func p.Program.functions
+
+let errors_only (p : Program.t) =
+  List.concat_map
+    (fun (f : Func.t) ->
+      def_assign_errors (Cfg_info.build f) f.Func.name)
+    p.Program.functions

@@ -1,0 +1,13 @@
+(** The static lint suite: {!Def_assign} use-before-def errors,
+    unreachable-block and dead-computation warnings
+    (instruction-level {!Liveness}), and redundant-expression infos
+    ({!Avail_exprs}), as {!Diagnostics}. *)
+
+open Ilp_ir
+
+val check_func : Func.t -> Diagnostics.t list
+val check : Program.t -> Diagnostics.t list
+
+val errors_only : Program.t -> Diagnostics.t list
+(** Only the error-severity analyses (definite assignment) — cheap
+    enough to run after every pass. *)

@@ -1,0 +1,86 @@
+(* Backward liveness analysis over virtual registers, as an instance of
+   the generic dataflow framework (Dataflow.Backward over the register
+   set lattice).
+
+   Physical registers (stack pointer, return register, promoted home
+   registers) are excluded: they are dedicated and never reallocated, so
+   only virtual registers need live ranges.
+
+   The hand-rolled postorder solver this module used to contain survives
+   verbatim in the property suite, where QCheck pins the framework
+   instance to it block-for-block over hundreds of random programs. *)
+
+open Ilp_ir
+
+type t = { live_in : Reg.Set.t array; live_out : Reg.Set.t array }
+
+let block_use_def (b : Block.t) =
+  List.fold_left
+    (fun (uses, defs) i ->
+      let uses =
+        List.fold_left
+          (fun acc r ->
+            if Reg.is_virtual r && not (Reg.Set.mem r defs) then
+              Reg.Set.add r acc
+            else acc)
+          uses (Instr.uses i)
+      in
+      let defs =
+        List.fold_left
+          (fun acc r -> if Reg.is_virtual r then Reg.Set.add r acc else acc)
+          defs (Instr.defs i)
+      in
+      (uses, defs))
+    (Reg.Set.empty, Reg.Set.empty)
+    b.Block.instrs
+
+module Transfer = struct
+  module L = Dataflow.Reg_set_lattice
+
+  type ctx = { use : Reg.Set.t array; def : Reg.Set.t array }
+
+  let prepare (cfg : Cfg_info.t) =
+    let n = Cfg_info.n_blocks cfg in
+    let use = Array.make n Reg.Set.empty in
+    let def = Array.make n Reg.Set.empty in
+    Array.iteri
+      (fun i b ->
+        let u, d = block_use_def b in
+        use.(i) <- u;
+        def.(i) <- d)
+      cfg.Cfg_info.blocks;
+    { use; def }
+
+  let init _ = Reg.Set.empty
+  let boundary _ = Reg.Set.empty
+
+  let transfer ctx b out =
+    Reg.Set.union ctx.use.(b) (Reg.Set.diff out ctx.def.(b))
+end
+
+module Solver = Dataflow.Backward (Transfer)
+
+let compute (cfg : Cfg_info.t) =
+  let s = Solver.solve cfg in
+  { live_in = s.Dataflow.inb; live_out = s.Dataflow.outb }
+
+(* Per-instruction live-out sets of one block, derived from the solved
+   block-level facts by the usual backward walk; [live_out.(k)] is the
+   set of virtual registers live immediately after instruction [k]. *)
+let instr_live_out (cfg : Cfg_info.t) (live : t) bi =
+  let b = cfg.Cfg_info.blocks.(bi) in
+  let instrs = Array.of_list b.Block.instrs in
+  let n = Array.length instrs in
+  let result = Array.make n Reg.Set.empty in
+  let current = ref live.live_out.(bi) in
+  for k = n - 1 downto 0 do
+    result.(k) <- !current;
+    let i = instrs.(k) in
+    List.iter
+      (fun d -> if Reg.is_virtual d then current := Reg.Set.remove d !current)
+      (Instr.defs i);
+    List.iter
+      (fun u -> if Reg.is_virtual u then current := Reg.Set.add u !current)
+      (Instr.uses i)
+  done;
+  result

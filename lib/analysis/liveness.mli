@@ -1,0 +1,21 @@
+(** Backward liveness analysis over virtual registers — an instance of
+    the {!Dataflow} framework ({!Dataflow.Backward} over
+    {!Dataflow.Reg_set_lattice}).
+
+    Physical registers (stack pointer, return register, promoted homes)
+    are excluded: they are dedicated and never reallocated, so only
+    virtual registers need live ranges. *)
+
+open Ilp_ir
+
+type t = { live_in : Reg.Set.t array; live_out : Reg.Set.t array }
+
+val block_use_def : Block.t -> Reg.Set.t * Reg.Set.t
+(** Upward-exposed uses and definitions of one block. *)
+
+val compute : Cfg_info.t -> t
+
+val instr_live_out : Cfg_info.t -> t -> int -> Reg.Set.t array
+(** [instr_live_out cfg live bi] refines block [bi]'s solution to
+    instruction granularity: element [k] is the set of virtual
+    registers live immediately after the block's [k]-th instruction. *)

@@ -1,0 +1,78 @@
+(* Reaching definitions: which definition sites (register, defining
+   instruction id) can reach each block boundary.  A forward
+   may-analysis over the union lattice of definition sites.
+
+   Per-block transfer is the textbook gen/kill: a definition of [r]
+   kills every other definition site of [r] in the function and
+   generates its own site; the last definition of [r] in a block is the
+   one that survives into [gen]. *)
+
+open Ilp_ir
+
+module Site = struct
+  type t = { reg : Reg.t; instr_id : int }
+
+  let compare a b =
+    match Reg.compare a.reg b.reg with
+    | 0 -> compare a.instr_id b.instr_id
+    | n -> n
+
+  let pp ppf s = Fmt.pf ppf "%a@#%d" Reg.pp s.reg s.instr_id
+end
+
+module Set = Stdlib.Set.Make (Site)
+
+module Transfer = struct
+  module L = struct
+    type t = Set.t
+
+    let equal = Set.equal
+    let join = Set.union
+    let pp ppf s =
+      Fmt.pf ppf "{%a}" (Fmt.list ~sep:Fmt.comma Site.pp) (Set.elements s)
+  end
+
+  type ctx = { gen : Set.t array; killed_regs : Reg.Set.t array }
+
+  let prepare (cfg : Cfg_info.t) =
+    let n = Cfg_info.n_blocks cfg in
+    let gen = Array.make n Set.empty in
+    let killed_regs = Array.make n Reg.Set.empty in
+    Array.iteri
+      (fun bi (b : Block.t) ->
+        List.iter
+          (fun (i : Instr.t) ->
+            List.iter
+              (fun r ->
+                (* a later def of [r] supersedes an earlier one in gen *)
+                gen.(bi) <-
+                  Set.add
+                    { Site.reg = r; instr_id = i.Instr.id }
+                    (Set.filter (fun s -> not (Reg.equal s.Site.reg r)) gen.(bi));
+                killed_regs.(bi) <- Reg.Set.add r killed_regs.(bi))
+              (Instr.defs i))
+          b.Block.instrs)
+      cfg.Cfg_info.blocks;
+    { gen; killed_regs }
+
+  let init _ = Set.empty
+  let boundary _ = Set.empty
+
+  let transfer ctx b in_v =
+    Set.union ctx.gen.(b)
+      (Set.filter
+         (fun s -> not (Reg.Set.mem s.Site.reg ctx.killed_regs.(b)))
+         in_v)
+end
+
+module Solver = Dataflow.Forward (Transfer)
+
+type t = Set.t Dataflow.solution
+
+let compute (cfg : Cfg_info.t) : t = Solver.solve cfg
+
+let reaching_ids (sol : t) bi reg =
+  Set.fold
+    (fun s acc -> if Reg.equal s.Site.reg reg then s.Site.instr_id :: acc else acc)
+    sol.Dataflow.inb.(bi) []
+  |> List.sort compare

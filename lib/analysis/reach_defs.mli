@@ -1,0 +1,21 @@
+(** Reaching definitions — a forward may-instance of the {!Dataflow}
+    framework over sets of (register, defining-instruction-id) sites. *)
+
+open Ilp_ir
+
+module Site : sig
+  type t = { reg : Reg.t; instr_id : int }
+
+  val compare : t -> t -> int
+  val pp : t Fmt.t
+end
+
+module Set : Set.S with type elt = Site.t
+
+type t = Set.t Dataflow.solution
+
+val compute : Cfg_info.t -> t
+
+val reaching_ids : t -> int -> Reg.t -> int list
+(** Instruction ids of the definitions of a register that reach the
+    entry of a block, sorted ascending. *)

@@ -50,6 +50,11 @@ type pass = {
   pass_name : string;
   pass_stage : Validate.stage;
   pass_run : Program.t -> Program.t;
+  pass_verify :
+    (before:Program.t ->
+    after:Program.t ->
+    Ilp_analysis.Diagnostics.t list)
+    option;
 }
 
 exception Pass_failed of { pass : string; issue : string }
@@ -63,7 +68,14 @@ let local_cleanup p =
 (* The O2 cleanup group as named passes; [prefix] distinguishes the
    re-runs that mop up after the global passes. *)
 let cleanup_passes prefix =
-  let pass name run = { pass_name = prefix ^ name; pass_stage = `Virtual; pass_run = run } in
+  let pass name run =
+    {
+      pass_name = prefix ^ name;
+      pass_stage = `Virtual;
+      pass_run = run;
+      pass_verify = None;
+    }
+  in
   [
     pass "const_fold" Ilp_opt.Const_fold.run;
     pass "local_cse" Ilp_opt.Local_cse.run;
@@ -76,7 +88,9 @@ let cleanup_passes prefix =
    (O3+), home promotion + cleanup + coalescing (O4), then mandatory
    expression-temporary allocation. *)
 let pipeline ~level (config : Config.t) : pass list =
-  let vpass name run = { pass_name = name; pass_stage = `Virtual; pass_run = run } in
+  let vpass name run =
+    { pass_name = name; pass_stage = `Virtual; pass_run = run; pass_verify = None }
+  in
   List.concat
     [
       (if at_least level O2 then cleanup_passes "" else []);
@@ -88,7 +102,18 @@ let pipeline ~level (config : Config.t) : pass list =
          @ cleanup_passes "post_global."
        else []);
       (if at_least level O4 then
-         [ vpass "global_alloc" (Ilp_regalloc.Global_alloc.run config) ]
+         [
+           {
+             pass_name = "global_alloc";
+             pass_stage = `Virtual;
+             pass_run = Ilp_regalloc.Global_alloc.run config;
+             pass_verify =
+               Some
+                 (fun ~before ~after ->
+                   Ilp_regalloc.Regalloc_verify.check_global_alloc config
+                     ~before ~after);
+           };
+         ]
          @ cleanup_passes "post_alloc."
          @ [ vpass "coalesce" Ilp_opt.Coalesce.run ]
        else []);
@@ -97,23 +122,53 @@ let pipeline ~level (config : Config.t) : pass list =
           pass_name = "temp_alloc";
           pass_stage = `Allocated;
           pass_run = Ilp_regalloc.Temp_alloc.run config;
+          pass_verify =
+            Some
+              (fun ~before ~after ->
+                Ilp_regalloc.Regalloc_verify.check_temp_alloc_program config
+                  ~before ~after);
         };
       ];
     ]
 
-let validate_after ~pass ~stage p =
-  match Validate.check ~stage p with
+(* Well-formedness plus the error-severity static lint (definite
+   assignment — a use some path reaches unassigned would read an
+   arbitrary stale value) after each pass; at [`Allocated], physical
+   register indices must additionally fit the configured file. *)
+let validate_after ?max_reg ~pass ~stage p =
+  (match Validate.check ~stage ?max_reg p with
   | [] -> ()
   | issue :: _ ->
       raise
-        (Pass_failed
-           { pass; issue = Fmt.str "%a" Validate.pp_issue issue })
+        (Pass_failed { pass; issue = Fmt.str "%a" Validate.pp_issue issue }));
+  match Ilp_analysis.Lint.errors_only p with
+  | [] -> ()
+  | d :: _ ->
+      raise (Pass_failed { pass; issue = Ilp_analysis.Diagnostics.to_string d })
 
-let run_pass ?(check = false) ?on_pass p { pass_name; pass_stage; pass_run } =
-  let p = pass_run p in
-  if check then validate_after ~pass:pass_name ~stage:pass_stage p;
-  (match on_pass with Some f -> f pass_name pass_stage p | None -> ());
-  p
+let run_pass ?(check = false) ?on_pass ~config p pass =
+  let after = pass.pass_run p in
+  if check then begin
+    validate_after
+      ~max_reg:(Ilp_regalloc.Regfile.file_size config)
+      ~pass:pass.pass_name ~stage:pass.pass_stage after;
+    match pass.pass_verify with
+    | None -> ()
+    | Some verify -> (
+        match verify ~before:p ~after with
+        | [] -> ()
+        | d :: _ ->
+            raise
+              (Pass_failed
+                 {
+                   pass = pass.pass_name;
+                   issue = Ilp_analysis.Diagnostics.to_string d;
+                 }))
+  end;
+  (match on_pass with
+  | Some f -> f pass.pass_name pass.pass_stage after
+  | None -> ());
+  after
 
 (* Compile [source] for [config] at [level], stopping just short of the
    machine-specific scheduling pass.  The result depends on [config]
@@ -132,7 +187,7 @@ let compile_unscheduled ?unroll ?(check = false) ?on_pass ~level
   let p = Codegen.gen_program tast in
   if check then validate_after ~pass:"codegen" ~stage:`Virtual p;
   (match on_pass with Some f -> f "codegen" `Virtual p | None -> ());
-  List.fold_left (run_pass ~check ?on_pass) p (pipeline ~level config)
+  List.fold_left (run_pass ~check ?on_pass ~config) p (pipeline ~level config)
 
 (* The final machine-specific pass: per-block list scheduling (from O1).
    Under [~check] the scheduled program must be a DDG-respecting
@@ -144,7 +199,9 @@ let schedule ?(check = false) ?on_pass ~level (config : Config.t) p =
       (try Ilp_sched.Check_sched.check_program config ~original:p ~scheduled
        with Ilp_sched.Check_sched.Illegal msg ->
          raise (Pass_failed { pass = "list_sched"; issue = msg }));
-      validate_after ~pass:"list_sched" ~stage:`Allocated scheduled
+      validate_after
+        ~max_reg:(Ilp_regalloc.Regfile.file_size config)
+        ~pass:"list_sched" ~stage:`Allocated scheduled
     end;
     (match on_pass with
     | Some f -> f "list_sched" `Allocated scheduled

@@ -42,13 +42,25 @@ type pass = {
       (** the well-formedness stage the program must satisfy {e after}
           this pass runs *)
   pass_run : Program.t -> Program.t;
+  pass_verify :
+    (before:Program.t ->
+    after:Program.t ->
+    Ilp_analysis.Diagnostics.t list)
+    option;
+      (** independent before/after verification run under [?check] —
+          the register-allocation checkers
+          ({!Ilp_regalloc.Regalloc_verify}) on ["global_alloc"] and
+          ["temp_alloc"] *)
 }
 (** One named IR-to-IR stage of the compilation pipeline. *)
 
 exception Pass_failed of { pass : string; issue : string }
 (** Raised under [?check] when a pass breaks an invariant: IR
-    well-formedness ({!Validate}) after any pass, or schedule legality
-    ({!Ilp_sched.Check_sched}) after ["list_sched"]. *)
+    well-formedness ({!Validate}, including register-file bounds at
+    [`Allocated]) or an error-severity static lint finding
+    ({!Ilp_analysis.Lint}) after any pass, a failed [pass_verify], or
+    schedule illegality ({!Ilp_sched.Check_sched}) after
+    ["list_sched"]. *)
 
 val frontend : string -> Ilp_lang.Tast.tprogram
 (** Parse and type check. *)

@@ -136,4 +136,7 @@ let pp ppf i =
             (Fmt.list ~sep:Fmt.comma pp_operand)
             i.srcs)
 
-let to_string i = Fmt.str "%a" pp i
+(* The horizontal box keeps [Fmt.comma]'s break hints as spaces:
+   without it every hint turns into a newline, embedding line breaks
+   in diagnostics and disassembly that quote an instruction. *)
+let to_string i = Fmt.str "%a" (Fmt.hbox pp) i

@@ -17,7 +17,8 @@
    - [`Virtual]: code straight out of the code generator or the
      optimizer — virtual registers allowed;
    - [`Allocated]: after register allocation — no virtual registers
-     anywhere. *)
+     anywhere, and with [~max_reg] every physical register index stays
+     below the configured register-file size. *)
 
 type stage = [ `Virtual | `Allocated ]
 
@@ -65,7 +66,7 @@ let check_operand_shape ~where (i : Instr.t) =
   | Opcode.Ret | Opcode.Halt | Opcode.Nop ->
       if n_srcs <> 0 then bad "nullary op with operands" else None
 
-let check_func ~stage ~function_names (f : Func.t) =
+let check_func ~stage ~max_reg ~function_names (f : Func.t) =
   let issues = ref [] in
   let add i = issues := i :: !issues in
   let where = "function " ^ f.Func.name in
@@ -109,7 +110,15 @@ let check_func ~stage ~function_names (f : Func.t) =
                 (fun reg ->
                   if Reg.is_virtual reg then
                     add (issue bwhere "virtual register %s after allocation"
-                           (Reg.to_string reg)))
+                           (Reg.to_string reg))
+                  else
+                    match max_reg with
+                    | Some limit when Reg.index reg >= limit ->
+                        add
+                          (issue bwhere
+                             "register %s outside the register file (size %d)"
+                             (Reg.to_string reg) limit)
+                    | Some _ | None -> ())
                 (Instr.defs i @ Instr.uses i)
           | `Virtual -> ());
           (* targets resolve *)
@@ -169,12 +178,14 @@ let check_program_labels (p : Program.t) =
     p.Program.functions;
   List.rev !issues
 
-let check ?(stage = `Virtual) (p : Program.t) : issue list =
+let check ?(stage = `Virtual) ?max_reg (p : Program.t) : issue list =
   let function_names =
     List.map (fun f -> f.Func.name) p.Program.functions
   in
   let issues =
-    List.concat_map (check_func ~stage ~function_names) p.Program.functions
+    List.concat_map
+      (check_func ~stage ~max_reg ~function_names)
+      p.Program.functions
     @ check_program_labels p
   in
   let issues =
@@ -189,7 +200,7 @@ let pp_issue ppf i = Fmt.pf ppf "%s: %s" i.where i.what
 (* Raise on the first problem; for use in tests and assertions. *)
 exception Invalid of string
 
-let check_exn ?stage p =
-  match check ?stage p with
+let check_exn ?stage ?max_reg p =
+  match check ?stage ?max_reg p with
   | [] -> ()
   | first :: _ -> raise (Invalid (Fmt.str "%a" pp_issue first))

@@ -6,18 +6,21 @@
     program-wide label uniqueness (including function names reused as
     block labels, which would silently redirect control in the
     executor), and (at stage [`Allocated]) that no virtual registers
-    remain. *)
+    remain and — given [~max_reg] — that every physical register index
+    stays below the configured register-file size. *)
 
 type stage = [ `Virtual | `Allocated ]
 
 type issue = { where : string; what : string }
 
-val check : ?stage:stage -> Program.t -> issue list
-(** Empty when the program is well formed.  Default stage [`Virtual]. *)
+val check : ?stage:stage -> ?max_reg:int -> Program.t -> issue list
+(** Empty when the program is well formed.  Default stage [`Virtual];
+    [max_reg] (typically [Regfile.file_size config]) only applies at
+    [`Allocated]. *)
 
 val pp_issue : issue Fmt.t
 
 exception Invalid of string
 
-val check_exn : ?stage:stage -> Program.t -> unit
+val check_exn : ?stage:stage -> ?max_reg:int -> Program.t -> unit
 (** Raises {!Invalid} with the first problem found. *)

@@ -17,6 +17,7 @@
      itself moves into [h]. *)
 
 open Ilp_ir
+open Ilp_analysis
 
 let occurrences_of reg (i : Instr.t) =
   List.exists (Reg.equal reg) (Instr.defs i)

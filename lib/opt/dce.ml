@@ -8,6 +8,7 @@
    never removed. *)
 
 open Ilp_ir
+open Ilp_analysis
 
 let run_func (f : Func.t) =
   let cfg = Cfg_info.build f in

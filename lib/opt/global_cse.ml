@@ -12,6 +12,7 @@
    can remove. *)
 
 open Ilp_ir
+open Ilp_analysis
 
 type key_operand = Kvn of int | Kimm of int | Kfimm of float
 

@@ -13,6 +13,7 @@
    Instructions writing physical registers are never moved. *)
 
 open Ilp_ir
+open Ilp_analysis
 
 let is_hoistable_op op =
   Opcode.is_pure op && op <> Opcode.Div && op <> Opcode.Rem

@@ -13,6 +13,7 @@
    assignment is observable), only their operands are cleaned. *)
 
 open Ilp_ir
+open Ilp_analysis
 
 type key_operand = Kvn of int | Kimm of int | Kfimm of float
 

@@ -18,6 +18,7 @@
 open Ilp_ir
 open Ilp_machine
 open Ilp_opt
+open Ilp_analysis
 
 type candidate =
   | Cand_global of string

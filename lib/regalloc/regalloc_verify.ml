@@ -1,0 +1,501 @@
+(* Independent verification of the two register allocators.  Both
+   checks reconstruct what the allocator did from its input and output
+   alone — instruction identities survive rewriting ([Instr.map_src_regs],
+   [map_dst] and record updates preserve [id]; only inserted spill code,
+   compensation moves and init loads are fresh) — and prove the
+   allocation sound against a liveness analysis and a call-graph SCC
+   computed here, not the ones the allocators used.
+
+   Temp allocation ([check_temp_alloc]): pairing each input instruction
+   with its output twin yields the virtual-to-physical assignment at
+   every def and use.  The checks are:
+   - consistency: one non-scratch physical register per virtual, never
+     mixed with scratch uses (a spilled value lives in memory and only
+     ever surfaces in scratch registers);
+   - partition bounds: assigned registers come from the configuration's
+     temp pool;
+   - no clobbered live range: at a definition of [v] assigned [p], no
+     other virtual [w] also assigned [p] may be in the def's
+     instruction-level live-out;
+   - spill-code shape: every inserted instruction is a stack-slot load
+     into a scratch register or a store of scratch1.
+
+   Global allocation ([check_global_alloc]): the promoted-home table is
+   reconstructed from the output — globals from the init loads at the
+   main entry (fresh loads from a [Mem_info.Global] region into a home
+   register), locals as the remaining home registers written inside
+   functions.  The checks are:
+   - each global home holds exactly one global and vice versa;
+   - a local home is touched by exactly one function, and that function
+     is on no call-graph cycle (Tarjan SCC over the output's call
+     graph) — a recursive instance would clobber its caller's value;
+   - home indices stay inside the configuration's home partition;
+   - shape of the rewrite: instructions deleted by promotion were
+     loads/stores of promotable regions; inserted ones are the init
+     loads and register-to-register compensation/store moves. *)
+
+open Ilp_ir
+open Ilp_machine
+open Ilp_analysis
+
+let is_scratch r =
+  Reg.equal r Regfile.scratch1 || Reg.equal r Regfile.scratch2
+
+let err ~check ~func ?block ?instr msg =
+  Diagnostics.make Error ~check ~func ?block ?instr msg
+
+(* ------------------------------------------------------------------ *)
+(* Temp allocation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type obs = Phys of Reg.t | Spilled
+
+let check_temp_alloc (config : Config.t) ~(before : Func.t)
+    ~(after : Func.t) =
+  let check = "temp-alloc" in
+  let fname = before.Func.name in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let after_by_id : (int, Instr.t) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) -> Hashtbl.replace after_by_id i.Instr.id i)
+        b.Block.instrs)
+    after.Func.blocks;
+  let temp_pool =
+    List.fold_left
+      (fun acc r -> Reg.Set.add r acc)
+      Reg.Set.empty (Regfile.temps config)
+  in
+  (* vreg index -> observed assignment, with consistency checking *)
+  let seen : (int, obs) Hashtbl.t = Hashtbl.create 128 in
+  let observe ~block ~instr v obs =
+    let k = Reg.index v in
+    match (Hashtbl.find_opt seen k, obs) with
+    | None, _ -> Hashtbl.replace seen k obs
+    | Some Spilled, Spilled -> ()
+    | Some (Phys p), Phys q when Reg.equal p q -> ()
+    | Some prev, _ ->
+        let show = function
+          | Phys p -> Reg.to_string p
+          | Spilled -> "<spilled>"
+        in
+        emit
+          (err ~check ~func:fname ~block ~instr
+             (Fmt.str "%a mapped to %s here but %s elsewhere" Reg.pp v
+                (show obs) (show prev)))
+  in
+  let record ~block ~instr v p =
+    if is_scratch p then observe ~block ~instr v Spilled
+    else begin
+      observe ~block ~instr v (Phys p);
+      if not (Reg.Set.mem p temp_pool) then
+        emit
+          (err ~check ~func:fname ~block ~instr
+             (Fmt.str "%a assigned %a, outside the temp partition" Reg.pp v
+                Reg.pp p))
+    end
+  in
+  (* correlate every input instruction with its output twin *)
+  let cfg = Cfg_info.build before in
+  Array.iter
+    (fun (b : Block.t) ->
+      let block = Label.to_string b.Block.label in
+      List.iter
+        (fun (i : Instr.t) ->
+          let instr = Instr.to_string i in
+          match Hashtbl.find_opt after_by_id i.Instr.id with
+          | None ->
+              emit
+                (err ~check ~func:fname ~block ~instr
+                   "instruction disappeared during temp allocation")
+          | Some o ->
+              (match (i.Instr.dst, o.Instr.dst) with
+              | Some v, Some p when Reg.is_virtual v ->
+                  if Reg.is_virtual p then
+                    emit
+                      (err ~check ~func:fname ~block ~instr
+                         (Fmt.str "destination %a still virtual" Reg.pp p))
+                  else record ~block ~instr v p
+              | _ -> ());
+              let rec pair ss os =
+                match (ss, os) with
+                | Instr.Oreg v :: ss, Instr.Oreg p :: os ->
+                    if Reg.is_virtual v then
+                      if Reg.is_virtual p then
+                        emit
+                          (err ~check ~func:fname ~block ~instr
+                             (Fmt.str "source %a still virtual" Reg.pp p))
+                      else record ~block ~instr v p;
+                    pair ss os
+                | _ :: ss, _ :: os -> pair ss os
+                | [], [] -> ()
+                | _ ->
+                    emit
+                      (err ~check ~func:fname ~block ~instr
+                         "operand count changed during temp allocation")
+              in
+              pair i.Instr.srcs o.Instr.srcs)
+        b.Block.instrs)
+    cfg.Cfg_info.blocks;
+  (* no two simultaneously live virtuals on one physical register: at a
+     def of [v], nothing else carrying [v]'s register may be live *)
+  let live = Liveness.compute cfg in
+  let phys_of v =
+    match Hashtbl.find_opt seen (Reg.index v) with
+    | Some (Phys p) -> Some p
+    | Some Spilled | None -> None
+  in
+  Array.iteri
+    (fun bi (b : Block.t) ->
+      let block = Label.to_string b.Block.label in
+      let live_after = Liveness.instr_live_out cfg live bi in
+      List.iteri
+        (fun k (i : Instr.t) ->
+          List.iter
+            (fun v ->
+              if Reg.is_virtual v then
+                match phys_of v with
+                | None -> ()
+                | Some p ->
+                    Reg.Set.iter
+                      (fun w ->
+                        if (not (Reg.equal w v)) && phys_of w = Some p then
+                          emit
+                            (err ~check ~func:fname ~block
+                               ~instr:(Instr.to_string i)
+                               (Fmt.str
+                                  "%a clobbers %a: both share %a and %a is \
+                                   live here"
+                                  Reg.pp v Reg.pp w Reg.pp p Reg.pp w)))
+                      live_after.(k))
+            (Instr.defs i))
+        b.Block.instrs)
+    cfg.Cfg_info.blocks;
+  (* inserted instructions must be spill code *)
+  let before_ids : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) -> Hashtbl.replace before_ids i.Instr.id ())
+        b.Block.instrs)
+    before.Func.blocks;
+  List.iter
+    (fun (b : Block.t) ->
+      let block = Label.to_string b.Block.label in
+      List.iter
+        (fun (i : Instr.t) ->
+          if not (Hashtbl.mem before_ids i.Instr.id) then
+            let ok =
+              match (i.Instr.op, i.Instr.dst, i.Instr.srcs) with
+              | Opcode.Ld, Some d, [ Instr.Oreg base ] ->
+                  is_scratch d && Reg.equal base Reg.sp
+              | Opcode.St, None, [ Instr.Oreg v; Instr.Oreg base ] ->
+                  Reg.equal v Regfile.scratch1 && Reg.equal base Reg.sp
+              | _ -> false
+            in
+            if not ok then
+              emit
+                (err ~check ~func:fname ~block ~instr:(Instr.to_string i)
+                   "inserted instruction is not spill code"))
+        b.Block.instrs)
+    after.Func.blocks;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Global allocation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Tarjan's strongly connected components over the call graph;
+   a function is "cyclic" when its SCC has more than one member or it
+   calls itself directly.  Deliberately a different algorithm from the
+   allocator's per-function DFS. *)
+let cyclic_functions (p : Program.t) =
+  let callees : (string, string list) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (f : Func.t) ->
+      let targets =
+        List.concat_map
+          (fun (b : Block.t) ->
+            List.filter_map
+              (fun (i : Instr.t) ->
+                if Instr.is_call i then
+                  Option.map Label.to_string i.Instr.target
+                else None)
+              b.Block.instrs)
+          f.Func.blocks
+      in
+      Hashtbl.replace callees f.Func.name targets)
+    p.Program.functions;
+  let index : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let lowlink : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let on_stack : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let cyclic : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if Hashtbl.mem callees w then
+          if not (Hashtbl.mem index w) then begin
+            strongconnect w;
+            Hashtbl.replace lowlink v
+              (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+          end
+          else if Hashtbl.mem on_stack w then
+            Hashtbl.replace lowlink v
+              (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (Option.value (Hashtbl.find_opt callees v) ~default:[]);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      (* pop the component rooted at v *)
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if String.equal w v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      let comp = pop [] in
+      match comp with
+      | [ single ] ->
+          (* singleton: cyclic only on a direct self-call *)
+          let selfcall =
+            List.exists (String.equal single)
+              (Option.value (Hashtbl.find_opt callees single) ~default:[])
+          in
+          if selfcall then Hashtbl.replace cyclic single ()
+      | _ -> List.iter (fun w -> Hashtbl.replace cyclic w ()) comp
+    end
+  in
+  List.iter
+    (fun (f : Func.t) ->
+      if not (Hashtbl.mem index f.Func.name) then strongconnect f.Func.name)
+    p.Program.functions;
+  fun name -> Hashtbl.mem cyclic name
+
+let check_global_alloc (config : Config.t) ~(before : Program.t)
+    ~(after : Program.t) =
+  let check = "global-alloc" in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let home_base = Regfile.home_base config in
+  let file_size = Regfile.file_size config in
+  let is_home r =
+    let k = Reg.index r in
+    (not (Reg.is_virtual r)) && k >= home_base
+  in
+  let before_ids : (int, Instr.t) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun (f : Func.t) ->
+      List.iter
+        (fun (b : Block.t) ->
+          List.iter
+            (fun (i : Instr.t) -> Hashtbl.replace before_ids i.Instr.id i)
+            b.Block.instrs)
+        f.Func.blocks)
+    before.Program.functions;
+  (* the global-home table, from main's fresh entry init loads *)
+  let global_of_home : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  let home_of_global : (string, Reg.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Func.t) ->
+      if String.equal f.Func.name "main" then
+        match f.Func.blocks with
+        | entry :: _ ->
+            List.iter
+              (fun (i : Instr.t) ->
+                if not (Hashtbl.mem before_ids i.Instr.id) then
+                  match (i.Instr.op, i.Instr.dst, i.Instr.mem) with
+                  | ( Opcode.Ld,
+                      Some h,
+                      Some { Mem_info.region = Mem_info.Global g; _ } )
+                    when is_home h ->
+                      if Hashtbl.mem global_of_home (Reg.index h) then
+                        emit
+                          (err ~check ~func:"main"
+                             ~block:(Label.to_string entry.Block.label)
+                             ~instr:(Instr.to_string i)
+                             (Fmt.str "home %a initialized twice" Reg.pp h))
+                      else begin
+                        Hashtbl.replace global_of_home (Reg.index h) g;
+                        match Hashtbl.find_opt home_of_global g with
+                        | Some h' when not (Reg.equal h h') ->
+                            emit
+                              (err ~check ~func:"main"
+                                 ~block:(Label.to_string entry.Block.label)
+                                 ~instr:(Instr.to_string i)
+                                 (Fmt.str "global %s has homes %a and %a" g
+                                    Reg.pp h Reg.pp h'))
+                        | Some _ -> ()
+                        | None -> Hashtbl.replace home_of_global g h
+                      end
+                  | _ -> ())
+              entry.Block.instrs
+        | [] -> ())
+    after.Program.functions;
+  (* which functions touch each non-global home *)
+  let touchers : (int, (string * string * Instr.t) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let is_init_load (i : Instr.t) fname =
+    String.equal fname "main"
+    && (not (Hashtbl.mem before_ids i.Instr.id))
+    && i.Instr.op = Opcode.Ld
+    &&
+    match i.Instr.mem with
+    | Some { Mem_info.region = Mem_info.Global _; _ } -> true
+    | _ -> false
+  in
+  List.iter
+    (fun (f : Func.t) ->
+      List.iter
+        (fun (b : Block.t) ->
+          List.iter
+            (fun (i : Instr.t) ->
+              let touch r =
+                if
+                  is_home r
+                  && (not (Hashtbl.mem global_of_home (Reg.index r)))
+                  && not (is_init_load i f.Func.name)
+                then
+                  let prev =
+                    Option.value
+                      (Hashtbl.find_opt touchers (Reg.index r))
+                      ~default:[]
+                  in
+                  Hashtbl.replace touchers (Reg.index r)
+                    ((f.Func.name, Label.to_string b.Block.label, i) :: prev)
+              in
+              List.iter touch (Instr.defs i);
+              List.iter touch (Instr.uses i);
+              (* bounds of every home-partition register in sight *)
+              List.iter
+                (fun r ->
+                  if (not (Reg.is_virtual r)) && Reg.index r >= file_size then
+                    emit
+                      (err ~check ~func:f.Func.name
+                         ~block:(Label.to_string b.Block.label)
+                         ~instr:(Instr.to_string i)
+                         (Fmt.str
+                            "%a is outside the configured register file \
+                             (size %d)"
+                            Reg.pp r file_size)))
+                (Instr.defs i @ Instr.src_regs i))
+            b.Block.instrs)
+        f.Func.blocks)
+    after.Program.functions;
+  let is_cyclic = cyclic_functions after in
+  Hashtbl.iter
+    (fun h uses ->
+      let funcs =
+        List.sort_uniq String.compare (List.map (fun (f, _, _) -> f) uses)
+      in
+      match funcs with
+      | [] -> ()
+      | [ f ] ->
+          if is_cyclic f then
+            let _, block, i =
+              List.nth uses (List.length uses - 1)
+            in
+            emit
+              (err ~check ~func:f ~block ~instr:(Instr.to_string i)
+                 (Fmt.str
+                    "local home %a of %s would be clobbered across a \
+                     call-graph cycle"
+                    Reg.pp (Reg.of_index h) f))
+      | many ->
+          let _, block, i = List.nth uses (List.length uses - 1) in
+          emit
+            (err ~check ~func:(List.hd many) ~block ~instr:(Instr.to_string i)
+               (Fmt.str "local home %a shared by functions %s" Reg.pp
+                  (Reg.of_index h)
+                  (String.concat ", " many))))
+    touchers;
+  (* shape of the rewrite: deletions are promotable-region memory ops,
+     insertions are init loads or register moves *)
+  let after_ids : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun (f : Func.t) ->
+      List.iter
+        (fun (b : Block.t) ->
+          List.iter
+            (fun (i : Instr.t) -> Hashtbl.replace after_ids i.Instr.id ())
+            b.Block.instrs)
+        f.Func.blocks)
+    after.Program.functions;
+  List.iter
+    (fun (f : Func.t) ->
+      List.iter
+        (fun (b : Block.t) ->
+          List.iter
+            (fun (i : Instr.t) ->
+              if not (Hashtbl.mem after_ids i.Instr.id) then
+                (* promotion deletes loads (uses substituted) and
+                   replaces stores by fresh moves *)
+                let promotable =
+                  match i.Instr.mem with
+                  | Some { Mem_info.region = Mem_info.Global _; _ }
+                  | Some { Mem_info.region = Mem_info.Stack_slot _; _ } ->
+                      Instr.is_load i || Instr.is_store i
+                  | _ -> false
+                in
+                if not promotable then
+                  emit
+                    (err ~check ~func:f.Func.name
+                       ~block:(Label.to_string b.Block.label)
+                       ~instr:(Instr.to_string i)
+                       "instruction disappeared during global allocation"))
+            b.Block.instrs)
+        f.Func.blocks)
+    before.Program.functions;
+  List.iter
+    (fun (f : Func.t) ->
+      List.iter
+        (fun (b : Block.t) ->
+          List.iter
+            (fun (i : Instr.t) ->
+              if not (Hashtbl.mem before_ids i.Instr.id) then
+                let ok =
+                  is_init_load i f.Func.name
+                  ||
+                  match i.Instr.op with
+                  | Opcode.Mov | Opcode.Li | Opcode.Fli -> true
+                  | _ -> false
+                in
+                if not ok then
+                  emit
+                    (err ~check ~func:f.Func.name
+                       ~block:(Label.to_string b.Block.label)
+                       ~instr:(Instr.to_string i)
+                       "inserted instruction is neither an init load nor a \
+                        move"))
+            b.Block.instrs)
+        f.Func.blocks)
+    after.Program.functions;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Program-level drivers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_temp_alloc_program (config : Config.t) ~(before : Program.t)
+    ~(after : Program.t) =
+  let after_funcs : (string, Func.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Func.t) -> Hashtbl.replace after_funcs f.Func.name f)
+    after.Program.functions;
+  List.concat_map
+    (fun (f : Func.t) ->
+      match Hashtbl.find_opt after_funcs f.Func.name with
+      | Some o -> check_temp_alloc config ~before:f ~after:o
+      | None ->
+          [ err ~check:"temp-alloc" ~func:f.Func.name
+              "function disappeared during temp allocation" ])
+    before.Program.functions

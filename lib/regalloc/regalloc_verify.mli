@@ -1,0 +1,33 @@
+(** Independent verification of the register allocators.
+
+    Instruction identities survive the allocators' rewrites, so pairing
+    each input instruction with its output twin reconstructs the
+    allocation; the checks prove it sound against a liveness analysis
+    and a call-graph SCC computed here, independent of the allocators'
+    own machinery.  All findings are error-severity {!Diagnostics}. *)
+
+open Ilp_ir
+open Ilp_machine
+open Ilp_analysis
+
+val check_temp_alloc :
+  Config.t -> before:Func.t -> after:Func.t -> Diagnostics.t list
+(** Verifies one function's temp allocation: consistent one-register
+    assignments, the temp-partition bound, no two simultaneously live
+    virtuals sharing a physical register, and spill-code shape for
+    every inserted instruction. *)
+
+val check_temp_alloc_program :
+  Config.t -> before:Program.t -> after:Program.t -> Diagnostics.t list
+
+val check_global_alloc :
+  Config.t -> before:Program.t -> after:Program.t -> Diagnostics.t list
+(** Verifies a global-allocation rewrite: the init loads define an
+    injective global/home table, every other touched home belongs to
+    exactly one function that sits on no call-graph cycle, home indices
+    stay inside the configured register file, and deleted/inserted
+    instructions have the promotion shape. *)
+
+val cyclic_functions : Program.t -> string -> bool
+(** Whether a function participates in a call-graph cycle (Tarjan SCC;
+    direct self-calls count). *)

@@ -20,7 +20,7 @@
 
 open Ilp_ir
 open Ilp_machine
-open Ilp_opt
+open Ilp_analysis
 
 exception Error of string
 

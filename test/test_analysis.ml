@@ -2,7 +2,7 @@
    loops, and liveness — on hand-built control-flow shapes. *)
 
 open Ilp_ir
-open Ilp_opt
+open Ilp_analysis
 
 let r = Reg.phys
 let l = Label.of_string
@@ -115,6 +115,36 @@ let test_loops_nested () =
       Alcotest.(check int) "inner header is h2" 2 inner.Loops.header
   | [] -> Alcotest.fail "no loops"
 
+let test_dominators_unreachable () =
+  (* entry jumps straight to exit; orphan is never entered *)
+  let f =
+    Func.make ~name:"main" ~frame_size:0 ~n_params:0
+      [ Block.make (l "entry") [ Builder.li (r 4) 1; Builder.jmp (l "exit") ];
+        Block.make (l "orphan")
+          [ Builder.li (r 5) 2; Builder.jmp (l "exit") ];
+        Block.make (l "exit") [ Builder.halt () ] ]
+  in
+  let cfg = Cfg_info.build f in
+  Alcotest.(check bool) "orphan unreachable" false (Cfg_info.reachable cfg 1);
+  let dom = Dominators.compute cfg in
+  Alcotest.(check int) "unreachable idom is -1" (-1) dom.Dominators.idom.(1);
+  Alcotest.(check bool) "unreachable dominates nothing, not even itself"
+    false
+    (Dominators.dominates dom 1 1);
+  Alcotest.(check bool) "unreachable does not dominate exit" false
+    (Dominators.dominates dom 1 2);
+  Alcotest.(check bool) "entry does not dominate the unreachable block"
+    false
+    (Dominators.dominates dom 0 1);
+  Alcotest.(check int) "entry is its own idom" 0 dom.Dominators.idom.(0);
+  Alcotest.(check bool) "entry self-dominates" true
+    (Dominators.dominates dom 0 0);
+  Alcotest.(check bool) "reachable dominance stays reflexive" true
+    (Dominators.dominates dom 2 2);
+  Alcotest.(check int) "exit idom skips the orphan" 0 dom.Dominators.idom.(2);
+  let kids = Dominators.children dom in
+  Alcotest.(check (list int)) "orphan has no dominator children" [] kids.(1)
+
 let test_liveness_straightline () =
   let v1 = Reg.virt () and v2 = Reg.virt () in
   let f =
@@ -190,6 +220,8 @@ let tests =
     Alcotest.test_case "natural loop detection" `Quick
       test_loops_detects_natural_loop;
     Alcotest.test_case "nested loops" `Quick test_loops_nested;
+    Alcotest.test_case "dominators with unreachable blocks" `Quick
+      test_dominators_unreachable;
     Alcotest.test_case "liveness straight line" `Quick
       test_liveness_straightline;
     Alcotest.test_case "liveness around loop" `Quick test_liveness_around_loop;

@@ -18,5 +18,6 @@ let () =
       ("replay", Test_replay.tests);
       ("par", Test_par.tests);
       ("analysis", Test_analysis.tests);
+      ("dataflow", Test_dataflow.tests);
       ("check", Test_check.tests);
       ("properties", Test_properties.tests) ]

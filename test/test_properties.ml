@@ -195,6 +195,75 @@ let prop_available_parallelism_bounds =
       let n = float_of_int (List.length instrs) in
       p >= 1.0 /. n && p <= n +. 1e-9)
 
+(* --- dataflow-framework properties ---------------------------------------- *)
+
+(* The hand-rolled postorder liveness solver that predates the generic
+   dataflow framework, preserved verbatim as the reference the framework
+   instance (Ilp_analysis.Liveness) is pinned to, block for block. *)
+module Reference_liveness = struct
+  open Ilp_analysis
+
+  let compute (cfg : Cfg_info.t) =
+    let n = Cfg_info.n_blocks cfg in
+    let use = Array.make n Reg.Set.empty in
+    let def = Array.make n Reg.Set.empty in
+    Array.iteri
+      (fun i b ->
+        let u, d = Liveness.block_use_def b in
+        use.(i) <- u;
+        def.(i) <- d)
+      cfg.Cfg_info.blocks;
+    let live_in = Array.make n Reg.Set.empty in
+    let live_out = Array.make n Reg.Set.empty in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      (* iterate in postorder (reverse of rpo) for fast convergence *)
+      for k = Array.length cfg.Cfg_info.rpo - 1 downto 0 do
+        let b = cfg.Cfg_info.rpo.(k) in
+        let out =
+          List.fold_left
+            (fun acc s -> Reg.Set.union acc live_in.(s))
+            Reg.Set.empty cfg.Cfg_info.succs.(b)
+        in
+        let inn = Reg.Set.union use.(b) (Reg.Set.diff out def.(b)) in
+        if
+          not
+            (Reg.Set.equal out live_out.(b) && Reg.Set.equal inn live_in.(b))
+        then begin
+          live_out.(b) <- out;
+          live_in.(b) <- inn;
+          changed := true
+        end
+      done
+    done;
+    (live_in, live_out)
+end
+
+let prop_framework_liveness_matches_reference =
+  QCheck2.Test.make ~count:200
+    ~name:"framework liveness = hand-rolled reference, block for block"
+    ~print:(fun s -> s)
+    Gen_minimod.program
+    (fun src ->
+      let p =
+        Ilp_lang.Codegen.gen_program (Ilp_lang.Semant.compile_source src)
+      in
+      List.for_all
+        (fun (f : Func.t) ->
+          let cfg = Ilp_analysis.Cfg_info.build f in
+          let live = Ilp_analysis.Liveness.compute cfg in
+          let ref_in, ref_out = Reference_liveness.compute cfg in
+          let n = Ilp_analysis.Cfg_info.n_blocks cfg in
+          List.for_all
+            (fun bi ->
+              Reg.Set.equal live.Ilp_analysis.Liveness.live_in.(bi) ref_in.(bi)
+              && Reg.Set.equal
+                   live.Ilp_analysis.Liveness.live_out.(bi)
+                   ref_out.(bi))
+            (List.init n Fun.id))
+        p.Program.functions)
+
 (* --- structure properties ------------------------------------------------- *)
 
 let gen_region : Mem_info.region QCheck2.Gen.t =
@@ -256,5 +325,6 @@ let tests =
       prop_tiny_temp_pools_agree; prop_replay_matches_direct;
       prop_scheduling_preserves_semantics;
       prop_scheduling_is_permutation; prop_available_parallelism_bounds;
+      prop_framework_liveness_matches_reference;
       prop_region_disjoint_symmetric; prop_region_not_self_disjoint;
       prop_means; prop_cache_miss_rate_bounds; prop_repeated_access_hits ]

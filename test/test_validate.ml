@@ -136,6 +136,23 @@ let test_exec_faults_on_collision () =
     | exception Ilp_sim.Exec.Fault _ -> true
     | _ -> false)
 
+let test_register_file_bounds () =
+  (* after allocation every physical register must fit the machine's
+     register file; an index past the split is a validation issue *)
+  let p idx =
+    Builder.program_of_instrs [ Builder.li (r idx) 1; Builder.halt () ]
+  in
+  let config = Ilp_machine.Config.make "tiny" ~temp_regs:4 ~home_regs:4 in
+  let max_reg = Ilp_regalloc.Regfile.file_size config in
+  Alcotest.(check int) "in-bounds register accepted" 0
+    (List.length (Validate.check ~stage:`Allocated ~max_reg (p (max_reg - 1))));
+  (match Validate.check ~stage:`Allocated ~max_reg (p max_reg) with
+  | [] -> Alcotest.fail "register outside the file: expected an issue"
+  | _ -> ());
+  (* the bound is only meaningful once allocated *)
+  Alcotest.(check int) "virtual stage ignores the bound" 0
+    (List.length (Validate.check ~stage:`Virtual ~max_reg (p max_reg)))
+
 let test_check_exn () =
   let good = Builder.program_of_instrs [ Builder.li (r 4) 1 ] in
   Validate.check_exn good;
@@ -196,5 +213,7 @@ let tests =
       test_rejects_label_collisions;
     Alcotest.test_case "executor faults on collision" `Quick
       test_exec_faults_on_collision;
+    Alcotest.test_case "register-file bounds" `Quick
+      test_register_file_bounds;
     Alcotest.test_case "check_exn" `Quick test_check_exn ]
   @ stage_tests
