@@ -151,7 +151,17 @@ let run_cmd =
     in
     Arg.(value & flag & info [ "replay" ] ~doc)
   in
-  let action bench machine level factor careful replay check jobs =
+  let segment_arg =
+    let doc =
+      "With $(b,--replay): cut the replay into segments of $(docv) dynamic \
+       instructions, checkpointing and resuming the timing model at each \
+       boundary.  Results are bit-identical to an unsegmented replay for \
+       any segment size; this exercises the segmented engine the parallel \
+       sweeps schedule."
+    in
+    Arg.(value & opt (some int) None & info [ "segment" ] ~docv:"N" ~doc)
+  in
+  let action bench machine level factor careful replay segment check jobs =
     let w = find_bench bench in
     let unroll = unroll_spec factor careful in
     let source = source_for w careful in
@@ -169,7 +179,11 @@ let run_cmd =
               in
               let trace = Ilp_sim.Trace_buffer.capture pre in
               let binary = Ilp_core.Ilp.schedule ~check ~level machine pre in
-              Ilp_sim.Metrics.measure_replay machine trace binary)
+              match segment with
+              | Some segment ->
+                  Ilp_sim.Metrics.measure_replay_segmented ~segment machine
+                    trace binary
+              | None -> Ilp_sim.Metrics.measure_replay machine trace binary)
             else if check then (
               let binary =
                 Ilp_core.Diffcheck.check_compile ?unroll ~level machine source
@@ -181,7 +195,11 @@ let run_cmd =
     Fmt.pr "benchmark      %s@." bench;
     Fmt.pr "machine        %s@." machine.Ilp_machine.Config.name;
     Fmt.pr "optimization   %s@." (Ilp_core.Ilp.opt_level_name level);
-    Fmt.pr "engine         %s@." (if replay then "trace replay" else "direct");
+    Fmt.pr "engine         %s@."
+      (match (replay, segment) with
+      | true, Some n -> Printf.sprintf "trace replay (segments of %d)" n
+      | true, None -> "trace replay"
+      | false, _ -> "direct");
     if check then Fmt.pr "checked        every pass (clean)@.";
     Fmt.pr "instructions   %d@." r.Ilp_sim.Metrics.dyn_instrs;
     Fmt.pr "base cycles    %.1f@." r.Ilp_sim.Metrics.base_cycles;
@@ -191,7 +209,7 @@ let run_cmd =
   let term =
     Term.(
       const action $ bench_arg $ machine_arg $ level_arg $ unroll_arg
-      $ careful_arg $ replay_arg $ check_arg $ jobs_arg)
+      $ careful_arg $ replay_arg $ segment_arg $ check_arg $ jobs_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and simulate one benchmark") term
 

@@ -39,6 +39,26 @@ let with_jobs jobs f =
 let par_map f xs =
   match !engine with None -> Array.map f xs | Some pool -> Pool.map pool f xs
 
+(* Chunkable variant: each item is a chain of bounded steps.  The serial
+   engine drives every chain to completion in index order — exactly the
+   sequence of [start]/[step] calls the pool engine makes for that item —
+   so results are bit-identical; the pool engine goes through
+   [Pool.map_chunked], which lets idle workers steal other items (or
+   other items' next chunks) between a long item's chunks instead of
+   idling behind it. *)
+let par_map_chunked ~start ~step xs =
+  match !engine with
+  | None ->
+      Array.map
+        (fun x ->
+          let rec drive = function
+            | Pool.Done y -> y
+            | Pool.More s -> drive (step s)
+          in
+          drive (start x))
+        xs
+  | Some pool -> Pool.map_chunked pool ~start ~step xs
+
 (* When set, every sweep proves its compilations: captures run the
    differential oracle over the pre-scheduling pipeline (Diffcheck, at
    stage-boundary granularity) and every replay's schedule is verified
@@ -153,11 +173,21 @@ let run_sweep (requests : request array) : Metrics.run array =
         (pre, Ilp_sim.Trace_buffer.capture pre))
       (Array.of_list (List.rev !representatives))
   in
-  par_map
-    (fun r ->
+  (* Phase 2 as segment chains: the first chunk schedules the binary and
+     replays one segment; each later chunk resumes the checkpointed
+     timing for one more segment.  Under the pool this turns a heavy
+     replay from one indivisible task into work the scheduler can
+     interleave with the rest of the sweep. *)
+  let progress = function
+    | `Done run -> Pool.Done run
+    | `More sg -> Pool.More sg
+  in
+  par_map_chunked
+    ~start:(fun r ->
       let pre, trace = captures.(Hashtbl.find group_of_key (capture_key r)) in
       let binary = Ilp.schedule ~check ~level:r.rq_level r.rq_config pre in
-      Metrics.measure_replay r.rq_config trace binary)
+      progress (Metrics.replay_segmented_start r.rq_config trace binary))
+    ~step:(fun sg -> progress (Metrics.replay_segmented_step sg))
     requests
 
 (* Measure one workload on many machine configurations through the

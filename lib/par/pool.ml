@@ -1,54 +1,194 @@
-(* Fixed-size domain pool with deterministic indexed batches.
+(* Work-stealing domain pool with deterministic indexed batches.
 
-   One mutex guards the whole pool state.  A batch is published as a
-   closure [body] plus an index counter; workers (and the caller, which
-   participates) repeatedly claim the next index under the mutex and run
-   [body] outside it.  Results land in caller-owned slots indexed by the
-   item, so scheduling never affects output order.  Workers with nothing
-   to do block on [has_work]; the caller blocks on [all_done] until the
-   last in-flight item of its batch has finished. *)
+   Each participant (the caller is participant 0, plus [size - 1] worker
+   domains) owns a deque of tasks: a growable circular buffer in
+   Chase-Lev style, except that every operation takes the deque's own
+   lock instead of using the lock-free CAS protocol — steals are rare
+   and tasks are coarse (a whole capture, or a trace segment of ~10^5
+   dynamic instructions), so contention on a per-deque mutex is noise,
+   and the locked variant is obviously correct under the OCaml memory
+   model.
+
+   The owner pushes and pops at the young end (LIFO, so a chain's
+   freshly spawned continuation stays hot in its own deque); idle
+   participants steal from the old end (FIFO, oldest-first), which takes
+   the work most likely to be large and least likely to be in the
+   owner's cache.  A batch seeds the deques round-robin; a running task
+   may spawn a continuation into its participant's own deque
+   ([map_chunked]), which is how one long trace replay is split into
+   stealable segments without ever running two segments of the same item
+   concurrently.
+
+   Determinism is by construction, not by scheduling: every result is
+   written into a caller-owned slot at its item's index, continuations
+   carry their item's index, and the batch only returns when every task
+   (including spawned continuations) has finished — so [map]/[map_chunked]
+   are exactly [Array.map]-equivalent whatever the interleaving.
+
+   Idle participants block on a condition variable (no busy-waiting —
+   this must also behave on a single-core host).  A sequence number
+   bumped whenever new work becomes visible closes the scan-then-sleep
+   race: a participant records [seq] before scanning every deque, and
+   goes to sleep only if [seq] is unchanged, so it cannot sleep through
+   work published after its scan began. *)
+
+type task = int -> unit
+(* a task receives the index of the participant running it, so it can
+   spawn continuations into that participant's own deque *)
+
+module Deque = struct
+  type t = {
+    lock : Mutex.t;
+    mutable buf : task option array;  (* circular, capacity a power of 2 *)
+    mutable head : int;  (* index of the oldest task, in [0, capacity) *)
+    mutable len : int;
+  }
+
+  let create () =
+    { lock = Mutex.create (); buf = Array.make 8 None; head = 0; len = 0 }
+
+  (* double the buffer, rebasing the live window to index 0 *)
+  let grow d =
+    let cap = Array.length d.buf in
+    let nbuf = Array.make (2 * cap) None in
+    for k = 0 to d.len - 1 do
+      nbuf.(k) <- d.buf.((d.head + k) land (cap - 1))
+    done;
+    d.buf <- nbuf;
+    d.head <- 0
+
+  (* young end: only the owner pushes *)
+  let push d task =
+    Mutex.lock d.lock;
+    if d.len = Array.length d.buf then grow d;
+    d.buf.((d.head + d.len) land (Array.length d.buf - 1)) <- Some task;
+    d.len <- d.len + 1;
+    Mutex.unlock d.lock
+
+  (* young end: the owner's own claim *)
+  let pop d =
+    Mutex.lock d.lock;
+    let r =
+      if d.len = 0 then None
+      else begin
+        d.len <- d.len - 1;
+        let k = (d.head + d.len) land (Array.length d.buf - 1) in
+        let task = d.buf.(k) in
+        d.buf.(k) <- None;
+        task
+      end
+    in
+    Mutex.unlock d.lock;
+    r
+
+  (* old end: what idle participants take *)
+  let steal d =
+    Mutex.lock d.lock;
+    let r =
+      if d.len = 0 then None
+      else begin
+        let k = d.head in
+        let task = d.buf.(k) in
+        d.buf.(k) <- None;
+        d.head <- (d.head + 1) land (Array.length d.buf - 1);
+        d.len <- d.len - 1;
+        task
+      end
+    in
+    Mutex.unlock d.lock;
+    r
+end
 
 type t = {
   size : int;  (* parallel width, including the calling domain *)
-  mutex : Mutex.t;
-  has_work : Condition.t;
-  all_done : Condition.t;
-  mutable body : (int -> unit) option;  (* current batch, if any *)
-  mutable limit : int;  (* items in the current batch *)
-  mutable next : int;  (* next unclaimed index *)
-  mutable in_flight : int;  (* claimed but not yet finished *)
+  mutex : Mutex.t;  (* guards [active], [seq], [stop] and the conditions *)
+  wake : Condition.t;  (* workers: a batch started, work appeared, or stop *)
+  all_done : Condition.t;  (* caller: the current batch has drained *)
+  deques : Deque.t array;  (* deques.(p) is owned by participant p *)
+  pending : int Atomic.t;  (* unfinished tasks of the current batch *)
+  idle : int Atomic.t;  (* participants blocked on [wake] *)
+  mutable active : bool;  (* a batch is in progress *)
+  mutable seq : int;  (* bumped whenever work may have appeared *)
   mutable stop : bool;
   mutable workers : unit Domain.t list;
 }
 
 let jobs t = t.size
 
-(* Claim and run items of the current batch until none are left; must be
-   entered with the mutex held, returns with it held. *)
-let drain_batch t =
+(* Mark one task finished; the last one closes the batch and wakes both
+   the idle workers and the waiting caller. *)
+let finish_one t =
+  if Atomic.fetch_and_add t.pending (-1) = 1 then begin
+    Mutex.lock t.mutex;
+    t.active <- false;
+    Condition.broadcast t.wake;
+    Condition.broadcast t.all_done;
+    Mutex.unlock t.mutex
+  end
+
+(* Spawn a continuation from inside a running task: it becomes one more
+   pending task in participant [p]'s own deque.  The increment happens
+   before the spawning task is marked finished, so [pending] can never
+   dip to zero while a chain still has work.  Sleepers are only poked
+   when someone is actually idle. *)
+let spawn t p task =
+  Atomic.incr t.pending;
+  Deque.push t.deques.(p) task;
+  if Atomic.get t.idle > 0 then begin
+    Mutex.lock t.mutex;
+    t.seq <- t.seq + 1;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex
+  end
+
+(* Run tasks as participant [p] until neither the own deque nor a steal
+   yields anything.  [body] closures are exception-free by construction:
+   [map]/[map_chunked] wrap the user function and record failures in
+   their result slots. *)
+let work t p =
   let continue = ref true in
   while !continue do
-    match t.body with
-    | Some body when t.next < t.limit ->
-        let i = t.next in
-        t.next <- t.next + 1;
-        t.in_flight <- t.in_flight + 1;
-        Mutex.unlock t.mutex;
-        body i;
-        (* [body] is exception-free by construction: [map] wraps the
-           user function and records failures in its result slots. *)
-        Mutex.lock t.mutex;
-        t.in_flight <- t.in_flight - 1;
-        if t.next >= t.limit && t.in_flight = 0 then
-          Condition.broadcast t.all_done
-    | _ -> continue := false
+    match Deque.pop t.deques.(p) with
+    | Some task ->
+        task p;
+        finish_one t
+    | None ->
+        (* steal oldest-first, scanning the other participants starting
+           just after [p] so thieves spread out *)
+        let stolen = ref None in
+        let i = ref 1 in
+        while !stolen = None && !i < t.size do
+          stolen := Deque.steal t.deques.((p + !i) mod t.size);
+          incr i
+        done;
+        (match !stolen with
+        | Some task ->
+            task p;
+            finish_one t
+        | None -> continue := false)
   done
 
-let worker_loop t =
+let worker_loop t p =
   Mutex.lock t.mutex;
   while not t.stop do
-    drain_batch t;
-    if not t.stop then Condition.wait t.has_work t.mutex
+    if t.active then begin
+      let seen = t.seq in
+      Mutex.unlock t.mutex;
+      work t p;
+      Mutex.lock t.mutex;
+      (* sleep only if nothing new was published since the scan began;
+         otherwise rescan immediately *)
+      if t.seq = seen && t.active && not t.stop then begin
+        Atomic.incr t.idle;
+        Condition.wait t.wake t.mutex;
+        Atomic.decr t.idle
+      end
+    end
+    else begin
+      Atomic.incr t.idle;
+      Condition.wait t.wake t.mutex;
+      Atomic.decr t.idle
+    end
   done;
   Mutex.unlock t.mutex
 
@@ -57,17 +197,20 @@ let create ~jobs =
   let t =
     { size;
       mutex = Mutex.create ();
-      has_work = Condition.create ();
+      wake = Condition.create ();
       all_done = Condition.create ();
-      body = None;
-      limit = 0;
-      next = 0;
-      in_flight = 0;
+      deques = Array.init size (fun _ -> Deque.create ());
+      pending = Atomic.make 0;
+      idle = Atomic.make 0;
+      active = false;
+      seq = 0;
       stop = false;
       workers = [];
     }
   in
-  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.workers <-
+    List.init (size - 1) (fun k ->
+        Domain.spawn (fun () -> worker_loop t (k + 1)));
   t
 
 let shutdown t =
@@ -75,7 +218,7 @@ let shutdown t =
   let workers = t.workers in
   t.workers <- [];
   t.stop <- true;
-  Condition.broadcast t.has_work;
+  Condition.broadcast t.wake;
   Mutex.unlock t.mutex;
   List.iter Domain.join workers
 
@@ -83,51 +226,81 @@ let with_pool ~jobs f =
   let t = create ~jobs in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-(* Run [body] on indices [0, n): publish the batch, wake the workers,
-   join in, and wait for the stragglers. *)
-let run_batch t n body =
+(* Run [tasks] to completion: seed the deques round-robin, wake the
+   workers, join in as participant 0, and wait for the stragglers.
+   Misuse that previously hung is detected here: a batch submitted while
+   another is in flight (a nested [map]/[map_reduce]/[map_chunked] on
+   the same pool, or concurrent use from two domains) and use after
+   [shutdown] both raise [Invalid_argument]. *)
+let run_batch t (tasks : task array) =
+  let n = Array.length tasks in
   if n > 0 then begin
     Mutex.lock t.mutex;
     if t.stop then begin
       Mutex.unlock t.mutex;
       invalid_arg "Pool: used after shutdown"
     end;
-    if t.body <> None then begin
+    if t.active then begin
       Mutex.unlock t.mutex;
       invalid_arg "Pool: nested batch on the same pool"
     end;
-    t.body <- Some body;
-    t.limit <- n;
-    t.next <- 0;
-    Condition.broadcast t.has_work;
-    drain_batch t;
-    while t.in_flight > 0 do
+    Atomic.set t.pending n;
+    Array.iteri (fun i task -> Deque.push t.deques.(i mod t.size) task) tasks;
+    t.active <- true;
+    t.seq <- t.seq + 1;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex;
+    work t 0;
+    Mutex.lock t.mutex;
+    while t.active do
       Condition.wait t.all_done t.mutex
     done;
-    t.body <- None;
     Mutex.unlock t.mutex
   end
 
-let map t f (xs : 'a array) : 'b array =
+type ('s, 'b) progress = More of 's | Done of 'b
+
+(* Chunkable deterministic map: item [i] starts with [start xs.(i)] and
+   keeps stepping while the task yields [More]; each [More] becomes a
+   fresh task in the running participant's own deque, so between two
+   chunks of one item the participant (or a thief) can interleave other
+   items' work.  Results land at item indices; if items fail, the
+   exception of the lowest-index item wins, however stealing reorders
+   completion. *)
+let map_chunked t ~start ~step (xs : 'a array) : 'b array =
   let n = Array.length xs in
   let out = Array.make n None in
-  (* first-by-index failure wins, so error behaviour is deterministic *)
   let failure : (int * exn * Printexc.raw_backtrace) option ref = ref None in
   let fail_mutex = Mutex.create () in
-  run_batch t n (fun i ->
-      match f xs.(i) with
-      | y -> out.(i) <- Some y
-      | exception e ->
-          let bt = Printexc.get_raw_backtrace () in
-          Mutex.lock fail_mutex;
-          (match !failure with
-          | Some (j, _, _) when j < i -> ()
-          | Some _ | None -> failure := Some (i, e, bt));
-          Mutex.unlock fail_mutex);
+  let record i e bt =
+    Mutex.lock fail_mutex;
+    (match !failure with
+    | Some (j, _, _) when j < i -> ()
+    | Some _ | None -> failure := Some (i, e, bt));
+    Mutex.unlock fail_mutex
+  in
+  let rec advance i progress p =
+    match progress with
+    | Done y -> out.(i) <- Some y
+    | More s -> spawn t p (fun p' -> run_step i s p')
+  and run_step i s p =
+    match step s with
+    | progress -> advance i progress p
+    | exception e -> record i e (Printexc.get_raw_backtrace ())
+  in
+  run_batch t
+    (Array.init n (fun i p ->
+         match start xs.(i) with
+         | progress -> advance i progress p
+         | exception e -> record i e (Printexc.get_raw_backtrace ())));
   match !failure with
   | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
   | None ->
       Array.map (function Some y -> y | None -> assert false) out
+
+let map t f (xs : 'a array) : 'b array =
+  (* [start] always answers [Done], so [step] is unreachable *)
+  map_chunked t ~start:(fun x -> Done (f x)) ~step:(fun s -> More s) xs
 
 let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
 

@@ -1,26 +1,35 @@
-(** A small fixed-size domain pool with deterministic data-parallel
-    [map]/[map_reduce] over indexed work items.
+(** A work-stealing domain pool with deterministic data-parallel
+    [map]/[map_chunked]/[map_reduce] over indexed work items.
 
-    The pool owns [jobs - 1] worker domains (the caller is the remaining
-    worker, so [jobs = 1] degenerates to plain sequential execution in
-    the calling domain).  A batch hands out item indices from a shared
-    counter under a mutex; each result is written into a pre-sized slot
-    of the output array at its item's index, so the output order never
-    depends on domain scheduling — [map pool f xs] returns exactly what
-    [Array.map f xs] returns, whatever the interleaving.
+    The pool owns [jobs - 1] worker domains (the caller is participant
+    0, so [jobs = 1] degenerates to sequential execution in the calling
+    domain).  Every participant owns a deque of tasks — a Chase-Lev
+    style circular buffer, lock-protected rather than lock-free —
+    pushing and popping at the young end (LIFO) and being stolen from at
+    the old end by idle participants (oldest-first).  A batch seeds the
+    deques round-robin; tasks may spawn continuations into the running
+    participant's own deque ({!map_chunked}), which is how one long item
+    is split into stealable chunks.
 
-    Hand-rolled over [Domain] + [Mutex]/[Condition] only: no extra
-    dependencies, no busy-waiting (idle workers block on a condition
-    variable).
+    Determinism is structural, not scheduling-dependent: each result is
+    written into a pre-sized slot of the output array at its item's
+    index, so [map pool f xs] returns exactly what [Array.map f xs]
+    returns, whatever the interleaving — including which exception
+    escapes (lowest item index wins).
 
-    Restrictions: batches must not nest — [f] must not itself call
-    {!map}/{!map_reduce} on the same pool — and a pool must not be used
-    after {!shutdown}. *)
+    Hand-rolled over [Domain] + [Mutex]/[Condition] + [Atomic] only: no
+    extra dependencies, no busy-waiting (idle participants block on a
+    condition variable, so oversubscribing a small host is safe).
+
+    Restrictions, {e enforced}: batches must not nest — a task must not
+    itself call {!map}/{!map_chunked}/{!map_reduce} on the same pool —
+    and a pool must not be used after {!shutdown}.  Both misuses raise
+    [Invalid_argument] instead of deadlocking. *)
 
 type t
 
 val create : jobs:int -> t
-(** Spawn a pool of [jobs] workers ([jobs - 1] new domains plus the
+(** Spawn a pool of [jobs] participants ([jobs - 1] new domains plus the
     caller).  [jobs] is clamped to at least 1. *)
 
 val jobs : t -> int
@@ -33,12 +42,32 @@ val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f]: bracket [create]/[shutdown] around [f], also on
     exceptions. *)
 
+type ('s, 'b) progress =
+  | More of 's  (** the item needs another chunk, resuming from ['s] *)
+  | Done of 'b  (** the item's final result *)
+
+val map_chunked :
+  t ->
+  start:('a -> ('s, 'b) progress) ->
+  step:('s -> ('s, 'b) progress) ->
+  'a array ->
+  'b array
+(** Deterministic parallel map over chunkable items.  Item [i] begins
+    with [start xs.(i)] and, while the answer is [More s], continues
+    with [step s] — each continuation is a separate task, so a
+    participant (or a thief) can interleave other items' chunks between
+    two chunks of one item; chunks of a single item never run
+    concurrently, and each sees every effect of its predecessor.  The
+    result array is indexed like [xs].  If items raise (in [start] or
+    any [step]), the exception of the {e lowest-index} item is re-raised
+    in the caller with its backtrace once the batch has drained,
+    whatever order stealing completed items in; a failed item spawns no
+    further chunks. *)
+
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
-(** Deterministic parallel map: same result as [Array.map f xs].  If one
-    or more applications of [f] raise, the exception raised by the item
-    with the {e lowest index} is re-raised in the caller (with its
-    backtrace) once the batch has drained — so exception behaviour is
-    deterministic too. *)
+(** Deterministic parallel map: same result as [Array.map f xs],
+    including which exception escapes (lowest item index).  Equivalent
+    to {!map_chunked} with a [start] that always answers [Done]. *)
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over a list, preserving order. *)

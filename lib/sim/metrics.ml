@@ -51,6 +51,79 @@ let measure_replay ?cache ?options (config : Config.t) trace program =
     sink = Trace_buffer.sink trace;
   }
 
+(* ---- Segmented replay ---------------------------------------------- *)
+
+(* Default segment length in dynamic instructions.  Large enough that
+   the per-segment snapshot/resume cost is noise, small enough that the
+   heaviest workload splits into dozens of segments a work-stealing
+   scheduler can interleave. *)
+let default_segment = 1 lsl 17
+
+(* A replay in flight, paused at a packet boundary.  The prepared
+   binary and the trace are shared immutable data; the cursor is
+   single-owner mutable state and the snapshot is plain copied data, so
+   a chain of [replay_segmented_step] calls may hop between domains as
+   long as each handoff orders the previous step before the next (a
+   work-stealing pool's deque does exactly that). *)
+type segmented = {
+  sg_config : Config.t;
+  sg_trace : Trace_buffer.t;
+  sg_prepared : Trace_buffer.prepared;
+  sg_cursor : Trace_buffer.cursor;
+  sg_snap : Timing.snapshot;
+  sg_segment : int;
+}
+
+let finish_run (config : Config.t) trace timing =
+  Timing.finish timing;
+  { machine = config.Config.name;
+    dyn_instrs = Trace_buffer.dyn_instrs trace;
+    minor_cycles = Timing.minor_cycles timing;
+    base_cycles = Timing.base_cycles timing;
+    speedup = Timing.speedup timing;
+    stall_cycles = timing.Timing.stall_cycles;
+    class_counts = Trace_buffer.class_counts trace;
+    sink = Trace_buffer.sink trace;
+  }
+
+(* Advance one segment on [timing] and package the outcome.  The +1 on
+   the final comparison is unnecessary here (unlike [replay]) because an
+   overrunning walk raises inside [replay_steps] on the segment that
+   crosses the trace length. *)
+let seg_advance config trace pr cu segment timing =
+  Trace_buffer.replay_steps pr cu timing ~max_steps:segment;
+  if Trace_buffer.cursor_done cu then `Done (finish_run config trace timing)
+  else
+    `More
+      { sg_config = config;
+        sg_trace = trace;
+        sg_prepared = pr;
+        sg_cursor = cu;
+        sg_snap = Timing.snapshot timing;
+        sg_segment = segment;
+      }
+
+let replay_segmented_start ?cache ?options ?(segment = default_segment)
+    (config : Config.t) trace program =
+  let segment = max 1 segment in
+  let pr = Trace_buffer.prepare trace program in
+  let cu = Trace_buffer.start pr in
+  let timing = Timing.create ?cache ~registers:(registers_of options) config in
+  seg_advance config trace pr cu segment timing
+
+let replay_segmented_step sg =
+  seg_advance sg.sg_config sg.sg_trace sg.sg_prepared sg.sg_cursor
+    sg.sg_segment (Timing.resume sg.sg_snap)
+
+(* The sequential driver: equivalent to [measure_replay], exercising the
+   same segment chain a parallel scheduler would. *)
+let measure_replay_segmented ?cache ?options ?segment config trace program =
+  let rec drive = function
+    | `Done run -> run
+    | `More sg -> drive (replay_segmented_step sg)
+  in
+  drive (replay_segmented_start ?cache ?options ?segment config trace program)
+
 (* Dynamic instruction-class frequencies of a run, as fractions. *)
 let class_frequencies run : Superpipelining.frequencies =
   let total = float_of_int (Array.fold_left ( + ) 0 run.class_counts) in

@@ -49,6 +49,7 @@ end)
 type t = {
   config : Config.t;
   reg_ready : int array;
+  pools : unit_pool list;  (** in [config.units] declaration order *)
   pools_by_class : unit_pool list array;  (** indexed by class *)
   mutable now : int;  (** current minor cycle *)
   mutable issued_this_cycle : int;
@@ -81,6 +82,7 @@ let create ?cache ?(registers = Exec.default_options.Exec.registers)
   in
   { config;
     reg_ready = Array.make registers 0;
+    pools;
     pools_by_class;
     now = 0;
     issued_this_cycle = 0;
@@ -93,6 +95,76 @@ let create ?cache ?(registers = Exec.default_options.Exec.registers)
     finished = false;
     decoded = Int_table.create 512;
   }
+
+(* Complete mutable state of a timing model at an instruction (packet)
+   boundary, as plain copied data: the hazard state that constrains
+   future issue (scoreboard, functional-unit reservations, current
+   cycle, the partially filled issue packet, cache tags and the blocking
+   stall horizon) together with the accumulators (instruction count,
+   stall cycles, issue histogram, cache counters).  A replay split into
+   segments checkpoints here and continues in a fresh [t] — possibly in
+   another domain — with bit-identical results; the accumulators ride
+   along, so the "merge" of consecutive segments is the carry itself and
+   the final segment's state is the whole run's state. *)
+type snapshot = {
+  snap_config : Config.t;
+  snap_registers : int;
+  snap_reg_ready : int array;
+  snap_free_at : int array array;  (** per unit pool, declaration order *)
+  snap_now : int;
+  snap_issued_this_cycle : int;
+  snap_instrs : int;
+  snap_stall_cycles : int;
+  snap_cache : Cache.state option;
+  snap_cache_stall_until : int;
+  snap_issue_histogram : int array;
+  snap_force_cycle_end : bool;
+  snap_finished : bool;
+}
+
+let snapshot t =
+  { snap_config = t.config;
+    snap_registers = Array.length t.reg_ready;
+    snap_reg_ready = Array.copy t.reg_ready;
+    snap_free_at =
+      Array.of_list (List.map (fun p -> Array.copy p.free_at) t.pools);
+    snap_now = t.now;
+    snap_issued_this_cycle = t.issued_this_cycle;
+    snap_instrs = t.instrs;
+    snap_stall_cycles = t.stall_cycles;
+    snap_cache = Option.map Cache.snapshot t.cache;
+    snap_cache_stall_until = t.cache_stall_until;
+    snap_issue_histogram = Array.copy t.issue_histogram;
+    snap_force_cycle_end = t.force_cycle_end;
+    snap_finished = t.finished;
+  }
+
+(* A fresh timing model continuing exactly where [snap] left off.  The
+   snapshot is not consumed: resuming twice from the same snapshot gives
+   two independent, identical continuations. *)
+let resume snap =
+  let t = create ~registers:snap.snap_registers snap.snap_config in
+  Array.blit snap.snap_reg_ready 0 t.reg_ready 0
+    (Array.length snap.snap_reg_ready);
+  List.iteri
+    (fun k p ->
+      Array.blit snap.snap_free_at.(k) 0 p.free_at 0 (Array.length p.free_at))
+    t.pools;
+  Array.blit snap.snap_issue_histogram 0 t.issue_histogram 0
+    (Array.length snap.snap_issue_histogram);
+  let t =
+    { t with
+      cache = Option.map Cache.of_state snap.snap_cache;
+      now = snap.snap_now;
+      issued_this_cycle = snap.snap_issued_this_cycle;
+      instrs = snap.snap_instrs;
+      stall_cycles = snap.snap_stall_cycles;
+      cache_stall_until = snap.snap_cache_stall_until;
+      force_cycle_end = snap.snap_force_cycle_end;
+      finished = snap.snap_finished;
+    }
+  in
+  t
 
 let next_cycle t =
   t.issue_histogram.(min t.issued_this_cycle

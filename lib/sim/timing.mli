@@ -38,6 +38,7 @@ module Int_table : Hashtbl.S with type key = int
 type t = {
   config : Config.t;
   reg_ready : int array;
+  pools : unit_pool list;  (** in [config.units] declaration order *)
   pools_by_class : unit_pool list array;
   mutable now : int;  (** current minor cycle *)
   mutable issued_this_cycle : int;
@@ -57,6 +58,28 @@ type t = {
 val create : ?cache:Cache.t -> ?registers:int -> Config.t -> t
 (** [registers] sizes the scoreboard to the simulated register file;
     defaults to [Exec.default_options.registers]. *)
+
+type snapshot
+(** Complete mutable state of a timing model at an instruction (packet)
+    boundary, as plain copied data: hazard state (scoreboard,
+    functional-unit reservations, current cycle, partially filled issue
+    packet, cache tags, blocking-stall horizon) plus the accumulators
+    (instruction count, stall cycles, issue histogram, cache counters).
+    Checkpointing here is exact: a run split at arbitrary boundaries by
+    {!snapshot}/{!resume} is bit-identical to the unsegmented run, and
+    the accumulators are carried through each segment in order, so the
+    final segment's state {e is} the deterministic merge of all
+    segments. *)
+
+val snapshot : t -> snapshot
+(** An independent copy of the model's current state; [t] may continue
+    to be used. *)
+
+val resume : snapshot -> t
+(** A fresh timing model (with its own cache, when the snapshot recorded
+    one) continuing exactly where the snapshot was taken.  The snapshot
+    is not consumed: resuming twice yields two independent, identical
+    continuations. *)
 
 val issue : t -> Ilp_ir.Instr.t -> int -> unit
 (** Account one dynamic instruction; the second argument is the

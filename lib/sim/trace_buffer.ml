@@ -144,7 +144,29 @@ let k_ret = 4
 
 let k_halt = 5
 
-let replay t (p : Program.t) (timing : Timing.t) =
+(* A trace bound to one concrete binary: every static instruction
+   pre-decoded for [Timing.issue_decoded], the control structure
+   flattened to threaded code, and the recorded address/taken-bit
+   streams attached to their instructions.  Building this is the per-
+   (trace, binary) cost; walking it is the per-dynamic-instruction
+   cost, and the walk can be cut into segments at any instruction
+   boundary (see [cursor]). *)
+type prepared = {
+  pr_trace : t;
+  pr_n : int;  (* static instructions in the flattened binary *)
+  pr_entry : int;
+  pr_cls : Iclass.t array;
+  pr_is_load : bool array;
+  pr_defs : int array array;
+  pr_uses : int array array;
+  pr_kind : int array;
+  pr_next : int array;
+  pr_target : int array;
+  pr_addr_stream : Ivec.t option array;
+  pr_bit_stream : Bitvec.t option array;
+}
+
+let prepare t (p : Program.t) =
   let functions = Array.of_list p.Program.functions in
   let code =
     Array.map
@@ -272,68 +294,131 @@ let replay t (p : Program.t) (timing : Timing.t) =
        streams bound)"
       !matched_bits
       (Hashtbl.length t.branches);
-  (* walk the threaded code, consuming the recorded streams *)
-  let acur = Array.make n 0 in
-  let bcur = Array.make n 0 in
-  let stack = ref [] in
-  let ip = ref entry in
-  let steps = ref 0 in
-  let running = ref (n > 0 && t.dyn_instrs > 0) in
-  while !running do
-    let k = !ip in
+  { pr_trace = t;
+    pr_n = n;
+    pr_entry = entry;
+    pr_cls = cls;
+    pr_is_load = is_load;
+    pr_defs = defs;
+    pr_uses = uses;
+    pr_kind = kind;
+    pr_next = next;
+    pr_target = target;
+    pr_addr_stream = addr_stream;
+    pr_bit_stream = bit_stream;
+  }
+
+(* Walk state over a prepared binary: instruction pointer, call stack,
+   per-stream consumption cursors, and the count of dynamic instructions
+   replayed so far.  Mutable and single-owner: exactly one domain
+   advances a cursor at a time (a work-stealing pool hands it between
+   domains with the necessary happens-before ordering). *)
+type cursor = {
+  mutable cu_ip : int;
+  mutable cu_stack : int list;
+  mutable cu_steps : int;
+  mutable cu_running : bool;
+  cu_acur : int array;
+  cu_bcur : int array;
+}
+
+let cursor_done cu = not cu.cu_running
+let steps cu = cu.cu_steps
+
+(* Once the walk has halted, every recorded stream must have been
+   consumed exactly. *)
+let validate_end pr cu =
+  if cu.cu_steps <> pr.pr_trace.dyn_instrs then
+    divergence "replayed %d instructions of a %d-instruction trace"
+      cu.cu_steps pr.pr_trace.dyn_instrs;
+  for k = 0 to pr.pr_n - 1 do
+    (match pr.pr_addr_stream.(k) with
+    | Some v when cu.cu_acur.(k) <> v.Ivec.len ->
+        divergence "address stream consumed partially (%d of %d)"
+          cu.cu_acur.(k) v.Ivec.len
+    | _ -> ());
+    match pr.pr_bit_stream.(k) with
+    | Some v when cu.cu_bcur.(k) <> v.Bitvec.len ->
+        divergence "branch history consumed partially (%d of %d)"
+          cu.cu_bcur.(k) v.Bitvec.len
+    | _ -> ()
+  done
+
+(* A cursor at the entry point with nothing consumed.  An empty trace
+   (or empty binary) starts already halted; the end checks run here so
+   [cursor_done] always implies they have passed. *)
+let start pr =
+  let cu =
+    { cu_ip = pr.pr_entry;
+      cu_stack = [];
+      cu_steps = 0;
+      cu_running = pr.pr_n > 0 && pr.pr_trace.dyn_instrs > 0;
+      cu_acur = Array.make (max 1 pr.pr_n) 0;
+      cu_bcur = Array.make (max 1 pr.pr_n) 0;
+    }
+  in
+  if not cu.cu_running then validate_end pr cu;
+  cu
+
+(* Replay at most [max_steps] dynamic instructions into [timing],
+   advancing the cursor; a segment boundary falls between instruction
+   packets, and the timing snapshot carries the partially filled packet,
+   so cuts are exact wherever they land.  When the walk halts inside
+   this segment the end-of-trace checks run immediately, so a
+   divergence is never deferred to a later segment. *)
+let replay_steps pr cu (timing : Timing.t) ~max_steps =
+  let t = pr.pr_trace in
+  let budget = ref max_steps in
+  while cu.cu_running && !budget > 0 do
+    let k = cu.cu_ip in
     if k < 0 then divergence "replay fell off the end of a function";
-    incr steps;
-    if !steps > t.dyn_instrs then
+    cu.cu_steps <- cu.cu_steps + 1;
+    decr budget;
+    if cu.cu_steps > t.dyn_instrs then
       divergence "replay exceeds the captured trace (%d instructions)"
         t.dyn_instrs;
     let addr =
-      match addr_stream.(k) with
+      match pr.pr_addr_stream.(k) with
       | None -> -1
       | Some v ->
-          let c = acur.(k) in
+          let c = cu.cu_acur.(k) in
           if c >= v.Ivec.len then
             divergence "address stream exhausted after %d accesses" c;
-          acur.(k) <- c + 1;
+          cu.cu_acur.(k) <- c + 1;
           v.Ivec.data.(c)
     in
-    Timing.issue_decoded timing ~cls:cls.(k) ~is_load:is_load.(k)
-      ~defs:defs.(k) ~uses:uses.(k) addr;
-    match kind.(k) with
-    | 0 (* fall *) -> ip := next.(k)
+    Timing.issue_decoded timing ~cls:pr.pr_cls.(k)
+      ~is_load:pr.pr_is_load.(k) ~defs:pr.pr_defs.(k) ~uses:pr.pr_uses.(k)
+      addr;
+    (match pr.pr_kind.(k) with
+    | 0 (* fall *) -> cu.cu_ip <- pr.pr_next.(k)
     | 1 (* branch *) -> (
-        match bit_stream.(k) with
+        match pr.pr_bit_stream.(k) with
         | None -> divergence "conditional branch has no recorded outcomes"
         | Some v ->
-            let c = bcur.(k) in
+            let c = cu.cu_bcur.(k) in
             if c >= v.Bitvec.len then
               divergence "branch history exhausted after %d outcomes" c;
-            bcur.(k) <- c + 1;
-            ip := (if Bitvec.get v c then target.(k) else next.(k)))
-    | 2 (* jump *) -> ip := target.(k)
+            cu.cu_bcur.(k) <- c + 1;
+            cu.cu_ip <-
+              (if Bitvec.get v c then pr.pr_target.(k) else pr.pr_next.(k)))
+    | 2 (* jump *) -> cu.cu_ip <- pr.pr_target.(k)
     | 3 (* call *) ->
-        stack := next.(k) :: !stack;
-        ip := target.(k)
+        cu.cu_stack <- pr.pr_next.(k) :: cu.cu_stack;
+        cu.cu_ip <- pr.pr_target.(k)
     | 4 (* ret *) -> (
-        match !stack with
+        match cu.cu_stack with
         | ra :: rest ->
-            stack := rest;
-            ip := ra
-        | [] -> running := false)
-    | _ (* halt *) -> running := false
-  done;
-  if !steps <> t.dyn_instrs then
-    divergence "replayed %d instructions of a %d-instruction trace" !steps
-      t.dyn_instrs;
-  (* every recorded stream must be consumed exactly *)
-  for k = 0 to n - 1 do
-    (match addr_stream.(k) with
-    | Some v when acur.(k) <> v.Ivec.len ->
-        divergence "address stream consumed partially (%d of %d)" acur.(k)
-          v.Ivec.len
-    | _ -> ());
-    match bit_stream.(k) with
-    | Some v when bcur.(k) <> v.Bitvec.len ->
-        divergence "branch history consumed partially (%d of %d)" bcur.(k)
-          v.Bitvec.len
-    | _ -> ()
+            cu.cu_stack <- rest;
+            cu.cu_ip <- ra
+        | [] -> cu.cu_running <- false)
+    | _ (* halt *) -> cu.cu_running <- false);
+    if not cu.cu_running then validate_end pr cu
   done
+
+let replay t (p : Program.t) (timing : Timing.t) =
+  let pr = prepare t p in
+  let cu = start pr in
+  (* one step beyond the trace length, so a walk that fails to halt on
+     time raises the overrun divergence rather than stopping silently *)
+  replay_steps pr cu timing ~max_steps:(t.dyn_instrs + 1)

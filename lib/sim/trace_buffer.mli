@@ -51,4 +51,47 @@ val footprint_words : t -> int
 val replay : t -> Program.t -> Timing.t -> unit
 (** [replay t binary timing] drives [timing] with the captured stream
     laid over [binary].  Raises {!Divergence} if [binary] is not a
-    schedule-sibling of the captured program. *)
+    schedule-sibling of the captured program.  Equivalent to {!prepare}
+    followed by one whole-trace {!replay_steps}. *)
+
+(** {1 Segmented replay}
+
+    A replay can be cut into segments at any dynamic-instruction
+    (packet) boundary: {!prepare} pays the per-(trace, binary) decode
+    once, a {!cursor} holds the walk state, and each {!replay_steps}
+    call advances at most [max_steps] dynamic instructions.  Combined
+    with {!Timing.snapshot}/{!Timing.resume} at the same boundaries,
+    segmented replay is bit-identical to an unsegmented {!replay} —
+    whatever the cut positions, including empty and whole-trace
+    segments — which is what lets a work-stealing scheduler interleave
+    segments of long replays with other work. *)
+
+type prepared
+(** A trace bound to one concrete binary: instructions pre-decoded,
+    control flattened to threaded code, recorded streams attached.
+    Immutable after construction; many cursors may walk one [prepared]. *)
+
+val prepare : t -> Program.t -> prepared
+(** Bind the trace to [binary].  Raises {!Divergence} if the binary does
+    not contain every traced memory instruction or branch. *)
+
+type cursor
+(** Walk state over a {!prepared} binary: instruction pointer, call
+    stack, stream-consumption cursors and the dynamic-instruction count.
+    Mutable, single-owner — advance it from one domain at a time. *)
+
+val start : prepared -> cursor
+(** A cursor at the entry point with nothing consumed. *)
+
+val cursor_done : cursor -> bool
+(** The walk has halted (and the end-of-trace checks have passed). *)
+
+val steps : cursor -> int
+(** Dynamic instructions replayed through this cursor so far. *)
+
+val replay_steps : prepared -> cursor -> Timing.t -> max_steps:int -> unit
+(** Replay at most [max_steps] further dynamic instructions into
+    [timing] ([max_steps <= 0] replays nothing).  When the walk halts
+    within this segment, the end-of-trace consistency checks run
+    immediately.  Raises {!Divergence} exactly where an unsegmented
+    {!replay} would. *)

@@ -51,9 +51,28 @@ let prop_lowest_index_exception =
       in
       outcome = !first_failure)
 
+(* Chunked chains: item (v, k) takes k bounded steps, each adding 1, so
+   the expected result is v + k — and every step count, including 0,
+   must agree with the serial fold. *)
+let prop_map_chunked =
+  QCheck2.Test.make ~count:100
+    ~name:"Pool.map_chunked = serial chain fold (jobs 1-4)"
+    ~print:QCheck2.Print.(pair int (list (pair int int)))
+    QCheck2.Gen.(
+      pair (int_range 1 4)
+        (list_size (int_bound 100) (pair small_int (int_bound 8))))
+    (fun (jobs, xs) ->
+      let xs = Array.of_list xs in
+      let advance (acc, k) =
+        if k = 0 then Pool.Done acc else Pool.More (acc + 1, k - 1)
+      in
+      let expected = Array.map (fun (v, k) -> v + k) xs in
+      Pool.with_pool ~jobs (fun pool ->
+          Pool.map_chunked pool ~start:advance ~step:advance xs = expected))
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_map_is_array_map; prop_lowest_index_exception ]
+    [ prop_map_is_array_map; prop_lowest_index_exception; prop_map_chunked ]
 
 (* ------------------------------------------------------------------ *)
 (* Pool unit tests                                                     *)
@@ -107,6 +126,46 @@ let test_jobs_clamped () =
   Pool.with_pool ~jobs:0 (fun pool ->
       Alcotest.(check int) "jobs clamped to 1" 1 (Pool.jobs pool))
 
+(* Nested batches on one pool used to deadlock (the inner batch waited
+   for workers parked in the outer one); they must raise instead, and
+   the pool must stay usable afterwards. *)
+let test_nested_batch_rejected () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.(check bool) "nested map raises Invalid_argument" true
+        (match
+           Pool.map pool (fun x -> Pool.map pool (fun y -> y) [| x |]) [| 1 |]
+         with
+        | _ -> false
+        | exception Invalid_argument _ -> true);
+      Alcotest.(check (array int)) "pool still usable after rejection"
+        [| 2; 4; 6 |]
+        (Pool.map pool (fun x -> 2 * x) [| 1; 2; 3 |]))
+
+(* Two failing items in one batch: with work stealing either may run
+   first, but the lower index must win deterministically. *)
+let test_two_raisers_lowest_wins () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let f i = if i = 23 || i = 77 then raise (Boom i) else i in
+      Alcotest.(check int) "lowest-index exception escapes" 23
+        (match Pool.map pool f (Array.init 100 Fun.id) with
+        | _ -> -1
+        | exception Boom i -> i))
+
+(* The same guarantee when the failure happens mid-chain in a chunked
+   map, with every item several chunks long. *)
+let test_chunked_failure_lowest_wins () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let start i = Pool.More (i, 0) in
+      let step (i, n) =
+        if (i = 30 || i = 60) && n = 2 then raise (Boom i)
+        else if n = 5 then Pool.Done i
+        else Pool.More (i, n + 1)
+      in
+      Alcotest.(check int) "lowest-index chain failure escapes" 30
+        (match Pool.map_chunked pool ~start ~step (Array.init 80 Fun.id) with
+        | _ -> -1
+        | exception Boom i -> i))
+
 (* ------------------------------------------------------------------ *)
 (* engine determinism: parallel sweeps render byte-identically          *)
 
@@ -134,5 +193,11 @@ let tests =
       Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse;
       Alcotest.test_case "map_list" `Quick test_map_list;
       Alcotest.test_case "shutdown" `Quick test_shutdown_rejects_use;
-      Alcotest.test_case "jobs clamped" `Quick test_jobs_clamped ]
+      Alcotest.test_case "jobs clamped" `Quick test_jobs_clamped;
+      Alcotest.test_case "nested batch rejected" `Quick
+        test_nested_batch_rejected;
+      Alcotest.test_case "two raisers: lowest index wins" `Quick
+        test_two_raisers_lowest_wins;
+      Alcotest.test_case "chunked failure: lowest index wins" `Quick
+        test_chunked_failure_lowest_wins ]
   @ determinism_tests

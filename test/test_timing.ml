@@ -200,8 +200,89 @@ let test_histogram_accounts_drain () =
   Alcotest.(check int) "histogram covers every minor cycle"
     (Timing.minor_cycles t) (histogram_total t)
 
+(* Snapshot/resume round-trip: split an instruction stream at an
+   arbitrary point, resume in a fresh model, and the final cycle count,
+   stalls and histogram must match the unsplit run — including a cache
+   whose tag state straddles the cut (the repeated address must hit
+   after the cut only if the fill before the cut was carried over). *)
+let test_snapshot_resume_roundtrip () =
+  let config = Presets.superscalar 2 in
+  let stream =
+    List.concat_map
+      (fun k ->
+        [ (Instr.make Opcode.Ld ~dst:(r (20 + (k mod 8)))
+             ~srcs:[ Instr.Oreg Reg.sp ] ~offset:k,
+           17 * (k mod 5));
+          (Instr.make Opcode.Add ~dst:(r 40)
+             ~srcs:[ Instr.Oreg (r (20 + (k mod 8))); Instr.Oreg (r 40) ],
+           -1)
+        ])
+      (List.init 12 Fun.id)
+  in
+  let run_with cuts =
+    let cache = Ilp_sim.Cache.create ~lines:4 ~line_words:1 ~penalty:9 () in
+    let t = ref (Timing.create ~cache config) in
+    List.iteri
+      (fun k (i, addr) ->
+        if List.mem k cuts then t := Timing.resume (Timing.snapshot !t);
+        Timing.issue !t i addr)
+      stream;
+    Timing.finish !t;
+    ( Timing.minor_cycles !t,
+      Timing.instrs !t,
+      !t.Timing.stall_cycles,
+      Array.to_list !t.Timing.issue_histogram )
+  in
+  let reference = run_with [] in
+  List.iter
+    (fun cuts ->
+      if run_with cuts <> reference then
+        Alcotest.failf "cut at %s: split run differs from unsplit run"
+          (String.concat "," (List.map string_of_int cuts)))
+    [ [ 1 ]; [ 7 ]; [ 23 ]; [ 3; 9; 15 ]; List.init 24 Fun.id ]
+
+let test_snapshot_is_independent () =
+  (* the snapshot is a copy: mutating the live model afterwards must not
+     disturb it, and resuming twice gives identical continuations *)
+  let t = Timing.create Presets.base in
+  List.iter (fun i -> Timing.issue t i (-1)) (chain 3);
+  let snap = Timing.snapshot t in
+  List.iter (fun i -> Timing.issue t i (-1)) (chain 5);
+  let finishes snapshot =
+    let t = Timing.resume snapshot in
+    Timing.finish t;
+    (Timing.minor_cycles t, Timing.instrs t)
+  in
+  let a = finishes snap and b = finishes snap in
+  Alcotest.(check (pair int int)) "two resumes agree" a b;
+  Alcotest.(check int) "snapshot kept the pre-mutation count" 3 (snd a)
+
+let test_cache_restore_rejects_geometry () =
+  let mk ~lines ~penalty =
+    Ilp_sim.Cache.create ~lines ~line_words:1 ~penalty ()
+  in
+  let state = Ilp_sim.Cache.snapshot (mk ~lines:8 ~penalty:5) in
+  Alcotest.(check bool) "geometry mismatch raises" true
+    (match Ilp_sim.Cache.restore (mk ~lines:16 ~penalty:5) state with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  Alcotest.(check bool) "penalty mismatch raises" true
+    (match Ilp_sim.Cache.restore (mk ~lines:8 ~penalty:7) state with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  Alcotest.(check bool) "matching geometry restores" true
+    (match Ilp_sim.Cache.restore (mk ~lines:8 ~penalty:5) state with
+    | () -> true
+    | exception Invalid_argument _ -> false)
+
 let tests =
   [ Alcotest.test_case "base throughput" `Quick test_base_throughput;
+    Alcotest.test_case "snapshot/resume round-trip" `Quick
+      test_snapshot_resume_roundtrip;
+    Alcotest.test_case "snapshot independence" `Quick
+      test_snapshot_is_independent;
+    Alcotest.test_case "cache restore geometry" `Quick
+      test_cache_restore_rejects_geometry;
     Alcotest.test_case "scoreboard size" `Quick test_scoreboard_size;
     Alcotest.test_case "histogram vs cache stalls" `Quick
       test_histogram_accounts_cache_stalls;
