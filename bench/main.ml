@@ -27,6 +27,10 @@ let jobs =
    what CI runs to publish the scaling artifact. *)
 let parallel_only = Array.exists (( = ) "--parallel-only") Sys.argv
 
+(* --store-only: run just the cold-vs-warm trace-store measurement
+   (writes BENCH_store.json) and skip everything else. *)
+let store_only = Array.exists (( = ) "--store-only") Sys.argv
+
 (* ------------------------------------------------------------------ *)
 (* 1. regenerate every table and figure                                 *)
 
@@ -148,7 +152,78 @@ let time_parallel () =
   Printf.printf "wrote BENCH_parallel.json\n\n%!"
 
 (* ------------------------------------------------------------------ *)
-(* 4. Bechamel suite                                                    *)
+(* 4. cold vs warm trace store on fig4_1                                *)
+
+(* The same fig4_1 sweep against a fresh persistent store: the cold run
+   captures all 8 workloads and writes them back; the warm run must hit
+   on every group, perform zero workload executions (checked via the
+   engine's capture counter) and produce bit-identical results. *)
+let time_store () =
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ilp-bench-store.%d" (Unix.getpid ()))
+  in
+  let store = Ilp_store.Store.open_root dir in
+  ignore (Ilp_store.Store.clear store);
+  let sweep () =
+    Ilp_core.Experiments.with_store (Some store) Ilp_core.Experiments.fig4_1
+  in
+  Ilp_core.Experiments.reset_capture_count ();
+  let cold_s, cold = wall sweep in
+  let cold_captures = Ilp_core.Experiments.capture_count () in
+  let cold_stats = Ilp_store.Store.stats store in
+  Ilp_store.Store.reset_stats store;
+  Ilp_core.Experiments.reset_capture_count ();
+  let warm_s, warm = wall sweep in
+  let warm_captures = Ilp_core.Experiments.capture_count () in
+  let warm_stats = Ilp_store.Store.stats store in
+  if warm <> cold then
+    failwith "BUG: warm fig4_1 differs from cold fig4_1";
+  if warm_captures <> 0 then
+    failwith
+      (Printf.sprintf
+         "BUG: warm fig4_1 executed %d workload(s); a warm sweep must \
+          perform zero workload execution"
+         warm_captures);
+  if warm_stats.Ilp_store.Store.misses <> 0
+     || warm_stats.Ilp_store.Store.rejects <> 0 then
+    failwith "BUG: warm fig4_1 was not 100% store hits";
+  let ratio = cold_s /. warm_s in
+  Printf.printf
+    "---- fig4_1 trace store comparison ----\n\
+     cold (%d captures, %d writes):  %.2f s\n\
+     warm (%d hits, 0 executions):   %.2f s\n\
+     speedup:                        %.2fx\n\n%!"
+    cold_captures cold_stats.Ilp_store.Store.writes cold_s
+    warm_stats.Ilp_store.Store.hits warm_s ratio;
+  let oc = open_out "BENCH_store.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"fig4_1\",\n\
+    \  \"cold_seconds\": %.3f,\n\
+    \  \"warm_seconds\": %.3f,\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"cold_captures\": %d,\n\
+    \  \"cold_writes\": %d,\n\
+    \  \"warm_hits\": %d,\n\
+    \  \"warm_captures\": %d,\n\
+    \  \"results_identical\": true\n\
+     }\n"
+    cold_s warm_s ratio cold_captures cold_stats.Ilp_store.Store.writes
+    warm_stats.Ilp_store.Store.hits warm_captures;
+  close_out oc;
+  ignore (Ilp_store.Store.clear store);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  Printf.printf "wrote BENCH_store.json\n\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* 5. Bechamel suite                                                    *)
 
 let experiment_tests =
   List.map
@@ -265,6 +340,10 @@ let () =
     time_parallel ();
     exit 0
   end;
+  if store_only then begin
+    time_store ();
+    exit 0
+  end;
   Printf.printf "parallel sweep engine: %d job(s)\n\n%!" jobs;
   Ilp_core.Experiments.with_jobs jobs regenerate;
   print_string
@@ -277,6 +356,11 @@ let () =
      Parallel sweep engine: jobs=1 vs jobs=4 wall clock\n\
      ================================================================\n\n";
   time_parallel ();
+  print_string
+    "================================================================\n\
+     Persistent trace store: cold vs warm wall clock\n\
+     ================================================================\n\n";
+  time_store ();
   print_string
     "================================================================\n\
      Bechamel timings (one test per table/figure + components)\n\

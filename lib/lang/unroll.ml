@@ -87,6 +87,26 @@ let rec expr_mentions name (e : Tast.texpr) =
   | Tast.Tbinary (_, a, b) -> expr_mentions name a || expr_mentions name b
   | Tast.Tcall (_, args) -> List.exists (expr_mentions name) args
 
+(* does statement [s] mention scalar [name] anywhere — as a read in any
+   expression, or as an assignment / declaration target? *)
+let rec stmt_mentions name (s : Tast.tstmt) =
+  let em = expr_mentions name in
+  let eq vr = String.equal vr.Tast.vr_name name in
+  match s with
+  | Tast.TSdecl (vr, init) -> eq vr || Option.fold ~none:false ~some:em init
+  | Tast.TSassign (vr, e) -> eq vr || em e
+  | Tast.TSindex_assign (vr, idx, e) -> eq vr || em idx || em e
+  | Tast.TSif (c, a, b) ->
+      em c
+      || List.exists (stmt_mentions name) a
+      || List.exists (stmt_mentions name) b
+  | Tast.TSwhile (c, body) -> em c || List.exists (stmt_mentions name) body
+  | Tast.TSfor (hdr, body) ->
+      eq hdr.Tast.tf_var || em hdr.Tast.tf_init || em hdr.Tast.tf_limit
+      || List.exists (stmt_mentions name) body
+  | Tast.TSreturn e -> Option.fold ~none:false ~some:em e
+  | Tast.TSexpr e | Tast.TSsink e -> em e
+
 (* accumulation statement [s = s op e] with op associative-commutative
    and e not mentioning s *)
 let accumulator_pattern (s : Tast.tstmt) =
@@ -203,9 +223,30 @@ let unroll_for mode factor (hdr : Tast.tfor) body =
   let accs =
     if mode <> Careful then []
     else
-      List.filter_map accumulator_pattern body
-      |> List.map (fun (vr, op, _) -> (vr, op))
-      |> List.sort_uniq compare
+      let candidates =
+        List.filter_map accumulator_pattern body
+        |> List.map (fun (vr, op, _) -> (vr, op))
+        |> List.sort_uniq compare
+      in
+      (* Splitting an accumulator into per-copy partials is only sound if
+         nothing else observes it inside the loop: every body statement
+         must either be an accumulation [vr = vr op e] with this same op,
+         or not mention [vr] at all.  A read like [x = acc] (or a write
+         with a different op) would see the partial stream, not the true
+         running value.  The loop index is never a valid accumulator —
+         copies substitute it with offset expressions. *)
+      List.filter
+        (fun ((vr : Tast.var_ref), op) ->
+          (not (String.equal vr.Tast.vr_name var))
+          && List.for_all
+               (fun s ->
+                 match accumulator_pattern s with
+                 | Some (vr', op', _)
+                   when String.equal vr'.Tast.vr_name vr.Tast.vr_name ->
+                     op' = op
+                 | _ -> not (stmt_mentions vr.Tast.vr_name s))
+               body)
+        candidates
   in
   let acc_infos =
     List.map

@@ -95,6 +95,193 @@ let footprint_words t =
   let bits _ (v : Bitvec.t) acc = acc + Array.length v.data + 2 in
   Hashtbl.fold stream t.addrs 0 + Hashtbl.fold bits t.branches 0
 
+(* used words of a bit vector: 62 bits per word, rounded up *)
+let bitvec_words len = (len + Bitvec.bits_per_word - 1) / Bitvec.bits_per_word
+
+type stats = {
+  mem_streams : int;
+  branch_streams : int;
+  addr_entries : int;
+  taken_bits : int;
+  dyn : int;
+  packed_bytes : int;
+}
+
+(* Exact cost of the capture: stream counts, recorded entries, and the
+   bytes the packed payload occupies (8 bytes per address, 8 bytes per
+   62 taken bits — capacity slack in the growable vectors excluded). *)
+let stats t =
+  let addr_entries =
+    Hashtbl.fold (fun _ (v : Ivec.t) acc -> acc + v.Ivec.len) t.addrs 0
+  in
+  let taken_bits =
+    Hashtbl.fold (fun _ (v : Bitvec.t) acc -> acc + v.Bitvec.len) t.branches 0
+  in
+  let bit_words =
+    Hashtbl.fold
+      (fun _ (v : Bitvec.t) acc -> acc + bitvec_words v.Bitvec.len)
+      t.branches 0
+  in
+  { mem_streams = Hashtbl.length t.addrs;
+    branch_streams = Hashtbl.length t.branches;
+    addr_entries;
+    taken_bits;
+    dyn = t.dyn_instrs;
+    packed_bytes = 8 * (addr_entries + bit_words);
+  }
+
+let byte_size t = (stats t).packed_bytes
+
+(* Logical equality: same run summary and, per traced instruction, the
+   same recorded streams.  Capacity slack in the growable vectors is
+   ignored, so a capture and its packed/unpacked image compare equal. *)
+let equal a b =
+  let ivec_eq (x : Ivec.t) (y : Ivec.t) =
+    x.Ivec.len = y.Ivec.len
+    &&
+    let rec go i = i >= x.Ivec.len || (x.Ivec.data.(i) = y.Ivec.data.(i) && go (i + 1)) in
+    go 0
+  in
+  let bitvec_eq (x : Bitvec.t) (y : Bitvec.t) =
+    x.Bitvec.len = y.Bitvec.len
+    &&
+    let rec go i =
+      i >= x.Bitvec.len || (Bitvec.get x i = Bitvec.get y i && go (i + 1))
+    in
+    go 0
+  in
+  let table_eq eq ta tb =
+    Hashtbl.length ta = Hashtbl.length tb
+    && Hashtbl.fold
+         (fun id va acc ->
+           acc
+           && match Hashtbl.find_opt tb id with
+              | Some vb -> eq va vb
+              | None -> false)
+         ta true
+  in
+  a.dyn_instrs = b.dyn_instrs
+  && Value.equal a.sink b.sink
+  && a.class_counts = b.class_counts
+  && table_eq ivec_eq a.addrs b.addrs
+  && table_eq bitvec_eq a.branches b.branches
+
+(* ---- packing: a position-keyed external representation ------------- *)
+
+(* The in-memory buffer keys its streams by [Instr.id] — a process-local
+   atomic counter, worthless outside this run.  The packed form re-keys
+   every stream by the instruction's flat static position (functions in
+   program order, blocks in layout order, instructions in block order),
+   which is a pure function of the compiled program.  Compilation is
+   deterministic, so a packed trace written by one process re-attaches
+   exactly in another, provided both hold the same program — the trace
+   store guards that with a canonical program fingerprint. *)
+
+(* flat enumeration shared by [pack] and [unpack]; must visit
+   instructions in the same order as [prepare]'s numbering *)
+let iter_flat (p : Program.t) f =
+  let pos = ref 0 in
+  List.iter
+    (fun (fn : Func.t) ->
+      List.iter
+        (fun (b : Block.t) ->
+          List.iter
+            (fun (i : Instr.t) ->
+              f !pos i;
+              incr pos)
+            b.Block.instrs)
+        fn.Func.blocks)
+    p.Program.functions
+
+type packed = {
+  p_dyn_instrs : int;
+  p_sink : Value.t;
+  p_class_counts : int array;
+  p_addrs : (int * int array) array;
+  p_branches : (int * int * int array) array;
+}
+
+let pack t (p : Program.t) =
+  let pos_of_id = Hashtbl.create 1024 in
+  let n = ref 0 in
+  iter_flat p (fun pos (i : Instr.t) ->
+      Hashtbl.replace pos_of_id i.Instr.id pos;
+      n := pos + 1);
+  let position id =
+    match Hashtbl.find_opt pos_of_id id with
+    | Some pos -> pos
+    | None ->
+        divergence
+          "pack: traced instruction %d is not in the packed program" id
+  in
+  let addrs =
+    Hashtbl.fold
+      (fun id (v : Ivec.t) acc ->
+        (position id, Array.sub v.Ivec.data 0 v.Ivec.len) :: acc)
+      t.addrs []
+  in
+  let branches =
+    Hashtbl.fold
+      (fun id (v : Bitvec.t) acc ->
+        ( position id,
+          v.Bitvec.len,
+          Array.sub v.Bitvec.data 0 (bitvec_words v.Bitvec.len) )
+        :: acc)
+      t.branches []
+  in
+  let by_pos x y = compare (fst x) (fst y) in
+  let by_pos3 (x, _, _) (y, _, _) = compare x y in
+  { p_dyn_instrs = t.dyn_instrs;
+    p_sink = t.sink;
+    p_class_counts = Array.copy t.class_counts;
+    p_addrs = Array.of_list (List.sort by_pos addrs);
+    p_branches = Array.of_list (List.sort by_pos3 branches);
+  }
+
+let unpack pk (p : Program.t) =
+  let n = ref 0 in
+  let ids = ref [||] in
+  (* first pass sizes the table, second fills it *)
+  iter_flat p (fun pos _ -> n := pos + 1);
+  ids := Array.make (max 1 !n) (-1);
+  iter_flat p (fun pos (i : Instr.t) -> !ids.(pos) <- i.Instr.id);
+  let id_at what pos =
+    if pos < 0 || pos >= !n then
+      divergence
+        "unpack: %s stream at static position %d, but the program has \
+         only %d instructions"
+        what pos !n
+    else !ids.(pos)
+  in
+  let addrs = Hashtbl.create (Array.length pk.p_addrs) in
+  Array.iter
+    (fun (pos, data) ->
+      let id = id_at "address" pos in
+      if Hashtbl.mem addrs id then
+        divergence "unpack: duplicate address stream at position %d" pos;
+      Hashtbl.add addrs id
+        { Ivec.data = Array.copy data; len = Array.length data })
+    pk.p_addrs;
+  let branches = Hashtbl.create (Array.length pk.p_branches) in
+  Array.iter
+    (fun (pos, len, words) ->
+      let id = id_at "branch" pos in
+      if Hashtbl.mem branches id then
+        divergence "unpack: duplicate branch stream at position %d" pos;
+      if Array.length words <> bitvec_words len then
+        divergence
+          "unpack: branch stream at position %d has %d words for %d bits"
+          pos (Array.length words) len;
+      Hashtbl.add branches id
+        { Bitvec.data = Array.copy words; len })
+    pk.p_branches;
+  { dyn_instrs = pk.p_dyn_instrs;
+    sink = pk.p_sink;
+    class_counts = Array.copy pk.p_class_counts;
+    addrs;
+    branches;
+  }
+
 let capture ?options ?(observers = []) (p : Program.t) =
   let addrs = Hashtbl.create 1024 in
   let branches = Hashtbl.create 256 in

@@ -48,6 +48,60 @@ val class_counts : t -> int array
 val footprint_words : t -> int
 (** Approximate buffer size in words, for reporting. *)
 
+type stats = {
+  mem_streams : int;  (** static loads/stores with a recorded stream *)
+  branch_streams : int;  (** static conditional branches traced *)
+  addr_entries : int;  (** recorded effective addresses in total *)
+  taken_bits : int;  (** recorded branch outcomes in total *)
+  dyn : int;  (** dynamic instructions of the captured run *)
+  packed_bytes : int;
+      (** exact payload bytes when packed: 8 per address, 8 per 62
+          taken bits *)
+}
+
+val stats : t -> stats
+(** What this capture costs: traced static instructions (memory and
+    branch streams), dynamic steps, and packed bytes. *)
+
+val byte_size : t -> int
+(** [= (stats t).packed_bytes]. *)
+
+val equal : t -> t -> bool
+(** Logical equality of two captures: same run summary and bit-identical
+    recorded streams per traced instruction.  A buffer compares equal to
+    its {!pack}/{!unpack} round trip. *)
+
+(** {1 Packing for the persistent trace store}
+
+    The in-memory buffer keys streams by [Instr.id] — a process-local
+    counter.  {!pack} re-keys them by flat static position (functions in
+    program order, blocks in layout order, instructions in block order),
+    a pure function of the compiled program, so a packed trace written
+    by one process re-attaches exactly in another process that compiled
+    the same program.  [Ilp_store] serializes this form to disk. *)
+
+type packed = {
+  p_dyn_instrs : int;
+  p_sink : Value.t;
+  p_class_counts : int array;
+  p_addrs : (int * int array) array;
+      (** (flat position, effective addresses), sorted by position *)
+  p_branches : (int * int * int array) array;
+      (** (flat position, taken-bit count, packed words), sorted *)
+}
+
+val pack : t -> Program.t -> packed
+(** Re-key the buffer's streams by flat static position in [program]
+    (the program the trace was captured from, or any schedule-sibling
+    built in this process).  Raises {!Divergence} if a traced
+    instruction is not in the program. *)
+
+val unpack : packed -> Program.t -> t
+(** Re-attach a packed trace to [program]'s instruction identities.
+    Raises {!Divergence} when a stream's position falls outside the
+    program or appears twice.  [unpack (pack t p) p] is {!equal} to
+    [t]. *)
+
 val replay : t -> Program.t -> Timing.t -> unit
 (** [replay t binary timing] drives [timing] with the captured stream
     laid over [binary].  Raises {!Divergence} if [binary] is not a

@@ -1,0 +1,47 @@
+(* FNV-1a (64-bit) and CRC-32 (IEEE), self-contained.  See the .mli. *)
+
+module Fnv = struct
+  type t = int64
+
+  let empty = 0xcbf29ce484222325L
+  let prime = 0x100000001b3L
+
+  let byte h b =
+    Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+  let int64 h x =
+    let h = ref h in
+    for k = 0 to 7 do
+      h := byte !h (Int64.to_int (Int64.shift_right_logical x (8 * k)))
+    done;
+    !h
+
+  let int h x = int64 h (Int64.of_int x)
+
+  let string h s =
+    let h = ref h in
+    String.iter (fun c -> h := byte !h (Char.code c)) s;
+    int !h (String.length s)
+
+  let to_hex h = Printf.sprintf "%016Lx" h
+end
+
+module Crc32 = struct
+  (* the standard reflected-polynomial table *)
+  let table =
+    lazy
+      (Array.init 256 (fun n ->
+           let c = ref n in
+           for _ = 0 to 7 do
+             c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+           done;
+           !c))
+
+  let bytes ?(crc = 0) b ~pos ~len =
+    let table = Lazy.force table in
+    let c = ref (crc lxor 0xffffffff) in
+    for k = pos to pos + len - 1 do
+      c := table.((!c lxor Char.code (Bytes.get b k)) land 0xff) lxor (!c lsr 8)
+    done;
+    !c lxor 0xffffffff
+end

@@ -1,0 +1,38 @@
+(** Self-contained hashes used by the trace store: FNV-1a (64-bit, the
+    content address) and CRC-32 (IEEE, the on-disk integrity check).
+    Both are implemented here rather than pulled in as dependencies —
+    they are a handful of lines each and the store's file format pins
+    their exact behaviour. *)
+
+(** 64-bit FNV-1a, computed in [Int64] so the constants are exact on
+    every platform.  Fold bytes into a running state; the final state is
+    the hash. *)
+module Fnv : sig
+  type t = int64
+
+  val empty : t
+  (** The FNV-1a offset basis. *)
+
+  val byte : t -> int -> t
+  (** Fold one byte (low 8 bits of the argument). *)
+
+  val string : t -> string -> t
+  (** Fold every byte of the string, then its length (so
+      ["ab"^"c"] and ["a"^"bc"] fed as two strings differ). *)
+
+  val int : t -> int -> t
+  (** Fold an OCaml int as 8 little-endian bytes. *)
+
+  val int64 : t -> int64 -> t
+  (** Fold 8 little-endian bytes. *)
+
+  val to_hex : t -> string
+  (** 16 lowercase hex digits. *)
+end
+
+(** CRC-32 (IEEE 802.3 polynomial, reflected), as used by zip/png. *)
+module Crc32 : sig
+  val bytes : ?crc:int -> Bytes.t -> pos:int -> len:int -> int
+  (** CRC of [len] bytes starting at [pos]; [crc] continues a previous
+      run (default: fresh).  The result fits 32 bits. *)
+end

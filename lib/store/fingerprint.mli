@@ -1,0 +1,23 @@
+(** Canonical fingerprint of a compiled program.
+
+    The trace store keys a capture by everything it depends on; the
+    fingerprint covers the compiled program itself, so a trace written
+    by one version of the compiler is invalidated the moment any pass
+    produces different code — without trying to enumerate what might
+    have changed.
+
+    The hash is {e canonical}: it ignores every process-local identity.
+    [Instr.id]s are skipped entirely, and generated block labels (fresh
+    ["L_N"] names whose counters depend on what else the process
+    compiled first) are replaced by their ordinal of first appearance in
+    layout order.  Everything observable about execution is covered:
+    globals and their initializers, function signatures and frame sizes,
+    and per instruction the opcode, destination, operands, canonicalized
+    target and constant offset.  [Mem_info] annotations are excluded —
+    they steer the scheduler, not execution, and traces are
+    schedule-invariant by construction. *)
+
+val program : Ilp_ir.Program.t -> int64
+(** FNV-1a over the canonical rendering described above.  Two programs
+    compiled from the same source by the same compiler hash equal in any
+    two processes; any difference in executed code changes the hash. *)

@@ -16,6 +16,7 @@ let () =
       ("extensions", Test_extensions.tests);
       ("validate", Test_validate.tests);
       ("replay", Test_replay.tests);
+      ("store", Test_store.tests);
       ("par", Test_par.tests);
       ("analysis", Test_analysis.tests);
       ("dataflow", Test_dataflow.tests);

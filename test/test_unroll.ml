@@ -133,6 +133,35 @@ fun main() {
   let expected = Helpers.sink_of ~level:Ilp_core.Ilp.O0 src in
   check_factors "int accumulators" src expected
 
+let test_unroll_observed_accumulator () =
+  (* regression (found by the differential fuzzer): a statement shaped
+     like an accumulation must not be split into partials when the body
+     also reads the variable elsewhere — [x0 = x2] observes the true
+     running product, which the partials don't carry.  Likewise a
+     variable accumulated under two different operators cannot be
+     reassociated under either. *)
+  let src =
+    {|
+fun main() {
+  var x0 : int = 16;
+  var x2 : int = 10;
+  var t : int = 1;
+  var j : int;
+  for (j = 0; j < 4; j = j + 1) {
+    x0 = x2;
+    x2 = x2 * 16;
+  }
+  for (j = 0; j < 6; j = j + 1) {
+    t = t + 2;
+    t = t * 3;
+  }
+  sink(x0 + x2 + t + j);
+}
+|}
+  in
+  check_factors "observed accumulator" src
+    (Helpers.sink_of ~level:Ilp_core.Ilp.O0 src)
+
 let test_unroll_float_accumulator_reassociates () =
   (* reassociation perturbs FP rounding: allow a relative tolerance *)
   let src =
@@ -238,6 +267,7 @@ let tests =
     Alcotest.test_case "step 2" `Quick test_unroll_step2;
     Alcotest.test_case "final loop variable" `Quick test_unroll_loop_var_after;
     Alcotest.test_case "int accumulators" `Quick test_unroll_int_accumulator;
+    Alcotest.test_case "observed accumulator" `Quick test_unroll_observed_accumulator;
     Alcotest.test_case "float accumulator" `Quick test_unroll_float_accumulator_reassociates;
     Alcotest.test_case "cross-iteration recurrence" `Quick test_unroll_store_load_cross_iteration;
     Alcotest.test_case "nested loops" `Quick test_unroll_skips_outer_loops;
