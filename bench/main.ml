@@ -31,6 +31,11 @@ let parallel_only = Array.exists (( = ) "--parallel-only") Sys.argv
    (writes BENCH_store.json) and skip everything else. *)
 let store_only = Array.exists (( = ) "--store-only") Sys.argv
 
+(* --memdep-only: run just the memory-disambiguation study (writes
+   BENCH_memdep.json) and skip everything else — what CI runs to
+   publish the disambiguation artifact. *)
+let memdep_only = Array.exists (( = ) "--memdep-only") Sys.argv
+
 (* ------------------------------------------------------------------ *)
 (* 1. regenerate every table and figure                                 *)
 
@@ -223,7 +228,61 @@ let time_store () =
   Printf.printf "wrote BENCH_store.json\n\n%!"
 
 (* ------------------------------------------------------------------ *)
-(* 5. Bechamel suite                                                    *)
+(* 5. conservative vs alias-disambiguated scheduling                    *)
+
+(* The memdep study sweep: every (workload, superscalar degree) cell
+   scheduled with and without static memory disambiguation, off one
+   shared capture per workload.  The JSON records both curves; the run
+   fails if no cell shows a strict ILP improvement — the disambiguation
+   pipeline's reason to exist. *)
+let time_memdep () =
+  let rows = Ilp_core.Experiments.memdep_study () in
+  Printf.printf
+    "---- memory disambiguation (conservative vs alias-aware scheduling) \
+     ----\n";
+  List.iter
+    (fun (r : Ilp_core.Experiments.memdep_row) ->
+      Printf.printf "%-10s degree %d:  %.3f -> %.3f  (%+.1f%%)\n" r.md_bench
+        r.md_degree r.md_conservative r.md_disambiguated
+        (100.0 *. ((r.md_disambiguated /. r.md_conservative) -. 1.0)))
+    rows;
+  let improved =
+    List.exists
+      (fun (r : Ilp_core.Experiments.memdep_row) ->
+        r.md_disambiguated > r.md_conservative)
+      rows
+  in
+  let regressed =
+    List.exists
+      (fun (r : Ilp_core.Experiments.memdep_row) ->
+        r.md_disambiguated < r.md_conservative)
+      rows
+  in
+  if not improved then
+    failwith
+      "BUG: no workload shows strictly higher scheduled ILP with \
+       disambiguation on";
+  if regressed then
+    failwith
+      "BUG: a workload scheduled strictly worse with disambiguation on";
+  print_newline ();
+  let oc = open_out "BENCH_memdep.json" in
+  Printf.fprintf oc "{\n  \"experiment\": \"memdep\",\n  \"rows\": [";
+  List.iteri
+    (fun i (r : Ilp_core.Experiments.memdep_row) ->
+      Printf.fprintf oc
+        "%s\n\
+        \    { \"bench\": \"%s\", \"degree\": %d, \"conservative\": %.4f, \
+         \"disambiguated\": %.4f }"
+        (if i > 0 then "," else "")
+        r.md_bench r.md_degree r.md_conservative r.md_disambiguated)
+    rows;
+  Printf.fprintf oc "\n  ],\n  \"improved\": %b\n}\n" improved;
+  close_out oc;
+  Printf.printf "wrote BENCH_memdep.json\n\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* 6. Bechamel suite                                                    *)
 
 let experiment_tests =
   List.map
@@ -344,6 +403,10 @@ let () =
     time_store ();
     exit 0
   end;
+  if memdep_only then begin
+    time_memdep ();
+    exit 0
+  end;
   Printf.printf "parallel sweep engine: %d job(s)\n\n%!" jobs;
   Ilp_core.Experiments.with_jobs jobs regenerate;
   print_string
@@ -361,6 +424,11 @@ let () =
      Persistent trace store: cold vs warm wall clock\n\
      ================================================================\n\n";
   time_store ();
+  print_string
+    "================================================================\n\
+     Memory disambiguation: conservative vs alias-aware scheduling\n\
+     ================================================================\n\n";
+  time_memdep ();
   print_string
     "================================================================\n\
      Bechamel timings (one test per table/figure + components)\n\

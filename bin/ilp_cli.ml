@@ -220,8 +220,19 @@ let run_cmd =
     in
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
   in
-  let action bench machine level factor careful replay segment check jobs
-      storedir verbose =
+  let memdep_arg =
+    let doc =
+      "Schedule with static memory-dependence disambiguation: dependence \
+       edges between memory accesses the alias analysis proves disjoint \
+       are dropped before list scheduling.  With $(b,--check), every \
+       pruned edge is independently re-justified against a conservative \
+       dependence graph and the disambiguated schedule's per-address \
+       store streams are compared against the unscheduled program."
+    in
+    Arg.(value & flag & info [ "memdep" ] ~doc)
+  in
+  let action bench machine level factor careful replay segment check memdep
+      jobs storedir verbose =
     validate_jobs jobs;
     validate_segment segment;
     let w = find_bench bench in
@@ -257,7 +268,7 @@ let run_cmd =
                          fresh@.");
                   trace_stats := Some (Ilp_sim.Trace_buffer.stats trace);
                   let binary =
-                    Ilp_core.Ilp.schedule ~check ~level machine pre
+                    Ilp_core.Ilp.schedule ~check ~memdep ~level machine pre
                   in
                   match segment with
                   | Some segment ->
@@ -266,11 +277,11 @@ let run_cmd =
                   | None -> Ilp_sim.Metrics.measure_replay machine trace binary)
                 else if check then (
                   let binary =
-                    Ilp_core.Diffcheck.check_compile ?unroll ~level machine
-                      source
+                    Ilp_core.Diffcheck.check_compile ?unroll ~memdep ~level
+                      machine source
                   in
                   Ilp_sim.Metrics.measure machine binary)
-                else Ilp_core.Ilp.measure ?unroll ~level machine source))
+                else Ilp_core.Ilp.measure ?unroll ~memdep ~level machine source))
       with e -> report_check_failure e
     in
     Fmt.pr "benchmark      %s@." bench;
@@ -281,6 +292,7 @@ let run_cmd =
       | true, Some n -> Printf.sprintf "trace replay (segments of %d)" n
       | true, None -> "trace replay"
       | false, _ -> "direct");
+    if memdep then Fmt.pr "memdep         alias-aware scheduling@.";
     if check then Fmt.pr "checked        every pass (clean)@.";
     (if verbose then
        match !trace_stats with
@@ -302,8 +314,8 @@ let run_cmd =
   let term =
     Term.(
       const action $ bench_arg $ machine_arg $ level_arg $ unroll_arg
-      $ careful_arg $ replay_arg $ segment_arg $ check_arg $ jobs_arg
-      $ store_arg $ verbose_arg)
+      $ careful_arg $ replay_arg $ segment_arg $ check_arg $ memdep_arg
+      $ jobs_arg $ store_arg $ verbose_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and simulate one benchmark") term
 
@@ -380,14 +392,27 @@ let fuzz_cmd =
              count): the same counterexample is found and shrunk at any \
              --jobs.")
   in
-  let action count seed jobs =
+  let alias_heavy_arg =
+    Arg.(
+      value & flag
+      & info [ "alias-heavy" ]
+          ~doc:
+            "Draw from the aliasing-adversarial generator mode: one or two \
+             arrays hammered through affine indices over shared index \
+             locals, index copies, and small positive and negative \
+             offsets — the shapes the memory-dependence analysis must \
+             either prove apart or refuse to prune.")
+  in
+  let action count seed jobs alias_heavy =
     let jobs = max 1 jobs in
-    match Ilp_core.Fuzz.run ~jobs ~count ~seed () with
+    match Ilp_core.Fuzz.run ~jobs ~count ~seed ~alias_heavy () with
     | () ->
         Fmt.pr
-          "fuzz: %d random programs x 5 levels x 3 machines: all checks \
+          "fuzz: %d random %sprograms x 5 levels x 3 machines: all checks \
            passed (seed %d)@."
-          count seed
+          count
+          (if alias_heavy then "alias-heavy " else "")
+          seed
     | exception Ilp_core.Fuzz.Failed f ->
         Fmt.epr "fuzz: iteration %d (seed %d) FAILED on %s:@.  %s@." f.index
           f.seed f.config_name f.error;
@@ -401,7 +426,7 @@ let fuzz_cmd =
           every pass validated, every stage executed and compared, every \
           schedule legality-checked; failures are shrunk to a minimal \
           program")
-    Term.(const action $ count_arg $ seed_arg $ jobs_arg)
+    Term.(const action $ count_arg $ seed_arg $ jobs_arg $ alias_heavy_arg)
 
 (* --- lint --------------------------------------------------------------- *)
 
@@ -449,12 +474,32 @@ let lint_compile ?unroll ~level config source =
             add name
               (Ilp_regalloc.Regalloc_verify.check_temp_alloc_program config
                  ~before ~after:p)
-        | "list_sched", Some before -> (
-            try
-              Ilp_sched.Check_sched.check_program config ~original:before
-                ~scheduled:p
-            with Ilp_sched.Check_sched.Illegal msg ->
-              add name [ D.make Error ~check:"sched" ~func:"program" msg ])
+        | "list_sched", Some before ->
+            (try
+               Ilp_sched.Check_sched.check_program config ~original:before
+                 ~scheduled:p
+             with Ilp_sched.Check_sched.Illegal msg ->
+               add name [ D.make Error ~check:"sched" ~func:"program" msg ]);
+            (* per-function disambiguation stats on the pre-schedule
+               program: how many ordered memory pairs the alias analysis
+               sees, proves apart, and would prune beyond the region
+               annotations *)
+            List.iter
+              (fun (f : Ilp_ir.Func.t) ->
+                let md = Ilp_analysis.Memdep.analyze f in
+                let s = Ilp_analysis.Memdep.func_stats md f in
+                add name
+                  [ D.make Ilp_analysis.Diagnostics.Info ~check:"memdep"
+                      ~func:f.Ilp_ir.Func.name
+                      (Printf.sprintf
+                         "%d ordered memory pair(s): %d proven no-alias, \
+                          %d must-alias, %d edge(s) pruned beyond the \
+                          region analysis"
+                         s.Ilp_analysis.Memdep.pairs
+                         s.Ilp_analysis.Memdep.no_alias
+                         s.Ilp_analysis.Memdep.must_alias
+                         s.Ilp_analysis.Memdep.pruned) ])
+              before.Ilp_ir.Program.functions
         | _ -> ());
         walk (Some p) rest
   in
@@ -477,6 +522,91 @@ let severity_conv =
   in
   Arg.conv (parse, Ilp_analysis.Diagnostics.pp_severity)
 
+(* Stable machine-readable rendering of lint results: schema version 1,
+   one entry per linted (benchmark, machine, level, unroll, careful)
+   configuration with its threshold-filtered diagnostics, plus a
+   severity summary over everything included.  Hand-rolled printer —
+   the repo deliberately carries no JSON dependency. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let lint_json results =
+  let module D = Ilp_analysis.Diagnostics in
+  let b = Buffer.create 4096 in
+  let errors = ref 0 and warnings = ref 0 and infos = ref 0 in
+  let severity_name = function
+    | D.Error -> "error"
+    | D.Warning -> "warning"
+    | D.Info -> "info"
+  in
+  let opt_string = function
+    | None -> "null"
+    | Some s -> Printf.sprintf "\"%s\"" (json_escape s)
+  in
+  Buffer.add_string b "{\n  \"version\": 1,\n  \"results\": [";
+  List.iteri
+    (fun i (bench, machine, level, factor, careful, diags) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n    { \"bench\": \"%s\", \"machine\": \"%s\", \"level\": \
+            \"O%d\", \"unroll\": %d, \"careful\": %b,\n\
+           \      \"diagnostics\": ["
+           (json_escape bench) (json_escape machine)
+           (Ilp_core.Ilp.level_rank level)
+           factor careful);
+      List.iteri
+        (fun j (pass, d) ->
+          (match d.D.severity with
+          | D.Error -> incr errors
+          | D.Warning -> incr warnings
+          | D.Info -> incr infos);
+          if j > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf
+               "\n        { \"pass\": \"%s\", \"severity\": \"%s\", \
+                \"check\": \"%s\", \"func\": \"%s\", \"block\": %s, \
+                \"instr\": %s, \"message\": \"%s\" }"
+               (json_escape pass)
+               (severity_name d.D.severity)
+               (json_escape d.D.check) (json_escape d.D.func)
+               (opt_string d.D.block) (opt_string d.D.instr)
+               (json_escape d.D.message)))
+        diags;
+      Buffer.add_string b
+        (if diags = [] then "] }" else "\n      ] }"))
+    results;
+  Buffer.add_string b
+    (Printf.sprintf
+       "\n  ],\n\
+       \  \"summary\": { \"errors\": %d, \"warnings\": %d, \"infos\": %d }\n\
+        }\n"
+       !errors !warnings !infos);
+  Buffer.contents b
+
+(* The deterministic aliasing-adversarial corpus `lint --all` sweeps in
+   addition to the benchmark suite: the same generator mode as
+   `ilp fuzz --alias-heavy`, at pinned seeds so CI output is stable. *)
+let alias_corpus () =
+  List.init 10 (fun k ->
+      let st = Random.State.make [| 0x1197; 0xa11a; k |] in
+      ( Printf.sprintf "alias-%02d" k,
+        Ilp_lang.Gen_prog.render
+          (Ilp_lang.Gen_prog.generate ~mode:`Alias_heavy st) ))
+
 let lint_cmd =
   let module D = Ilp_analysis.Diagnostics in
   let all_flag =
@@ -484,9 +614,21 @@ let lint_cmd =
       value & flag
       & info [ "all" ]
           ~doc:
-            "Lint every benchmark at every optimization level and unroll \
-             factor; print error diagnostics only and a summary line per \
-             benchmark.")
+            "Lint every benchmark, plus a deterministic \
+             aliasing-adversarial generated corpus, at every optimization \
+             level and unroll factor; print error diagnostics (capped) \
+             and a summary line per program.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit diagnostics as JSON (schema version 1) on stdout \
+             instead of text: one result per linted configuration with \
+             its pass, severity, check, location and message, plus a \
+             severity summary.  The exit code still reflects \
+             error-severity findings only.")
   in
   let bench_opt_arg =
     let doc = "Benchmark name (see `ilp list'); required without --all." in
@@ -515,12 +657,28 @@ let lint_cmd =
       shown;
     List.length shown
   in
-  let action all bench machine level factor careful threshold =
+  let action all json bench machine level factor careful threshold =
+    let keep diags =
+      List.filter (fun (_, d) -> rank d.D.severity <= rank threshold) diags
+    in
     if all then begin
+      let corpus = alias_corpus () in
+      let targets =
+        List.map
+          (fun w ->
+            (w.Ilp_workloads.Workload.name, w.Ilp_workloads.Workload.source))
+          Ilp_workloads.Registry.all
+        @ corpus
+      in
+      let results = ref [] in
       let errors = ref 0 in
+      (* the dump of individual error diagnostics is capped; the
+         nonzero-exit path always ends with a one-line summary count *)
+      let dump_cap = 20 in
+      let dumped = ref 0 in
+      let suppressed = ref 0 in
       List.iter
-        (fun w ->
-          let source = w.Ilp_workloads.Workload.source in
+        (fun (bname, source) ->
           let bench_errors = ref 0 in
           List.iter
             (fun level ->
@@ -528,26 +686,43 @@ let lint_cmd =
                 (fun factor ->
                   let unroll = unroll_spec factor false in
                   let diags = lint_compile ?unroll ~level machine source in
+                  results :=
+                    ( bname, machine.Ilp_machine.Config.name, level, factor,
+                      false, keep diags )
+                    :: !results;
                   let errs = List.filter (fun (_, d) -> D.is_error d) diags in
                   bench_errors := !bench_errors + List.length errs;
-                  List.iter
-                    (fun (pass, d) ->
-                      Fmt.pr "%s -O%d -u%d %s: %s@."
-                        w.Ilp_workloads.Workload.name
-                        (Ilp_core.Ilp.level_rank level)
-                        factor pass (D.to_string d))
-                    errs)
+                  if not json then
+                    List.iter
+                      (fun (pass, d) ->
+                        if !dumped < dump_cap then begin
+                          incr dumped;
+                          Fmt.pr "%s -O%d -u%d %s: %s@." bname
+                            (Ilp_core.Ilp.level_rank level)
+                            factor pass (D.to_string d)
+                        end
+                        else incr suppressed)
+                      errs)
                 [ 1; 2; 4 ])
             Ilp_core.Ilp.all_levels;
           errors := !errors + !bench_errors;
-          Fmt.pr "lint %-10s %s: %s@." w.Ilp_workloads.Workload.name
-            machine.Ilp_machine.Config.name
-            (if !bench_errors = 0 then
-               "clean at every level and unroll factor"
-             else Printf.sprintf "%d error(s)" !bench_errors))
-        Ilp_workloads.Registry.all;
+          if not json then
+            Fmt.pr "lint %-10s %s: %s@." bname
+              machine.Ilp_machine.Config.name
+              (if !bench_errors = 0 then
+                 "clean at every level and unroll factor"
+               else Printf.sprintf "%d error(s)" !bench_errors))
+        targets;
+      if json then print_string (lint_json (List.rev !results));
       if !errors > 0 then begin
-        Fmt.epr "lint: %d error(s)@." !errors;
+        if !suppressed > 0 then
+          Fmt.pr "... %d more error(s) not shown@." !suppressed;
+        Fmt.epr
+          "lint: %d error(s) across %d benchmark(s) and %d generated \
+           program(s)@."
+          !errors
+          (List.length Ilp_workloads.Registry.all)
+          (List.length corpus);
         exit 1
       end
     end
@@ -561,19 +736,26 @@ let lint_cmd =
           let unroll = unroll_spec factor careful in
           let source = source_for w careful in
           let diags = lint_compile ?unroll ~level machine source in
-          let shown = report ~threshold diags in
           let errors = List.filter (fun (_, d) -> D.is_error d) diags in
-          if shown = 0 then
-            Fmt.pr "lint: %s at %s on %s: clean (nothing at or above %a)@."
-              bench
-              (Ilp_core.Ilp.opt_level_name level)
-              machine.Ilp_machine.Config.name D.pp_severity threshold;
+          if json then
+            print_string
+              (lint_json
+                 [ ( bench, machine.Ilp_machine.Config.name, level, factor,
+                     careful, keep diags ) ])
+          else begin
+            let shown = report ~threshold diags in
+            if shown = 0 then
+              Fmt.pr "lint: %s at %s on %s: clean (nothing at or above %a)@."
+                bench
+                (Ilp_core.Ilp.opt_level_name level)
+                machine.Ilp_machine.Config.name D.pp_severity threshold
+          end;
           if errors <> [] then exit 1
   in
   let term =
     Term.(
-      const action $ all_flag $ bench_opt_arg $ machine_arg $ level_arg
-      $ unroll_arg $ careful_arg $ severity_arg)
+      const action $ all_flag $ json_flag $ bench_opt_arg $ machine_arg
+      $ level_arg $ unroll_arg $ careful_arg $ severity_arg)
   in
   Cmd.v
     (Cmd.info "lint"

@@ -1,0 +1,488 @@
+(* Static memory-dependence analysis: may two memory operations touch
+   the same word?
+
+   The scheduler's conservative rule (Ddg, via [Mem_info.disjoint])
+   keeps a store->load edge whenever the static region annotations
+   cannot prove the accesses apart.  That rule loses exactly the cases
+   unrolling creates: the copies of a[i] and a[i+1] compute their
+   addresses through *different* virtual registers (and, after LICM,
+   through constants hoisted out of the block), so the annotation's
+   same-register side condition never fires.
+
+   This module recovers those facts in two tiers:
+
+   1. A flow-sensitive forward dataflow ("Addr_val"): each register maps
+      to a symbolic base plus a constant-offset interval —
+      [base + [lo, hi]] where the base is an absolute constant, a
+      register's value at function entry, or the most recent result of a
+      given instruction.  The transfer tracks Li/Mov/Add/Sub exactly;
+      every other definition becomes its own base.  A definition site
+      re-executing invalidates stale references to its previous value,
+      which is what makes [Def] bases sound around loop back edges
+      (affine induction steps survive as "Def(increment) + k").
+
+   2. A per-block symbolic evaluation: every register holds a linear
+      combination of hash-consed opaque terms (function-entry values,
+      pre-block results seeded from tier 1, deterministic operator
+      applications, fresh unknowns), folded with native [int] arithmetic
+      — the executor's own arithmetic, so constant folding is exact,
+      wrap-around included.  Loads are value-numbered through a small
+      memory environment with store-to-load forwarding.
+
+   Classification compares the two symbolic addresses: a difference that
+   folds to a non-zero constant is [No_alias], to zero is [Must_alias];
+   anything else falls back to the conservative [Mem_info.disjoint].
+   The verdict therefore only ever refines the conservative analysis.
+
+   Soundness under reordering: every term denotes a value fixed per
+   block execution, computed by instructions whose register (RAW) edges
+   the scheduler never removes, and a load's value number is killed by
+   any store not provably to a different word — so a [No_alias] verdict
+   established on the original instruction order remains valid in any
+   DDG-respecting permutation of the block. *)
+
+open Ilp_ir
+
+type alias = Must_alias | No_alias | May_alias
+
+let equal_alias (a : alias) (b : alias) = a = b
+
+let pp_alias ppf = function
+  | Must_alias -> Fmt.string ppf "must-alias"
+  | No_alias -> Fmt.string ppf "no-alias"
+  | May_alias -> Fmt.string ppf "may-alias"
+
+let mem_of (i : Instr.t) =
+  match i.Instr.mem with Some m -> m | None -> Mem_info.unknown
+
+(* The refinement floor: what the scheduler already knows without any
+   value tracking. *)
+let conservative (i : Instr.t) (j : Instr.t) =
+  if Mem_info.disjoint (mem_of i) (mem_of j) then No_alias else May_alias
+
+(* ------------------------------------------------------------------ *)
+(* Tier 1: interprocedural-block value tracking ("Addr_val").          *)
+
+(* Intervals wider than this are dropped at joins and shifts: past a few
+   unroll copies apart, a wide interval proves nothing and only delays
+   the fixpoint. *)
+let width_cap = 16
+
+module Av = struct
+  type base =
+    | Abs  (** an absolute constant *)
+    | Init of int  (** the value register [index] held at function entry *)
+    | Def of int  (** the most recent result of instruction [id] *)
+
+  type t = { base : base; lo : int; hi : int }
+
+  let equal a b = a.base = b.base && a.lo = b.lo && a.hi = b.hi
+
+  let pp_base ppf = function
+    | Abs -> ()
+    | Init r -> Fmt.pf ppf "%a@entry" Reg.pp (Reg.of_index r)
+    | Def id -> Fmt.pf ppf "#%d" id
+
+  let pp ppf { base; lo; hi } =
+    if lo = hi then Fmt.pf ppf "%a%+d" pp_base base lo
+    else Fmt.pf ppf "%a+[%d,%d]" pp_base base lo hi
+end
+
+module IntMap = Map.Make (Int)
+
+module Lattice = struct
+  (* [Univ] is the value of paths not yet seen (the join identity of a
+     must-analysis); a map entry is a proven fact, an absent key is
+     "unknown". *)
+  type t = Univ | Env of Av.t IntMap.t
+
+  let equal a b =
+    match (a, b) with
+    | Univ, Univ -> true
+    | Env m1, Env m2 -> IntMap.equal Av.equal m1 m2
+    | Univ, Env _ | Env _, Univ -> false
+
+  let join a b =
+    match (a, b) with
+    | Univ, v | v, Univ -> v
+    | Env m1, Env m2 ->
+        Env
+          (IntMap.merge
+             (fun _ a b ->
+               match (a, b) with
+               | Some (a : Av.t), Some (b : Av.t) when a.base = b.base ->
+                   let lo = min a.lo b.lo and hi = max a.hi b.hi in
+                   if hi - lo <= width_cap then Some { a with lo; hi }
+                   else None
+               | _ -> None)
+             m1 m2)
+
+  let pp ppf = function
+    | Univ -> Fmt.string ppf "<univ>"
+    | Env m ->
+        Fmt.pf ppf "{%a}"
+          (Fmt.iter_bindings ~sep:Fmt.comma IntMap.iter (fun ppf (k, v) ->
+               Fmt.pf ppf "%a=%a" Reg.pp (Reg.of_index k) Av.pp v))
+          m
+end
+
+module Transfer = struct
+  module L = Lattice
+
+  type ctx = Cfg_info.t
+
+  let prepare cfg = cfg
+  let init _ = Lattice.Univ
+
+  (* Every register enters the function holding its (unknown but fixed)
+     entry value; copies of one entry value disambiguate against each
+     other across blocks. *)
+  let boundary (cfg : Cfg_info.t) =
+    let m = ref IntMap.empty in
+    List.iter
+      (fun (b : Block.t) ->
+        List.iter
+          (fun (i : Instr.t) ->
+            List.iter
+              (fun r ->
+                let k = Reg.index r in
+                m :=
+                  IntMap.add k
+                    { Av.base = Av.Init k; lo = 0; hi = 0 }
+                    !m)
+              (Instr.uses i @ Instr.defs i))
+          b.Block.instrs)
+      cfg.Cfg_info.func.Func.blocks;
+    Lattice.Env !m
+
+  let shifted (v : Av.t) lo hi =
+    let lo' = v.lo + lo and hi' = v.hi + hi in
+    if hi' - lo' <= width_cap then Some { v with lo = lo'; hi = hi' }
+    else None
+
+  let step m (i : Instr.t) =
+    (* references to instruction [i]'s previous result go stale the
+       moment it executes again *)
+    let m =
+      IntMap.filter (fun _ (v : Av.t) -> v.base <> Av.Def i.Instr.id) m
+    in
+    let find r = IntMap.find_opt (Reg.index r) m in
+    let set r v m = IntMap.add (Reg.index r) v m in
+    let own_def () = { Av.base = Av.Def i.Instr.id; lo = 0; hi = 0 } in
+    if Instr.is_call i then
+      (* the callee may clobber anything but restores the stack
+         pointer *)
+      let m = IntMap.filter (fun k _ -> k = Reg.index Reg.sp) m in
+      set Instr.ret_reg (own_def ()) m
+    else
+      match (i.Instr.op, i.Instr.dst, i.Instr.srcs) with
+      | Opcode.Li, Some d, [ Instr.Oimm n ] ->
+          set d { Av.base = Av.Abs; lo = n; hi = n } m
+      | Opcode.Mov, Some d, [ Instr.Oreg s ] -> (
+          match find s with
+          | Some v -> set d v m
+          | None -> set d (own_def ()) m)
+      | (Opcode.Add | Opcode.Sub), Some d, [ Instr.Oreg s1; op2 ] ->
+          let sub = i.Instr.op = Opcode.Sub in
+          let v =
+            match (find s1, op2) with
+            | Some v1, Instr.Oimm n ->
+                if sub then shifted v1 (-n) (-n) else shifted v1 n n
+            | Some v1, Instr.Oreg s2 -> (
+                match (v1, find s2) with
+                | v1, Some { Av.base = Av.Abs; lo; hi } ->
+                    if sub then shifted v1 (-hi) (-lo) else shifted v1 lo hi
+                | { Av.base = Av.Abs; lo; hi; _ }, Some v2 when not sub ->
+                    shifted v2 lo hi
+                | _ -> None)
+            | None, _ -> None
+            | Some _, Instr.Ofimm _ -> None
+          in
+          set d (Option.value v ~default:(own_def ())) m
+      | _, Some d, _ -> set d (own_def ()) m
+      | _, None, _ -> m
+
+  let transfer (cfg : ctx) bi v =
+    match v with
+    | Lattice.Univ -> Lattice.Univ
+    | Lattice.Env m ->
+        Lattice.Env
+          (List.fold_left step m cfg.Cfg_info.blocks.(bi).Block.instrs)
+end
+
+module Solver = Dataflow.Forward (Transfer)
+
+(* ------------------------------------------------------------------ *)
+(* Tier 2: per-block symbolic addresses as linear combinations of      *)
+(* hash-consed terms.                                                  *)
+
+type tnode =
+  | TInit of int  (** register [index]'s value at function entry *)
+  | TPre of int  (** instruction [id]'s last result before block entry *)
+  | TOpaque of int  (** a fresh unknown, fixed at its creation *)
+  | TApp of Opcode.t * int list
+      (** deterministic integer operator over term ids *)
+  | TLin of (int * int) list * int  (** an embedded linear combination *)
+
+type store = {
+  tab : (tnode, int) Hashtbl.t;
+  mutable next_id : int;
+  mutable next_opaque : int;
+}
+
+let new_store () = { tab = Hashtbl.create 64; next_id = 0; next_opaque = 0 }
+
+let intern st n =
+  match Hashtbl.find_opt st.tab n with
+  | Some id -> id
+  | None ->
+      let id = st.next_id in
+      st.next_id <- id + 1;
+      Hashtbl.add st.tab n id;
+      id
+
+let opaque st =
+  let k = st.next_opaque in
+  st.next_opaque <- k + 1;
+  intern st (TOpaque k)
+
+(* A value is [off + sum coeff * term]; coefficient lists are sorted by
+   term id with no zero coefficients, so values are canonical and the
+   folding is ordinary [int] arithmetic — identical to the executor's. *)
+type lin = { coeffs : (int * int) list; off : int }
+
+let lconst n = { coeffs = []; off = n }
+let lterm t = { coeffs = [ (t, 1) ]; off = 0 }
+
+let rec merge_coeffs xs ys =
+  match (xs, ys) with
+  | [], l | l, [] -> l
+  | (t1, c1) :: r1, (t2, c2) :: r2 ->
+      if t1 < t2 then (t1, c1) :: merge_coeffs r1 ys
+      else if t1 > t2 then (t2, c2) :: merge_coeffs xs r2
+      else
+        let c = c1 + c2 in
+        if c = 0 then merge_coeffs r1 r2 else (t1, c) :: merge_coeffs r1 r2
+
+let ladd a b = { coeffs = merge_coeffs a.coeffs b.coeffs; off = a.off + b.off }
+
+let lscale k a =
+  if k = 0 then lconst 0
+  else { coeffs = List.map (fun (t, c) -> (t, k * c)) a.coeffs; off = k * a.off }
+
+let lsub a b = ladd a (lscale (-1) b)
+
+let embed st l =
+  match (l.coeffs, l.off) with
+  | [ (t, 1) ], 0 -> t
+  | coeffs, off -> intern st (TLin (coeffs, off))
+
+(* Symbolically execute one straight-line block.  [seed] pre-populates
+   the register environment from tier-1 facts; any other register read
+   lazily binds a fresh opaque (memoized through the environment, so
+   re-reads agree and redefinitions forget it).  Returns the symbolic
+   address of every memory instruction, keyed by instruction id. *)
+let exec_block st ~seed instrs =
+  let env : (int, lin) Hashtbl.t = Hashtbl.create 64 in
+  seed env;
+  (* value-numbered memory: embedded address term -> (address, value) *)
+  let memenv : (int, lin * lin) Hashtbl.t = Hashtbl.create 16 in
+  let addrs : (int, lin) Hashtbl.t = Hashtbl.create 16 in
+  let read_reg r =
+    let k = Reg.index r in
+    match Hashtbl.find_opt env k with
+    | Some v -> v
+    | None ->
+        let v = lterm (opaque st) in
+        Hashtbl.replace env k v;
+        v
+  in
+  let operand = function
+    | Instr.Oreg r -> read_reg r
+    | Instr.Oimm n -> lconst n
+    | Instr.Ofimm _ -> lterm (opaque st)
+  in
+  let set d v = Hashtbl.replace env (Reg.index d) v in
+  let node op args =
+    let args = List.map (embed st) args in
+    let args =
+      if Opcode.is_assoc_commutative op then List.sort compare args else args
+    in
+    lterm (intern st (TApp (op, args)))
+  in
+  List.iter
+    (fun (i : Instr.t) ->
+      if Instr.is_call i then begin
+        (* the callee may read and write any register except the
+           restored stack pointer, and any memory word *)
+        let sp_v = read_reg Reg.sp in
+        Hashtbl.reset env;
+        Hashtbl.replace env (Reg.index Reg.sp) sp_v;
+        Hashtbl.reset memenv;
+        set Instr.ret_reg (lterm (opaque st))
+      end
+      else
+        match (i.Instr.op, i.Instr.srcs) with
+        | Opcode.Ld, [ base ] ->
+            let addr = ladd (operand base) (lconst i.Instr.offset) in
+            Hashtbl.replace addrs i.Instr.id addr;
+            let key = embed st addr in
+            let v =
+              match Hashtbl.find_opt memenv key with
+              | Some (_, v) -> v
+              | None ->
+                  let v = lterm (opaque st) in
+                  Hashtbl.replace memenv key (addr, v);
+                  v
+            in
+            Option.iter (fun d -> set d v) i.Instr.dst
+        | Opcode.St, [ value; base ] ->
+            let v = operand value in
+            let addr = ladd (operand base) (lconst i.Instr.offset) in
+            Hashtbl.replace addrs i.Instr.id addr;
+            (* provably different words survive, the same word is
+               forwarded, everything else is killed *)
+            let keep =
+              Hashtbl.fold
+                (fun k ((ka, _) as e) acc ->
+                  let d = lsub addr ka in
+                  if d.coeffs = [] && d.off <> 0 then (k, e) :: acc else acc)
+                memenv []
+            in
+            Hashtbl.reset memenv;
+            List.iter (fun (k, e) -> Hashtbl.replace memenv k e) keep;
+            Hashtbl.replace memenv (embed st addr) (addr, v)
+        | op, srcs -> (
+            match i.Instr.dst with
+            | None -> ()  (* branches and the like only read registers *)
+            | Some d ->
+                let v =
+                  match (op, srcs) with
+                  | Opcode.Li, [ Instr.Oimm n ] -> lconst n
+                  | Opcode.Mov, [ s ] -> operand s
+                  | Opcode.Add, [ a; b ] -> ladd (operand a) (operand b)
+                  | Opcode.Sub, [ a; b ] -> lsub (operand a) (operand b)
+                  | Opcode.Neg, [ a ] -> lscale (-1) (operand a)
+                  | Opcode.Mul, [ a; b ] ->
+                      let va = operand a and vb = operand b in
+                      if va.coeffs = [] then lscale va.off vb
+                      else if vb.coeffs = [] then lscale vb.off va
+                      else node Opcode.Mul [ va; vb ]
+                  | ( ( Opcode.And | Opcode.Or | Opcode.Xor | Opcode.Not
+                      | Opcode.Shl | Opcode.Shr | Opcode.Sra | Opcode.Slt
+                      | Opcode.Sle | Opcode.Seq | Opcode.Sne ),
+                      args ) ->
+                      (* pure deterministic integer functions: identical
+                         applications yield identical values *)
+                      node op (List.map operand args)
+                  | _ ->
+                      (* Div/Rem, floating point, conversions: opaque *)
+                      lterm (opaque st)
+                in
+                set d v))
+    instrs;
+  addrs
+
+let classify_with addrs (i : Instr.t) (j : Instr.t) =
+  match
+    (Hashtbl.find_opt addrs i.Instr.id, Hashtbl.find_opt addrs j.Instr.id)
+  with
+  | Some a, Some b ->
+      let d = lsub a b in
+      if d.coeffs = [] then if d.off = 0 then Must_alias else No_alias
+      else conservative i j
+  | _ -> conservative i j
+
+(* ------------------------------------------------------------------ *)
+(* Per-function analysis.                                              *)
+
+type t = { by_label : (string, (int, lin) Hashtbl.t) Hashtbl.t }
+
+let analyze (f : Func.t) =
+  let cfg = Cfg_info.build f in
+  let sol = Solver.solve cfg in
+  let st = new_store () in
+  let by_label = Hashtbl.create (Array.length cfg.Cfg_info.blocks) in
+  Array.iteri
+    (fun bi (b : Block.t) ->
+      let facts =
+        if Cfg_info.reachable cfg bi then sol.Dataflow.inb.(bi)
+        else Lattice.Univ
+      in
+      let seed env =
+        match facts with
+        | Lattice.Univ -> ()
+        | Lattice.Env m ->
+            IntMap.iter
+              (fun k (v : Av.t) ->
+                if v.lo = v.hi then
+                  let value =
+                    match v.base with
+                    | Av.Abs -> lconst v.lo
+                    | Av.Init r -> ladd (lterm (intern st (TInit r))) (lconst v.lo)
+                    | Av.Def id -> ladd (lterm (intern st (TPre id))) (lconst v.lo)
+                  in
+                  Hashtbl.replace env k value)
+              m
+      in
+      let addrs = exec_block st ~seed b.Block.instrs in
+      Hashtbl.replace by_label (Label.to_string b.Block.label) addrs)
+    cfg.Cfg_info.blocks;
+  { by_label }
+
+let classifier t (label : Label.t) =
+  match Hashtbl.find_opt t.by_label (Label.to_string label) with
+  | Some addrs -> classify_with addrs
+  | None -> conservative
+
+(* A block on its own, with no cross-block facts: for tests and callers
+   holding an instruction list rather than a function. *)
+let classify_block instrs =
+  let st = new_store () in
+  classify_with (exec_block st ~seed:(fun _ -> ()) instrs)
+
+(* ------------------------------------------------------------------ *)
+(* Disambiguation statistics (surfaced by [ilp lint]).                 *)
+
+type stats = {
+  pairs : int;  (** ordered same-block pairs with at least one store *)
+  no_alias : int;  (** pairs proven independent *)
+  must_alias : int;  (** pairs proven to touch the same word *)
+  pruned : int;
+      (** no-alias pairs the conservative rule would have serialized —
+          the DDG edges disambiguation removes *)
+}
+
+let func_stats t (f : Func.t) =
+  let pairs = ref 0
+  and no_alias = ref 0
+  and must_alias = ref 0
+  and pruned = ref 0 in
+  List.iter
+    (fun (b : Block.t) ->
+      let classify = classifier t b.Block.label in
+      let mem_instrs =
+        List.filter (fun i -> Instr.is_memory i) b.Block.instrs
+      in
+      let rec pair_up = function
+        | [] -> []
+        | i :: rest ->
+            List.iter
+              (fun j ->
+                if Instr.is_store i || Instr.is_store j then begin
+                  incr pairs;
+                  match classify i j with
+                  | No_alias ->
+                      incr no_alias;
+                      if not (Mem_info.disjoint (mem_of i) (mem_of j)) then
+                        incr pruned
+                  | Must_alias -> incr must_alias
+                  | May_alias -> ()
+                end)
+              rest;
+            pair_up rest
+      in
+      ignore (pair_up mem_instrs))
+    f.Func.blocks;
+  { pairs = !pairs; no_alias = !no_alias; must_alias = !must_alias;
+    pruned = !pruned }

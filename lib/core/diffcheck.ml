@@ -206,29 +206,43 @@ let check_unscheduled ?unroll ?options ?(granularity = `Boundaries) ~level
         ~reference:(observe ?options base) reference);
   unscheduled
 
-let check_compile ?unroll ?options ?granularity ~level (config : Config.t)
-    source =
+let check_compile ?unroll ?options ?granularity ?(memdep = false) ~level
+    (config : Config.t) source =
   let unscheduled =
     check_unscheduled ?unroll ?options ?granularity ~level config source
   in
   let scheduled = Ilp.schedule ~check:true ~level config unscheduled in
-  if Ilp.at_least level Ilp.O1 then begin
+  if not (Ilp.at_least level Ilp.O1) then scheduled
+  else begin
     let unscheduled_obs = observe ?options unscheduled in
     let scheduled_obs = observe ?options scheduled in
-    compare_exact ~stage:"list_sched" ~reference:unscheduled_obs scheduled_obs
-  end;
-  scheduled
+    compare_exact ~stage:"list_sched" ~reference:unscheduled_obs scheduled_obs;
+    if not memdep then scheduled
+    else begin
+      (* the disambiguated schedule is a distinct permutation: check it
+         with the same exactness — per-address store streams catch a
+         wrongly-pruned edge between same-address accesses — and return
+         it, so a checked memdep compilation measures what it proved *)
+      let disambiguated =
+        Ilp.schedule ~check:true ~memdep:true ~level config unscheduled
+      in
+      let disambiguated_obs = observe ?options disambiguated in
+      compare_exact ~stage:"list_sched(memdep)" ~reference:unscheduled_obs
+        disambiguated_obs;
+      disambiguated
+    end
+  end
 
-let check_workload ?options ?granularity ?(levels = Ilp.all_levels)
+let check_workload ?options ?granularity ?memdep ?(levels = Ilp.all_levels)
     ?(unroll_factors = []) (config : Config.t) source =
   List.iter
     (fun level ->
-      ignore (check_compile ?options ?granularity ~level config source))
+      ignore (check_compile ?options ?granularity ?memdep ~level config source))
     levels;
   List.iter
     (fun factor ->
       ignore
         (check_compile
            ~unroll:{ Ilp.mode = Ilp_lang.Unroll.Careful; factor }
-           ?options ?granularity ~level:Ilp.O4 config source))
+           ?options ?granularity ?memdep ~level:Ilp.O4 config source))
     unroll_factors

@@ -75,6 +75,7 @@ val check_compile :
   ?unroll:Ilp.unroll_spec ->
   ?options:Exec.options ->
   ?granularity:granularity ->
+  ?memdep:bool ->
   level:Ilp.opt_level ->
   Config.t ->
   string ->
@@ -85,11 +86,21 @@ val check_compile :
     the post-codegen reference of the same compilation; when unrolling,
     additionally compare that reference against the non-unrolled O0
     program.  Returns the final scheduled program.  Raises {!Mismatch}
-    on divergence, {!Ilp.Pass_failed} on a static check failure. *)
+    on divergence, {!Ilp.Pass_failed} on a static check failure.
+
+    [?memdep] (default false) additionally builds the
+    alias-disambiguated schedule ({!Ilp.schedule} with [~memdep:true],
+    itself re-checked by [Check_sched]) and compares it
+    {!compare_exact}-strictly — per-address store streams — against the
+    unscheduled program, so a wrongly pruned dependence edge surfaces as
+    a dynamic mismatch.  When both checks pass, the disambiguated
+    schedule is the one returned — a checked memdep compilation measures
+    the program it proved. *)
 
 val check_workload :
   ?options:Exec.options ->
   ?granularity:granularity ->
+  ?memdep:bool ->
   ?levels:Ilp.opt_level list ->
   ?unroll_factors:int list ->
   Config.t ->

@@ -51,6 +51,11 @@ let exec_options =
    counts as a failure: oracle mismatches and named pass failures, but
    also faults, validation errors or crashes a shrunk program might
    shift into. *)
+(* Every iteration also checks the alias-disambiguated schedule
+   ([~memdep:true]): Check_sched re-justifies each pruned edge
+   statically and Diffcheck compares its per-address store streams
+   against the unscheduled program, so a wrong [No_alias] verdict
+   surfaces on the general corpus as well as the adversarial one. *)
 let failure_of ~configs ~levels ~unroll_factors source =
   let explain = function
     | Diffcheck.Mismatch { stage; what } ->
@@ -63,15 +68,16 @@ let failure_of ~configs ~levels ~unroll_factors source =
     (fun config ->
       match
         Diffcheck.check_workload ~options:exec_options
-          ~granularity:`Every_pass ~levels ~unroll_factors config source
+          ~granularity:`Every_pass ~memdep:true ~levels ~unroll_factors config
+          source
       with
       | () -> None
       | exception e -> Some (config.Config.name, explain e))
     configs
 
-let check_one ~configs ~levels ~unroll_factors ~seed index =
+let check_one ~mode ~configs ~levels ~unroll_factors ~seed index =
   let st = Random.State.make [| 0x1197; seed; index |] in
-  let prog = Gen_prog.generate st in
+  let prog = Gen_prog.generate ~mode st in
   let fails p =
     Option.is_some
       (failure_of ~configs ~levels ~unroll_factors (Gen_prog.render p))
@@ -89,12 +95,14 @@ let check_one ~configs ~levels ~unroll_factors ~seed index =
       raise (Failed { index; seed; config_name; error; source })
 
 let run ?(jobs = 1) ?configs ?(levels = default_levels)
-    ?(unroll_factors = default_unroll_factors) ~count ~seed () =
+    ?(unroll_factors = default_unroll_factors) ?(alias_heavy = false) ~count
+    ~seed () =
   let configs =
     match configs with Some cs -> cs | None -> default_configs ()
   in
+  let mode = if alias_heavy then `Alias_heavy else `Default in
   let items = Array.init count (fun k -> k) in
-  let check = check_one ~configs ~levels ~unroll_factors ~seed in
+  let check = check_one ~mode ~configs ~levels ~unroll_factors ~seed in
   if jobs <= 1 then Array.iter check items
   else
     Ilp_par.Pool.with_pool ~jobs (fun pool ->

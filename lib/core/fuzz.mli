@@ -27,9 +27,15 @@ val run :
   ?configs:Config.t list ->
   ?levels:Ilp.opt_level list ->
   ?unroll_factors:int list ->
+  ?alias_heavy:bool ->
   count:int ->
   seed:int ->
   unit ->
   unit
 (** Check [count] random programs; raises {!Failed} with the shrunk
-    counterexample of the lowest failing iteration, if any. *)
+    counterexample of the lowest failing iteration, if any.  Every
+    iteration additionally checks the alias-disambiguated schedule
+    (memory-dependence pruning under [Check_sched] re-justification and
+    exact store-stream comparison); [?alias_heavy] (default false)
+    draws from the aliasing-adversarial generator mode instead of the
+    general corpus. *)

@@ -191,12 +191,18 @@ let compile_unscheduled ?unroll ?(check = false) ?on_pass ~level
 
 (* The final machine-specific pass: per-block list scheduling (from O1).
    Under [~check] the scheduled program must be a DDG-respecting
-   permutation of its input (Check_sched) and still well-formed. *)
-let schedule ?(check = false) ?on_pass ~level (config : Config.t) p =
+   permutation of its input (Check_sched) and still well-formed; with
+   [~memdep] the scheduler prunes memory edges the dependence analysis
+   proves apart, and the checker re-justifies each removed edge from
+   independently recomputed facts. *)
+let schedule ?(check = false) ?(memdep = false) ?on_pass ~level
+    (config : Config.t) p =
   if at_least level O1 then begin
-    let scheduled = Ilp_sched.List_sched.run config p in
+    let scheduled = Ilp_sched.List_sched.run ~memdep config p in
     if check then begin
-      (try Ilp_sched.Check_sched.check_program config ~original:p ~scheduled
+      (try
+         Ilp_sched.Check_sched.check_program ~memdep config ~original:p
+           ~scheduled
        with Ilp_sched.Check_sched.Illegal msg ->
          raise (Pass_failed { pass = "list_sched"; issue = msg }));
       validate_after
@@ -211,11 +217,12 @@ let schedule ?(check = false) ?on_pass ~level (config : Config.t) p =
   else p
 
 (* Compile [source] for [config] at [level]. *)
-let compile ?unroll ?check ?on_pass ~level (config : Config.t) source =
-  schedule ?check ?on_pass ~level config
+let compile ?unroll ?check ?memdep ?on_pass ~level (config : Config.t) source =
+  schedule ?check ?memdep ?on_pass ~level config
     (compile_unscheduled ?unroll ?check ?on_pass ~level config source)
 
 (* Compile and measure in one step. *)
-let measure ?unroll ?(level = O4) ?cache ?options (config : Config.t) source =
-  let program = compile ?unroll ~level config source in
+let measure ?unroll ?(level = O4) ?memdep ?cache ?options (config : Config.t)
+    source =
+  let program = compile ?unroll ?memdep ~level config source in
   Ilp_sim.Metrics.measure ?cache ?options config program

@@ -96,6 +96,7 @@ val compile_unscheduled :
 
 val schedule :
   ?check:bool ->
+  ?memdep:bool ->
   ?on_pass:(string -> Validate.stage -> Program.t -> unit) ->
   level:opt_level ->
   Config.t ->
@@ -106,11 +107,17 @@ val schedule :
     {!compile_unscheduled} result are replay-compatible.  [?check]
     verifies the result is a DDG-respecting permutation of the input
     ({!Ilp_sched.Check_sched}) and still well-formed, raising
-    {!Pass_failed} with pass ["list_sched"] otherwise. *)
+    {!Pass_failed} with pass ["list_sched"] otherwise.
+
+    [?memdep] (default false) lets the scheduler drop memory
+    serialization edges {!Ilp_analysis.Memdep} proves [No_alias]; under
+    [?check], every removed edge is re-justified from independently
+    recomputed analysis facts. *)
 
 val compile :
   ?unroll:unroll_spec ->
   ?check:bool ->
+  ?memdep:bool ->
   ?on_pass:(string -> Validate.stage -> Program.t -> unit) ->
   level:opt_level ->
   Config.t ->
@@ -123,6 +130,7 @@ val compile :
 val measure :
   ?unroll:unroll_spec ->
   ?level:opt_level ->
+  ?memdep:bool ->
   ?cache:Ilp_sim.Cache.t ->
   ?options:Ilp_sim.Exec.options ->
   Config.t ->

@@ -242,7 +242,7 @@ let rec gen_stmt st ctx depth loop_vars : stmt =
 and gen_block st ctx depth loop_vars =
   List.init (int st 1 4) (fun _ -> gen_stmt st ctx (depth - 1) loop_vars)
 
-let generate (st : Random.State.t) : prog =
+let generate_default (st : Random.State.t) : prog =
   let n_globals = int st 1 3 in
   let n_locals = int st 1 3 in
   let n_arrays = int st 1 2 in
@@ -277,6 +277,73 @@ let generate (st : Random.State.t) : prog =
     call_helper = Random.State.bool st;
     stmts;
   }
+
+(* Aliasing-adversarial programs: one or two arrays hammered through
+   affine indices over shared index locals — copies ([q = p], the
+   pointer-copy stand-in), small positive and negative offsets applied
+   before the mask, variable-plus-variable bases — the shapes the
+   memory-dependence analysis must either prove apart or refuse to
+   prune.  Same AST as the default mode, so rendering and shrinking are
+   unchanged. *)
+let generate_alias_heavy (st : Random.State.t) : prog =
+  let arrays =
+    List.init (int st 1 2) (fun i -> (Printf.sprintf "a%d" i, arr_words))
+  in
+  let globals = [ ("g0", int st 0 8) ] in
+  let locals = [ ("p", int st 0 15); ("q", int st 0 15); ("x0", int st 0 20) ] in
+  let index ivars =
+    let base = Var (choose st ivars) in
+    match int st 0 5 with
+    | 0 -> base
+    | 1 | 2 -> Binop ("+", base, Const (int st 1 3))
+    | 3 -> Binop ("-", base, Const (int st 1 3))  (* negative before the mask *)
+    | 4 -> Binop ("+", base, Var (choose st ivars))
+    | _ -> Binop ("+", base, Var "g0")
+  in
+  let arr_rw ivars =
+    let a, size = choose st arrays in
+    let r, rsize = choose st arrays in
+    let rhs =
+      Binop
+        ( choose st [ "+"; "-"; "^" ],
+          Arr_read (r, index ivars, rsize - 1),
+          if Random.State.bool st then Var (choose st ivars)
+          else Const (int st 0 9) )
+    in
+    Arr_write (a, index ivars, size - 1, rhs)
+  in
+  let rec stmt depth ivars loop_vars =
+    match int st 1 10 with
+    | 1 -> Assign ("p", index ivars)
+    | 2 -> Assign ("q", Var "p")
+    | 3 ->
+        Assign
+          ( "q",
+            Binop
+              ( (if Random.State.bool st then "+" else "-"),
+                Var "p",
+                Const (int st 1 2) ) )
+    | 4 when depth > 0 ->
+        If
+          ( Binop ("<", Var (choose st ivars), Const (int st 2 9)),
+            block (depth - 1) ivars loop_vars,
+            if Random.State.bool st then block (depth - 1) ivars loop_vars
+            else [] )
+    | (5 | 6) when depth > 0 -> (
+        match loop_vars with
+        | [] -> arr_rw ivars
+        | lv :: rest -> For (lv, int st 2 8, block (depth - 1) (lv :: ivars) rest))
+    | _ -> arr_rw ivars
+  and block depth ivars loop_vars =
+    List.init (int st 2 5) (fun _ -> stmt depth ivars loop_vars)
+  in
+  let stmts = block 2 [ "p"; "q" ] [ "i"; "j" ] in
+  { globals; locals; arrays; helper = None; call_helper = false; stmts }
+
+let generate ?(mode = `Default) (st : Random.State.t) : prog =
+  match mode with
+  | `Default -> generate_default st
+  | `Alias_heavy -> generate_alias_heavy st
 
 (* --- shrinking --------------------------------------------------------- *)
 

@@ -35,7 +35,14 @@ val render : prog -> string
 (** MiniMod source text: declarations, helper, [main] ending in a
     [sink(...)] mix of every variable and three cells of each array. *)
 
-val generate : Random.State.t -> prog
+val generate : ?mode:[ `Default | `Alias_heavy ] -> Random.State.t -> prog
+(** [`Default] draws the general corpus.  [`Alias_heavy] (the
+    aliasing-adversarial mode behind [ilp fuzz --alias-heavy]) hammers
+    one or two arrays through affine indices over shared index locals:
+    copies ([q = p]), small positive {e and negative} offsets applied
+    before the subscript mask, variable-plus-variable bases — the
+    shapes the memory-dependence analysis must either prove apart or
+    refuse to prune. *)
 
 val size : prog -> int
 (** AST node count — the strictly decreasing measure [shrink] minimises. *)

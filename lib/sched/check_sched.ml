@@ -21,7 +21,7 @@ exception Illegal of string
 
 let illegal fmt = Printf.ksprintf (fun s -> raise (Illegal s)) fmt
 
-let check_block (config : Config.t) ~(original : Block.t)
+let check_block ?classify (config : Config.t) ~(original : Block.t)
     ~(scheduled : Block.t) =
   let where = Label.to_string original.Block.label in
   if not (Label.equal original.Block.label scheduled.Block.label) then
@@ -48,7 +48,12 @@ let check_block (config : Config.t) ~(original : Block.t)
           (Instr.to_string i))
     original.Block.instrs;
   (* distinct ids and equal counts make the order a permutation; now
-     every DDG edge of the original block must point forward in it *)
+     every edge of the original block's *conservative* DDG must either
+     point forward in it or — when a memory-dependence classifier is
+     supplied — be re-justified as a removable edge: a pure memory
+     hazard whose pair the classifier independently proves apart.  The
+     classifier is recomputed from the original code, so a scheduler
+     that dropped an edge it had no right to drop is still caught. *)
   let ddg = Ddg.build config original.Block.instrs in
   Array.iteri
     (fun src succs ->
@@ -57,9 +62,19 @@ let check_block (config : Config.t) ~(original : Block.t)
       List.iter
         (fun (dst, _weight) ->
           let dst_i = ddg.Ddg.instrs.(dst) in
-          if src_pos >= Hashtbl.find position dst_i.Instr.id then
-            illegal "block %s: dependence violated: [%s] scheduled after [%s]"
-              where (Instr.to_string src_i) (Instr.to_string dst_i))
+          if src_pos >= Hashtbl.find position dst_i.Instr.id then begin
+            let removable =
+              match classify with
+              | Some f ->
+                  Ddg.edge_kinds ddg ~src ~dst = Ddg.kind_mem
+                  && f src_i dst_i = Ilp_analysis.Memdep.No_alias
+              | None -> false
+            in
+            if not removable then
+              illegal
+                "block %s: dependence violated: [%s] scheduled after [%s]"
+                where (Instr.to_string src_i) (Instr.to_string dst_i)
+          end)
         succs)
     ddg.Ddg.succs;
   (* the executor additionally assumes a terminator, if any, stays last
@@ -72,7 +87,8 @@ let check_block (config : Config.t) ~(original : Block.t)
       | _ -> illegal "block %s: terminator not last after scheduling" where)
   | None -> ()
 
-let check_func config ~(original : Func.t) ~(scheduled : Func.t) =
+let check_func ?(memdep = false) config ~(original : Func.t)
+    ~(scheduled : Func.t) =
   if not (String.equal original.Func.name scheduled.Func.name) then
     illegal "function %s: name changed to %s" original.Func.name
       scheduled.Func.name;
@@ -80,15 +96,23 @@ let check_func config ~(original : Func.t) ~(scheduled : Func.t) =
   then
     illegal "function %s: block structure changed by scheduling"
       original.Func.name;
+  let md = if memdep then Some (Ilp_analysis.Memdep.analyze original) else None in
   List.iter2
-    (fun o s -> check_block config ~original:o ~scheduled:s)
+    (fun (o : Block.t) s ->
+      let classify =
+        Option.map
+          (fun md -> Ilp_analysis.Memdep.classifier md o.Block.label)
+          md
+      in
+      check_block ?classify config ~original:o ~scheduled:s)
     original.Func.blocks scheduled.Func.blocks
 
-let check_program config ~(original : Program.t) ~(scheduled : Program.t) =
+let check_program ?memdep config ~(original : Program.t)
+    ~(scheduled : Program.t) =
   if
     List.length original.Program.functions
     <> List.length scheduled.Program.functions
   then illegal "program: function count changed by scheduling";
   List.iter2
-    (fun o s -> check_func config ~original:o ~scheduled:s)
+    (fun o s -> check_func ?memdep config ~original:o ~scheduled:s)
     original.Program.functions scheduled.Program.functions

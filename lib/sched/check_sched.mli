@@ -24,10 +24,25 @@ exception Illegal of string
     terminator is no longer last, or the block/function structure
     changed. *)
 
-val check_block : Config.t -> original:Block.t -> scheduled:Block.t -> unit
-val check_func : Config.t -> original:Func.t -> scheduled:Func.t -> unit
+val check_block :
+  ?classify:(Instr.t -> Instr.t -> Ilp_analysis.Memdep.alias) ->
+  Config.t ->
+  original:Block.t ->
+  scheduled:Block.t ->
+  unit
+(** The checker always rebuilds the {e conservative} DDG of the
+    original block.  A violated edge is legal only when [classify] is
+    supplied, the edge carries nothing but the memory-ordering hazard
+    ({!Ddg.kind_mem}), and the classifier — recomputed here from the
+    original code, independently of whatever the scheduler used —
+    proves the pair [No_alias]. *)
+
+val check_func :
+  ?memdep:bool -> Config.t -> original:Func.t -> scheduled:Func.t -> unit
+(** With [~memdep:true], runs {!Ilp_analysis.Memdep.analyze} on the
+    original function and re-justifies removed edges per block. *)
 
 val check_program :
-  Config.t -> original:Program.t -> scheduled:Program.t -> unit
+  ?memdep:bool -> Config.t -> original:Program.t -> scheduled:Program.t -> unit
 (** Check every block of every function; functions and blocks must pair
     up positionally (scheduling never changes program structure). *)

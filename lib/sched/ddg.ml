@@ -10,7 +10,8 @@
    - memory: store->store and load->store in order (weight 0),
      store->load with weight 1 (store-buffer forwarding), except when
      the alias analysis proves the accesses disjoint
-     ([Mem_info.disjoint]);
+     ([Mem_info.disjoint], or the optional [classify] refinement from
+     [Ilp_analysis.Memdep] returning [No_alias]);
    - calls are scheduling barriers: ordered after every earlier node and
      before every later one;
    - a terminator is ordered after every other node so it stays last. *)
@@ -18,32 +19,48 @@
 open Ilp_ir
 open Ilp_machine
 
+(* Edge-kind bits: one (src, dst) edge may carry several hazards; the
+   legality checker needs to know whether an edge exists for *any*
+   reason besides the (refinable) memory rule. *)
+let kind_reg = 1
+let kind_mem = 2
+let kind_order = 4
 
 type t = {
   instrs : Instr.t array;
   succs : (int * int) list array;  (** (dst, weight) *)
   preds : (int * int) list array;  (** (src, weight) *)
   n_edges : int;
+  kinds : (int * int, int) Hashtbl.t;
+  n_pruned : int;
 }
+
+let edge_kinds t ~src ~dst =
+  Option.value (Hashtbl.find_opt t.kinds (src, dst)) ~default:0
 
 let mem_of (i : Instr.t) =
   match i.Instr.mem with Some m -> m | None -> Mem_info.unknown
 
-let build (config : Config.t) (instrs : Instr.t list) =
+let build ?classify (config : Config.t) (instrs : Instr.t list) =
   let instrs = Array.of_list instrs in
   let n = Array.length instrs in
   let succs = Array.make n [] in
   let preds = Array.make n [] in
   let edge_set : (int * int, int) Hashtbl.t = Hashtbl.create (4 * n) in
+  let kinds : (int * int, int) Hashtbl.t = Hashtbl.create (4 * n) in
   let n_edges = ref 0 in
-  let add_edge src dst weight =
-    if src <> dst then
+  let n_pruned = ref 0 in
+  let add_edge ~kind src dst weight =
+    if src <> dst then begin
+      Hashtbl.replace kinds (src, dst)
+        (kind lor Option.value (Hashtbl.find_opt kinds (src, dst)) ~default:0);
       match Hashtbl.find_opt edge_set (src, dst) with
       | Some w when w >= weight -> ()
       | Some _ -> Hashtbl.replace edge_set (src, dst) weight
       | None ->
           Hashtbl.replace edge_set (src, dst) weight;
           incr n_edges
+    end
   in
   (* last definition and uses-since-definition per register *)
   let last_def : (int, int) Hashtbl.t = Hashtbl.create 64 in
@@ -57,22 +74,22 @@ let build (config : Config.t) (instrs : Instr.t list) =
         Config.latency config (Instr.iclass instrs.(j))
       in
       (* barrier ordering *)
-      (match !barrier with Some b -> add_edge b k 0 | None -> ());
+      (match !barrier with Some b -> add_edge ~kind:kind_order b k 0 | None -> ());
       (* RAW *)
       List.iter
         (fun r ->
           match Hashtbl.find_opt last_def (Reg.index r) with
-          | Some d -> add_edge d k (latency_of d)
+          | Some d -> add_edge ~kind:kind_reg d k (latency_of d)
           | None -> ())
         (Instr.uses i);
       (* WAR and WAW *)
       List.iter
         (fun d ->
           (match Hashtbl.find_opt uses_since (Reg.index d) with
-          | Some users -> List.iter (fun u -> add_edge u k 0) users
+          | Some users -> List.iter (fun u -> add_edge ~kind:kind_reg u k 0) users
           | None -> ());
           match Hashtbl.find_opt last_def (Reg.index d) with
-          | Some prev -> add_edge prev k 0
+          | Some prev -> add_edge ~kind:kind_reg prev k 0
           | None -> ())
         (Instr.defs i);
       (* memory ordering *)
@@ -82,22 +99,29 @@ let build (config : Config.t) (instrs : Instr.t list) =
         List.iter
           (fun (j, j_store, mj) ->
             if (is_store || j_store) && not (Mem_info.disjoint m mj) then
-              let weight = if j_store && not is_store then 1 else 0 in
-              add_edge j k weight)
+              match classify with
+              | Some f
+                when f instrs.(j) i = Ilp_analysis.Memdep.No_alias ->
+                  (* the value analysis proves the pair apart where the
+                     region annotations could not *)
+                  incr n_pruned
+              | _ ->
+                  let weight = if j_store && not is_store then 1 else 0 in
+                  add_edge ~kind:kind_mem j k weight)
           !mem_ops;
         mem_ops := (k, is_store, m) :: !mem_ops
       end;
       (* calls: order against everything, and become the new barrier *)
       if Instr.is_call i then begin
         for j = 0 to k - 1 do
-          add_edge j k 0
+          add_edge ~kind:kind_order j k 0
         done;
         barrier := Some k
       end;
       (* terminators stay last *)
       if Instr.is_terminator i then
         for j = 0 to k - 1 do
-          add_edge j k 0
+          add_edge ~kind:kind_order j k 0
         done;
       (* bookkeeping *)
       List.iter
@@ -117,7 +141,7 @@ let build (config : Config.t) (instrs : Instr.t list) =
       succs.(src) <- (dst, weight) :: succs.(src);
       preds.(dst) <- (src, weight) :: preds.(dst))
     edge_set;
-  { instrs; succs; preds; n_edges = !n_edges }
+  { instrs; succs; preds; n_edges = !n_edges; kinds; n_pruned = !n_pruned }
 
 (* Critical-path height of each node: the longest weighted path to any
    sink, plus the node's own latency.  Used as list-scheduling priority.

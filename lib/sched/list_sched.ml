@@ -22,8 +22,8 @@ open Ilp_machine
 
 type unit_state = { spec : Config.unit_spec; free_at : int array }
 
-let schedule_block (config : Config.t) (b : Block.t) =
-  let ddg = Ddg.build config b.Block.instrs in
+let schedule_block ?classify (config : Config.t) (b : Block.t) =
+  let ddg = Ddg.build ?classify config b.Block.instrs in
   let n = Array.length ddg.Ddg.instrs in
   if n <= 1 then b
   else begin
@@ -116,8 +116,16 @@ let schedule_block (config : Config.t) (b : Block.t) =
     Block.make b.Block.label instrs
   end
 
-let run_func config (f : Func.t) =
-  Func.map_blocks (schedule_block config) f
+let run_func ?(memdep = false) config (f : Func.t) =
+  if memdep then begin
+    let md = Ilp_analysis.Memdep.analyze f in
+    Func.map_blocks
+      (fun (b : Block.t) ->
+        let classify = Ilp_analysis.Memdep.classifier md b.Block.label in
+        schedule_block ~classify config b)
+      f
+  end
+  else Func.map_blocks (schedule_block config) f
 
-let run config (p : Program.t) =
-  Program.map_functions (run_func config) p
+let run ?memdep config (p : Program.t) =
+  Program.map_functions (run_func ?memdep config) p

@@ -11,11 +11,22 @@
     the simulator.
 
     Scheduling never crosses block boundaries (DESIGN.md, decision 3)
-    and never reorders across calls. *)
+    and never reorders across calls.
+
+    With [~memdep:true], each function is first run through
+    {!Ilp_analysis.Memdep} and the per-block classifier is handed to
+    {!Ddg.build}, so memory pairs proven [No_alias] carry no
+    serialization edge; every removed edge is independently re-justified
+    by {!Check_sched} when checking is enabled. *)
 
 open Ilp_ir
 open Ilp_machine
 
-val schedule_block : Config.t -> Block.t -> Block.t
-val run_func : Config.t -> Func.t -> Func.t
-val run : Config.t -> Program.t -> Program.t
+val schedule_block :
+  ?classify:(Instr.t -> Instr.t -> Ilp_analysis.Memdep.alias) ->
+  Config.t ->
+  Block.t ->
+  Block.t
+
+val run_func : ?memdep:bool -> Config.t -> Func.t -> Func.t
+val run : ?memdep:bool -> Config.t -> Program.t -> Program.t

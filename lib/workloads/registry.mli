@@ -4,8 +4,15 @@ val all : Workload.t list
 (** ccom, grr, linpack, livermore, met, stanford, whet, yacc — in that
     order. *)
 
+val extras : Workload.t list
+(** Workloads outside the paper's suite (currently [smooth], the
+    memory-disambiguation stress kernel): found by {!find} but never
+    part of {!all}, {!names} or the aggregate sweeps. *)
+
 val names : string list
+
 val find : string -> Workload.t option
+(** Looks up [all] and [extras] by name. *)
 
 val numeric : Workload.t list
 (** linpack, livermore, whet — the paper's "numeric benchmarks". *)

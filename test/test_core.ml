@@ -82,7 +82,7 @@ let test_experiments_registry () =
     (Ilp_core.Experiments.find "fig4_1" <> None);
   Alcotest.(check bool) "unknown rejected" true
     (Ilp_core.Experiments.find "fig9_9" = None);
-  Alcotest.(check int) "nineteen experiments" 19
+  Alcotest.(check int) "twenty experiments" 20
     (List.length Ilp_core.Experiments.all)
 
 let test_sec5_1_analytic () =

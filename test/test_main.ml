@@ -21,4 +21,5 @@ let () =
       ("analysis", Test_analysis.tests);
       ("dataflow", Test_dataflow.tests);
       ("check", Test_check.tests);
+      ("memdep", Test_memdep.tests);
       ("properties", Test_properties.tests) ]
