@@ -36,6 +36,11 @@ let store_only = Array.exists (( = ) "--store-only") Sys.argv
    publish the disambiguation artifact. *)
 let memdep_only = Array.exists (( = ) "--memdep-only") Sys.argv
 
+(* --unroll-only: run just the bound-aware unrolling study (writes
+   BENCH_unroll.json) and skip everything else — what CI runs to
+   publish the unrolling artifact. *)
+let unroll_only = Array.exists (( = ) "--unroll-only") Sys.argv
+
 (* ------------------------------------------------------------------ *)
 (* 1. regenerate every table and figure                                 *)
 
@@ -282,7 +287,72 @@ let time_memdep () =
   Printf.printf "wrote BENCH_memdep.json\n\n%!"
 
 (* ------------------------------------------------------------------ *)
-(* 6. Bechamel suite                                                    *)
+(* 6. bound-aware unrolling: full unroll + peeling vs classic curves    *)
+
+(* The fig4_5_unroll grid: naive / careful / careful-peel parallelism
+   per benchmark and factor.  The peel curve must never fall below the
+   classic careful curve (tiny relative slack for float noise) — peeling
+   only removes remainder-loop work, so a regression is a scheduler or
+   unroller bug, not a trade-off. *)
+let time_unroll () =
+  let rows = Ilp_core.Experiments.unroll_study () in
+  Printf.printf
+    "---- bound-aware unrolling (naive / careful / careful-peel) ----\n";
+  List.iter
+    (fun (r : Ilp_core.Experiments.unroll_study_row) ->
+      Printf.printf "%-10s %-13s" r.us_bench r.us_series;
+      List.iter
+        (fun (_, s) -> Printf.printf "  %.3f" s)
+        r.us_by_factor;
+      print_newline ())
+    rows;
+  let series name bench =
+    List.find_opt
+      (fun (r : Ilp_core.Experiments.unroll_study_row) ->
+        r.us_bench = bench && r.us_series = name)
+      rows
+  in
+  let benches =
+    List.sort_uniq compare
+      (List.map
+         (fun (r : Ilp_core.Experiments.unroll_study_row) -> r.us_bench)
+         rows)
+  in
+  List.iter
+    (fun bench ->
+      match (series "careful" bench, series "careful-peel" bench) with
+      | Some careful, Some peel ->
+          List.iter2
+            (fun (factor, c) (_, p) ->
+              if p < c *. 0.999 then
+                failwith
+                  (Printf.sprintf
+                     "BUG: %s x%d scheduled worse with peeling than with \
+                      the classic careful transform (%.4f < %.4f)"
+                     bench factor p c))
+            careful.us_by_factor peel.us_by_factor
+      | _ -> failwith ("BUG: missing unroll-study series for " ^ bench))
+    benches;
+  print_newline ();
+  let oc = open_out "BENCH_unroll.json" in
+  Printf.fprintf oc "{\n  \"experiment\": \"fig4_5_unroll\",\n  \"rows\": [";
+  List.iteri
+    (fun i (r : Ilp_core.Experiments.unroll_study_row) ->
+      Printf.fprintf oc
+        "%s\n    { \"bench\": \"%s\", \"series\": \"%s\", \"speedups\": { %s } }"
+        (if i > 0 then "," else "")
+        r.us_bench r.us_series
+        (String.concat ", "
+           (List.map
+              (fun (factor, s) -> Printf.sprintf "\"%d\": %.4f" factor s)
+              r.us_by_factor)))
+    rows;
+  Printf.fprintf oc "\n  ],\n  \"peel_never_below_careful\": true\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_unroll.json\n\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* 7. Bechamel suite                                                    *)
 
 let experiment_tests =
   List.map
@@ -407,6 +477,10 @@ let () =
     time_memdep ();
     exit 0
   end;
+  if unroll_only then begin
+    time_unroll ();
+    exit 0
+  end;
   Printf.printf "parallel sweep engine: %d job(s)\n\n%!" jobs;
   Ilp_core.Experiments.with_jobs jobs regenerate;
   print_string
@@ -429,6 +503,11 @@ let () =
      Memory disambiguation: conservative vs alias-aware scheduling\n\
      ================================================================\n\n";
   time_memdep ();
+  print_string
+    "================================================================\n\
+     Bound-aware unrolling: full unroll + peeling vs classic curves\n\
+     ================================================================\n\n";
+  time_unroll ();
   print_string
     "================================================================\n\
      Bechamel timings (one test per table/figure + components)\n\

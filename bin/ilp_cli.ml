@@ -80,6 +80,17 @@ let careful_arg =
   let doc = "Use careful (reassociating, alias-annotated) unrolling." in
   Arg.(value & flag & info [ "careful" ] ~doc)
 
+let peel_arg =
+  let doc =
+    "Bound-aware unrolling: constant-fold each innermost loop's bounds \
+     through the preceding straight-line code; fully unroll short known \
+     trip counts and peel the leading [trips mod factor] iterations of \
+     the rest, so no remainder loop survives.  Loops whose bounds stay \
+     unknown fall back to the classic main-plus-remainder transform; \
+     degenerate or index-mutating loops are skipped either way."
+  in
+  Arg.(value & flag & info [ "peel" ] ~doc)
+
 let jobs_arg =
   let doc =
     "Number of domains for the parallel sweep engine: capture and replay \
@@ -178,14 +189,26 @@ let find_bench name =
         (String.concat ", " Ilp_workloads.Registry.names);
       exit 1
 
-let unroll_spec factor careful =
+let unroll_spec factor careful peel =
   if factor <= 1 then None
   else
     Some
       { Ilp_core.Ilp.mode =
           (if careful then Ilp_lang.Unroll.Careful else Ilp_lang.Unroll.Naive);
         factor;
+        bounds = peel;
       }
+
+(* What the unroller did (and declined to do) to [source] under [unroll]
+   — recomputed from the typed AST so commands that only see the
+   compiled result can still report it. *)
+let unroll_stats_for unroll source =
+  match unroll with
+  | None -> Ilp_lang.Unroll.no_stats
+  | Some { Ilp_core.Ilp.mode; factor; bounds } ->
+      snd
+        (Ilp_lang.Unroll.program_stats ~bounds mode factor
+           (Ilp_lang.Semant.compile_source source))
 
 let source_for w careful =
   if careful then Ilp_workloads.Workload.source_for_mode w `Careful
@@ -231,12 +254,12 @@ let run_cmd =
     in
     Arg.(value & flag & info [ "memdep" ] ~doc)
   in
-  let action bench machine level factor careful replay segment check memdep
-      jobs storedir verbose =
+  let action bench machine level factor careful peel replay segment check
+      memdep jobs storedir verbose =
     validate_jobs jobs;
     validate_segment segment;
     let w = find_bench bench in
-    let unroll = unroll_spec factor careful in
+    let unroll = unroll_spec factor careful peel in
     let source = source_for w careful in
     let trace_stats = ref None in
     let r =
@@ -314,8 +337,8 @@ let run_cmd =
   let term =
     Term.(
       const action $ bench_arg $ machine_arg $ level_arg $ unroll_arg
-      $ careful_arg $ replay_arg $ segment_arg $ check_arg $ memdep_arg
-      $ jobs_arg $ store_arg $ verbose_arg)
+      $ careful_arg $ peel_arg $ replay_arg $ segment_arg $ check_arg
+      $ memdep_arg $ jobs_arg $ store_arg $ verbose_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and simulate one benchmark") term
 
@@ -403,15 +426,32 @@ let fuzz_cmd =
              offsets — the shapes the memory-dependence analysis must \
              either prove apart or refuse to prune.")
   in
-  let action count seed jobs alias_heavy =
+  let unroll_heavy_arg =
+    Arg.(
+      value & flag
+      & info [ "unroll-heavy" ]
+          ~doc:
+            "Draw from the unrolling-adversarial generator mode: small \
+             constant bounds around the unroll factors (trip counts 0, 1, \
+             factor-1, factor, factor+1), down-counting loops, steps \
+             beyond one, inclusive comparisons, statically-zero-trip \
+             degenerate headers, loop-index self-assignment and unknown \
+             scalar bounds — and widen the unroll specs checked at O4 to \
+             both modes, factors up to 8, and both bound settings.")
+  in
+  let action count seed jobs alias_heavy unroll_heavy =
     let jobs = max 1 jobs in
-    match Ilp_core.Fuzz.run ~jobs ~count ~seed ~alias_heavy () with
+    match
+      Ilp_core.Fuzz.run ~jobs ~count ~seed ~alias_heavy ~unroll_heavy ()
+    with
     | () ->
         Fmt.pr
           "fuzz: %d random %sprograms x 5 levels x 3 machines: all checks \
            passed (seed %d)@."
           count
-          (if alias_heavy then "alias-heavy " else "")
+          (if alias_heavy then "alias-heavy "
+           else if unroll_heavy then "unroll-heavy "
+           else "")
           seed
     | exception Ilp_core.Fuzz.Failed f ->
         Fmt.epr "fuzz: iteration %d (seed %d) FAILED on %s:@.  %s@." f.index
@@ -426,7 +466,9 @@ let fuzz_cmd =
           every pass validated, every stage executed and compared, every \
           schedule legality-checked; failures are shrunk to a minimal \
           program")
-    Term.(const action $ count_arg $ seed_arg $ jobs_arg $ alias_heavy_arg)
+    Term.(
+      const action $ count_arg $ seed_arg $ jobs_arg $ alias_heavy_arg
+      $ unroll_heavy_arg)
 
 (* --- lint --------------------------------------------------------------- *)
 
@@ -522,9 +564,12 @@ let severity_conv =
   in
   Arg.conv (parse, Ilp_analysis.Diagnostics.pp_severity)
 
-(* Stable machine-readable rendering of lint results: schema version 1,
-   one entry per linted (benchmark, machine, level, unroll, careful)
-   configuration with its threshold-filtered diagnostics, plus a
+(* Stable machine-readable rendering of lint results: schema version 2,
+   one entry per linted (benchmark, machine, level, unroll, careful,
+   peel) configuration with its threshold-filtered diagnostics and an
+   always-present unroll_stats object (loops rolled / peeled / fully
+   unrolled, plus every skip reason with an explicit count — zero
+   included — so consumers never have to probe for keys), plus a
    severity summary over everything included.  Hand-rolled printer —
    the repo deliberately carries no JSON dependency. *)
 let json_escape s =
@@ -556,18 +601,32 @@ let lint_json results =
     | None -> "null"
     | Some s -> Printf.sprintf "\"%s\"" (json_escape s)
   in
-  Buffer.add_string b "{\n  \"version\": 1,\n  \"results\": [";
+  let unroll_stats_json (st : Ilp_lang.Unroll.stats) =
+    Printf.sprintf
+      "{ \"rolled\": %d, \"peeled\": %d, \"full\": %d, \"skipped\": { %s } }"
+      st.Ilp_lang.Unroll.rolled st.Ilp_lang.Unroll.peeled
+      st.Ilp_lang.Unroll.full
+      (String.concat ", "
+         (List.map
+            (fun r ->
+              Printf.sprintf "\"%s\": %d"
+                (Ilp_lang.Unroll.skip_reason_name r)
+                (Ilp_lang.Unroll.skip_count st r))
+            Ilp_lang.Unroll.all_skip_reasons))
+  in
+  Buffer.add_string b "{\n  \"version\": 2,\n  \"results\": [";
   List.iteri
-    (fun i (bench, machine, level, factor, careful, diags) ->
+    (fun i (bench, machine, level, factor, careful, peel, stats, diags) ->
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b
         (Printf.sprintf
            "\n    { \"bench\": \"%s\", \"machine\": \"%s\", \"level\": \
-            \"O%d\", \"unroll\": %d, \"careful\": %b,\n\
+            \"O%d\", \"unroll\": %d, \"careful\": %b, \"peel\": %b,\n\
+           \      \"unroll_stats\": %s,\n\
            \      \"diagnostics\": ["
            (json_escape bench) (json_escape machine)
            (Ilp_core.Ilp.level_rank level)
-           factor careful);
+           factor careful peel (unroll_stats_json stats));
       List.iteri
         (fun j (pass, d) ->
           (match d.D.severity with
@@ -624,11 +683,13 @@ let lint_cmd =
       value & flag
       & info [ "json" ]
           ~doc:
-            "Emit diagnostics as JSON (schema version 1) on stdout \
+            "Emit diagnostics as JSON (schema version 2) on stdout \
              instead of text: one result per linted configuration with \
-             its pass, severity, check, location and message, plus a \
-             severity summary.  The exit code still reflects \
-             error-severity findings only.")
+             its pass, severity, check, location and message, an \
+             unroll_stats object (loops rolled, peeled and fully \
+             unrolled, plus a per-reason skip count that always lists \
+             every reason), plus a severity summary.  The exit code \
+             still reflects error-severity findings only.")
   in
   let bench_opt_arg =
     let doc = "Benchmark name (see `ilp list'); required without --all." in
@@ -657,7 +718,22 @@ let lint_cmd =
       shown;
     List.length shown
   in
-  let action all json bench machine level factor careful threshold =
+  let pp_unroll_stats (st : Ilp_lang.Unroll.stats) =
+    let skips =
+      List.filter_map
+        (fun r ->
+          let n = Ilp_lang.Unroll.skip_count st r in
+          if n = 0 then None
+          else Some (Printf.sprintf "%s %d" (Ilp_lang.Unroll.skip_reason_name r) n))
+        Ilp_lang.Unroll.all_skip_reasons
+    in
+    Printf.sprintf "%d rolled, %d peeled, %d fully unrolled%s"
+      st.Ilp_lang.Unroll.rolled st.Ilp_lang.Unroll.peeled
+      st.Ilp_lang.Unroll.full
+      (if skips = [] then ""
+       else "; skipped: " ^ String.concat ", " skips)
+  in
+  let action all json bench machine level factor careful peel threshold =
     let keep diags =
       List.filter (fun (_, d) -> rank d.D.severity <= rank threshold) diags
     in
@@ -683,12 +759,13 @@ let lint_cmd =
           List.iter
             (fun level ->
               List.iter
-                (fun factor ->
-                  let unroll = unroll_spec factor false in
+                (fun (factor, speel) ->
+                  let unroll = unroll_spec factor false speel in
                   let diags = lint_compile ?unroll ~level machine source in
                   results :=
                     ( bname, machine.Ilp_machine.Config.name, level, factor,
-                      false, keep diags )
+                      false, speel, unroll_stats_for unroll source,
+                      keep diags )
                     :: !results;
                   let errs = List.filter (fun (_, d) -> D.is_error d) diags in
                   bench_errors := !bench_errors + List.length errs;
@@ -697,13 +774,15 @@ let lint_cmd =
                       (fun (pass, d) ->
                         if !dumped < dump_cap then begin
                           incr dumped;
-                          Fmt.pr "%s -O%d -u%d %s: %s@." bname
+                          Fmt.pr "%s -O%d -u%d%s %s: %s@." bname
                             (Ilp_core.Ilp.level_rank level)
-                            factor pass (D.to_string d)
+                            factor
+                            (if speel then " --peel" else "")
+                            pass (D.to_string d)
                         end
                         else incr suppressed)
                       errs)
-                [ 1; 2; 4 ])
+                [ (1, false); (2, false); (4, false); (4, true) ])
             Ilp_core.Ilp.all_levels;
           errors := !errors + !bench_errors;
           if not json then
@@ -733,17 +812,20 @@ let lint_cmd =
           exit 1
       | Some bench ->
           let w = find_bench bench in
-          let unroll = unroll_spec factor careful in
+          let unroll = unroll_spec factor careful peel in
           let source = source_for w careful in
+          let stats = unroll_stats_for unroll source in
           let diags = lint_compile ?unroll ~level machine source in
           let errors = List.filter (fun (_, d) -> D.is_error d) diags in
           if json then
             print_string
               (lint_json
                  [ ( bench, machine.Ilp_machine.Config.name, level, factor,
-                     careful, keep diags ) ])
+                     careful, peel, stats, keep diags ) ])
           else begin
             let shown = report ~threshold diags in
+            if unroll <> None then
+              Fmt.pr "unroll x%d: %s@." factor (pp_unroll_stats stats);
             if shown = 0 then
               Fmt.pr "lint: %s at %s on %s: clean (nothing at or above %a)@."
                 bench
@@ -755,7 +837,7 @@ let lint_cmd =
   let term =
     Term.(
       const action $ all_flag $ json_flag $ bench_opt_arg $ machine_arg
-      $ level_arg $ unroll_arg $ careful_arg $ severity_arg)
+      $ level_arg $ unroll_arg $ careful_arg $ peel_arg $ severity_arg)
   in
   Cmd.v
     (Cmd.info "lint"
@@ -776,9 +858,9 @@ let disasm_cmd =
       & info [ "f"; "function" ] ~docv:"NAME"
           ~doc:"Only show this function.")
   in
-  let action bench machine level factor careful fn =
+  let action bench machine level factor careful peel fn =
     let w = find_bench bench in
-    let unroll = unroll_spec factor careful in
+    let unroll = unroll_spec factor careful peel in
     let p =
       Ilp_core.Ilp.compile ?unroll ~level machine (source_for w careful)
     in
@@ -794,7 +876,7 @@ let disasm_cmd =
   let term =
     Term.(
       const action $ bench_arg $ machine_arg $ level_arg $ unroll_arg
-      $ careful_arg $ fn_arg)
+      $ careful_arg $ peel_arg $ fn_arg)
   in
   Cmd.v (Cmd.info "disasm" ~doc:"Dump the compiled IR of a benchmark") term
 
@@ -817,9 +899,9 @@ let trace_show_term =
       value & opt int 80
       & info [ "n"; "limit" ] ~docv:"N" ~doc:"Instructions to show.")
   in
-  let action bench machine level factor careful limit =
+  let action bench machine level factor careful peel limit =
     let w = find_bench bench in
-    let unroll = unroll_spec factor careful in
+    let unroll = unroll_spec factor careful peel in
     let p =
       Ilp_core.Ilp.compile ?unroll ~level machine (source_for w careful)
     in
@@ -831,7 +913,7 @@ let trace_show_term =
   in
   Term.(
     const action $ bench_arg $ machine_arg $ level_arg $ unroll_arg
-    $ careful_arg $ limit_arg)
+    $ careful_arg $ peel_arg $ limit_arg)
 
 let trace_list_cmd =
   let action storedir =
@@ -951,9 +1033,9 @@ let trace_cmd =
 (* --- profile ------------------------------------------------------------ *)
 
 let profile_cmd =
-  let action bench machine level factor careful =
+  let action bench machine level factor careful peel =
     let w = find_bench bench in
-    let unroll = unroll_spec factor careful in
+    let unroll = unroll_spec factor careful peel in
     let p =
       Ilp_core.Ilp.compile ?unroll ~level machine (source_for w careful)
     in
@@ -992,7 +1074,7 @@ let profile_cmd =
   let term =
     Term.(
       const action $ bench_arg $ machine_arg $ level_arg $ unroll_arg
-      $ careful_arg)
+      $ careful_arg $ peel_arg)
   in
   Cmd.v
     (Cmd.info "profile"

@@ -16,7 +16,9 @@ let () =
   in
   let program =
     Ilp_core.Ilp.compile
-      ~unroll:{ Ilp_core.Ilp.mode = Ilp_lang.Unroll.Careful; factor = 4 }
+      ~unroll:
+        { Ilp_core.Ilp.mode = Ilp_lang.Unroll.Careful; factor = 4;
+          bounds = false }
       ~level:Ilp_core.Ilp.O4 config
       (Ilp_workloads.Workload.source_for_mode w `Careful)
   in

@@ -164,3 +164,37 @@ module Must_set (S : Set.S) = struct
     | Known s ->
         Fmt.pf ppf "{%a}" (Fmt.list ~sep:Fmt.comma pp_elt) (S.elements s)
 end
+
+(* The flat (constant-propagation) lattice over an arbitrary value
+   domain: Bot — no path has produced a value yet (the identity of
+   join) — is refined to [Known v] by the first value seen, and two
+   disagreeing values collapse to Top.  This is the per-variable
+   lattice of every constant-style analysis; `Ilp_lang.Bounds` uses it
+   to merge scalar environments at control-flow joins when deriving
+   loop trip counts. *)
+module Flat (V : sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : t Fmt.t
+end) =
+struct
+  type t = Bot | Known of V.t | Top
+
+  let equal a b =
+    match (a, b) with
+    | Bot, Bot | Top, Top -> true
+    | Known x, Known y -> V.equal x y
+    | (Bot | Known _ | Top), _ -> false
+
+  let join a b =
+    match (a, b) with
+    | Bot, v | v, Bot -> v
+    | Top, _ | _, Top -> Top
+    | Known x, Known y -> if V.equal x y then a else Top
+
+  let pp ppf = function
+    | Bot -> Fmt.string ppf "<bot>"
+    | Top -> Fmt.string ppf "<top>"
+    | Known v -> V.pp ppf v
+end

@@ -67,3 +67,21 @@ module Must_set (S : Set.S) : sig
   val join : t -> t -> t
   val pp : S.elt Fmt.t -> t Fmt.t
 end
+
+(** The flat (constant-propagation) lattice over an arbitrary value
+    domain: [Bot] (no path seen yet, the identity of [join]) is refined
+    to [Known v] by the first value, and disagreeing values collapse to
+    [Top].  [Ilp_lang.Bounds] instantiates it at [int] to merge scalar
+    environments at control-flow joins. *)
+module Flat (V : sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : t Fmt.t
+end) : sig
+  type t = Bot | Known of V.t | Top
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val pp : t Fmt.t
+end

@@ -234,15 +234,14 @@ let check_compile ?unroll ?options ?granularity ?(memdep = false) ~level
   end
 
 let check_workload ?options ?granularity ?memdep ?(levels = Ilp.all_levels)
-    ?(unroll_factors = []) (config : Config.t) source =
+    ?(unroll_specs = []) (config : Config.t) source =
   List.iter
     (fun level ->
       ignore (check_compile ?options ?granularity ?memdep ~level config source))
     levels;
   List.iter
-    (fun factor ->
+    (fun unroll ->
       ignore
-        (check_compile
-           ~unroll:{ Ilp.mode = Ilp_lang.Unroll.Careful; factor }
-           ?options ?granularity ?memdep ~level:Ilp.O4 config source))
-    unroll_factors
+        (check_compile ~unroll ?options ?granularity ?memdep ~level:Ilp.O4
+           config source))
+    unroll_specs

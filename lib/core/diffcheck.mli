@@ -102,9 +102,9 @@ val check_workload :
   ?granularity:granularity ->
   ?memdep:bool ->
   ?levels:Ilp.opt_level list ->
-  ?unroll_factors:int list ->
+  ?unroll_specs:Ilp.unroll_spec list ->
   Config.t ->
   string ->
   unit
 (** {!check_compile} at each of [levels] (default all five) and — at O4
-    — each careful-unroll factor in [unroll_factors] (default none). *)
+    — each unroll spec in [unroll_specs] (default none). *)

@@ -119,8 +119,14 @@ let store_key ~workload ~unroll ~level config pre =
   let unroll_mode, unroll_factor =
     match unroll with
     | None -> (`None, 1)
-    | Some { Ilp.mode = Ilp_lang.Unroll.Naive; factor } -> (`Naive, factor)
-    | Some { Ilp.mode = Ilp_lang.Unroll.Careful; factor } -> (`Careful, factor)
+    | Some { Ilp.mode = Ilp_lang.Unroll.Naive; factor; bounds = false } ->
+        (`Naive, factor)
+    | Some { Ilp.mode = Ilp_lang.Unroll.Careful; factor; bounds = false } ->
+        (`Careful, factor)
+    | Some { Ilp.mode = Ilp_lang.Unroll.Naive; factor; bounds = true } ->
+        (`Naive_bounded, factor)
+    | Some { Ilp.mode = Ilp_lang.Unroll.Careful; factor; bounds = true } ->
+        (`Careful_bounded, factor)
   in
   Store.key_for ~workload ~unroll_mode ~unroll_factor
     ~opt_level:(Ilp.level_rank level) ~config
@@ -187,7 +193,11 @@ let workload_source ?unroll (w : W.t) =
     | Some u -> u
     | None ->
         if w.W.default_unroll > 1 then
-          Some { Ilp.mode = Ilp_lang.Unroll.Naive; factor = w.W.default_unroll }
+          Some
+            { Ilp.mode = Ilp_lang.Unroll.Naive;
+              factor = w.W.default_unroll;
+              bounds = false;
+            }
         else None
   in
   let source =
@@ -679,7 +689,9 @@ let fig4_6 () =
       (Array.length series_arr * nf)
       (fun k ->
         let _, w, mode = series_arr.(k / nf) in
-        let unroll = Some { Ilp.mode; factor = factors.(k mod nf) } in
+        let unroll =
+          Some { Ilp.mode; factor = factors.(k mod nf); bounds = false }
+        in
         request ~unroll w unroll_config)
   in
   let runs = run_sweep requests in
@@ -726,6 +738,84 @@ let render_fig4_6 () =
   Report.section
     "Figure 4-6: parallelism vs loop unrolling (l/L = linpack naive/careful, v/V = livermore)"
     (body ^ "\n\n" ^ chart)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4-5/4-6 variant: bound-aware unrolling                        *)
+
+(* The same machine and factor grid as Figure 4-6, with a third curve
+   per benchmark: careful unrolling with bound analysis on, so loops
+   with statically known trip counts are fully unrolled (short ones) or
+   peeled (the rest) and no remainder loop survives.  Benchmarks whose
+   bounds stay symbolic (linpack's parameterised kernels) degrade to the
+   classic transform, which is the point of plotting them next to the
+   constant-bound workloads. *)
+
+type unroll_study_row = {
+  us_bench : string;
+  us_series : string;  (** "naive", "careful" or "careful-peel" *)
+  us_by_factor : (int * float) list;
+}
+
+let unroll_study_series =
+  [ (Ilp_lang.Unroll.Naive, false, "naive");
+    (Ilp_lang.Unroll.Careful, false, "careful");
+    (Ilp_lang.Unroll.Careful, true, "careful-peel") ]
+
+let unroll_study () =
+  let workloads =
+    Array.of_list
+      (List.filter_map Registry.find [ "linpack"; "livermore"; "smooth" ])
+  in
+  let series = Array.of_list unroll_study_series in
+  let factors = Array.of_list unroll_factors in
+  let nf = Array.length factors and ns = Array.length series in
+  let requests =
+    Array.init
+      (Array.length workloads * ns * nf)
+      (fun k ->
+        let w = workloads.(k / (ns * nf)) in
+        let mode, bounds, _ = series.(k mod (ns * nf) / nf) in
+        let unroll =
+          Some { Ilp.mode; factor = factors.(k mod nf); bounds }
+        in
+        request ~unroll w unroll_config)
+  in
+  let runs = run_sweep requests in
+  List.concat
+    (List.mapi
+       (fun iw (w : W.t) ->
+         List.mapi
+           (fun is (_, _, name) ->
+             { us_bench = w.W.name;
+               us_series = name;
+               us_by_factor =
+                 List.mapi
+                   (fun ifc factor ->
+                     ( factor,
+                       runs.((iw * ns * nf) + (is * nf) + ifc)
+                         .Metrics.speedup ))
+                   unroll_factors;
+             })
+           unroll_study_series)
+       (Array.to_list workloads))
+
+let render_unroll_study () =
+  let rows = unroll_study () in
+  let header = "series" :: List.map string_of_int unroll_factors in
+  let body =
+    Report.table ~header
+      (List.map
+         (fun r ->
+           (r.us_bench ^ "." ^ r.us_series)
+           :: List.map
+                (fun (_, s) -> Printf.sprintf "%.2f" s)
+                r.us_by_factor)
+         rows)
+  in
+  Report.section
+    "Figure 4-5/4-6 variant: bound-aware unrolling (full unroll + peeling \
+     vs classic remainder loops)"
+    body
 
 (* ------------------------------------------------------------------ *)
 (* Figure 4-7: optimization can add or subtract parallelism              *)
@@ -959,7 +1049,9 @@ let ablation_temps () =
     | None -> invalid_arg "ablation_temps"
   in
   let temp_counts = [ 6; 8; 12; 16; 24; 32; 40; 56 ] in
-  let unroll = Some { Ilp.mode = Ilp_lang.Unroll.Careful; factor = 10 } in
+  let unroll =
+    Some { Ilp.mode = Ilp_lang.Unroll.Careful; factor = 10; bounds = false }
+  in
   let requests =
     Array.of_list
       (List.map
@@ -1264,6 +1356,7 @@ let all : (string * (unit -> string)) list =
     ("fig4_4", render_fig4_4);
     ("fig4_5", render_fig4_5);
     ("fig4_6", render_fig4_6);
+    ("fig4_5_unroll", render_unroll_study);
     ("fig4_7", render_fig4_7);
     ("fig4_8", render_fig4_8);
     ("table5_1", render_table5_1);

@@ -38,7 +38,27 @@ let default_configs () =
   ]
 
 let default_levels = Ilp.all_levels
-let default_unroll_factors = [ 3 ]
+
+(* Random programs are all-integer, so careful unrolling is exact;
+   every corpus checks one classic careful factor plus one bound-aware
+   spec (full unroll / peeling for the known-trip-count loops the
+   generator emits). *)
+let default_unroll_specs =
+  [
+    { Ilp.mode = Ilp_lang.Unroll.Careful; factor = 3; bounds = false };
+    { Ilp.mode = Ilp_lang.Unroll.Careful; factor = 4; bounds = true };
+  ]
+
+(* The unroll-heavy corpus generates boundary trip counts (0, 1,
+   factor±1), down-counting loops and index-mutating bodies; check it
+   across both modes, more factors, and both bound settings. *)
+let unroll_heavy_specs =
+  [
+    { Ilp.mode = Ilp_lang.Unroll.Naive; factor = 2; bounds = true };
+    { Ilp.mode = Ilp_lang.Unroll.Naive; factor = 3; bounds = false };
+    { Ilp.mode = Ilp_lang.Unroll.Careful; factor = 4; bounds = true };
+    { Ilp.mode = Ilp_lang.Unroll.Careful; factor = 8; bounds = true };
+  ]
 
 (* Random programs use a few dozen globals and tiny arrays; a small
    simulated memory makes the oracle's full-memory comparison (and each
@@ -56,7 +76,7 @@ let exec_options =
    statically and Diffcheck compares its per-address store streams
    against the unscheduled program, so a wrong [No_alias] verdict
    surfaces on the general corpus as well as the adversarial one. *)
-let failure_of ~configs ~levels ~unroll_factors source =
+let failure_of ~configs ~levels ~unroll_specs source =
   let explain = function
     | Diffcheck.Mismatch { stage; what } ->
         Printf.sprintf "differential mismatch after %s: %s" stage what
@@ -68,41 +88,49 @@ let failure_of ~configs ~levels ~unroll_factors source =
     (fun config ->
       match
         Diffcheck.check_workload ~options:exec_options
-          ~granularity:`Every_pass ~memdep:true ~levels ~unroll_factors config
+          ~granularity:`Every_pass ~memdep:true ~levels ~unroll_specs config
           source
       with
       | () -> None
       | exception e -> Some (config.Config.name, explain e))
     configs
 
-let check_one ~mode ~configs ~levels ~unroll_factors ~seed index =
+let check_one ~mode ~configs ~levels ~unroll_specs ~seed index =
   let st = Random.State.make [| 0x1197; seed; index |] in
   let prog = Gen_prog.generate ~mode st in
   let fails p =
     Option.is_some
-      (failure_of ~configs ~levels ~unroll_factors (Gen_prog.render p))
+      (failure_of ~configs ~levels ~unroll_specs (Gen_prog.render p))
   in
-  match failure_of ~configs ~levels ~unroll_factors (Gen_prog.render prog) with
+  match failure_of ~configs ~levels ~unroll_specs (Gen_prog.render prog) with
   | None -> ()
   | Some _ ->
       let shrunk = Gen_prog.shrink ~still_fails:fails prog in
       let source = Gen_prog.render shrunk in
       let config_name, error =
-        match failure_of ~configs ~levels ~unroll_factors source with
+        match failure_of ~configs ~levels ~unroll_specs source with
         | Some f -> f
         | None -> assert false (* [shrink] only returns failing programs *)
       in
       raise (Failed { index; seed; config_name; error; source })
 
-let run ?(jobs = 1) ?configs ?(levels = default_levels)
-    ?(unroll_factors = default_unroll_factors) ?(alias_heavy = false) ~count
-    ~seed () =
+let run ?(jobs = 1) ?configs ?(levels = default_levels) ?unroll_specs
+    ?(alias_heavy = false) ?(unroll_heavy = false) ~count ~seed () =
   let configs =
     match configs with Some cs -> cs | None -> default_configs ()
   in
-  let mode = if alias_heavy then `Alias_heavy else `Default in
+  let mode =
+    if unroll_heavy then `Unroll_heavy
+    else if alias_heavy then `Alias_heavy
+    else `Default
+  in
+  let unroll_specs =
+    match unroll_specs with
+    | Some specs -> specs
+    | None -> if unroll_heavy then unroll_heavy_specs else default_unroll_specs
+  in
   let items = Array.init count (fun k -> k) in
-  let check = check_one ~mode ~configs ~levels ~unroll_factors ~seed in
+  let check = check_one ~mode ~configs ~levels ~unroll_specs ~seed in
   if jobs <= 1 then Array.iter check items
   else
     Ilp_par.Pool.with_pool ~jobs (fun pool ->

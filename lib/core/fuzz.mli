@@ -26,8 +26,9 @@ val run :
   ?jobs:int ->
   ?configs:Config.t list ->
   ?levels:Ilp.opt_level list ->
-  ?unroll_factors:int list ->
+  ?unroll_specs:Ilp.unroll_spec list ->
   ?alias_heavy:bool ->
+  ?unroll_heavy:bool ->
   count:int ->
   seed:int ->
   unit ->
@@ -36,6 +37,10 @@ val run :
     counterexample of the lowest failing iteration, if any.  Every
     iteration additionally checks the alias-disambiguated schedule
     (memory-dependence pruning under [Check_sched] re-justification and
-    exact store-stream comparison); [?alias_heavy] (default false)
-    draws from the aliasing-adversarial generator mode instead of the
-    general corpus. *)
+    exact store-stream comparison) and each unroll spec in
+    [unroll_specs] at O4 (default: careful x3 classic plus careful x4
+    bound-aware).  [?alias_heavy] draws from the aliasing-adversarial
+    generator mode; [?unroll_heavy] draws from the unrolling-adversarial
+    mode (small constant bounds, down-counting loops, boundary trip
+    counts, index-mutating bodies) and widens the default spec list to
+    both modes, factors up to 8, and both bound settings. *)

@@ -44,7 +44,7 @@ let level_rank = function O0 -> 0 | O1 -> 1 | O2 -> 2 | O3 -> 3 | O4 -> 4
 
 let at_least level threshold = level_rank level >= level_rank threshold
 
-type unroll_spec = { mode : Unroll.mode; factor : int }
+type unroll_spec = { mode : Unroll.mode; factor : int; bounds : bool }
 
 type pass = {
   pass_name : string;
@@ -181,7 +181,7 @@ let compile_unscheduled ?unroll ?(check = false) ?on_pass ~level
   let tast = frontend source in
   let tast =
     match unroll with
-    | Some { mode; factor } -> Unroll.program mode factor tast
+    | Some { mode; factor; bounds } -> Unroll.program ~bounds mode factor tast
     | None -> tast
   in
   let p = Codegen.gen_program tast in

@@ -34,7 +34,13 @@ val all_levels : opt_level list
 val level_rank : opt_level -> int
 val at_least : opt_level -> opt_level -> bool
 
-type unroll_spec = { mode : Ilp_lang.Unroll.mode; factor : int }
+type unroll_spec = {
+  mode : Ilp_lang.Unroll.mode;
+  factor : int;
+  bounds : bool;
+      (** enable bound-aware full unroll / remainder peeling for loops
+          with known trip counts *)
+}
 
 type pass = {
   pass_name : string;  (** e.g. ["dce"], ["post_global.const_fold"] *)

@@ -1,0 +1,268 @@
+(* Bound analysis over [Tast.tfor] headers.
+
+   Unrolling wants to know, per counted loop, whether the trip count is
+   a compile-time constant (full unroll / peeling), merely well-formed
+   (classic factor unrolling with a remainder loop), or degenerate
+   (leave the loop alone).  The analysis is a forward constant
+   environment over scalars, threaded through the straight-line code
+   that precedes the loop: assignments of foldable expressions record a
+   binding, anything the environment cannot see (calls, loops,
+   disagreeing branches) kills the affected bindings.  Per-variable
+   merges at control-flow joins use the flat lattice from the PR 4
+   dataflow framework ([Ilp_analysis.Dataflow.Flat]).
+
+   The classification is deliberately conservative: a loop is only
+   [Counted] when init and limit fold to constants, the step agrees
+   with the comparison direction, the body never assigns the index
+   variable, and the limit expression is invariant under the body (the
+   lowering re-evaluates [tf_limit] every iteration, so a body that
+   mutates a scalar the limit reads changes the iteration space —
+   unrolling such a loop with any shifted or widened stride is a
+   miscompile). *)
+
+module Smap = Map.Make (String)
+
+module Const = Ilp_analysis.Dataflow.Flat (struct
+  type t = int
+
+  let equal = Int.equal
+  let pp = Fmt.int
+end)
+
+(* ------------------------------------------------------------------ *)
+(* Syntactic facts about statements                                    *)
+
+let rec expr_mentions name (e : Tast.texpr) =
+  match e.Tast.tnode with
+  | Tast.Tvar vr -> String.equal vr.Tast.vr_name name
+  | Tast.Tint_lit _ | Tast.Treal_lit _ -> false
+  | Tast.Tindex (vr, idx) ->
+      String.equal vr.Tast.vr_name name || expr_mentions name idx
+  | Tast.Tunary (_, a) | Tast.Tcast (_, a) -> expr_mentions name a
+  | Tast.Tbinary (_, a, b) -> expr_mentions name a || expr_mentions name b
+  | Tast.Tcall (_, args) -> List.exists (expr_mentions name) args
+
+(* every scalar or array name the expression reads *)
+let expr_names (e : Tast.texpr) : string list =
+  let acc = ref [] in
+  let rec go (e : Tast.texpr) =
+    match e.Tast.tnode with
+    | Tast.Tvar vr -> acc := vr.Tast.vr_name :: !acc
+    | Tast.Tint_lit _ | Tast.Treal_lit _ -> ()
+    | Tast.Tindex (vr, idx) ->
+        acc := vr.Tast.vr_name :: !acc;
+        go idx
+    | Tast.Tunary (_, a) | Tast.Tcast (_, a) -> go a
+    | Tast.Tbinary (_, a, b) ->
+        go a;
+        go b
+    | Tast.Tcall (_, args) -> List.iter go args
+  in
+  go e;
+  !acc
+
+let rec stmt_contains_call (s : Tast.tstmt) =
+  let ec = Tast.contains_call in
+  match s with
+  | Tast.TSdecl (_, init) -> Option.fold ~none:false ~some:ec init
+  | Tast.TSassign (_, e) | Tast.TSexpr e | Tast.TSsink e -> ec e
+  | Tast.TSindex_assign (_, idx, e) -> ec idx || ec e
+  | Tast.TSif (c, a, b) ->
+      ec c
+      || List.exists stmt_contains_call a
+      || List.exists stmt_contains_call b
+  | Tast.TSwhile (c, body) -> ec c || List.exists stmt_contains_call body
+  | Tast.TSfor (hdr, body) ->
+      ec hdr.Tast.tf_init || ec hdr.Tast.tf_limit
+      || List.exists stmt_contains_call body
+  | Tast.TSreturn e -> Option.fold ~none:false ~some:ec e
+
+(* names assigned or declared anywhere inside [s] — scalar targets,
+   array targets of indexed stores, and loop variables *)
+let rec assigned_names (s : Tast.tstmt) acc =
+  match s with
+  | Tast.TSdecl (vr, _) | Tast.TSassign (vr, _) -> vr.Tast.vr_name :: acc
+  | Tast.TSindex_assign (vr, _, _) -> vr.Tast.vr_name :: acc
+  | Tast.TSif (_, a, b) ->
+      List.fold_left (Fun.flip assigned_names)
+        (List.fold_left (Fun.flip assigned_names) acc a)
+        b
+  | Tast.TSwhile (_, body) -> List.fold_left (Fun.flip assigned_names) acc body
+  | Tast.TSfor (hdr, body) ->
+      List.fold_left (Fun.flip assigned_names)
+        (hdr.Tast.tf_var.Tast.vr_name :: acc)
+        body
+  | Tast.TSreturn _ | Tast.TSexpr _ | Tast.TSsink _ -> acc
+
+let assigned_in stmts = List.fold_left (Fun.flip assigned_names) [] stmts
+
+(* does the loop body assign (or re-declare) the scalar [name]? *)
+let mutates name stmts = List.mem name (assigned_in stmts)
+
+(* ------------------------------------------------------------------ *)
+(* Constant environment                                                *)
+
+module Env = struct
+  type t = int Smap.t
+  (** scalar name -> known constant value; absent = unknown *)
+
+  let empty : t = Smap.empty
+  let lookup (env : t) name = Smap.find_opt name env
+
+  (* constant-fold an int expression under [env]; [None] whenever any
+     subterm is opaque (calls, array loads, non-int, div/mod — the
+     latter to stay clear of rounding and division-by-zero) *)
+  let rec eval (env : t) (e : Tast.texpr) : int option =
+    if e.Tast.tty <> Ast.Tint then None
+    else
+      match e.Tast.tnode with
+      | Tast.Tint_lit n -> Some n
+      | Tast.Tvar vr -> lookup env vr.Tast.vr_name
+      | Tast.Tunary (Ast.Uneg, a) -> Option.map Int.neg (eval env a)
+      | Tast.Tbinary (op, a, b) -> (
+          match (eval env a, eval env b) with
+          | Some x, Some y -> (
+              match op with
+              | Ast.Badd -> Some (x + y)
+              | Ast.Bsub -> Some (x - y)
+              | Ast.Bmul -> Some (x * y)
+              | _ -> None)
+          | _ -> None)
+      | _ -> None
+
+  (* per-variable flat join of two branch environments: a binding
+     survives the merge only where both paths agree *)
+  let merge (a : t) (b : t) : t =
+    let lift = function Some v -> Const.Known v | None -> Const.Top in
+    Smap.merge
+      (fun _ x y ->
+        match Const.join (lift x) (lift y) with
+        | Const.Known v -> Some v
+        | Const.Bot | Const.Top -> None)
+      a b
+
+  let kill names (env : t) =
+    List.fold_left (fun env n -> Smap.remove n env) env names
+
+  (* abstract effect of executing [s] on the environment.  Any call
+     kills everything: a callee may write globals, and tracking
+     global/local provenance through shadowing is not worth the
+     precision. *)
+  let rec after_stmt (env : t) (s : Tast.tstmt) : t =
+    if stmt_contains_call s then Smap.empty
+    else
+      match s with
+      | Tast.TSdecl (vr, init) -> (
+          match Option.map (eval env) init |> Option.join with
+          | Some n -> Smap.add vr.Tast.vr_name n env
+          | None -> Smap.remove vr.Tast.vr_name env)
+      | Tast.TSassign (vr, e) -> (
+          match eval env e with
+          | Some n -> Smap.add vr.Tast.vr_name n env
+          | None -> Smap.remove vr.Tast.vr_name env)
+      | Tast.TSindex_assign (_, _, _) -> env
+      | Tast.TSif (_, a, b) ->
+          merge (after_stmts env a) (after_stmts env b)
+      | Tast.TSwhile (_, body) -> kill (assigned_in body) env
+      | Tast.TSfor (hdr, body) ->
+          kill (hdr.Tast.tf_var.Tast.vr_name :: assigned_in body) env
+      | Tast.TSreturn _ | Tast.TSexpr _ | Tast.TSsink _ -> env
+
+  and after_stmts env stmts = List.fold_left after_stmt env stmts
+
+  (* facts holding on every execution of a loop body: the incoming
+     environment minus everything the body assigns (everything, if the
+     body performs a call) *)
+  let at_body_entry (env : t) stmts : t =
+    if List.exists stmt_contains_call stmts then Smap.empty
+    else kill (assigned_in stmts) env
+
+  (* same, additionally killing the loop variable the header steps *)
+  let at_loop_entry (env : t) (hdr : Tast.tfor) stmts : t =
+    kill [ hdr.Tast.tf_var.Tast.vr_name ] (at_body_entry env stmts)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+
+type classification =
+  | Counted of { start : int; step : int; trips : int }
+      (** init and limit fold to constants; the loop body runs exactly
+          [trips] times and leaves the index at [start + trips*step] *)
+  | Well_formed
+      (** bounds unknown but the header is consistent: classic
+          factor-unrolling with a remainder loop is sound *)
+  | Degenerate_step  (** [tf_step = 0] *)
+  | Direction_mismatch
+      (** step sign disagrees with the comparison direction (or the
+          comparison is not an ordering at all) *)
+  | Index_mutated  (** the body assigns or re-declares the index *)
+  | Limit_mutated
+      (** the limit expression is not invariant under the body — the
+          lowering re-evaluates it every iteration *)
+
+(* is [tf_limit] invariant under one execution of the body?  The
+   lowering evaluates the limit before every iteration, so unrolling
+   (which checks it once per [factor] copies) is only sound when the
+   body cannot change its value: no body statement assigns a scalar
+   the limit reads, no indexed store hits an array the limit loads
+   from, no call occurs while the limit depends on memory or globals —
+   and the limit itself performs no call (re-evaluation count is
+   observable) and does not read the index variable, which the header
+   steps on every iteration. *)
+let limit_invariant (hdr : Tast.tfor) body =
+  let limit = hdr.Tast.tf_limit in
+  (not (Tast.contains_call limit))
+  && (not (expr_mentions hdr.Tast.tf_var.Tast.vr_name limit))
+  &&
+  let read = expr_names limit in
+  let written = assigned_in body in
+  List.for_all (fun n -> not (List.mem n written)) read
+  && ((not (List.exists stmt_contains_call body))
+     || (* calls can reach globals and arrays but not our locals; with
+           no cheap kind information for every read name, require the
+           limit to read nothing at all *)
+     read = [])
+
+let classify (env : Env.t) (hdr : Tast.tfor) (body : Tast.tstmt list) :
+    classification =
+  let var = hdr.Tast.tf_var.Tast.vr_name in
+  let step = hdr.Tast.tf_step in
+  if step = 0 then Degenerate_step
+  else if mutates var body then Index_mutated
+  else
+    let direction_ok =
+      match hdr.Tast.tf_cmp with
+      | Ast.Blt | Ast.Ble -> step > 0
+      | Ast.Bgt | Ast.Bge -> step < 0
+      | _ -> false
+    in
+    if not direction_ok then Direction_mismatch
+    else if not (limit_invariant hdr body) then Limit_mutated
+    else
+      match (Env.eval env hdr.Tast.tf_init, Env.eval env hdr.Tast.tf_limit) with
+      | Some start, Some limit ->
+          let trips =
+            if step > 0 then
+              let bound =
+                match hdr.Tast.tf_cmp with
+                | Ast.Ble -> limit + 1
+                | _ -> limit
+              in
+              if start >= bound then 0 else (bound - start + step - 1) / step
+            else
+              let bound =
+                match hdr.Tast.tf_cmp with
+                | Ast.Bge -> limit - 1
+                | _ -> limit
+              in
+              if start <= bound then 0 else (start - bound + -step - 1) / -step
+          in
+          Counted { start; step; trips }
+      | _ -> Well_formed
+
+let trip_count = function
+  | Counted { trips; _ } -> Some trips
+  | Well_formed | Degenerate_step | Direction_mismatch | Index_mutated
+  | Limit_mutated ->
+      None

@@ -1,0 +1,63 @@
+(** Bound analysis over [Tast.tfor] headers.
+
+    Classifies each counted loop for the unroller: [Counted] when
+    [tf_init] and [tf_limit] constant-fold through the preceding
+    straight-line code (enabling full unroll and remainder peeling),
+    [Well_formed] when the bounds are unknown but classic factor
+    unrolling is sound, and one of four degenerate reasons otherwise.
+    The environment is a forward scalar-constant analysis; merges at
+    control-flow joins use the flat lattice from the dataflow framework
+    ([Ilp_analysis.Dataflow.Flat]). *)
+
+module Env : sig
+  type t
+  (** Scalar name -> known constant value at the current program
+      point; absent bindings are unknown. *)
+
+  val empty : t
+  val lookup : t -> string -> int option
+
+  val eval : t -> Tast.texpr -> int option
+  (** Constant-fold an int expression under the environment.  [None]
+      when any subterm is opaque: calls, array loads, non-int subterms,
+      division and modulo. *)
+
+  val after_stmt : t -> Tast.tstmt -> t
+  (** Abstract effect of executing one statement: foldable assignments
+      record bindings, branches merge per-variable, loops kill what
+      their bodies assign, calls kill everything. *)
+
+  val after_stmts : t -> Tast.tstmt list -> t
+
+  val at_body_entry : t -> Tast.tstmt list -> t
+  (** The facts that hold on {e every} execution of a loop body: the
+      incoming environment minus everything the body assigns
+      (everything, if the body performs a call). *)
+
+  val at_loop_entry : t -> Tast.tfor -> Tast.tstmt list -> t
+  (** [at_body_entry], additionally killing the loop variable the
+      header steps. *)
+end
+
+type classification =
+  | Counted of { start : int; step : int; trips : int }
+      (** init and limit fold to constants; the body runs exactly
+          [trips] times and leaves the index at [start + trips*step] *)
+  | Well_formed
+      (** bounds unknown but the header is consistent: classic
+          factor-unrolling with a remainder loop is sound *)
+  | Degenerate_step  (** [tf_step = 0] *)
+  | Direction_mismatch
+      (** step sign disagrees with the comparison direction *)
+  | Index_mutated  (** the body assigns or re-declares the index *)
+  | Limit_mutated
+      (** the limit expression is not invariant under the body — the
+          lowering re-evaluates it every iteration, so any unrolling
+          would change the iteration space *)
+
+val classify : Env.t -> Tast.tfor -> Tast.tstmt list -> classification
+(** [classify env hdr body] with [env] the constant environment at the
+    loop statement. *)
+
+val trip_count : classification -> int option
+(** [Some trips] for [Counted], [None] otherwise. *)

@@ -31,11 +31,31 @@ type expr =
           divisor in [k, k+7], never zero *)
   | Arr_read of string * expr * int  (** name, index, mask *)
 
+(* Counted-loop header: every generated combination terminates because
+   either the step agrees with the comparison direction and the limit
+   is a constant or a never-assigned scalar, or the condition is false
+   on entry (the statically-zero-trip degenerate shapes). *)
+type limit = Lim_const of int | Lim_var of string
+
+type for_header = {
+  fh_init : int;
+  fh_cmp : string;  (** "<", "<=", ">" or ">=" *)
+  fh_limit : limit;
+  fh_step : int;  (** nonzero; negative renders [lv = lv - s] *)
+}
+
+let for_up trips =
+  { fh_init = 0; fh_cmp = "<"; fh_limit = Lim_const trips; fh_step = 1 }
+
 type stmt =
   | Assign of string * expr
   | Arr_write of string * expr * int * expr  (** name, index, mask, rhs *)
   | If of expr * stmt list * stmt list
-  | For of string * int * stmt list  (** loop var, trip count, body *)
+  | For of string * for_header * stmt list  (** loop var, header, body *)
+  | Self_assign of string
+      (** [v = v;] — the identity write.  Emitted on loop variables by
+          the unroll-heavy mode: semantically nothing, but it makes the
+          body assign the index, which the unroller must refuse. *)
 
 type prog = {
   globals : (string * int) list;  (** name, initial value *)
@@ -98,12 +118,22 @@ let rec render_stmt buf indent s =
           Buffer.add_string buf (pad ^ "} else {\n");
           List.iter (render_stmt buf (indent + 2)) else_);
       Buffer.add_string buf (pad ^ "}\n")
-  | For (lv, trips, body) ->
+  | For (lv, h, body) ->
+      let limit =
+        match h.fh_limit with
+        | Lim_const n -> string_of_int n
+        | Lim_var v -> v
+      in
+      let step =
+        if h.fh_step >= 0 then Printf.sprintf "+ %d" h.fh_step
+        else Printf.sprintf "- %d" (-h.fh_step)
+      in
       Buffer.add_string buf
-        (Printf.sprintf "%sfor (%s = 0; %s < %d; %s = %s + 1) {\n" pad lv lv
-           trips lv lv);
+        (Printf.sprintf "%sfor (%s = %d; %s %s %s; %s = %s %s) {\n" pad lv
+           h.fh_init lv h.fh_cmp limit lv lv step);
       List.iter (render_stmt buf (indent + 2)) body;
       Buffer.add_string buf (pad ^ "}\n")
+  | Self_assign v -> Buffer.add_string buf (pad ^ v ^ " = " ^ v ^ ";\n")
 
 let render (p : prog) =
   let buf = Buffer.create 512 in
@@ -237,7 +267,7 @@ let rec gen_stmt st ctx depth loop_vars : stmt =
             (* the loop variable is readable in the body but never
                assignable, so the loop always terminates *)
             let ctx' = { ctx with int_vars = lv :: ctx.int_vars } in
-            For (lv, trips, gen_block st ctx' depth rest))
+            For (lv, for_up trips, gen_block st ctx' depth rest))
 
 and gen_block st ctx depth loop_vars =
   List.init (int st 1 4) (fun _ -> gen_stmt st ctx (depth - 1) loop_vars)
@@ -332,7 +362,8 @@ let generate_alias_heavy (st : Random.State.t) : prog =
     | (5 | 6) when depth > 0 -> (
         match loop_vars with
         | [] -> arr_rw ivars
-        | lv :: rest -> For (lv, int st 2 8, block (depth - 1) (lv :: ivars) rest))
+        | lv :: rest ->
+            For (lv, for_up (int st 2 8), block (depth - 1) (lv :: ivars) rest))
     | _ -> arr_rw ivars
   and block depth ivars loop_vars =
     List.init (int st 2 5) (fun _ -> stmt depth ivars loop_vars)
@@ -340,10 +371,101 @@ let generate_alias_heavy (st : Random.State.t) : prog =
   let stmts = block 2 [ "p"; "q" ] [ "i"; "j" ] in
   { globals; locals; arrays; helper = None; call_helper = false; stmts }
 
+(* Unrolling-adversarial programs: innermost counted loops with the
+   boundary trip counts the bound-aware unroller must get right — 0, 1,
+   factor−1, factor and factor+1 for factors up to 8 — down-counting
+   loops, steps beyond 1, inclusive comparisons, statically-zero-trip
+   degenerate headers (step fighting the comparison with the condition
+   false on entry, so execution still terminates), occasional index
+   self-assignment (the [index_mutated] skip must fire, not miscompile)
+   and loops whose limit lives in a never-assigned scalar the bound
+   analysis cannot fold (the classic remainder path).  [s0] gives the
+   careful mode accumulation chains to split. *)
+let generate_unroll_heavy (st : Random.State.t) : prog =
+  let globals = [ ("g0", int st 0 20); ("n0", int st 0 12) ] in
+  let locals = [ ("x0", int st 0 20); ("s0", int st 0 9) ] in
+  let arrays = [ ("a0", arr_words) ] in
+  (* n0 is deliberately not writable: it may appear as a loop limit *)
+  let ctx =
+    {
+      int_vars = [ "g0"; "n0"; "x0"; "s0" ];
+      writable = [ "g0"; "x0"; "s0" ];
+      arrs = arrays;
+    }
+  in
+  let boundary_trips () =
+    let f = choose st [ 2; 3; 4; 8 ] in
+    match int st 0 4 with
+    | 0 -> 0
+    | 1 -> 1
+    | 2 -> f - 1
+    | 3 -> f
+    | _ -> f + 1
+  in
+  let header () =
+    let trips = boundary_trips () in
+    match int st 0 9 with
+    | 0 | 1 | 2 -> for_up trips
+    | 3 ->
+        { fh_init = int st 0 2;
+          fh_cmp = "<";
+          fh_limit = Lim_const (int st 0 12);
+          fh_step = int st 2 3;
+        }
+    | 4 ->
+        { fh_init = 0;
+          fh_cmp = "<=";
+          fh_limit = Lim_const (trips - 1);
+          fh_step = 1;
+        }
+    | 5 | 6 ->
+        { fh_init = trips; fh_cmp = ">"; fh_limit = Lim_const 0; fh_step = -1 }
+    | 7 ->
+        { fh_init = int st 4 12;
+          fh_cmp = ">=";
+          fh_limit = Lim_const (int st 0 3);
+          fh_step = -(int st 1 2);
+        }
+    | 8 ->
+        (* unknown bound: n0 is never assigned, so the loop terminates
+           but the bound analysis must classify it Well_formed *)
+        { fh_init = 0; fh_cmp = "<"; fh_limit = Lim_var "n0"; fh_step = 1 }
+    | _ ->
+        (* degenerate direction, false on entry: zero trips *)
+        { fh_init = 0;
+          fh_cmp = ">";
+          fh_limit = Lim_const (int st 0 6);
+          fh_step = 1;
+        }
+  in
+  let rec stmt ctx depth loop_vars : stmt =
+    match int st 1 12 with
+    | 1 | 2 -> gen_assign st ctx
+    | 3 | 4 -> gen_arr_write st ctx
+    | 5 | 6 -> Assign ("s0", Binop ("+", Var "s0", gen_expr st ctx 1))
+    | 7 when depth > 0 ->
+        If (gen_condition st ctx, block ctx (depth - 1) loop_vars, [])
+    | _ -> (
+        match loop_vars with
+        | [] -> Assign ("s0", Binop ("+", Var "s0", gen_expr st ctx 1))
+        | lv :: rest ->
+            let ctx' = { ctx with int_vars = lv :: ctx.int_vars } in
+            let body = block ctx' (if depth > 0 then depth - 1 else 0) rest in
+            let body =
+              if int st 0 5 = 0 then body @ [ Self_assign lv ] else body
+            in
+            For (lv, header (), body))
+  and block ctx depth loop_vars =
+    List.init (int st 1 3) (fun _ -> stmt ctx depth loop_vars)
+  in
+  let stmts = List.init (int st 3 6) (fun _ -> stmt ctx 2 [ "i"; "j" ]) in
+  { globals; locals; arrays; helper = None; call_helper = false; stmts }
+
 let generate ?(mode = `Default) (st : Random.State.t) : prog =
   match mode with
   | `Default -> generate_default st
   | `Alias_heavy -> generate_alias_heavy st
+  | `Unroll_heavy -> generate_unroll_heavy st
 
 (* --- shrinking --------------------------------------------------------- *)
 
@@ -414,11 +536,14 @@ let rec shrink_stmt (s : stmt) : stmt Seq.t =
                  (shrink_stmts else_))
               (Seq.map (fun cond -> If (cond, then_, else_))
                  (shrink_expr cond))))
-  | For (lv, trips, body) ->
+  | For (lv, hdr, body) ->
+      (* a non-trivial header simplifies to a short plain up-count —
+         strictly smaller by the header cost in [stmt_size] *)
       Seq.append
-        (List.to_seq [ If (Const 1, body, []); For (lv, 1, body) ]
+        (List.to_seq [ If (Const 1, body, []); For (lv, for_up 2, body) ]
         |> Seq.filter (fun s' -> s' <> s))
-      @@ Seq.map (fun body -> For (lv, trips, body)) (shrink_stmts body)
+      @@ Seq.map (fun body -> For (lv, hdr, body)) (shrink_stmts body)
+  | Self_assign _ -> Seq.empty (* droppable as a list element only *)
 
 and shrink_stmts (l : stmt list) : stmt list Seq.t =
   shrink_list shrink_stmt true l
@@ -443,12 +568,21 @@ let rec expr_size = function
   | Binop (_, a, b) | Div_mod (_, a, b, _) -> 1 + expr_size a + expr_size b
   | Arr_read (_, idx, _) -> 1 + expr_size idx
 
+(* a plain up-counting unit-step constant-bound header costs nothing;
+   anything richer costs one node, so shrinking a down-count or
+   variable-bound loop to [for_up] is a strict decrease *)
+let header_size h =
+  match h with
+  | { fh_init = 0; fh_cmp = "<"; fh_limit = Lim_const _; fh_step = 1 } -> 0
+  | _ -> 1
+
 let rec stmt_size = function
   | Assign (_, e) -> 1 + expr_size e
   | Arr_write (_, idx, _, e) -> 1 + expr_size idx + expr_size e
   | If (cond, then_, else_) ->
       1 + expr_size cond + stmts_size then_ + stmts_size else_
-  | For (_, _, body) -> 1 + stmts_size body
+  | For (_, hdr, body) -> 1 + header_size hdr + stmts_size body
+  | Self_assign _ -> 1
 
 and stmts_size l = List.fold_left (fun acc s -> acc + stmt_size s) 0 l
 

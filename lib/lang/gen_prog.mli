@@ -16,11 +16,31 @@ type expr =
       (** [a op ((b & 7) + k)]: divisor in [\[k, k+7\]], never zero *)
   | Arr_read of string * expr * int  (** name, index, mask *)
 
+type limit = Lim_const of int | Lim_var of string
+
+type for_header = {
+  fh_init : int;
+  fh_cmp : string;  (** "<", "<=", ">" or ">=" *)
+  fh_limit : limit;
+  fh_step : int;  (** nonzero; negative renders [lv = lv - s] *)
+}
+(** Counted-loop header.  Every generated combination terminates: the
+    step agrees with the comparison direction against a constant or
+    never-assigned limit, or the condition is false on entry. *)
+
+val for_up : int -> for_header
+(** [for_up trips]: the plain [lv = 0; lv < trips; lv = lv + 1]
+    header. *)
+
 type stmt =
   | Assign of string * expr
   | Arr_write of string * expr * int * expr
   | If of expr * stmt list * stmt list
-  | For of string * int * stmt list  (** loop var, trip count, body *)
+  | For of string * for_header * stmt list  (** loop var, header, body *)
+  | Self_assign of string
+      (** [v = v;] — semantically the identity, but on a loop variable
+          it makes the body assign the index, which the unroller must
+          skip rather than miscompile *)
 
 type prog = {
   globals : (string * int) list;  (** name, initial value *)
@@ -35,14 +55,19 @@ val render : prog -> string
 (** MiniMod source text: declarations, helper, [main] ending in a
     [sink(...)] mix of every variable and three cells of each array. *)
 
-val generate : ?mode:[ `Default | `Alias_heavy ] -> Random.State.t -> prog
+val generate :
+  ?mode:[ `Default | `Alias_heavy | `Unroll_heavy ] -> Random.State.t -> prog
 (** [`Default] draws the general corpus.  [`Alias_heavy] (the
     aliasing-adversarial mode behind [ilp fuzz --alias-heavy]) hammers
     one or two arrays through affine indices over shared index locals:
     copies ([q = p]), small positive {e and negative} offsets applied
     before the subscript mask, variable-plus-variable bases — the
     shapes the memory-dependence analysis must either prove apart or
-    refuse to prune. *)
+    refuse to prune.  [`Unroll_heavy] (behind [ilp fuzz
+    --unroll-heavy]) stresses the bound-aware unroller: boundary trip
+    counts (0, 1, factor±1 up to factor 8), down-counting loops, steps
+    beyond 1, inclusive comparisons, statically-zero-trip degenerate
+    headers, index self-assignment and unknown scalar bounds. *)
 
 val size : prog -> int
 (** AST node count — the strictly decreasing measure [shrink] minimises. *)

@@ -2,7 +2,7 @@
 
 module TB = Ilp_sim.Trace_buffer
 
-type unroll_mode = [ `None | `Naive | `Careful ]
+type unroll_mode = [ `None | `Naive | `Careful | `Naive_bounded | `Careful_bounded ]
 
 type key = {
   workload : string;
@@ -21,6 +21,8 @@ let mode_name = function
   | `None -> "none"
   | `Naive -> "naive"
   | `Careful -> "careful"
+  | `Naive_bounded -> "naive-peel"
+  | `Careful_bounded -> "careful-peel"
 
 (* the canonical rendering the content address is computed over *)
 let key_string k =
@@ -59,7 +61,12 @@ let add_str b s =
   add_u16 b (String.length s);
   Buffer.add_string b s
 
-let mode_tag = function `None -> 0 | `Naive -> 1 | `Careful -> 2
+let mode_tag = function
+  | `None -> 0
+  | `Naive -> 1
+  | `Careful -> 2
+  | `Naive_bounded -> 3
+  | `Careful_bounded -> 4
 
 let encode k (pk : TB.packed) =
   let estimate =
@@ -200,6 +207,8 @@ let decode bytes =
       | 0 -> `None
       | 1 -> `Naive
       | 2 -> `Careful
+      | 3 -> `Naive_bounded
+      | 4 -> `Careful_bounded
       | t -> bad "unknown unroll-mode tag %d" t
     in
     let unroll_factor = u16 c in

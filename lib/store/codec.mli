@@ -30,7 +30,12 @@
     truncation, version skew and key collisions each fail loudly with a
     distinct message, and a load never half-succeeds. *)
 
-type unroll_mode = [ `None | `Naive | `Careful ]
+type unroll_mode =
+  [ `None | `Naive | `Careful | `Naive_bounded | `Careful_bounded ]
+(** [`Naive_bounded] / [`Careful_bounded] are the bound-aware variants
+    (full unroll + remainder peeling enabled); they key distinct
+    programs, so the tag keeps [describe_key] honest even though the
+    fingerprint already separates the traces. *)
 
 type key = {
   workload : string;

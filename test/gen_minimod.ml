@@ -13,3 +13,14 @@ let prog : Ilp_lang.Gen_prog.prog Gen.t =
     ~shrink:Ilp_lang.Gen_prog.shrink_step
 
 let program : string Gen.t = Gen.map Ilp_lang.Gen_prog.render prog
+
+(* The unrolling-adversarial mode: boundary trip counts around the
+   checked factors, down-counting and inclusive headers, degenerate
+   directions, index self-assignment, unknown scalar bounds. *)
+let unroll_heavy_prog : Ilp_lang.Gen_prog.prog Gen.t =
+  Gen.make_primitive
+    ~gen:(Ilp_lang.Gen_prog.generate ~mode:`Unroll_heavy)
+    ~shrink:Ilp_lang.Gen_prog.shrink_step
+
+let unroll_heavy_program : string Gen.t =
+  Gen.map Ilp_lang.Gen_prog.render unroll_heavy_prog

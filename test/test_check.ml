@@ -144,7 +144,7 @@ let test_diffcheck_clean () =
 let test_diffcheck_clean_unroll () =
   ignore
     (Diffcheck.check_compile
-       ~unroll:{ Ilp.mode = Ilp_lang.Unroll.Careful; factor = 4 }
+       ~unroll:{ Ilp.mode = Ilp_lang.Unroll.Careful; factor = 4; bounds = false }
        ~level:Ilp.O4 Presets.base src)
 
 (* A broken DCE that drops a live (here: the sink) store must be caught
@@ -194,7 +194,7 @@ let test_exact_catches_any_dropped_store () =
 
 let rec stmt_has_arr_write = function
   | Gen_prog.Arr_write _ -> true
-  | Gen_prog.Assign _ -> false
+  | Gen_prog.Assign _ | Gen_prog.Self_assign _ -> false
   | Gen_prog.If (_, a, b) ->
       List.exists stmt_has_arr_write a || List.exists stmt_has_arr_write b
   | Gen_prog.For (_, _, body) -> List.exists stmt_has_arr_write body

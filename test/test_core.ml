@@ -82,7 +82,9 @@ let test_experiments_registry () =
     (Ilp_core.Experiments.find "fig4_1" <> None);
   Alcotest.(check bool) "unknown rejected" true
     (Ilp_core.Experiments.find "fig9_9" = None);
-  Alcotest.(check int) "twenty experiments" 20
+  Alcotest.(check bool) "fig4_5_unroll registered" true
+    (Ilp_core.Experiments.find "fig4_5_unroll" <> None);
+  Alcotest.(check int) "twenty-one experiments" 21
     (List.length Ilp_core.Experiments.all)
 
 let test_sec5_1_analytic () =

@@ -411,7 +411,10 @@ let test_workload_allocations_verify () =
             (fun factor ->
               let unroll =
                 if factor = 1 then None
-                else Some { Ilp_core.Ilp.mode = Ilp_lang.Unroll.Naive; factor }
+                else
+                  Some
+                    { Ilp_core.Ilp.mode = Ilp_lang.Unroll.Naive; factor;
+                      bounds = false }
               in
               ignore
                 (Ilp_core.Ilp.compile ?unroll ~check:true

@@ -50,10 +50,39 @@ let prop_unrolling_agrees =
           List.for_all
             (fun mode ->
               String.equal
-                (safe_sink ~unroll:{ Ilp_core.Ilp.mode; factor } src)
+                (safe_sink
+                   ~unroll:{ Ilp_core.Ilp.mode; factor; bounds = false }
+                   src)
                 reference)
             [ Ilp_lang.Unroll.Naive; Ilp_lang.Unroll.Careful ])
         [ 2; 3; 4 ])
+
+let prop_bound_unrolling_agrees =
+  (* the adversarial corpus for the bound-aware unroller: boundary trip
+     counts around every checked factor, down-counting and inclusive
+     headers, degenerate directions, index self-assignment, unknown
+     bounds — identical results for every factor x mode x bound setting,
+     including the full-unroll and peeling paths *)
+  QCheck2.Test.make ~count:40
+    ~name:"unroll-heavy programs: all unroll specs agree"
+    ~print:(fun s -> s)
+    Gen_minimod.unroll_heavy_program
+    (fun src ->
+      let reference = safe_sink src in
+      List.for_all
+        (fun factor ->
+          List.for_all
+            (fun mode ->
+              List.for_all
+                (fun bounds ->
+                  String.equal
+                    (safe_sink
+                       ~unroll:{ Ilp_core.Ilp.mode; factor; bounds }
+                       src)
+                    reference)
+                [ false; true ])
+            [ Ilp_lang.Unroll.Naive; Ilp_lang.Unroll.Careful ])
+        [ 2; 3; 4; 8 ])
 
 let prop_tiny_temp_pools_agree =
   QCheck2.Test.make ~count:30 ~name:"random programs: tiny temp pools agree"
@@ -322,6 +351,7 @@ let prop_repeated_access_hits =
 let tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_levels_agree; prop_machines_agree; prop_unrolling_agrees;
+      prop_bound_unrolling_agrees;
       prop_tiny_temp_pools_agree; prop_replay_matches_direct;
       prop_scheduling_preserves_semantics;
       prop_scheduling_is_permutation; prop_available_parallelism_bounds;

@@ -99,10 +99,11 @@ let test_roundtrip_grid () =
               let unroll_mode, unroll_factor =
                 match unroll with
                 | None -> (`None, 1)
-                | Some { Ilp_core.Ilp.mode = Ilp_lang.Unroll.Naive; factor }
+                | Some { Ilp_core.Ilp.mode = Ilp_lang.Unroll.Naive; factor; _ }
                   ->
                     (`Naive, factor)
-                | Some { Ilp_core.Ilp.mode = Ilp_lang.Unroll.Careful; factor }
+                | Some
+                    { Ilp_core.Ilp.mode = Ilp_lang.Unroll.Careful; factor; _ }
                   ->
                     (`Careful, factor)
               in
@@ -122,8 +123,12 @@ let test_roundtrip_grid () =
               check_roundtrip name key pre trace)
             [ (16, 26); (8, 12) ])
         [ None;
-          Some { Ilp_core.Ilp.mode = Ilp_lang.Unroll.Naive; factor = 2 };
-          Some { Ilp_core.Ilp.mode = Ilp_lang.Unroll.Careful; factor = 4 } ])
+          Some
+            { Ilp_core.Ilp.mode = Ilp_lang.Unroll.Naive; factor = 2;
+              bounds = false };
+          Some
+            { Ilp_core.Ilp.mode = Ilp_lang.Unroll.Careful; factor = 4;
+              bounds = false } ])
     [ Ilp_core.Ilp.O0; Ilp_core.Ilp.O4 ]
 
 (* The cross-process contract, simulated in-process: compile the same

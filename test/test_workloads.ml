@@ -75,7 +75,9 @@ let test_unrolled_workloads () =
       let w = Option.get (Ilp_workloads.Registry.find name) in
       let v =
         Helpers.sink_of
-          ~unroll:{ Ilp_core.Ilp.mode = Ilp_lang.Unroll.Naive; factor = 4 }
+          ~unroll:
+            { Ilp_core.Ilp.mode = Ilp_lang.Unroll.Naive; factor = 4;
+              bounds = false }
           w.W.source
       in
       check_expected (name ^ " naive 4x") w.W.expected_sink v)
