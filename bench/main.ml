@@ -41,6 +41,11 @@ let memdep_only = Array.exists (( = ) "--memdep-only") Sys.argv
    publish the unrolling artifact. *)
 let unroll_only = Array.exists (( = ) "--unroll-only") Sys.argv
 
+(* --range-only: run just the value-range disambiguation study (writes
+   BENCH_rangedep.json) and skip everything else — what CI runs to
+   publish the range-sharpening artifact. *)
+let range_only = Array.exists (( = ) "--range-only") Sys.argv
+
 (* ------------------------------------------------------------------ *)
 (* 1. regenerate every table and figure                                 *)
 
@@ -352,7 +357,67 @@ let time_unroll () =
   Printf.printf "wrote BENCH_unroll.json\n\n%!"
 
 (* ------------------------------------------------------------------ *)
-(* 7. Bechamel suite                                                    *)
+(* 7. value-range disambiguation: what the range tier prunes            *)
+
+(* Per workload (rolled or at its shipped unroll factor): DDG edges
+   pruned by the symbolic tiers alone vs with the value-range product
+   enabled, plus a checksum comparison of the two resulting schedules.
+   The range tier only ever adds [No_alias] verdicts, so pruning with
+   ranges must dominate everywhere, win strictly somewhere (the
+   redblack kernels are built to guarantee it), and never change what
+   the program computes. *)
+let time_rangedep () =
+  let rows = Ilp_core.Experiments.rangedep_study () in
+  Printf.printf
+    "---- value-range disambiguation (symbolic-only vs range-sharpened) \
+     ----\n";
+  List.iter
+    (fun (r : Ilp_core.Experiments.rangedep_row) ->
+      Printf.printf "%-10s %4d pair(s):  pruned %3d -> %3d%s\n" r.rd_bench
+        r.rd_pairs r.rd_pruned_sym r.rd_pruned_rng
+        (if r.rd_sink_equal then "" else "  CHECKSUM MISMATCH"))
+    rows;
+  List.iter
+    (fun (r : Ilp_core.Experiments.rangedep_row) ->
+      if r.rd_pruned_rng < r.rd_pruned_sym then
+        failwith
+          (Printf.sprintf
+             "BUG: %s prunes fewer edges with the range tier on (%d < %d)"
+             r.rd_bench r.rd_pruned_rng r.rd_pruned_sym);
+      if not r.rd_sink_equal then
+        failwith
+          (Printf.sprintf
+             "BUG: %s computes a different checksum under range-sharpened \
+              scheduling"
+             r.rd_bench))
+    rows;
+  let strict =
+    List.exists
+      (fun (r : Ilp_core.Experiments.rangedep_row) ->
+        r.rd_pruned_rng > r.rd_pruned_sym)
+      rows
+  in
+  if not strict then
+    failwith
+      "BUG: no workload shows strictly more pruning with the range tier on";
+  print_newline ();
+  let oc = open_out "BENCH_rangedep.json" in
+  Printf.fprintf oc "{\n  \"experiment\": \"rangedep\",\n  \"rows\": [";
+  List.iteri
+    (fun i (r : Ilp_core.Experiments.rangedep_row) ->
+      Printf.fprintf oc
+        "%s\n\
+        \    { \"bench\": \"%s\", \"pairs\": %d, \"pruned_symbolic\": %d, \
+         \"pruned_ranges\": %d, \"sink_equal\": %b }"
+        (if i > 0 then "," else "")
+        r.rd_bench r.rd_pairs r.rd_pruned_sym r.rd_pruned_rng r.rd_sink_equal)
+    rows;
+  Printf.fprintf oc "\n  ],\n  \"strict_improvement\": %b\n}\n" strict;
+  close_out oc;
+  Printf.printf "wrote BENCH_rangedep.json\n\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* 8. Bechamel suite                                                    *)
 
 let experiment_tests =
   List.map
@@ -481,6 +546,10 @@ let () =
     time_unroll ();
     exit 0
   end;
+  if range_only then begin
+    time_rangedep ();
+    exit 0
+  end;
   Printf.printf "parallel sweep engine: %d job(s)\n\n%!" jobs;
   Ilp_core.Experiments.with_jobs jobs regenerate;
   print_string
@@ -508,6 +577,11 @@ let () =
      Bound-aware unrolling: full unroll + peeling vs classic curves\n\
      ================================================================\n\n";
   time_unroll ();
+  print_string
+    "================================================================\n\
+     Value-range disambiguation: symbolic-only vs range-sharpened\n\
+     ================================================================\n\n";
+  time_rangedep ();
   print_string
     "================================================================\n\
      Bechamel timings (one test per table/figure + components)\n\

@@ -439,10 +439,25 @@ let fuzz_cmd =
              scalar bounds — and widen the unroll specs checked at O4 to \
              both modes, factors up to 8, and both bound settings.")
   in
-  let action count seed jobs alias_heavy unroll_heavy =
+  let range_heavy_arg =
+    Arg.(
+      value & flag
+      & info [ "range-heavy" ]
+          ~doc:
+            "Draw from the range-adversarial generator mode: stride-2 and \
+             stride-3 index arithmetic interleaving even/odd and mod-3 \
+             array cells, split upper/lower array windows, loop bounds \
+             near the array extents, and nested counted loops driving \
+             monotone accumulators through the widening machinery — the \
+             shapes only the value-range analysis can prove apart, so \
+             every range-justified schedule prune is re-checked and \
+             store-stream-compared.")
+  in
+  let action count seed jobs alias_heavy unroll_heavy range_heavy =
     let jobs = max 1 jobs in
     match
-      Ilp_core.Fuzz.run ~jobs ~count ~seed ~alias_heavy ~unroll_heavy ()
+      Ilp_core.Fuzz.run ~jobs ~count ~seed ~alias_heavy ~unroll_heavy
+        ~range_heavy ()
     with
     | () ->
         Fmt.pr
@@ -451,6 +466,7 @@ let fuzz_cmd =
           count
           (if alias_heavy then "alias-heavy "
            else if unroll_heavy then "unroll-heavy "
+           else if range_heavy then "range-heavy "
            else "")
           seed
     | exception Ilp_core.Fuzz.Failed f ->
@@ -468,7 +484,7 @@ let fuzz_cmd =
           program")
     Term.(
       const action $ count_arg $ seed_arg $ jobs_arg $ alias_heavy_arg
-      $ unroll_heavy_arg)
+      $ unroll_heavy_arg $ range_heavy_arg)
 
 (* --- lint --------------------------------------------------------------- *)
 
@@ -564,14 +580,110 @@ let severity_conv =
   in
   Arg.conv (parse, Ilp_analysis.Diagnostics.pp_severity)
 
-(* Stable machine-readable rendering of lint results: schema version 2,
+(* --- subscript sanitizer ------------------------------------------------ *)
+
+(* The value-range subscript sanitizer (abstract interpretation over
+   the interval x congruence product) on the same typed, possibly
+   unrolled program the compiler sees.  Verdicts fold into lint
+   diagnostics: a proved out-of-bounds access is an error, an
+   unprovable one a warning; proved-safe sites stay silent. *)
+let sanitize_analysis ?unroll source =
+  let tast = Ilp_core.Ilp.frontend source in
+  let tast =
+    match unroll with
+    | Some { Ilp_core.Ilp.mode; factor; bounds } ->
+        Ilp_lang.Unroll.program ~bounds mode factor tast
+    | None -> tast
+  in
+  Ilp_lang.Absint.analyze tast
+
+(* One diagnostic per non-safe (function, array, direction, verdict)
+   group: unrolling duplicates an access once per loop copy (with the
+   subscript range shifted by the copy's offset), so same-shaped sites
+   collapse into a single finding whose range is the join over the
+   group and whose copy count says how many sites it stands for.  The
+   first site's statement path survives as the location. *)
+let sanitize_diags (t : Ilp_lang.Absint.t) :
+    (string * Ilp_analysis.Diagnostics.t * int) list =
+  let module A = Ilp_lang.Absint in
+  let module D = Ilp_analysis.Diagnostics in
+  let tbl = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun (s : A.site) ->
+      match s.A.s_verdict with
+      | A.Proved_safe -> ()
+      | v -> (
+          let key = (s.A.s_func, s.A.s_array, s.A.s_write, v) in
+          match Hashtbl.find_opt tbl key with
+          | Some r ->
+              let range, n = !r in
+              r := (Ilp_analysis.Range.V.join range s.A.s_range, n + 1)
+          | None ->
+              let r = ref (s.A.s_range, 1) in
+              Hashtbl.add tbl key r;
+              order := (s, r) :: !order))
+    t.A.sites;
+  List.rev_map
+    (fun ((s : A.site), r) ->
+      let range, copies = !r in
+      ( "sanitize",
+        D.make
+          (match s.A.s_verdict with
+          | A.Proved_oob -> D.Error
+          | _ -> D.Warning)
+          ~check:"sanitize" ~func:s.A.s_func ~instr:s.A.s_path
+          (Printf.sprintf "%s %s[%s] vs extent %d: %s"
+             (if s.A.s_write then "store to" else "load from")
+             s.A.s_array
+             (Ilp_analysis.Range.V.to_string range)
+             s.A.s_extent
+             (A.verdict_name s.A.s_verdict)),
+        copies ))
+    !order
+
+(* [(safe, oob, unknown)] counts plus the grouped diagnostics. *)
+let sanitize_report ?unroll source =
+  let t = sanitize_analysis ?unroll source in
+  (Ilp_lang.Absint.counts t, sanitize_diags t)
+
+(* Unrolling copies a loop body N times — and with it every diagnostic
+   the copies share.  Collapse findings identical up to their location
+   (same pass, severity, check, function and message) into one entry
+   carrying its copy count; the first copy's location survives and
+   first-appearance order is kept. *)
+let dedup_diags (diags : (string * Ilp_analysis.Diagnostics.t) list) :
+    (string * Ilp_analysis.Diagnostics.t * int) list =
+  let module D = Ilp_analysis.Diagnostics in
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (pass, (d : D.t)) ->
+      let key = (pass, d.D.severity, d.D.check, d.D.func, d.D.message) in
+      match Hashtbl.find_opt tbl key with
+      | Some r -> incr r
+      | None ->
+          let r = ref 1 in
+          Hashtbl.add tbl key r;
+          order := (pass, d, r) :: !order)
+    diags;
+  List.rev_map (fun (pass, d, r) -> (pass, d, !r)) !order
+
+let copies_suffix n = if n > 1 then Printf.sprintf " [x%d copies]" n else ""
+
+(* Stable machine-readable rendering of lint results: schema version 3,
    one entry per linted (benchmark, machine, level, unroll, careful,
-   peel) configuration with its threshold-filtered diagnostics and an
+   peel) configuration with its threshold-filtered, unroll-deduplicated
+   diagnostics (each carrying a [copies] count — how many identical
+   findings, typically one per unrolled loop copy, it stands for; the
+   severity summary counts each deduplicated entry once), an
    always-present unroll_stats object (loops rolled / peeled / fully
    unrolled, plus every skip reason with an explicit count — zero
-   included — so consumers never have to probe for keys), plus a
-   severity summary over everything included.  Hand-rolled printer —
-   the repo deliberately carries no JSON dependency. *)
+   included — so consumers never have to probe for keys), and a
+   [sanitize] object with the subscript sanitizer's verdict tally
+   (proved-safe / proved-out-of-bounds / unknown over every syntactic
+   array access).  Hand-rolled printer — the repo deliberately carries
+   no JSON dependency. *)
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
   String.iter
@@ -614,21 +726,25 @@ let lint_json results =
                 (Ilp_lang.Unroll.skip_count st r))
             Ilp_lang.Unroll.all_skip_reasons))
   in
-  Buffer.add_string b "{\n  \"version\": 2,\n  \"results\": [";
+  Buffer.add_string b "{\n  \"version\": 3,\n  \"results\": [";
   List.iteri
-    (fun i (bench, machine, level, factor, careful, peel, stats, diags) ->
+    (fun i
+         ( bench, machine, level, factor, careful, peel, stats,
+           (safe, oob, unknown), diags ) ->
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b
         (Printf.sprintf
            "\n    { \"bench\": \"%s\", \"machine\": \"%s\", \"level\": \
             \"O%d\", \"unroll\": %d, \"careful\": %b, \"peel\": %b,\n\
            \      \"unroll_stats\": %s,\n\
+           \      \"sanitize\": { \"safe\": %d, \"oob\": %d, \"unknown\": \
+            %d },\n\
            \      \"diagnostics\": ["
            (json_escape bench) (json_escape machine)
            (Ilp_core.Ilp.level_rank level)
-           factor careful peel (unroll_stats_json stats));
+           factor careful peel (unroll_stats_json stats) safe oob unknown);
       List.iteri
-        (fun j (pass, d) ->
+        (fun j (pass, d, copies) ->
           (match d.D.severity with
           | D.Error -> incr errors
           | D.Warning -> incr warnings
@@ -638,11 +754,11 @@ let lint_json results =
             (Printf.sprintf
                "\n        { \"pass\": \"%s\", \"severity\": \"%s\", \
                 \"check\": \"%s\", \"func\": \"%s\", \"block\": %s, \
-                \"instr\": %s, \"message\": \"%s\" }"
+                \"instr\": %s, \"copies\": %d, \"message\": \"%s\" }"
                (json_escape pass)
                (severity_name d.D.severity)
                (json_escape d.D.check) (json_escape d.D.func)
-               (opt_string d.D.block) (opt_string d.D.instr)
+               (opt_string d.D.block) (opt_string d.D.instr) copies
                (json_escape d.D.message)))
         diags;
       Buffer.add_string b
@@ -683,13 +799,15 @@ let lint_cmd =
       value & flag
       & info [ "json" ]
           ~doc:
-            "Emit diagnostics as JSON (schema version 2) on stdout \
+            "Emit diagnostics as JSON (schema version 3) on stdout \
              instead of text: one result per linted configuration with \
-             its pass, severity, check, location and message, an \
-             unroll_stats object (loops rolled, peeled and fully \
-             unrolled, plus a per-reason skip count that always lists \
-             every reason), plus a severity summary.  The exit code \
-             still reflects error-severity findings only.")
+             its pass, severity, check, location, copy count and \
+             message, an unroll_stats object (loops rolled, peeled and \
+             fully unrolled, plus a per-reason skip count that always \
+             lists every reason), a sanitize object with the subscript \
+             sanitizer's safe/oob/unknown verdict tally, plus a \
+             severity summary.  The exit code still reflects \
+             error-severity findings only.")
   in
   let bench_opt_arg =
     let doc = "Benchmark name (see `ilp list'); required without --all." in
@@ -711,10 +829,11 @@ let lint_cmd =
   let rank = function D.Error -> 0 | D.Warning -> 1 | D.Info -> 2 in
   let report ~threshold diags =
     let shown =
-      List.filter (fun (_, d) -> rank d.D.severity <= rank threshold) diags
+      List.filter (fun (_, d, _) -> rank d.D.severity <= rank threshold) diags
     in
     List.iter
-      (fun (pass, d) -> Fmt.pr "%s: %s@." pass (D.to_string d))
+      (fun (pass, d, copies) ->
+        Fmt.pr "%s: %s%s@." pass (D.to_string d) (copies_suffix copies))
       shown;
     List.length shown
   in
@@ -733,9 +852,17 @@ let lint_cmd =
       (if skips = [] then ""
        else "; skipped: " ^ String.concat ", " skips)
   in
-  let action all json bench machine level factor careful peel threshold =
+  let file_arg =
+    let doc =
+      "Lint a MiniMod source file instead of a named benchmark.  \
+       Mutually exclusive with -b and --all."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "file" ] ~docv:"PATH" ~doc)
+  in
+  let action all json bench file machine level factor careful peel threshold =
     let keep diags =
-      List.filter (fun (_, d) -> rank d.D.severity <= rank threshold) diags
+      List.filter (fun (_, d, _) -> rank d.D.severity <= rank threshold) diags
     in
     if all then begin
       let corpus = alias_corpus () in
@@ -756,29 +883,47 @@ let lint_cmd =
       List.iter
         (fun (bname, source) ->
           let bench_errors = ref 0 in
+          (* the sanitizer's verdicts depend only on the unrolled
+             program, not the optimization level: one analysis per
+             (factor, peel) serves all five levels *)
+          let sanitize_memo = Hashtbl.create 4 in
+          let sanitize_for unroll factor speel =
+            match Hashtbl.find_opt sanitize_memo (factor, speel) with
+            | Some r -> r
+            | None ->
+                let r = sanitize_report ?unroll source in
+                Hashtbl.add sanitize_memo (factor, speel) r;
+                r
+          in
           List.iter
             (fun level ->
               List.iter
                 (fun (factor, speel) ->
                   let unroll = unroll_spec factor false speel in
-                  let diags = lint_compile ?unroll ~level machine source in
+                  let scounts, sdiags = sanitize_for unroll factor speel in
+                  let diags =
+                    dedup_diags (lint_compile ?unroll ~level machine source)
+                    @ sdiags
+                  in
                   results :=
                     ( bname, machine.Ilp_machine.Config.name, level, factor,
-                      false, speel, unroll_stats_for unroll source,
+                      false, speel, unroll_stats_for unroll source, scounts,
                       keep diags )
                     :: !results;
-                  let errs = List.filter (fun (_, d) -> D.is_error d) diags in
+                  let errs =
+                    List.filter (fun (_, d, _) -> D.is_error d) diags
+                  in
                   bench_errors := !bench_errors + List.length errs;
                   if not json then
                     List.iter
-                      (fun (pass, d) ->
+                      (fun (pass, d, copies) ->
                         if !dumped < dump_cap then begin
                           incr dumped;
-                          Fmt.pr "%s -O%d -u%d%s %s: %s@." bname
+                          Fmt.pr "%s -O%d -u%d%s %s: %s%s@." bname
                             (Ilp_core.Ilp.level_rank level)
                             factor
                             (if speel then " --peel" else "")
-                            pass (D.to_string d)
+                            pass (D.to_string d) (copies_suffix copies)
                         end
                         else incr suppressed)
                       errs)
@@ -806,26 +951,47 @@ let lint_cmd =
       end
     end
     else
-      match bench with
+      let target =
+        match (bench, file) with
+        | Some _, Some _ ->
+            Fmt.epr "-b and --file are mutually exclusive@.";
+            exit 2
+        | Some bench, None ->
+            let w = find_bench bench in
+            Some (bench, source_for w careful)
+        | None, Some path -> (
+            match In_channel.with_open_text path In_channel.input_all with
+            | source -> Some (Filename.basename path, source)
+            | exception Sys_error msg ->
+                Fmt.epr "cannot read %s: %s@." path msg;
+                exit 2)
+        | None, None -> None
+      in
+      match target with
       | None ->
-          Fmt.epr "specify a benchmark with -b or use --all@.";
+          Fmt.epr "specify a benchmark with -b, a --file, or use --all@.";
           exit 1
-      | Some bench ->
-          let w = find_bench bench in
+      | Some (bench, source) ->
           let unroll = unroll_spec factor careful peel in
-          let source = source_for w careful in
           let stats = unroll_stats_for unroll source in
-          let diags = lint_compile ?unroll ~level machine source in
-          let errors = List.filter (fun (_, d) -> D.is_error d) diags in
+          let scounts, sdiags = sanitize_report ?unroll source in
+          let diags =
+            dedup_diags (lint_compile ?unroll ~level machine source) @ sdiags
+          in
+          let errors = List.filter (fun (_, d, _) -> D.is_error d) diags in
           if json then
             print_string
               (lint_json
                  [ ( bench, machine.Ilp_machine.Config.name, level, factor,
-                     careful, peel, stats, keep diags ) ])
+                     careful, peel, stats, scounts, keep diags ) ])
           else begin
             let shown = report ~threshold diags in
             if unroll <> None then
               Fmt.pr "unroll x%d: %s@." factor (pp_unroll_stats stats);
+            let safe, oob, unknown = scounts in
+            Fmt.pr "sanitize: %d subscript(s): %d proved safe, %d proved \
+                    out-of-bounds, %d unknown@."
+              (safe + oob + unknown) safe oob unknown;
             if shown = 0 then
               Fmt.pr "lint: %s at %s on %s: clean (nothing at or above %a)@."
                 bench
@@ -836,8 +1002,9 @@ let lint_cmd =
   in
   let term =
     Term.(
-      const action $ all_flag $ json_flag $ bench_opt_arg $ machine_arg
-      $ level_arg $ unroll_arg $ careful_arg $ peel_arg $ severity_arg)
+      const action $ all_flag $ json_flag $ bench_opt_arg $ file_arg
+      $ machine_arg $ level_arg $ unroll_arg $ careful_arg $ peel_arg
+      $ severity_arg)
   in
   Cmd.v
     (Cmd.info "lint"
@@ -846,6 +1013,134 @@ let lint_cmd =
           validation, dataflow lints (use-before-def, dead code, \
           unreachable blocks, redundant expressions), independent \
           register-allocation verification, and schedule legality")
+    term
+
+(* --- sanitize ----------------------------------------------------------- *)
+
+(* The subscript sanitizer as its own entry point: no compilation, no
+   execution — parse, type check, optionally unroll, then abstract
+   interpretation and one verdict per array access.  Exit is nonzero
+   exactly when some access is *proved* out of bounds; unknowns are
+   reported but do not fail (a sound analysis on real programs always
+   leaves some), making `ilp sanitize --all` a CI gate for the suite. *)
+let sanitize_cmd =
+  let module D = Ilp_analysis.Diagnostics in
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Sanitize every benchmark (the paper's eight plus the \
+             extras), unrolled as shipped and rolled, with a verdict \
+             tally per program; exit nonzero if any access is proved \
+             out of bounds.")
+  in
+  let bench_opt_arg =
+    let doc = "Benchmark name (see `ilp list'); required without --all." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
+  in
+  let file_arg =
+    let doc = "Sanitize a MiniMod source file instead of a benchmark." in
+    Arg.(
+      value & opt (some string) None & info [ "file" ] ~docv:"PATH" ~doc)
+  in
+  let tally name (safe, oob, unknown) =
+    Fmt.pr "sanitize %-10s %3d subscript(s): %3d safe, %d oob, %3d unknown%s@."
+      name (safe + oob + unknown) safe oob unknown
+      (if oob > 0 then "  <-- PROVED OUT OF BOUNDS" else "")
+  in
+  let print_diags diags =
+    List.iter
+      (fun (pass, d, copies) ->
+        Fmt.pr "%s: %s%s@." pass (D.to_string d) (copies_suffix copies))
+      diags
+  in
+  let action all bench file factor careful peel =
+    if all then begin
+      let oob_total = ref 0 in
+      List.iter
+        (fun (w : Ilp_workloads.Workload.t) ->
+          let specs =
+            (* rolled, plus the workload's shipped unroll factor (the
+               program the measured figures actually run) *)
+            None
+            ::
+            (if w.Ilp_workloads.Workload.default_unroll > 1 then
+               [ unroll_spec w.Ilp_workloads.Workload.default_unroll false
+                   false ]
+             else [])
+          in
+          List.iter
+            (fun unroll ->
+              let (safe, oob, unknown), diags =
+                sanitize_report ?unroll w.Ilp_workloads.Workload.source
+              in
+              let suffix =
+                match unroll with
+                | None -> w.Ilp_workloads.Workload.name
+                | Some { Ilp_core.Ilp.factor; _ } ->
+                    Printf.sprintf "%s x%d" w.Ilp_workloads.Workload.name
+                      factor
+              in
+              tally suffix (safe, oob, unknown);
+              oob_total := !oob_total + oob;
+              if oob > 0 then
+                print_diags
+                  (List.filter (fun (_, d, _) -> D.is_error d) diags))
+            specs)
+        (Ilp_workloads.Registry.all @ Ilp_workloads.Registry.extras);
+      if !oob_total > 0 then begin
+        Fmt.epr "sanitize: %d access(es) proved out of bounds@." !oob_total;
+        exit 1
+      end
+    end
+    else
+      let target =
+        match (bench, file) with
+        | Some _, Some _ ->
+            Fmt.epr "-b and --file are mutually exclusive@.";
+            exit 2
+        | Some bench, None ->
+            let w = find_bench bench in
+            Some (bench, source_for w careful)
+        | None, Some path -> (
+            match In_channel.with_open_text path In_channel.input_all with
+            | source -> Some (Filename.basename path, source)
+            | exception Sys_error msg ->
+                Fmt.epr "cannot read %s: %s@." path msg;
+                exit 2)
+        | None, None -> None
+      in
+      match target with
+      | None ->
+          Fmt.epr "specify a benchmark with -b, a --file, or use --all@.";
+          exit 1
+      | Some (name, source) -> (
+          let unroll = unroll_spec factor careful peel in
+          match sanitize_report ?unroll source with
+          | (safe, oob, unknown), diags ->
+              print_diags diags;
+              tally name (safe, oob, unknown);
+              if oob > 0 then exit 1
+          | exception Ilp_lang.Semant.Error (msg, _) ->
+              Fmt.epr "sanitize: %s does not type check: %s@." name msg;
+              exit 2)
+  in
+  let term =
+    Term.(
+      const action $ all_flag $ bench_opt_arg $ file_arg $ unroll_arg
+      $ careful_arg $ peel_arg)
+  in
+  Cmd.v
+    (Cmd.info "sanitize"
+       ~doc:
+         "Statically classify every array access as proved in bounds, \
+          proved out of bounds, or unknown, using value-range abstract \
+          interpretation (intervals x congruences) over the whole \
+          program; exits nonzero only on proved out-of-bounds accesses")
     term
 
 (* --- disasm ------------------------------------------------------------- *)
@@ -1087,7 +1382,7 @@ let main_cmd =
      Parallelism for Superscalar and Superpipelined Machines (ASPLOS 1989)"
   in
   Cmd.group (Cmd.info "ilp" ~doc)
-    [ run_cmd; list_cmd; experiment_cmd; fuzz_cmd; lint_cmd; disasm_cmd;
-      trace_cmd; profile_cmd ]
+    [ run_cmd; list_cmd; experiment_cmd; fuzz_cmd; lint_cmd; sanitize_cmd;
+      disasm_cmd; trace_cmd; profile_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

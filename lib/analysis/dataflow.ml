@@ -127,6 +127,93 @@ module Backward (T : TRANSFER) = struct
     { inb = input_side; outb = output_side }
 end
 
+module type LATTICE_W = sig
+  include LATTICE
+
+  val widen : t -> t -> t
+end
+
+module type TRANSFER_W = sig
+  module L : LATTICE_W
+
+  type ctx
+
+  val prepare : Cfg_info.t -> ctx
+  val init : ctx -> L.t
+  val boundary : ctx -> L.t
+  val transfer : ctx -> int -> L.t -> L.t
+end
+
+(* Forward solver with widening at retreating-edge targets.  The
+   ascending phase is the classic worklist iteration, except that a
+   block whose input flows in over a retreating edge (a predecessor at
+   an equal or later reverse-postorder position — every natural loop
+   head qualifies) replaces plain join with [widen old incoming], so
+   lattices of infinite height (intervals) still stabilise.  The result
+   is a post-fixpoint; two descending sweeps then recompute each block
+   from its predecessors without widening.  Starting from a
+   post-fixpoint, every recomputation stays above the least fixpoint,
+   so stopping after a fixed number of sweeps is sound — this is the
+   standard narrowing truncation. *)
+module Forward_widen (T : TRANSFER_W) = struct
+  module L = T.L
+
+  let solve (cfg : Cfg_info.t) : L.t solution =
+    let ctx = T.prepare cfg in
+    let n = Cfg_info.n_blocks cfg in
+    let init = T.init ctx and boundary = T.boundary ctx in
+    let order = cfg.Cfg_info.rpo in
+    let pos = Array.make n max_int in
+    Array.iteri (fun k b -> pos.(b) <- k) order;
+    let widen_point b =
+      List.exists (fun p -> pos.(p) >= pos.(b)) cfg.Cfg_info.preds.(b)
+    in
+    let input = Array.make n init in
+    let output = Array.make n init in
+    let joined b =
+      let from_preds =
+        List.fold_left
+          (fun acc p -> L.join acc output.(p))
+          init cfg.Cfg_info.preds.(b)
+      in
+      if b = 0 then L.join boundary from_preds else from_preds
+    in
+    (* ascending, widened *)
+    let pending = Array.make n false in
+    Array.iter (fun b -> pending.(b) <- true) order;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun b ->
+          if pending.(b) then begin
+            pending.(b) <- false;
+            let incoming = joined b in
+            let in_v =
+              if widen_point b then L.widen input.(b) incoming else incoming
+            in
+            let out_v = T.transfer ctx b in_v in
+            input.(b) <- in_v;
+            if not (L.equal out_v output.(b)) then begin
+              output.(b) <- out_v;
+              List.iter (fun s -> pending.(s) <- true) cfg.Cfg_info.succs.(b);
+              changed := true
+            end
+          end)
+        order
+    done;
+    (* descending (narrowing), two truncated sweeps *)
+    for _ = 1 to 2 do
+      Array.iter
+        (fun b ->
+          let in_v = joined b in
+          input.(b) <- in_v;
+          output.(b) <- T.transfer ctx b in_v)
+        order
+    done;
+    { inb = input; outb = output }
+end
+
 (* The two workhorse lattices. *)
 
 module Reg_set_lattice = struct

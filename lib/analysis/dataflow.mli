@@ -53,6 +53,37 @@ module Backward (T : TRANSFER) : sig
   val solve : Cfg_info.t -> T.L.t solution
 end
 
+(** A lattice with infinite (or impractically tall) ascending chains,
+    extended with a widening operator: [widen old incoming] must
+    over-approximate [join old incoming] and stabilise every ascending
+    chain in finitely many steps. *)
+module type LATTICE_W = sig
+  include LATTICE
+
+  val widen : t -> t -> t
+end
+
+module type TRANSFER_W = sig
+  module L : LATTICE_W
+
+  type ctx
+
+  val prepare : Cfg_info.t -> ctx
+  val init : ctx -> L.t
+  val boundary : ctx -> L.t
+  val transfer : ctx -> int -> L.t -> L.t
+end
+
+(** Forward solver for widening lattices: the worklist iteration applies
+    [L.widen] to the block-entry value of every retreating-edge target
+    (loop heads under the reverse postorder), guaranteeing termination,
+    then runs two plain descending sweeps from the post-fixpoint — the
+    narrowing pass — which recovers precision lost to widening while
+    staying above the true fixpoint. *)
+module Forward_widen (T : TRANSFER_W) : sig
+  val solve : Cfg_info.t -> T.L.t solution
+end
+
 (** Register sets under union — the may-analysis workhorse. *)
 module Reg_set_lattice : LATTICE with type t = Ilp_ir.Reg.Set.t
 

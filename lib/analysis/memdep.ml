@@ -226,11 +226,18 @@ type tnode =
 
 type store = {
   tab : (tnode, int) Hashtbl.t;
+  rev : (int, tnode) Hashtbl.t;
   mutable next_id : int;
   mutable next_opaque : int;
 }
 
-let new_store () = { tab = Hashtbl.create 64; next_id = 0; next_opaque = 0 }
+let new_store () =
+  {
+    tab = Hashtbl.create 64;
+    rev = Hashtbl.create 64;
+    next_id = 0;
+    next_opaque = 0;
+  }
 
 let intern st n =
   match Hashtbl.find_opt st.tab n with
@@ -239,6 +246,7 @@ let intern st n =
       let id = st.next_id in
       st.next_id <- id + 1;
       Hashtbl.add st.tab n id;
+      Hashtbl.add st.rev id n;
       id
 
 let opaque st =
@@ -383,22 +391,121 @@ let exec_block st ~seed instrs =
     instrs;
   addrs
 
-let classify_with addrs (i : Instr.t) (j : Instr.t) =
+(* ------------------------------------------------------------------ *)
+(* Tier 3: value ranges over the symbolic terms.                       *)
+
+(* When the symbolic difference of two addresses does not fold to a
+   constant, its residual terms often still have provably small or
+   strided footprints: a masked index (i & 7) lies in [0,7] whatever i
+   is, a scaled one (2*i) is even.  Evaluating the difference over the
+   {!Range.V} reduced product turns those facts into no-alias verdicts
+   the purely symbolic tiers cannot reach — disjoint windows
+   (base+8+[0,7] vs base+[0,7] differ by [1,15]) and incompatible
+   strides (2i vs 2j+1 differ by an odd number) both exclude zero.
+
+   Soundness: every term denotes one fixed value per block execution,
+   and its range over-approximates that value across *all* executions,
+   so the evaluated difference range contains the concrete difference
+   of any single execution; if zero is excluded, the two accesses can
+   never coincide. *)
+
+type rangectx = {
+  rstore : store;
+  def_range : (int, Range.V.t) Hashtbl.t;
+      (** instruction id -> range of its result over all executions *)
+  init_range : int -> Range.V.t;  (** register index -> entry range *)
+  memo : (int, Range.V.t) Hashtbl.t;
+}
+
+let rec term_range ctx tid =
+  match Hashtbl.find_opt ctx.memo tid with
+  | Some v -> v
+  | None ->
+      Hashtbl.replace ctx.memo tid Range.V.top;
+      let v =
+        match Hashtbl.find_opt ctx.rstore.rev tid with
+        | None | Some (TOpaque _) -> Range.V.top
+        | Some (TInit r) -> ctx.init_range r
+        | Some (TPre id) ->
+            Option.value
+              (Hashtbl.find_opt ctx.def_range id)
+              ~default:Range.V.top
+        | Some (TApp (op, args)) -> (
+            let rs = List.map (term_range ctx) args in
+            match (op, rs) with
+            | Opcode.And, [ a; b ] -> Range.V.band a b
+            | Opcode.Or, [ a; b ] -> Range.V.bor a b
+            | Opcode.Xor, [ a; b ] -> Range.V.bxor a b
+            | Opcode.Not, [ a ] -> Range.V.sub (Range.V.of_const (-1)) a
+            | Opcode.Shl, [ a; b ] -> Range.V.shl a b
+            | (Opcode.Shr | Opcode.Sra), [ a; b ] -> Range.V.shr a b
+            | Opcode.Mul, [ a; b ] -> Range.V.mul a b
+            | (Opcode.Slt | Opcode.Sle | Opcode.Seq | Opcode.Sne), _ ->
+                Range.V.bool_result
+            | _ -> Range.V.top)
+        | Some (TLin (coeffs, off)) -> lin_range_parts ctx coeffs off
+      in
+      Hashtbl.replace ctx.memo tid v;
+      v
+
+and lin_range_parts ctx coeffs off =
+  List.fold_left
+    (fun acc (t, c) ->
+      Range.V.add acc (Range.V.mul (Range.V.of_const c) (term_range ctx t)))
+    (Range.V.of_const off) coeffs
+
+let lin_range ctx (l : lin) = lin_range_parts ctx l.coeffs l.off
+
+let classify_with ?sharpen addrs (i : Instr.t) (j : Instr.t) =
   match
     (Hashtbl.find_opt addrs i.Instr.id, Hashtbl.find_opt addrs j.Instr.id)
   with
-  | Some a, Some b ->
+  | Some a, Some b -> (
       let d = lsub a b in
       if d.coeffs = [] then if d.off = 0 then Must_alias else No_alias
-      else conservative i j
+      else
+        match sharpen with
+        | Some ctx when Range.V.excludes_zero (lin_range ctx d) -> No_alias
+        | _ -> conservative i j)
   | _ -> conservative i j
 
 (* ------------------------------------------------------------------ *)
 (* Per-function analysis.                                              *)
 
-type t = { by_label : (string, (int, lin) Hashtbl.t) Hashtbl.t }
+type t = {
+  by_label : (string, (int, lin) Hashtbl.t) Hashtbl.t;
+  sharpen : rangectx option;
+}
 
-let analyze (f : Func.t) =
+let range_ctx st (f : Func.t) =
+  let ir = Range.Ir.analyze f in
+  let def_range = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Block.t) ->
+      let env = ref (Range.Ir.block_entry ir b.Block.label) in
+      if not (Range.Ir.is_unreachable !env) then
+        List.iter
+          (fun (i : Instr.t) ->
+            let env' = Range.Ir.step !env i in
+            Option.iter
+              (fun d ->
+                Hashtbl.replace def_range i.Instr.id (Range.Ir.reg env' d))
+              i.Instr.dst;
+            env := env')
+          b.Block.instrs)
+    f.Func.blocks;
+  let entry_env =
+    match f.Func.blocks with
+    | b :: _ -> Range.Ir.block_entry ir b.Block.label
+    | [] -> Range.Ir.unreachable
+  in
+  let init_range k =
+    if Range.Ir.is_unreachable entry_env then Range.V.top
+    else Range.Ir.reg entry_env (Reg.of_index k)
+  in
+  { rstore = st; def_range; init_range; memo = Hashtbl.create 64 }
+
+let analyze ?(ranges = true) (f : Func.t) =
   let cfg = Cfg_info.build f in
   let sol = Solver.solve cfg in
   let st = new_store () in
@@ -428,11 +535,11 @@ let analyze (f : Func.t) =
       let addrs = exec_block st ~seed b.Block.instrs in
       Hashtbl.replace by_label (Label.to_string b.Block.label) addrs)
     cfg.Cfg_info.blocks;
-  { by_label }
+  { by_label; sharpen = (if ranges then Some (range_ctx st f) else None) }
 
 let classifier t (label : Label.t) =
   match Hashtbl.find_opt t.by_label (Label.to_string label) with
-  | Some addrs -> classify_with addrs
+  | Some addrs -> classify_with ?sharpen:t.sharpen addrs
   | None -> conservative
 
 (* A block on its own, with no cross-block facts: for tests and callers

@@ -8,7 +8,11 @@
     of the block — loop counters, LICM'd constants — are visible), and
     a per-block symbolic evaluation folding addresses into linear
     combinations of hash-consed terms with exact native-[int]
-    arithmetic.
+    arithmetic.  A third tier evaluates symbolic differences that do
+    not fold to a constant over the {!Range.V} reduced product: masked
+    or scaled index terms with disjoint interval windows or
+    incompatible strides prove the difference nonzero even when its
+    exact value is unknown.
 
     A [No_alias] verdict is a proof obligation: {!Ilp_sched.Check_sched}
     re-derives it for every dependence edge the scheduler dropped, and
@@ -28,7 +32,10 @@ val conservative : Instr.t -> Instr.t -> alias
 type t
 (** Analysis result for one function. *)
 
-val analyze : Func.t -> t
+val analyze : ?ranges:bool -> Func.t -> t
+(** [ranges] (default [true]) enables the value-range tier; disabling
+    it leaves only the symbolic constant-difference test, for measuring
+    what the ranges buy. *)
 
 val classifier : t -> Label.t -> Instr.t -> Instr.t -> alias
 (** [classifier t label] classifies instruction pairs of the block

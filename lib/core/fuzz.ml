@@ -115,13 +115,15 @@ let check_one ~mode ~configs ~levels ~unroll_specs ~seed index =
       raise (Failed { index; seed; config_name; error; source })
 
 let run ?(jobs = 1) ?configs ?(levels = default_levels) ?unroll_specs
-    ?(alias_heavy = false) ?(unroll_heavy = false) ~count ~seed () =
+    ?(alias_heavy = false) ?(unroll_heavy = false) ?(range_heavy = false)
+    ~count ~seed () =
   let configs =
     match configs with Some cs -> cs | None -> default_configs ()
   in
   let mode =
     if unroll_heavy then `Unroll_heavy
     else if alias_heavy then `Alias_heavy
+    else if range_heavy then `Range_heavy
     else `Default
   in
   let unroll_specs =

@@ -29,6 +29,7 @@ val run :
   ?unroll_specs:Ilp.unroll_spec list ->
   ?alias_heavy:bool ->
   ?unroll_heavy:bool ->
+  ?range_heavy:bool ->
   count:int ->
   seed:int ->
   unit ->
@@ -43,4 +44,9 @@ val run :
     generator mode; [?unroll_heavy] draws from the unrolling-adversarial
     mode (small constant bounds, down-counting loops, boundary trip
     counts, index-mutating bodies) and widens the default spec list to
-    both modes, factors up to 8, and both bound settings. *)
+    both modes, factors up to 8, and both bound settings;
+    [?range_heavy] draws from the range-adversarial mode (stride-2/3
+    index arithmetic, split array windows, near-extent loop bounds,
+    widening-stressing nested accumulators) — the shapes only the
+    value-range product can disambiguate, so every edge it prunes is
+    re-justified and store-stream-compared like the rest. *)

@@ -195,14 +195,14 @@ let compile_unscheduled ?unroll ?(check = false) ?on_pass ~level
    [~memdep] the scheduler prunes memory edges the dependence analysis
    proves apart, and the checker re-justifies each removed edge from
    independently recomputed facts. *)
-let schedule ?(check = false) ?(memdep = false) ?on_pass ~level
+let schedule ?(check = false) ?(memdep = false) ?ranges ?on_pass ~level
     (config : Config.t) p =
   if at_least level O1 then begin
-    let scheduled = Ilp_sched.List_sched.run ~memdep config p in
+    let scheduled = Ilp_sched.List_sched.run ~memdep ?ranges config p in
     if check then begin
       (try
-         Ilp_sched.Check_sched.check_program ~memdep config ~original:p
-           ~scheduled
+         Ilp_sched.Check_sched.check_program ~memdep ?ranges config
+           ~original:p ~scheduled
        with Ilp_sched.Check_sched.Illegal msg ->
          raise (Pass_failed { pass = "list_sched"; issue = msg }));
       validate_after
@@ -217,12 +217,13 @@ let schedule ?(check = false) ?(memdep = false) ?on_pass ~level
   else p
 
 (* Compile [source] for [config] at [level]. *)
-let compile ?unroll ?check ?memdep ?on_pass ~level (config : Config.t) source =
-  schedule ?check ?memdep ?on_pass ~level config
+let compile ?unroll ?check ?memdep ?ranges ?on_pass ~level (config : Config.t)
+    source =
+  schedule ?check ?memdep ?ranges ?on_pass ~level config
     (compile_unscheduled ?unroll ?check ?on_pass ~level config source)
 
 (* Compile and measure in one step. *)
-let measure ?unroll ?(level = O4) ?memdep ?cache ?options (config : Config.t)
-    source =
-  let program = compile ?unroll ?memdep ~level config source in
+let measure ?unroll ?(level = O4) ?memdep ?ranges ?cache ?options
+    (config : Config.t) source =
+  let program = compile ?unroll ?memdep ?ranges ~level config source in
   Ilp_sim.Metrics.measure ?cache ?options config program

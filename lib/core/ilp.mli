@@ -103,6 +103,7 @@ val compile_unscheduled :
 val schedule :
   ?check:bool ->
   ?memdep:bool ->
+  ?ranges:bool ->
   ?on_pass:(string -> Validate.stage -> Program.t -> unit) ->
   level:opt_level ->
   Config.t ->
@@ -118,12 +119,14 @@ val schedule :
     [?memdep] (default false) lets the scheduler drop memory
     serialization edges {!Ilp_analysis.Memdep} proves [No_alias]; under
     [?check], every removed edge is re-justified from independently
-    recomputed analysis facts. *)
+    recomputed analysis facts.  [?ranges] (default true) enables the
+    value-range disambiguation tier inside that analysis. *)
 
 val compile :
   ?unroll:unroll_spec ->
   ?check:bool ->
   ?memdep:bool ->
+  ?ranges:bool ->
   ?on_pass:(string -> Validate.stage -> Program.t -> unit) ->
   level:opt_level ->
   Config.t ->
@@ -137,6 +140,7 @@ val measure :
   ?unroll:unroll_spec ->
   ?level:opt_level ->
   ?memdep:bool ->
+  ?ranges:bool ->
   ?cache:Ilp_sim.Cache.t ->
   ?options:Ilp_sim.Exec.options ->
   Config.t ->

@@ -1,0 +1,702 @@
+(* Interprocedural range analysis over the typed AST.
+
+   Structure: an outer chaotic iteration over (function summaries,
+   global-scalar invariants, array-content invariants) — all monotone
+   accumulators, switched from join to widen after a few rounds so the
+   outer loop terminates — around an inner structural interpreter per
+   function body that is flow-sensitive in locals and global scalars,
+   widens at loop heads, narrows with two truncated descending sweeps,
+   and refines environments through comparison guards.
+
+   Soundness of the accumulators: a global scalar's invariant is the
+   join of its initial value and every store the whole program can
+   perform, so reading the invariant at any point over-approximates the
+   cell; inside one function body stores are additionally tracked
+   flow-sensitively until the next call (which may re-enter anything
+   and is modelled by dropping back to the invariant).  Array contents
+   are flow-insensitive only: the join of the zero-fill and every
+   stored value. *)
+
+module R = Ilp_analysis.Range
+module V = R.V
+module SMap = Map.Make (String)
+
+type verdict = Proved_safe | Proved_oob | Unknown
+
+let verdict_name = function
+  | Proved_safe -> "proved-safe"
+  | Proved_oob -> "proved-oob"
+  | Unknown -> "unknown"
+
+type site = {
+  s_func : string;
+  s_path : string;
+  s_array : string;
+  s_extent : int;
+  s_write : bool;
+  s_range : V.t;
+  s_verdict : verdict;
+}
+
+type t = {
+  sites : site list;
+  scalar_ranges : (string * V.t) list;
+  index_ranges : (string * V.t) list;
+  content_ranges : (string * V.t) list;
+}
+
+(* ------------------------------------------------------------------ *)
+
+type fsummary = {
+  mutable params : V.t array;
+  mutable ret : V.t;
+  mutable called : bool;
+}
+
+(* One generation of the interprocedural accumulators. *)
+type tables = {
+  summaries : (string, fsummary) Hashtbl.t;
+  glob_inv : (string, V.t) Hashtbl.t;  (** int global scalar invariants *)
+  content : (string, V.t) Hashtbl.t;  (** storage name -> element values *)
+  index_union : (string, V.t) Hashtbl.t;  (** global array -> subscripts *)
+}
+
+(* [rd] and [wr] alias the same tables during the ascending phase
+   (chaotic iteration reads its own in-progress facts).  The
+   descending (narrowing) rounds split them: reads come from a frozen
+   post-fixpoint A, writes rebuild fresh tables, yielding F(A) -- which
+   over-approximates the least fixpoint because F is monotone and A is
+   above it.  Two such rounds recover most of what the accumulator
+   widening gave away. *)
+type state = {
+  funcs : (string, Tast.tfunc) Hashtbl.t;
+  mutable rd : tables;
+  mutable wr : tables;
+  mutable widening : bool;  (** accumulator joins switched to widen *)
+  mutable changed : bool;
+  mutable recording : bool;
+  site_order : (string * string * string * bool, int) Hashtbl.t;
+  mutable site_seq : int;
+  site_tbl : (int, site) Hashtbl.t;
+      (** keyed by discovery order; loop fixpoints walk a body several
+          times during the recording pass, and the last walk (the final
+          narrowing sweep) both is sound and has the sharpest ranges,
+          so later records replace earlier ones *)
+}
+
+(* Environments: flow-sensitive scalar facts.  [locals] maps locals and
+   parameters (absent = top); [globs] maps global scalars written since
+   the last call (absent = the accumulated invariant). *)
+type env = Dead | Live of { locals : V.t SMap.t; globs : V.t SMap.t }
+
+let live_entry params = Live { locals = params; globs = SMap.empty }
+
+let acc_get tbl key = Option.value (Hashtbl.find_opt tbl key) ~default:V.bot
+
+(* Join [v] into an accumulator; flips [st.changed] on growth. *)
+let acc_join st tbl key v =
+  let cur = acc_get tbl key in
+  let next =
+    if st.widening then V.widen cur (V.join cur v) else V.join cur v
+  in
+  if not (V.equal next cur) then begin
+    Hashtbl.replace tbl key next;
+    st.changed <- true
+  end
+
+let glob_default st name = acc_get st.rd.glob_inv name
+
+let lookup_local locals name =
+  Option.value (SMap.find_opt name locals) ~default:V.top
+
+let lookup_glob st globs name =
+  Option.value (SMap.find_opt name globs) ~default:(glob_default st name)
+
+let env_equal st a b =
+  match (a, b) with
+  | Dead, Dead -> true
+  | Live a, Live b ->
+      let keys m1 m2 =
+        SMap.union (fun _ v _ -> Some v) m1 m2 |> SMap.bindings |> List.map fst
+      in
+      List.for_all
+        (fun k ->
+          V.equal (lookup_local a.locals k) (lookup_local b.locals k))
+        (keys a.locals b.locals)
+      && List.for_all
+           (fun k ->
+             V.equal (lookup_glob st a.globs k) (lookup_glob st b.globs k))
+           (keys a.globs b.globs)
+  | (Dead | Live _), _ -> false
+
+let env_merge st f a b =
+  match (a, b) with
+  | Dead, e | e, Dead -> e
+  | Live a, Live b ->
+      (* absent locals are top on the side missing them *)
+      let locals =
+        SMap.merge
+          (fun _ x y ->
+            match (x, y) with
+            | Some vx, Some vy -> Some (f vx vy)
+            | _ -> None)
+          a.locals b.locals
+      in
+      let globs =
+        SMap.merge
+          (fun k x y ->
+            let vx = Option.value x ~default:(glob_default st k)
+            and vy = Option.value y ~default:(glob_default st k) in
+            Some (f vx vy))
+          a.globs b.globs
+      in
+      Live { locals; globs }
+
+let env_join st = env_merge st V.join
+let env_widen st = env_merge st V.widen
+
+let write_scalar st env (vr : Tast.var_ref) v =
+  match env with
+  | Dead -> Dead
+  | Live e -> (
+      match vr.Tast.vr_kind with
+      | Tast.Vlocal | Tast.Vparam _ ->
+          Live { e with locals = SMap.add vr.Tast.vr_name v e.locals }
+      | Tast.Vglobal ->
+          if vr.Tast.vr_ty = Tast.Tint then
+            acc_join st st.wr.glob_inv vr.Tast.vr_name v;
+          Live { e with globs = SMap.add vr.Tast.vr_name v e.globs }
+      | Tast.Vglobal_array _ | Tast.Vview _ | Tast.Vlocal_array _ -> env)
+
+let read_scalar st env (vr : Tast.var_ref) =
+  match env with
+  | Dead -> V.bot
+  | Live e ->
+      if vr.Tast.vr_ty <> Tast.Tint then V.top
+      else (
+        match vr.Tast.vr_kind with
+        | Tast.Vlocal | Tast.Vparam _ -> lookup_local e.locals vr.Tast.vr_name
+        | Tast.Vglobal -> lookup_glob st e.globs vr.Tast.vr_name
+        | Tast.Vglobal_array _ | Tast.Vview _ | Tast.Vlocal_array _ -> V.top)
+
+(* Calls may write any global: forget flow facts, fall back to the
+   invariants. *)
+let clobber_globals = function
+  | Dead -> Dead
+  | Live e -> Live { e with globs = SMap.empty }
+
+(* Storage identity and declared extent of an array reference. *)
+let storage_of fname (vr : Tast.var_ref) =
+  match vr.Tast.vr_kind with
+  | Tast.Vglobal_array n -> (vr.Tast.vr_name, n, true)
+  | Tast.Vview (base, n) -> (base, n, true)
+  | Tast.Vlocal_array n -> (fname ^ "." ^ vr.Tast.vr_name, n, false)
+  | Tast.Vglobal | Tast.Vlocal | Tast.Vparam _ ->
+      (* semant guarantees this cannot happen on an indexed reference *)
+      (vr.Tast.vr_name, 0, false)
+
+let in_extent extent =
+  V.make (R.Interval.of_bounds (Fin 0) (Fin (extent - 1))) R.Congruence.top
+
+let classify_site extent range =
+  if V.is_bot range then Proved_safe
+  else if
+    V.equal (V.meet range (in_extent extent)) range
+    (* every member within [0, extent) *)
+    && (match range.V.iv with
+       | R.Interval.Iv (Fin _, Fin _) -> true
+       | _ -> false)
+  then Proved_safe
+  else if V.is_bot (V.meet range (in_extent extent)) then Proved_oob
+  else Unknown
+
+type fctx = { st : state; fname : string }
+
+let record_site c path ~write vr range =
+  let base, extent, global = storage_of c.fname vr in
+  if global then acc_join c.st c.st.wr.index_union base range;
+  if c.st.recording then begin
+    let key = (c.fname, path, vr.Tast.vr_name, write) in
+    let order =
+      match Hashtbl.find_opt c.st.site_order key with
+      | Some n -> n
+      | None ->
+          let n = c.st.site_seq in
+          c.st.site_seq <- n + 1;
+          Hashtbl.replace c.st.site_order key n;
+          n
+    in
+    Hashtbl.replace c.st.site_tbl order
+      {
+        s_func = c.fname;
+        s_path = path;
+        s_array = vr.Tast.vr_name;
+        s_extent = extent;
+        s_write = write;
+        s_range = range;
+        s_verdict = classify_site extent range;
+      }
+  end
+
+let summary_wr c name =
+  match Hashtbl.find_opt c.st.wr.summaries name with
+  | Some s -> s
+  | None ->
+      let s = { params = [||]; ret = V.bot; called = false } in
+      Hashtbl.replace c.st.wr.summaries name s;
+      s
+
+(* The frozen summary a call's result is read from; [None] only for
+   functions the post-fixpoint proves unreachable. *)
+let summary_rd c name = Hashtbl.find_opt c.st.rd.summaries name
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation (effectful: call-site summary joins, global
+   clobbers, subscript recording). *)
+
+let is_cmp = function
+  | Ast.Beq | Ast.Bne | Ast.Blt | Ast.Ble | Ast.Bgt | Ast.Bge -> true
+  | _ -> false
+
+let rec eval c path env (e : Tast.texpr) : env * V.t =
+  match env with
+  | Dead -> (Dead, V.bot)
+  | Live _ -> (
+      match e.Tast.tnode with
+      | Tast.Tint_lit n -> (env, V.of_const n)
+      | Tast.Treal_lit _ -> (env, V.top)
+      | Tast.Tvar vr -> (env, read_scalar c.st env vr)
+      | Tast.Tindex (vr, ie) ->
+          let env, iv = eval c path env ie in
+          record_site c path ~write:false vr iv;
+          let storage, _, _ = storage_of c.fname vr in
+          let v =
+            if e.Tast.tty = Tast.Tint then acc_get c.st.rd.content storage
+            else V.top
+          in
+          (env, v)
+      | Tast.Tunary (Ast.Uneg, a) ->
+          let env, v = eval c path env a in
+          (env, if e.Tast.tty = Tast.Tint then V.neg v else V.top)
+      | Tast.Tunary (Ast.Unot, a) ->
+          let env, _ = eval c path env a in
+          (env, V.bool_result)
+      | Tast.Tbinary ((Ast.Band | Ast.Bor), a, b) ->
+          (* short-circuit: [b] may or may not run; its effects are
+             monotone accumulator joins, so evaluating it
+             unconditionally over-approximates *)
+          let env, _ = eval c path env a in
+          let env, _ = eval c path env b in
+          (env, V.bool_result)
+      | Tast.Tbinary (op, a, b) ->
+          let env, va = eval c path env a in
+          let env, vb = eval c path env b in
+          let v =
+            if e.Tast.tty <> Tast.Tint then V.top
+            else if is_cmp op then V.bool_result
+            else
+              match op with
+              | Ast.Badd -> V.add va vb
+              | Ast.Bsub -> V.sub va vb
+              | Ast.Bmul -> V.mul va vb
+              | Ast.Bdiv -> V.div va vb
+              | Ast.Bmod -> V.rem va vb
+              | Ast.Bbit_and -> V.band va vb
+              | Ast.Bbit_or -> V.bor va vb
+              | Ast.Bbit_xor -> V.bxor va vb
+              | Ast.Bshl -> V.shl va vb
+              | Ast.Bshr -> V.shr va vb
+              | _ -> V.top
+          in
+          (env, v)
+      | Tast.Tcall (name, args) ->
+          let env, vs =
+            List.fold_left
+              (fun (env, acc) a ->
+                let env, v = eval c path env a in
+                (env, v :: acc))
+              (env, []) args
+          in
+          let vs = Array.of_list (List.rev vs) in
+          let s = summary_wr c name in
+          if not s.called then begin
+            s.called <- true;
+            c.st.changed <- true
+          end;
+          if Array.length s.params <> Array.length vs then
+            s.params <- Array.map (fun _ -> V.bot) vs;
+          Array.iteri
+            (fun i v ->
+              let cur = s.params.(i) in
+              let next =
+                if c.st.widening then V.widen cur (V.join cur v)
+                else V.join cur v
+              in
+              if not (V.equal next cur) then begin
+                s.params.(i) <- next;
+                c.st.changed <- true
+              end)
+            vs;
+          let env = clobber_globals env in
+          let ret =
+            match summary_rd c name with Some s -> s.ret | None -> V.bot
+          in
+          (env, if e.Tast.tty = Tast.Tint then ret else V.top)
+      | Tast.Tcast (_, a) ->
+          let env, v = eval c path env a in
+          ( env,
+            if e.Tast.tty = Tast.Tint && a.Tast.tty = Tast.Tint then v
+            else V.top ))
+
+(* Guard refinement: push the truth (or falsity) of a condition into
+   the scalar operands of its comparisons. *)
+let rec assume c path env (e : Tast.texpr) truth =
+  match env with
+  | Dead -> Dead
+  | Live _ -> (
+      match e.Tast.tnode with
+      | Tast.Tunary (Ast.Unot, a) -> assume c path env a (not truth)
+      | Tast.Tbinary (Ast.Band, a, b) when truth ->
+          assume c path (assume c path env a true) b true
+      | Tast.Tbinary (Ast.Bor, a, b) when not truth ->
+          assume c path (assume c path env a false) b false
+      | Tast.Tbinary (op, a, b) when is_cmp op ->
+          let _, va = eval c path env a in
+          let _, vb = eval c path env b in
+          let refine =
+            match (op, truth) with
+            | Ast.Beq, true | Ast.Bne, false -> Some (V.assume_eq va vb)
+            | Ast.Bne, true | Ast.Beq, false -> Some (V.assume_ne va vb)
+            | Ast.Blt, true | Ast.Bge, false -> Some (V.assume_lt va vb)
+            | Ast.Ble, true | Ast.Bgt, false -> Some (V.assume_le va vb)
+            | Ast.Bgt, true | Ast.Ble, false ->
+                let vb', va' = V.assume_lt vb va in
+                Some (va', vb')
+            | Ast.Bge, true | Ast.Blt, false ->
+                let vb', va' = V.assume_le vb va in
+                Some (va', vb')
+            | _ -> None
+          in
+          (match refine with
+          | None -> env
+          | Some (va', vb') ->
+              if V.is_bot va' || V.is_bot vb' then Dead
+              else
+                let set env ex v =
+                  match ex.Tast.tnode with
+                  | Tast.Tvar vr when ex.Tast.tty = Tast.Tint ->
+                      write_scalar c.st env vr v
+                  | _ -> env
+                in
+                set (set env a va') b vb')
+      | Tast.Tvar vr when e.Tast.tty = Tast.Tint ->
+          let v = read_scalar c.st env vr in
+          if truth then
+            (* v != 0: only endpoint shaving available *)
+            let v', _ = V.assume_ne v (V.of_const 0) in
+            if V.is_bot v' then Dead else write_scalar c.st env vr v'
+          else
+            let v' = V.meet v (V.of_const 0) in
+            if V.is_bot v' then Dead else write_scalar c.st env vr v'
+      | _ -> env)
+
+(* ------------------------------------------------------------------ *)
+(* Statements.  [benv] is the Bounds constant environment maintained in
+   lock-step, so counted-loop classification here agrees with the
+   unroller's. *)
+
+let loop_fixpoint c st_join ~entry ~enter_body ~body_step ~exit_of =
+  let inv = ref entry in
+  let stable = ref false in
+  let iter = ref 0 in
+  while (not !stable) && !iter < 60 do
+    incr iter;
+    let out = body_step (enter_body !inv) in
+    let nxt = st_join entry out in
+    if env_equal c.st nxt !inv then stable := true
+    else inv := if !iter >= 3 then env_widen c.st !inv nxt else nxt
+  done;
+  for _ = 1 to 2 do
+    let out = body_step (enter_body !inv) in
+    inv := st_join entry out
+  done;
+  exit_of !inv
+
+let rec exec_stmts c (benv, env) path stmts =
+  let _, benv, env =
+    List.fold_left
+      (fun (i, benv, env) stmt ->
+        let env = exec_stmt c (benv, env) (Fmt.str "%s.%d" path i) stmt in
+        (i + 1, Bounds.Env.after_stmt benv stmt, env))
+      (0, benv, env) stmts
+  in
+  (benv, env)
+
+and exec_stmt c (benv, env) path (stmt : Tast.tstmt) : env =
+  match (stmt, env) with
+  | _, Dead -> Dead
+  | Tast.TSdecl (vr, init), Live _ -> (
+      match vr.Tast.vr_kind with
+      | Tast.Vlocal_array _ ->
+          (* uninitialised stack storage: contents unknown *)
+          let storage, _, _ = storage_of c.fname vr in
+          acc_join c.st c.st.wr.content storage V.top;
+          env
+      | _ -> (
+          match init with
+          | None -> write_scalar c.st env vr V.top
+          | Some e ->
+              let env, v = eval c path env e in
+              write_scalar c.st env vr
+                (if vr.Tast.vr_ty = Tast.Tint then v else V.top)))
+  | Tast.TSassign (vr, e), Live _ ->
+      let env, v = eval c path env e in
+      write_scalar c.st env vr (if vr.Tast.vr_ty = Tast.Tint then v else V.top)
+  | Tast.TSindex_assign (vr, ie, ve), Live _ ->
+      let env, iv = eval c path env ie in
+      let env, v = eval c path env ve in
+      record_site c path ~write:true vr iv;
+      let storage, _, _ = storage_of c.fname vr in
+      acc_join c.st c.st.wr.content storage
+        (if vr.Tast.vr_ty = Tast.Tint then v else V.top);
+      env
+  | Tast.TSif (cond, ts, es), Live _ ->
+      let env, _ = eval c path env cond in
+      let t_env = assume c path env cond true in
+      let e_env = assume c path env cond false in
+      let _, t_out = exec_stmts c (benv, t_env) (path ^ ".then") ts in
+      let _, e_out = exec_stmts c (benv, e_env) (path ^ ".else") es in
+      env_join c.st t_out e_out
+  | Tast.TSwhile (cond, body), Live _ ->
+      let benv_body = Bounds.Env.at_body_entry benv body in
+      loop_fixpoint c (env_join c.st) ~entry:env
+        ~enter_body:(fun inv ->
+          let inv, _ = eval c path inv cond in
+          assume c path inv cond true)
+        ~body_step:(fun env ->
+          snd (exec_stmts c (benv_body, env) (path ^ ".body") body))
+        ~exit_of:(fun inv ->
+          let inv, _ = eval c path inv cond in
+          assume c path inv cond false)
+  | Tast.TSfor (hdr, body), Live _ -> exec_for c (benv, env) path hdr body
+  | Tast.TSreturn eo, Live _ ->
+      (match eo with
+      | None -> ()
+      | Some e ->
+          let _, v = eval c path env e in
+          let s = summary_wr c c.fname in
+          let next =
+            if c.st.widening then V.widen s.ret (V.join s.ret v)
+            else V.join s.ret v
+          in
+          if not (V.equal next s.ret) then begin
+            s.ret <- next;
+            c.st.changed <- true
+          end);
+      Dead
+  | (Tast.TSexpr e | Tast.TSsink e), Live _ ->
+      let env, _ = eval c path env e in
+      env
+
+and exec_for c (benv, env) path hdr body =
+  let idx = hdr.Tast.tf_var in
+  let benv_body = Bounds.Env.at_loop_entry benv hdr body in
+  let step = hdr.Tast.tf_step in
+  match Bounds.classify benv hdr body with
+  | Bounds.Counted { start; step = _; trips } when trips <= 0 ->
+      write_scalar c.st env idx (V.of_const start)
+  | Bounds.Counted { start; step; trips } ->
+      let pin inv =
+        write_scalar c.st inv idx (V.of_counted ~start ~step ~trips)
+      in
+      loop_fixpoint c (env_join c.st) ~entry:(pin env) ~enter_body:pin
+        ~body_step:(fun env ->
+          snd (exec_stmts c (benv_body, env) (path ^ ".body") body))
+        ~exit_of:(fun inv ->
+          write_scalar c.st inv idx (V.of_const (start + (trips * step))))
+  | _ ->
+      (* degenerate or symbolic bounds: desugar to the while form the
+         lowering uses (limit re-evaluated every iteration) *)
+      let env, v0 = eval c path env hdr.Tast.tf_init in
+      let env = write_scalar c.st env idx v0 in
+      let cond =
+        {
+          Tast.tnode =
+            Tast.Tbinary (hdr.Tast.tf_cmp, Tast.var_expr idx, hdr.Tast.tf_limit);
+          tty = Tast.Tint;
+        }
+      in
+      loop_fixpoint c (env_join c.st) ~entry:env
+        ~enter_body:(fun inv ->
+          let inv, _ = eval c path inv cond in
+          assume c path inv cond true)
+        ~body_step:(fun env ->
+          let _, env = exec_stmts c (benv_body, env) (path ^ ".body") body in
+          match env with
+          | Dead -> Dead
+          | Live _ ->
+              let v = read_scalar c.st env idx in
+              write_scalar c.st env idx (V.add v (V.of_const step)))
+        ~exit_of:(fun inv ->
+          let inv, _ = eval c path inv cond in
+          assume c path inv cond false)
+
+(* ------------------------------------------------------------------ *)
+
+let analyze_func st (f : Tast.tfunc) =
+  let c = { st; fname = f.Tast.tf_name } in
+  let n_params = List.length f.Tast.tf_params in
+  let param i =
+    match summary_rd c f.Tast.tf_name with
+    | Some s when Array.length s.params = n_params -> s.params.(i)
+    | _ -> V.bot
+  in
+  let locals =
+    List.fold_left
+      (fun (i, m) (vr : Tast.var_ref) ->
+        let v = if vr.Tast.vr_ty = Tast.Tint then param i else V.top in
+        (i + 1, SMap.add vr.Tast.vr_name v m))
+      (0, SMap.empty) f.Tast.tf_params
+    |> snd
+  in
+  ignore
+    (exec_stmts c (Bounds.Env.empty, live_entry locals) f.Tast.tf_name
+       f.Tast.tf_body)
+
+let fresh_tables (p : Tast.tprogram) =
+  let tb =
+    {
+      summaries = Hashtbl.create 17;
+      glob_inv = Hashtbl.create 17;
+      content = Hashtbl.create 17;
+      index_union = Hashtbl.create 17;
+    }
+  in
+  (* initial values of globals (memory starts zero-filled) *)
+  List.iter
+    (fun (g : Tast.tglobal) ->
+      if g.Tast.tg_ty = Tast.Tint then
+        let init =
+          match g.Tast.tg_init with
+          | Some (Ast.Cint n) -> V.of_const n
+          | Some (Ast.Creal _) -> V.top
+          | None -> V.of_const 0
+        in
+        if g.Tast.tg_words = 1 then Hashtbl.replace tb.glob_inv g.Tast.tg_name init
+        else Hashtbl.replace tb.content g.Tast.tg_name init)
+    p.Tast.tglobals;
+  List.iter
+    (fun (f : Tast.tfunc) ->
+      if f.Tast.tf_name = "main" then
+        Hashtbl.replace tb.summaries f.Tast.tf_name
+          { params = [||]; ret = V.bot; called = true })
+    p.Tast.tfuncs;
+  tb
+
+let copy_tables tb =
+  {
+    summaries =
+      (let t = Hashtbl.create 17 in
+       Hashtbl.iter
+         (fun k (s : fsummary) ->
+           Hashtbl.replace t k
+             { params = Array.copy s.params; ret = s.ret; called = s.called })
+         tb.summaries;
+       t);
+    glob_inv = Hashtbl.copy tb.glob_inv;
+    content = Hashtbl.copy tb.content;
+    index_union = Hashtbl.copy tb.index_union;
+  }
+
+let analyze (p : Tast.tprogram) : t =
+  let st =
+    {
+      funcs = Hashtbl.create 17;
+      rd = fresh_tables p;
+      wr = fresh_tables p;
+      widening = false;
+      changed = false;
+      recording = false;
+      site_order = Hashtbl.create 64;
+      site_seq = 0;
+      site_tbl = Hashtbl.create 64;
+    }
+  in
+  st.wr <- st.rd;
+  List.iter (fun f -> Hashtbl.replace st.funcs f.Tast.tf_name f) p.Tast.tfuncs;
+  let round () =
+    st.changed <- false;
+    List.iter
+      (fun (f : Tast.tfunc) ->
+        match Hashtbl.find_opt st.rd.summaries f.Tast.tf_name with
+        | Some s when s.called -> analyze_func st f
+        | _ -> ())
+      p.Tast.tfuncs
+  in
+  (* ascending phase: rd and wr alias, widening after a grace period *)
+  let r = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !r < 40 do
+    incr r;
+    st.widening <- !r > 6;
+    round ();
+    if not st.changed then continue_ := false
+  done;
+  (* descending (narrowing) rounds: evaluate F over the frozen
+     post-fixpoint into fresh accumulators *)
+  st.widening <- false;
+  for _ = 1 to 2 do
+    st.rd <- copy_tables st.wr;
+    st.wr <- fresh_tables p;
+    round ()
+  done;
+  (* recording round: reads from the narrowed generation *)
+  st.rd <- copy_tables st.wr;
+  st.wr <- fresh_tables p;
+  st.recording <- true;
+  round ();
+  let globals_scalar =
+    List.filter_map
+      (fun (g : Tast.tglobal) ->
+        if g.Tast.tg_ty = Tast.Tint && g.Tast.tg_words = 1 then
+          Some (g.Tast.tg_name, acc_get st.rd.glob_inv g.Tast.tg_name)
+        else None)
+      p.Tast.tglobals
+  in
+  let global_arrays =
+    List.filter_map
+      (fun (g : Tast.tglobal) ->
+        if g.Tast.tg_words > 1 then Some g.Tast.tg_name else None)
+      p.Tast.tglobals
+  in
+  let sites =
+    List.init st.site_seq (fun i -> Hashtbl.find st.site_tbl i)
+  in
+  {
+    sites;
+    scalar_ranges = globals_scalar;
+    index_ranges =
+      List.map (fun a -> (a, acc_get st.rd.index_union a)) global_arrays;
+    content_ranges =
+      List.filter_map
+        (fun a ->
+          if List.exists (fun (g : Tast.tglobal) -> g.Tast.tg_name = a && g.Tast.tg_ty = Tast.Tint) p.Tast.tglobals
+          then Some (a, acc_get st.rd.content a)
+          else None)
+        global_arrays;
+  }
+
+let counts (t : t) =
+  List.fold_left
+    (fun (s, o, u) site ->
+      match site.s_verdict with
+      | Proved_safe -> (s + 1, o, u)
+      | Proved_oob -> (s, o + 1, u)
+      | Unknown -> (s, o, u + 1))
+    (0, 0, 0) t.sites
+
+let scalar_range t name =
+  match List.assoc_opt name t.scalar_ranges with Some v -> v | None -> V.top
+
+let index_range t name =
+  match List.assoc_opt name t.index_ranges with Some v -> v | None -> V.bot

@@ -1,0 +1,53 @@
+(** Abstract interpretation of MiniMod programs over the
+    {!Ilp_analysis.Range} reduced product (intervals x congruences).
+
+    The analysis is interprocedural and runs to a global fixpoint:
+    per-function summaries (joined argument ranges in, return range
+    out), accumulated invariants for global scalars and array contents,
+    and flow-sensitive local environments with widening at loop heads,
+    truncated narrowing, comparison-guard refinement and
+    {!Bounds}-aware exact ranges for counted loops.
+
+    Its primary client is the static subscript sanitizer: every array
+    access in the program receives a {!verdict} against the declared
+    extent.  The exported invariants also feed the dynamic soundness
+    property test (every executed subscript and every stored scalar
+    must lie inside its static range). *)
+
+type verdict = Proved_safe | Proved_oob | Unknown
+
+val verdict_name : verdict -> string
+
+type site = {
+  s_func : string;  (** enclosing function *)
+  s_path : string;  (** statement path within the function *)
+  s_array : string;  (** array (or view) named by the access *)
+  s_extent : int;  (** declared element count *)
+  s_write : bool;
+  s_range : Ilp_analysis.Range.V.t;  (** range of the subscript *)
+  s_verdict : verdict;
+}
+
+type t = {
+  sites : site list;  (** one per syntactic array access, program order *)
+  scalar_ranges : (string * Ilp_analysis.Range.V.t) list;
+      (** invariant range of each int global scalar: every value the
+          cell can ever hold *)
+  index_ranges : (string * Ilp_analysis.Range.V.t) list;
+      (** per base global array: union of all subscript ranges used to
+          access it (views included, under the base array's name) *)
+  content_ranges : (string * Ilp_analysis.Range.V.t) list;
+      (** per base global array: every value an element can hold *)
+}
+
+val analyze : Tast.tprogram -> t
+
+val counts : t -> int * int * int
+(** [(safe, oob, unknown)] over [sites]. *)
+
+val scalar_range : t -> string -> Ilp_analysis.Range.V.t
+(** Invariant of a global int scalar; top when untracked. *)
+
+val index_range : t -> string -> Ilp_analysis.Range.V.t
+(** Subscript union of a base global array; bottom when the program
+    never accesses it. *)

@@ -461,11 +461,95 @@ let generate_unroll_heavy (st : Random.State.t) : prog =
   let stmts = List.init (int st 3 6) (fun _ -> stmt ctx 2 [ "i"; "j" ]) in
   { globals; locals; arrays; helper = None; call_helper = false; stmts }
 
+(* Range-adversarial programs: subscripts whose safety — and whose
+   mutual independence — is a value-range fact rather than a
+   constant-offset fact.  Strided indices ([(v & m) * 2], [* 2 + 1],
+   [* 3 + o]) interleave even and odd (or mod-3) cells of one array;
+   window indices split another between an upper half ([8 + (v & 7)])
+   and a masked lower half.  Loop bounds sit near the array extents and
+   nested counted loops drive monotone accumulators through the
+   widening/narrowing machinery.  Every subscript is built to already
+   lie inside the array, so the rendered safety mask is the identity —
+   the range analysis must carry interval and congruence information
+   through multiply, add and mask to prove any of it.  Same AST as the
+   default mode, so rendering and shrinking are unchanged. *)
+let generate_range_heavy (st : Random.State.t) : prog =
+  let arrays = [ ("a0", 32); ("r0", arr_words) ] in
+  let globals = [ ("g0", int st 0 8) ] in
+  let locals = [ ("p", int st 0 15); ("x0", int st 0 20); ("s0", int st 0 9) ] in
+  (* strided index into a0, always in [0, 31] before the mask *)
+  let stride_index ivars =
+    let v = Var (choose st ivars) in
+    match int st 0 6 with
+    | 0 -> Binop ("*", Binop ("&", v, Const 15), Const 2)
+    | 1 ->
+        Binop ("+", Binop ("*", Binop ("&", v, Const 15), Const 2), Const 1)
+    | 2 -> Binop ("*", Binop ("&", v, Const 7), Const 3)
+    | 3 ->
+        Binop
+          ("+", Binop ("*", Binop ("&", v, Const 7), Const 3),
+           Const (int st 1 2))
+    | 4 -> Binop ("+", Const 16, Binop ("&", v, Const 15))
+    | _ -> Binop ("&", Binop ("+", v, Const (int st 0 5)), Const 15)
+  in
+  (* split-window index into r0: upper half [8, 15] or lower [0, 7] *)
+  let ring_index ivars =
+    let v = Var (choose st ivars) in
+    if Random.State.bool st then Binop ("+", Const 8, Binop ("&", v, Const 7))
+    else Binop ("&", Binop ("+", v, Const (int st 0 4)), Const 7)
+  in
+  let arr_rw ivars =
+    if int st 0 2 = 0 then
+      Arr_write
+        ( "r0", ring_index ivars, arr_words - 1,
+          Binop
+            ( choose st [ "+"; "^" ],
+              Arr_read ("r0", ring_index ivars, arr_words - 1),
+              if Random.State.bool st then Var (choose st ivars)
+              else Const (int st 0 9) ) )
+    else
+      Arr_write
+        ( "a0", stride_index ivars, 31,
+          Binop
+            ( choose st [ "+"; "-"; "^" ],
+              Arr_read ("a0", stride_index ivars, 31),
+              if Random.State.bool st then Var (choose st ivars)
+              else Const (int st 0 9) ) )
+  in
+  let rec stmt depth ivars loop_vars =
+    match int st 1 10 with
+    | 1 -> Assign ("p", Binop ("&", Var (choose st ivars), Const 15))
+    (* monotone accumulators: ascending chains the widening must cut *)
+    | 2 -> Assign ("x0", Binop ("+", Var "x0", Const (int st 1 3)))
+    | 3 -> Assign ("s0", Binop ("&", Binop ("+", Var "s0", Var "x0"), Const 1023))
+    | 4 when depth > 0 ->
+        If
+          ( Binop ("<", Var "x0", Const (int st 50 200)),
+            block (depth - 1) ivars loop_vars,
+            if Random.State.bool st then block (depth - 1) ivars loop_vars
+            else [] )
+    | (5 | 6 | 7) when depth > 0 -> (
+        match loop_vars with
+        | [] -> arr_rw ivars
+        | lv :: rest ->
+            (* trip counts near the array extents *)
+            For
+              ( lv,
+                for_up (int st 13 18),
+                block (depth - 1) (lv :: ivars) rest ))
+    | _ -> arr_rw ivars
+  and block depth ivars loop_vars =
+    List.init (int st 2 5) (fun _ -> stmt depth ivars loop_vars)
+  in
+  let stmts = block 3 [ "p"; "g0" ] [ "i"; "j" ] in
+  { globals; locals; arrays; helper = None; call_helper = false; stmts }
+
 let generate ?(mode = `Default) (st : Random.State.t) : prog =
   match mode with
   | `Default -> generate_default st
   | `Alias_heavy -> generate_alias_heavy st
   | `Unroll_heavy -> generate_unroll_heavy st
+  | `Range_heavy -> generate_range_heavy st
 
 (* --- shrinking --------------------------------------------------------- *)
 

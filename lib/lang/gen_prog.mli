@@ -56,7 +56,9 @@ val render : prog -> string
     [sink(...)] mix of every variable and three cells of each array. *)
 
 val generate :
-  ?mode:[ `Default | `Alias_heavy | `Unroll_heavy ] -> Random.State.t -> prog
+  ?mode:[ `Default | `Alias_heavy | `Unroll_heavy | `Range_heavy ] ->
+  Random.State.t ->
+  prog
 (** [`Default] draws the general corpus.  [`Alias_heavy] (the
     aliasing-adversarial mode behind [ilp fuzz --alias-heavy]) hammers
     one or two arrays through affine indices over shared index locals:
@@ -67,7 +69,14 @@ val generate :
     --unroll-heavy]) stresses the bound-aware unroller: boundary trip
     counts (0, 1, factor±1 up to factor 8), down-counting loops, steps
     beyond 1, inclusive comparisons, statically-zero-trip degenerate
-    headers, index self-assignment and unknown scalar bounds. *)
+    headers, index self-assignment and unknown scalar bounds.
+    [`Range_heavy] (behind [ilp fuzz --range-heavy]) stresses the
+    value-range analysis: stride-2 and stride-3 index arithmetic
+    interleaving even/odd and mod-3 cells, split upper/lower array
+    windows, loop bounds near the array extents, and nested counted
+    loops driving monotone accumulators through widening — subscripts
+    are built to be in range before their safety mask, so the range
+    product must prove what the mask otherwise guarantees. *)
 
 val size : prog -> int
 (** AST node count — the strictly decreasing measure [shrink] minimises. *)

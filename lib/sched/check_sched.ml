@@ -87,8 +87,8 @@ let check_block ?classify (config : Config.t) ~(original : Block.t)
       | _ -> illegal "block %s: terminator not last after scheduling" where)
   | None -> ()
 
-let check_func ?(memdep = false) config ~(original : Func.t)
-    ~(scheduled : Func.t) =
+let check_func ?(memdep = false) ?(ranges = true) config
+    ~(original : Func.t) ~(scheduled : Func.t) =
   if not (String.equal original.Func.name scheduled.Func.name) then
     illegal "function %s: name changed to %s" original.Func.name
       scheduled.Func.name;
@@ -96,7 +96,10 @@ let check_func ?(memdep = false) config ~(original : Func.t)
   then
     illegal "function %s: block structure changed by scheduling"
       original.Func.name;
-  let md = if memdep then Some (Ilp_analysis.Memdep.analyze original) else None in
+  let md =
+    if memdep then Some (Ilp_analysis.Memdep.analyze ~ranges original)
+    else None
+  in
   List.iter2
     (fun (o : Block.t) s ->
       let classify =
@@ -107,12 +110,12 @@ let check_func ?(memdep = false) config ~(original : Func.t)
       check_block ?classify config ~original:o ~scheduled:s)
     original.Func.blocks scheduled.Func.blocks
 
-let check_program ?memdep config ~(original : Program.t)
+let check_program ?memdep ?ranges config ~(original : Program.t)
     ~(scheduled : Program.t) =
   if
     List.length original.Program.functions
     <> List.length scheduled.Program.functions
   then illegal "program: function count changed by scheduling";
   List.iter2
-    (fun o s -> check_func ?memdep config ~original:o ~scheduled:s)
+    (fun o s -> check_func ?memdep ?ranges config ~original:o ~scheduled:s)
     original.Program.functions scheduled.Program.functions

@@ -38,11 +38,21 @@ val check_block :
     proves the pair [No_alias]. *)
 
 val check_func :
-  ?memdep:bool -> Config.t -> original:Func.t -> scheduled:Func.t -> unit
+  ?memdep:bool ->
+  ?ranges:bool ->
+  Config.t ->
+  original:Func.t ->
+  scheduled:Func.t ->
+  unit
 (** With [~memdep:true], runs {!Ilp_analysis.Memdep.analyze} on the
     original function and re-justifies removed edges per block. *)
 
 val check_program :
-  ?memdep:bool -> Config.t -> original:Program.t -> scheduled:Program.t -> unit
+  ?memdep:bool ->
+  ?ranges:bool ->
+  Config.t ->
+  original:Program.t ->
+  scheduled:Program.t ->
+  unit
 (** Check every block of every function; functions and blocks must pair
     up positionally (scheduling never changes program structure). *)

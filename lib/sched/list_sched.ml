@@ -116,9 +116,9 @@ let schedule_block ?classify (config : Config.t) (b : Block.t) =
     Block.make b.Block.label instrs
   end
 
-let run_func ?(memdep = false) config (f : Func.t) =
+let run_func ?(memdep = false) ?(ranges = true) config (f : Func.t) =
   if memdep then begin
-    let md = Ilp_analysis.Memdep.analyze f in
+    let md = Ilp_analysis.Memdep.analyze ~ranges f in
     Func.map_blocks
       (fun (b : Block.t) ->
         let classify = Ilp_analysis.Memdep.classifier md b.Block.label in
@@ -127,5 +127,5 @@ let run_func ?(memdep = false) config (f : Func.t) =
   end
   else Func.map_blocks (schedule_block config) f
 
-let run ?memdep config (p : Program.t) =
-  Program.map_functions (run_func ?memdep config) p
+let run ?memdep ?ranges config (p : Program.t) =
+  Program.map_functions (run_func ?memdep ?ranges config) p

@@ -28,5 +28,9 @@ val schedule_block :
   Block.t ->
   Block.t
 
-val run_func : ?memdep:bool -> Config.t -> Func.t -> Func.t
-val run : ?memdep:bool -> Config.t -> Program.t -> Program.t
+val run_func : ?memdep:bool -> ?ranges:bool -> Config.t -> Func.t -> Func.t
+
+val run : ?memdep:bool -> ?ranges:bool -> Config.t -> Program.t -> Program.t
+(** [ranges] (default [true]) is passed to {!Ilp_analysis.Memdep.analyze}
+    under [~memdep:true]: it enables the value-range disambiguation
+    tier. *)

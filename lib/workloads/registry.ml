@@ -14,7 +14,7 @@ let all : Workload.t list =
 (* Workloads outside the paper's eight-program suite: reachable by name
    (CLI, targeted experiments) but excluded from [all], so the aggregate
    Section 4 sweeps — and the tests pinning them — are unchanged. *)
-let extras : Workload.t list = [ Smooth.workload ]
+let extras : Workload.t list = [ Smooth.workload; Redblack.workload ]
 let names = List.map (fun w -> w.Workload.name) all
 
 let find name =

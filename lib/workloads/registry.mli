@@ -5,9 +5,10 @@ val all : Workload.t list
     order. *)
 
 val extras : Workload.t list
-(** Workloads outside the paper's suite (currently [smooth], the
-    memory-disambiguation stress kernel): found by {!find} but never
-    part of {!all}, {!names} or the aggregate sweeps. *)
+(** Workloads outside the paper's suite ([smooth], the symbolic
+    memory-disambiguation stress kernel, and [redblack], its
+    value-range counterpart): found by {!find} but never part of
+    {!all}, {!names} or the aggregate sweeps. *)
 
 val names : string list
 

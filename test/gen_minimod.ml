@@ -24,3 +24,23 @@ let unroll_heavy_prog : Ilp_lang.Gen_prog.prog Gen.t =
 
 let unroll_heavy_program : string Gen.t =
   Gen.map Ilp_lang.Gen_prog.render unroll_heavy_prog
+
+(* The aliasing-adversarial mode: affine indices over shared index
+   locals, copies, small offsets before the mask. *)
+let alias_heavy_prog : Ilp_lang.Gen_prog.prog Gen.t =
+  Gen.make_primitive
+    ~gen:(Ilp_lang.Gen_prog.generate ~mode:`Alias_heavy)
+    ~shrink:Ilp_lang.Gen_prog.shrink_step
+
+let alias_heavy_program : string Gen.t =
+  Gen.map Ilp_lang.Gen_prog.render alias_heavy_prog
+
+(* The range-adversarial mode: stride-2/3 index arithmetic, split array
+   windows, near-extent loop bounds, widening-stressing accumulators. *)
+let range_heavy_prog : Ilp_lang.Gen_prog.prog Gen.t =
+  Gen.make_primitive
+    ~gen:(Ilp_lang.Gen_prog.generate ~mode:`Range_heavy)
+    ~shrink:Ilp_lang.Gen_prog.shrink_step
+
+let range_heavy_program : string Gen.t =
+  Gen.map Ilp_lang.Gen_prog.render range_heavy_prog

@@ -22,4 +22,5 @@ let () =
       ("dataflow", Test_dataflow.tests);
       ("check", Test_check.tests);
       ("memdep", Test_memdep.tests);
+      ("range", Test_range.tests);
       ("properties", Test_properties.tests) ]
